@@ -1,0 +1,45 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Each ``bench_*.py`` module regenerates one table or figure of the paper's
+evaluation.  Every module works in two modes:
+
+* under ``pytest benchmarks/ --benchmark-only`` -- each row's computation is
+  timed through pytest-benchmark, and the regenerated table is written to
+  ``benchmarks/results/<name>.txt`` at the end of the module's run;
+* as a plain script (``python benchmarks/bench_table1_detection.py``) --
+  the table is printed to stdout.
+
+Workloads are scaled down from the paper's 2.4 GHz-Pentium-sized runs (see
+EXPERIMENTS.md); the claims under test are the *shapes*, not the absolute
+numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def emit(name: str, text: str) -> str:
+    """Print a regenerated table/figure and persist it under results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print()
+    print(text)
+    return path
+
+
+def fmt_mean(value) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.1f}"
+
+
+def fmt_secs(value) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.3f}"

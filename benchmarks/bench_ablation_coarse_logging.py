@@ -1,0 +1,127 @@
+"""Ablation -- logging granularity: fine-grained writes vs coarse entries.
+
+Paper section 6.2 offers two logging levels: fine-grained (every shared
+write, no data-structure knowledge needed for replay) and coarse-grained
+(groups the programmer can show atomic become a single entry with a custom
+replay routine, "which reduces logging contention and overhead").
+
+This ablation runs the identical StringBuffer workload twice -- once with
+per-character write logging, once with one ``ReplayAction`` per mutator
+group -- and compares log sizes, logging time and view-checking time.  Both
+modes must reach the same verdict.
+"""
+
+import time
+
+import pytest
+
+from repro import Kernel, Vyrd
+from repro.harness import render_table
+from repro.javalib import (
+    StringBufferSpec,
+    StringBufferSystem,
+    stringbuffer_replay_registry,
+    stringbuffer_view,
+)
+
+from _common import emit, fmt_secs
+
+_rows = []
+
+
+def _run(seed: int, coarse: bool, rounds: int):
+    import random
+
+    vyrd = Vyrd(
+        spec_factory=lambda: StringBufferSpec(capacity=96),
+        mode="view",
+        impl_view_factory=stringbuffer_view,
+        replay_registry=stringbuffer_replay_registry() if coarse else None,
+    )
+    kernel = Kernel(seed=seed, tracer=vyrd.tracer)
+    system = StringBufferSystem(capacity=96, coarse_logging=coarse)
+    vds = vyrd.wrap(system)
+
+    def appender(ctx):
+        for _ in range(rounds):
+            yield from vds.append_buffer(ctx, "dst", "src")
+            yield from vds.delete(ctx, "dst", 0, 6)
+
+    def churner(ctx, rng):
+        for _ in range(rounds):
+            yield from vds.append_str(ctx, "src", "abcdef")
+            yield from vds.delete(ctx, "src", 0, rng.randrange(2, 6))
+
+    def observer_thread(ctx):
+        for _ in range(rounds):
+            yield from vds.to_string(ctx, "dst")
+
+    kernel.spawn(appender)
+    kernel.spawn(churner, random.Random(seed))
+    kernel.spawn(churner, random.Random(seed + 5))
+    kernel.spawn(observer_thread)
+    start = time.process_time()
+    kernel.run()
+    run_cpu = time.process_time() - start
+    start = time.process_time()
+    outcome = vyrd.check_offline()
+    check_cpu = time.process_time() - start
+    assert outcome.ok, str(outcome.first_violation)
+    return len(vyrd.log), run_cpu, check_cpu
+
+
+def _measure(rounds: int):
+    fine = coarse = (0, 0.0, 0.0)
+    fine_totals = [0, 0.0, 0.0]
+    coarse_totals = [0, 0.0, 0.0]
+    for seed in range(3):
+        for totals, is_coarse in ((fine_totals, False), (coarse_totals, True)):
+            records, run_cpu, check_cpu = _run(seed, is_coarse, rounds)
+            totals[0] += records
+            totals[1] += run_cpu
+            totals[2] += check_cpu
+    row = (rounds, tuple(fine_totals), tuple(coarse_totals))
+    _rows.append(row)
+    return row
+
+
+@pytest.mark.parametrize("rounds", [10, 25], ids=["short", "long"])
+def test_coarse_logging_shrinks_log(benchmark, rounds):
+    row = benchmark.pedantic(_measure, args=(rounds,), rounds=1, iterations=1)
+    _, fine, coarse = row
+    assert coarse[0] < fine[0] / 1.5, "coarse log should be much smaller"
+
+
+def _render() -> str:
+    rows = []
+    for rounds, fine, coarse in _rows:
+        rows.append([
+            f"{rounds} rounds",
+            fine[0], fmt_secs(fine[1]), fmt_secs(fine[2]),
+            coarse[0], fmt_secs(coarse[1]), fmt_secs(coarse[2]),
+            f"{fine[0] / coarse[0]:.1f}x",
+        ])
+    return render_table(
+        "Ablation: fine vs coarse logging granularity (StringBuffer, 3 seeds)",
+        ["workload", "fine records", "fine run (s)", "fine check (s)",
+         "coarse records", "coarse run (s)", "coarse check (s)",
+         "log shrink"],
+        rows,
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_table():
+    yield
+    if _rows:
+        emit("ablation_coarse_logging", _render())
+
+
+def main() -> None:
+    for rounds in (10, 25):
+        _measure(rounds)
+    emit("ablation_coarse_logging", _render())
+
+
+if __name__ == "__main__":
+    main()

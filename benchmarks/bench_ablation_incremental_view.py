@@ -1,0 +1,96 @@
+"""Ablation -- incremental vs full-recompute view checking (section 6.4).
+
+The paper avoids "re-traversing the entire program state at each
+verification step" by computing ``viewI`` incrementally from the locations
+each write dirties.  This ablation quantifies that choice on the Cache
+workload (the one with the most fine-grained writes): the same trace is
+checked twice, once with the incremental :class:`ContributionView` and once
+with a :class:`FunctionView` that recomputes the whole store view at every
+commit.
+
+Expected shape: the incremental checker scales with the number of *dirtied*
+units per commit, the full recompute with the *total* number of handles --
+so the gap widens as the store grows.
+"""
+
+import time
+
+import pytest
+
+from repro.core import FunctionView
+from repro.boxwood import cache_view
+from repro.harness import render_table, run_program
+
+from _common import emit, fmt_secs
+
+BLOCK = 8
+_rows = []
+
+
+def _full_cache_view():
+    """A non-incremental view computing the same canonical value."""
+    prototype = cache_view(BLOCK)
+    return FunctionView(prototype.compute_full)
+
+
+def _measure(num_threads: int, calls: int):
+    run = run_program(
+        "cache", buggy=False, num_threads=num_threads, calls_per_thread=calls,
+        seed=17, log_level="view",
+    )
+    session = run.vyrd
+
+    start = time.process_time()
+    incremental = session.check_offline()
+    incremental_cpu = time.process_time() - start
+
+    session.impl_view_factory = _full_cache_view
+    start = time.process_time()
+    full = session.check_offline()
+    full_cpu = time.process_time() - start
+
+    assert incremental.ok and full.ok
+    row = (num_threads, calls, len(run.log), incremental_cpu, full_cpu)
+    _rows.append(row)
+    return row
+
+
+@pytest.mark.parametrize("num_threads,calls", [(4, 40), (8, 60), (16, 60)],
+                         ids=["small", "medium", "large"])
+def test_incremental_vs_full(benchmark, num_threads, calls):
+    row = benchmark.pedantic(_measure, args=(num_threads, calls), rounds=1,
+                             iterations=1)
+    _, _, _, incremental_cpu, full_cpu = row
+    # both finish; the incremental checker should not be dramatically slower
+    assert incremental_cpu <= full_cpu * 2 + 0.05
+
+
+def _render() -> str:
+    rows = [
+        [f"{threads}x{calls}", records, fmt_secs(inc), fmt_secs(full),
+         f"{full / inc:.2f}" if inc > 0 else "-"]
+        for threads, calls, records, inc, full in _rows
+    ]
+    return render_table(
+        "Ablation: incremental vs full-recompute viewI (Cache workload)",
+        ["workload", "log records", "incremental (s)", "full recompute (s)",
+         "full/incremental"],
+        rows,
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_table():
+    yield
+    if _rows:
+        emit("ablation_incremental_view", _render())
+
+
+def main() -> None:
+    for threads, calls in [(4, 40), (8, 60), (16, 60)]:
+        _measure(threads, calls)
+    emit("ablation_incremental_view", _render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Ablation -- commit-point vs quiescent-point state checking (section 8).
+
+The paper contrasts its per-commit view checks with commit-atomicity
+[Flanagan, SPIN'04], which compares states "only at quiescent points rather
+than at each commit point", and argues quiescent points are too rare in
+realistic runs: "checking only at these points might cause errors to be
+overwritten or to be discovered too late".
+
+This ablation quantifies that on the buggy Cache and StringBuffer: the same
+view-level traces are checked with ``view_at="commit"`` and
+``view_at="quiescent"``, reporting detection rate and mean
+methods-to-detection for each.
+"""
+
+import pytest
+
+from repro.harness import mean, render_table, run_program
+
+from _common import emit, fmt_mean
+
+SEEDS = range(10)
+CONFIG = [
+    ("cache", 8, 50),
+    ("stringbuffer", 8, 50),
+    ("multiset-tree", 8, 50),
+]
+
+_rows = []
+
+
+def _measure(name, threads, calls):
+    commit_hits, quiescent_hits = [], []
+    runs = 0
+    for seed in SEEDS:
+        run = run_program(name, buggy=True, num_threads=threads,
+                          calls_per_thread=calls, seed=seed, log_level="view")
+        runs += 1
+        commit = run.vyrd.check_offline_with_mode("view")
+        quiescent = run.vyrd.check_offline_with_mode("view", view_at="quiescent")
+        if not commit.ok:
+            commit_hits.append(commit.detection_method_count)
+        if not quiescent.ok:
+            quiescent_hits.append(quiescent.detection_method_count)
+    row = (name, runs, commit_hits, quiescent_hits)
+    _rows.append(row)
+    return row
+
+
+@pytest.mark.parametrize("name,threads,calls", CONFIG, ids=[c[0] for c in CONFIG])
+def test_commit_checking_dominates_quiescent(benchmark, name, threads, calls):
+    _, runs, commit_hits, quiescent_hits = benchmark.pedantic(
+        _measure, args=(name, threads, calls), rounds=1, iterations=1
+    )
+    # per-commit checking detects at least as often...
+    assert len(commit_hits) >= len(quiescent_hits)
+    assert commit_hits, "the bug should be detectable at commits"
+    # ...and, when both detect, never later on average
+    if quiescent_hits and commit_hits:
+        assert mean(commit_hits) <= mean(quiescent_hits) + 1
+
+
+def _render() -> str:
+    rows = []
+    for name, runs, commit_hits, quiescent_hits in _rows:
+        rows.append([
+            name,
+            f"{len(commit_hits)}/{runs}",
+            fmt_mean(mean(commit_hits)),
+            f"{len(quiescent_hits)}/{runs}",
+            fmt_mean(mean(quiescent_hits)),
+        ])
+    return render_table(
+        "Ablation: per-commit vs quiescent-point view checking "
+        f"({len(list(SEEDS))} seeds, buggy programs)",
+        ["program", "commit: detected", "commit: mean methods",
+         "quiescent: detected", "quiescent: mean methods"],
+        rows,
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_table():
+    yield
+    if _rows:
+        emit("ablation_quiescent", _render())
+
+
+def main() -> None:
+    for name, threads, calls in CONFIG:
+        _measure(name, threads, calls)
+    emit("ablation_quiescent", _render())
+
+
+if __name__ == "__main__":
+    main()

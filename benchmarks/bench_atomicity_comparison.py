@@ -1,0 +1,123 @@
+"""Comparison -- refinement vs atomicity checking (paper sections 1, 2.1, 8).
+
+The paper's case for refinement over atomicity: correct, useful
+implementations -- ``InsertPair`` with its two reservation critical
+sections, the B-link tree with its restructuring writes (the ``W(p) W(q)``
+pattern), methods with contention-induced exceptional terminations -- are
+**not reducible to atomic blocks**, so an atomicity checker flags them, yet
+they refine a natural specification.
+
+For each correct program we run the same logged workload through both
+checkers and report refinement violations (expected: none) against
+atomicity flags (expected: many, concentrated on exactly the methods the
+paper names)."""
+
+import pytest
+
+from repro import Kernel, Vyrd
+from repro.atomicity import check_atomicity
+from repro.harness import PROGRAMS, render_table
+from repro.harness.runner import _resolve
+
+from _common import emit
+
+# (program, threads, calls, reduction_expected_to_fail)
+# StringBuffer's methods hold properly nested monitors for their whole
+# bodies, so they *are* reducible -- a useful control row.
+CONFIG = [
+    ("multiset-vector", 6, 25, True),
+    ("multiset-tree", 6, 25, True),
+    ("blinktree", 6, 25, True),
+    ("stringbuffer", 6, 25, False),
+]
+SEED = 11
+
+_rows = []
+
+
+def _run_logged(name, threads, calls):
+    """run_program, but with lock/read events enabled for the Atomizer."""
+    import random
+
+    program = _resolve(name)
+    built = program.build(False, threads)
+    vyrd = Vyrd(
+        spec_factory=built.spec_factory,
+        mode="view",
+        impl_view_factory=built.view_factory,
+        invariants=built.invariants,
+        replay_registry=built.replay_registry,
+        log_locks=True,
+        log_reads=True,
+    )
+    kernel = Kernel(seed=SEED, tracer=vyrd.tracer)
+    vds = vyrd.wrap(built.impl)
+    for index in range(threads):
+        body = built.make_worker(vds, random.Random(SEED * 131 + index), index, calls)
+        kernel.spawn(body, name=f"app-{index}")
+    for daemon in built.daemons:
+        kernel.spawn(daemon, daemon=True)
+    kernel.run()
+    return vyrd
+
+
+def _measure(name, threads, calls):
+    vyrd = _run_logged(name, threads, calls)
+    refinement = vyrd.check_offline()
+    atomicity = check_atomicity(vyrd.log)
+    row = (
+        name,
+        refinement.methods_checked,
+        len(refinement.violations),
+        len(atomicity.violations),
+        sorted(atomicity.flagged_methods),
+    )
+    _rows.append(row)
+    return refinement, atomicity
+
+
+@pytest.mark.parametrize(
+    "name,threads,calls,expect_flags", CONFIG, ids=[c[0] for c in CONFIG]
+)
+def test_refinement_accepts_where_atomicity_flags(
+    benchmark, name, threads, calls, expect_flags
+):
+    refinement, atomicity = benchmark.pedantic(
+        _measure, args=(name, threads, calls), rounds=1, iterations=1
+    )
+    # correct implementations refine their specs...
+    assert refinement.ok, str(refinement.first_violation)
+    # ...but the multi-critical-section ones defeat reduction
+    assert atomicity.ok != expect_flags, (
+        f"{name}: expected reduction {'failures' if expect_flags else 'success'}"
+    )
+
+
+def _render() -> str:
+    rows = [
+        [name, methods, ref_violations, atom_violations, ", ".join(flagged)]
+        for name, methods, ref_violations, atom_violations, flagged in _rows
+    ]
+    return render_table(
+        "Refinement vs atomicity on correct implementations (section 8)",
+        ["program", "methods run", "refinement violations",
+         "atomicity flags", "non-reducible methods"],
+        rows,
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_table():
+    yield
+    if _rows:
+        emit("atomicity_comparison", _render())
+
+
+def main() -> None:
+    for name, threads, calls in CONFIG:
+        _measure(name, threads, calls)
+    emit("atomicity_comparison", _render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Figure 6 -- Refinement violations in the buggy version of multiset.
+
+The paper's Fig. 6: thread T2's buggy FindSlot overwrites the value 5 that
+thread T1 reserved in A[0]; after both InsertPairs commit, the spec state is
+{5,6,7,8} while the implementation lost the 5.  A subsequent LookUp(5)
+returns false -- an I/O refinement violation -- and the view comparison at
+the later commit detects the loss immediately.
+
+This benchmark hunts the overwrite schedule, renders the violation trace,
+and checks both detection routes (view at the commit; observer at the
+lookup)."""
+
+import pytest
+
+from repro import Kernel, ViolationKind, Vyrd, format_outcome, render_trace
+from repro.multiset import MultisetSpec, VectorMultiset, multiset_view
+
+from _common import emit
+
+
+def _run(seed: int):
+    vyrd = Vyrd(spec_factory=MultisetSpec, mode="view",
+                impl_view_factory=multiset_view, log_level="view")
+    kernel = Kernel(seed=seed, tracer=vyrd.tracer)
+    multiset = VectorMultiset(size=8, buggy_findslot=True)
+    vds = vyrd.wrap(multiset)
+
+    def t1(ctx):
+        yield from vds.insert_pair(ctx, 5, 6)
+        yield from vds.lookup(ctx, 5)
+
+    def t2(ctx):
+        yield from vds.insert_pair(ctx, 7, 8)
+
+    def auditor(ctx):
+        for key in (5, 6, 7, 8):
+            yield from vds.lookup(ctx, key)
+
+    kernel.spawn(t1, name="T1")
+    kernel.spawn(t2, name="T2")
+    kernel.spawn(auditor, name="audit")
+    kernel.run()
+    return vyrd
+
+
+def _find_and_render():
+    for seed in range(500):
+        vyrd = _run(seed)
+        view_outcome = vyrd.check_offline_with_mode("view")
+        io_outcome = vyrd.check_offline_with_mode("io")
+        if not view_outcome.ok and not io_outcome.ok:
+            assert view_outcome.first_violation.kind in (
+                ViolationKind.VIEW, ViolationKind.OBSERVER
+            )
+            assert io_outcome.first_violation.kind is ViolationKind.OBSERVER
+            assert (
+                view_outcome.detection_method_count
+                <= io_outcome.detection_method_count
+            )
+            text = "\n".join([
+                f"Figure 6 reproduction (seed {seed}): buggy FindSlot lets T2 "
+                "overwrite T1's reserved slot.",
+                "",
+                render_trace(vyrd.log, max_rows=40),
+                "",
+                format_outcome(view_outcome, title="view refinement"),
+                "",
+                format_outcome(io_outcome, title="I/O refinement"),
+            ])
+            return text
+    raise AssertionError("Fig. 6 violation not found in 500 seeds")
+
+
+def test_fig6_violation_detected_both_modes(benchmark):
+    text = benchmark.pedantic(_find_and_render, rounds=1, iterations=1)
+    assert "FAIL" in text
+    emit("fig6_violation_trace", text)
+
+
+def main() -> None:
+    emit("fig6_violation_trace", _find_and_render())
+
+
+if __name__ == "__main__":
+    main()

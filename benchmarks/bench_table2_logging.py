@@ -1,0 +1,99 @@
+"""Table 2 -- Overhead of logging.
+
+The paper compares, for each program, the run time of the unmodified
+program against the additional cost of (a) I/O-refinement logging (calls,
+returns, commits only) and (b) view-refinement logging (plus every shared
+write, commit block and coarse entry).
+
+Shape claims reproduced:
+
+* logging costs are a fraction of (or comparable to) the program's own run
+  time, never orders of magnitude above it;
+* view-level logging costs strictly more than I/O-level logging, with the
+  largest gaps in the programs dominated by fine-grained shared writes
+  (multiset-vector, cache) -- the paper's observation verbatim.
+"""
+
+import pytest
+
+from repro.harness import logging_overhead_experiment, render_table
+
+from _common import emit, fmt_secs
+
+TABLE2_CONFIG = [
+    ("multiset-vector", 8, 60),
+    ("java-vector", 8, 60),
+    ("stringbuffer", 8, 60),
+    ("blinktree", 8, 60),
+    ("cache", 8, 60),
+]
+SEEDS = range(3)
+
+_rows = []
+
+
+def _run_row(name: str, threads: int, calls: int):
+    result = logging_overhead_experiment(
+        name, num_threads=threads, calls_per_thread=calls, seeds=SEEDS
+    )
+    _rows.append(result)
+    return result
+
+
+@pytest.mark.parametrize(
+    "name,threads,calls", TABLE2_CONFIG, ids=[c[0] for c in TABLE2_CONFIG]
+)
+def test_table2_row(benchmark, name, threads, calls):
+    result = benchmark.pedantic(
+        _run_row, args=(name, threads, calls), rounds=1, iterations=1
+    )
+    assert result.program_alone > 0
+    # The shape claim -- view logging costs more than I/O logging -- is
+    # structural (strictly more records); assert it on record counts, and
+    # on timings only up to scheduler noise (these rows are milliseconds).
+    from repro.harness import run_program
+
+    io_records = len(run_program(name, False, threads, calls, 0,
+                                 log_level="io").log)
+    view_records = len(run_program(name, False, threads, calls, 0,
+                                   log_level="view").log)
+    assert view_records > io_records
+    # timing tolerance scales with the baseline: on multiset-vector the
+    # continuously-running compression daemon makes the base seconds long,
+    # so run-to-run noise dwarfs millisecond logging deltas
+    noise = 0.02 + 0.08 * result.program_alone
+    assert result.view_logging >= result.io_logging - noise
+
+
+def _render() -> str:
+    rows = []
+    for result in _rows:
+        rows.append([
+            result.program,
+            fmt_secs(result.program_alone),
+            fmt_secs(result.io_logging),
+            fmt_secs(result.view_logging),
+        ])
+    return render_table(
+        "Table 2: overhead of logging (CPU s, summed over "
+        f"{len(list(SEEDS))} seeds; identical schedules per level)",
+        ["program", "program alone", "+ I/O-ref logging", "+ view-ref logging"],
+        rows,
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_table():
+    yield
+    if _rows:
+        emit("table2_logging", _render())
+
+
+def main() -> None:
+    for name, threads, calls in TABLE2_CONFIG:
+        _run_row(name, threads, calls)
+    emit("table2_logging", _render())
+
+
+if __name__ == "__main__":
+    main()

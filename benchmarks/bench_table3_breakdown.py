@@ -1,0 +1,91 @@
+"""Table 3 -- Running time breakdown.
+
+For each program the paper reports four times: the program alone, the
+program with logging, the program with logging plus the *online* VYRD
+verification thread, and VYRD alone checking the finished log offline.
+
+Shape claims reproduced:
+
+* ``prog+logging`` is close to ``prog alone`` (logging is cheap);
+* ``prog+logging+VYRD`` (online) costs a small multiple of the logged run
+  (the paper sees roughly 2-8x across its four programs);
+* offline checking is cheaper than the combined online run.
+
+Thread/method counts follow the paper's Table 3 (Vector 20x200,
+StringBuffer 10x30, BLinkTree 10x600, Cache 10x500), scaled down where the
+simulator would otherwise dominate wall-clock (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.harness import breakdown_experiment, render_table
+
+from _common import emit, fmt_secs
+
+# (program, threads, calls) -- paper's counts, scaled where noted
+TABLE3_CONFIG = [
+    ("java-vector", 20, 50),   # paper: 20 threads x 200 calls
+    ("stringbuffer", 10, 30),  # paper: 10 x 30 (exact)
+    ("blinktree", 10, 60),     # paper: 10 x 600
+    ("cache", 10, 50),         # paper: 10 x 500
+]
+SEEDS = range(2)
+
+_rows = []
+
+
+def _run_row(name: str, threads: int, calls: int):
+    result = breakdown_experiment(
+        name, num_threads=threads, calls_per_thread=calls, seeds=SEEDS
+    )
+    _rows.append(result)
+    return result
+
+
+@pytest.mark.parametrize(
+    "name,threads,calls", TABLE3_CONFIG, ids=[c[0] for c in TABLE3_CONFIG]
+)
+def test_table3_row(benchmark, name, threads, calls):
+    result = benchmark.pedantic(
+        _run_row, args=(name, threads, calls), rounds=1, iterations=1
+    )
+    assert result.prog_alone > 0
+    # online checking adds real work on top of the logged run
+    assert result.prog_logging_online_vyrd > result.prog_logging
+
+
+def _render() -> str:
+    rows = []
+    for result in _rows:
+        rows.append([
+            result.program,
+            f"{result.num_threads}/{result.calls_per_thread}",
+            fmt_secs(result.prog_alone),
+            fmt_secs(result.prog_logging),
+            fmt_secs(result.prog_logging_online_vyrd),
+            fmt_secs(result.vyrd_offline),
+        ])
+    return render_table(
+        "Table 3: running time breakdown (CPU s, summed over "
+        f"{len(list(SEEDS))} seeds)",
+        ["program", "#thrd/#mthd", "prog alone", "prog+logging",
+         "prog+logging+VYRD", "VYRD alone (offline)"],
+        rows,
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_table():
+    yield
+    if _rows:
+        emit("table3_breakdown", _render())
+
+
+def main() -> None:
+    for name, threads, calls in TABLE3_CONFIG:
+        _run_row(name, threads, calls)
+    emit("table3_breakdown", _render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Using an atomized implementation as the specification (paper section 4.4).
+
+When no separate executable specification exists, VYRD can check the
+concurrent implementation against *its own code run atomically*: one method
+at a time, to completion.  Return-value mismatches caused purely by
+concurrency (e.g. an ``insert_pair`` failing under contention) are
+reconciled through the declared ``no_op_results`` -- the state rolls back,
+just like Fig. 1's spec leaves ``M`` unchanged on ``failure``.
+
+Run:  python examples/atomized_spec.py
+"""
+
+from repro import AtomizedSpec, Kernel, Vyrd
+from repro.multiset import FAILURE, VectorMultiset, multiset_view
+
+
+def atomized_spec_factory():
+    """A fresh atomized multiset serving as the specification."""
+    return AtomizedSpec(
+        VectorMultiset(size=8),
+        no_op_results=frozenset({FAILURE}),
+    )
+
+
+def run(seed: int, buggy: bool):
+    vyrd = Vyrd(
+        spec_factory=atomized_spec_factory,
+        mode="view",
+        impl_view_factory=multiset_view,
+    )
+    kernel = Kernel(seed=seed, tracer=vyrd.tracer)
+    multiset = VectorMultiset(size=8, buggy_findslot=buggy)
+    vds = vyrd.wrap(multiset)
+
+    def worker(ctx, x, y):
+        yield from vds.insert_pair(ctx, x, y)
+        yield from vds.lookup(ctx, x)
+
+    kernel.spawn(worker, 5, 6)
+    kernel.spawn(worker, 7, 8)
+    kernel.run()
+    return vyrd.check_offline()
+
+
+def main() -> None:
+    print("Checking the concurrent multiset against its own atomized code.")
+    print("\nCorrect implementation, 5 seeds:")
+    for seed in range(5):
+        outcome = run(seed, buggy=False)
+        print(f"  seed {seed}: {outcome.summary()}")
+        assert outcome.ok
+
+    print("\nBuggy FindSlot against the atomized spec:")
+    for seed in range(100):
+        outcome = run(seed, buggy=True)
+        if not outcome.ok:
+            print(f"  seed {seed}: {outcome.first_violation}")
+            print(
+                "  the atomized interpretation provides the witness states "
+                "without any hand-written spec."
+            )
+            break
+    else:
+        print("  not triggered in 100 seeds")
+
+
+if __name__ == "__main__":
+    main()

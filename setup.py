@@ -1,0 +1,7 @@
+"""Setup shim for environments whose setuptools lacks PEP 660 editable
+support (no `wheel` package available offline).  Configuration lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

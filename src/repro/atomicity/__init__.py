@@ -1,0 +1,20 @@
+"""Atomicity checking baseline (the paper's section 8 comparison).
+
+An Atomizer-style reduction + lockset checker over VYRD logs recorded with
+lock/read events.  Exists to *measure* the paper's claim that atomicity is
+strictly more restrictive than refinement on real data structures.
+"""
+
+from .atomizer import (
+    AtomicityChecker,
+    AtomicityOutcome,
+    AtomicityViolation,
+    check_atomicity,
+)
+
+__all__ = [
+    "AtomicityChecker",
+    "AtomicityOutcome",
+    "AtomicityViolation",
+    "check_atomicity",
+]

@@ -1,0 +1,228 @@
+"""An Atomizer-style dynamic atomicity checker (comparison baseline).
+
+The paper positions refinement against *atomicity* checkers such as
+Atomizer [Flanagan & Freund, POPL 2004]: atomicity requires every method
+execution to be equivalent to some serial execution of the *implementation
+itself*, established via Lipton's reduction -- each execution's actions must
+fit the pattern ``(R|B)* [N] (L|B)*`` where lock acquires are right-movers
+(R), releases are left-movers (L), race-free accesses are both-movers (B)
+and racy accesses are non-movers (N).
+
+The paper's central comparative claim (sections 1, 2.1 and 8) is that
+reduction is *too strict* for real data structures: a method that performs
+lock-protected writes in **two separate critical sections** -- the
+``W(p) W(q)`` pattern of section 8, the two ``FindSlot`` reservations of
+``InsertPair``, the B-link tree's node restructuring -- cannot be reduced
+(an acquire follows a release), yet refines a perfectly good specification
+because only one of the writes changes the abstract state.
+
+This module implements the baseline so that claim can be *measured*
+(``benchmarks/bench_atomicity_comparison.py``): runs that VYRD's refinement
+checker accepts are flagged by the atomicity checker, and the flags
+concentrate exactly on the multi-critical-section methods the paper names.
+
+Two passes over a log recorded with ``VyrdTracer(log_locks=True,
+log_reads=True)``:
+
+1. **Race analysis** (Eraser-style lockset discipline, simplified: no
+   initialization or read-share states): for every shared location, the
+   candidate lockset is intersected at each access with the locks the
+   accessing thread holds -- regular locks and write-mode RW-locks protect
+   reads and writes, read-mode RW-locks protect reads only.  A location
+   accessed by more than one thread whose candidate set drains empty is
+   *racy*; accesses to it are non-movers.
+2. **Reduction check** per method execution against ``(R|B)* [N] (L|B)*``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..core.actions import (
+    AcquireAction,
+    CallAction,
+    ReadAction,
+    ReleaseAction,
+    ReturnAction,
+    Signature,
+    WriteAction,
+)
+from ..core.log import Log
+
+
+@dataclass
+class AtomicityViolation:
+    """One method execution that could not be reduced to an atomic block."""
+
+    signature: Signature
+    seq: int                   # log position of the offending action
+    reason: str
+    racy_locs: Set[str] = field(default_factory=set)
+
+    def __str__(self) -> str:
+        return f"non-atomic@{self.seq} [{self.signature}]: {self.reason}"
+
+
+@dataclass
+class AtomicityOutcome:
+    """Result of checking one log for method atomicity."""
+
+    executions_checked: int = 0
+    violations: List[AtomicityViolation] = field(default_factory=list)
+    racy_locs: Set[str] = field(default_factory=set)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def flagged_methods(self) -> Set[str]:
+        return {v.signature.method for v in self.violations}
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"atomic: {self.executions_checked} executions reduced"
+        return (
+            f"{len(self.violations)} non-atomic execution(s) out of "
+            f"{self.executions_checked}; methods: "
+            f"{sorted(self.flagged_methods)}; racy locations: "
+            f"{len(self.racy_locs)}"
+        )
+
+
+class _HeldLocks:
+    """Locks held per thread, split by protection strength."""
+
+    def __init__(self):
+        self.exclusive: Set[str] = set()   # regular locks + RW write mode
+        self.shared: Set[str] = set()      # RW read mode
+
+    def write_protection(self) -> Set[str]:
+        return set(self.exclusive)
+
+    def read_protection(self) -> Set[str]:
+        return self.exclusive | self.shared
+
+
+def _compute_racy_locs(log: Log) -> Set[str]:
+    """Pass 1: Eraser-style lockset analysis over the whole log."""
+    held: Dict[int, _HeldLocks] = {}
+    candidate: Dict[str, Set[str]] = {}
+    accessors: Dict[str, Set[int]] = {}
+
+    def held_for(tid: int) -> _HeldLocks:
+        if tid not in held:
+            held[tid] = _HeldLocks()
+        return held[tid]
+
+    for action in log:
+        if isinstance(action, AcquireAction):
+            locks = held_for(action.tid)
+            (locks.shared if action.mode == "r" else locks.exclusive).add(action.lock)
+        elif isinstance(action, ReleaseAction):
+            locks = held_for(action.tid)
+            (locks.shared if action.mode == "r" else locks.exclusive).discard(action.lock)
+        elif isinstance(action, (ReadAction, WriteAction)):
+            locks = held_for(action.tid)
+            protection = (
+                locks.read_protection()
+                if isinstance(action, ReadAction)
+                else locks.write_protection()
+            )
+            loc = action.loc
+            accessors.setdefault(loc, set()).add(action.tid)
+            if loc in candidate:
+                candidate[loc] &= protection
+            else:
+                candidate[loc] = set(protection)
+    return {
+        loc
+        for loc, lockset in candidate.items()
+        if not lockset and len(accessors[loc]) > 1
+    }
+
+
+class AtomicityChecker:
+    """Dynamic reduction-based atomicity checking of a VYRD log.
+
+    The log must contain lock and read events
+    (``VyrdTracer(log_locks=True, log_reads=True)``).  Commit annotations
+    and coarse entries are ignored -- atomicity, unlike refinement, knows
+    nothing about specifications.
+    """
+
+    def __init__(self, stop_at_first: bool = False):
+        self.stop_at_first = stop_at_first
+
+    def check(self, log: Log) -> AtomicityOutcome:
+        outcome = AtomicityOutcome()
+        outcome.racy_locs = _compute_racy_locs(log)
+
+        # phase per open execution: "pre" -> (optional N) -> "post"
+        @dataclass
+        class _Frame:
+            method: str
+            args: tuple
+            phase: str = "pre"
+            used_non_mover: bool = False
+            failed: bool = False
+
+        frames: Dict[int, _Frame] = {}  # tid -> open frame
+
+        def flag(tid: int, seq: int, reason: str, racy=frozenset()) -> None:
+            frame = frames[tid]
+            if frame.failed:
+                return
+            frame.failed = True
+            outcome.violations.append(
+                AtomicityViolation(
+                    Signature(tid, frame.method, frame.args, None),
+                    seq,
+                    reason,
+                    set(racy),
+                )
+            )
+
+        for seq, action in enumerate(log):
+            tid = getattr(action, "tid", None)
+            if isinstance(action, CallAction):
+                frames[action.tid] = _Frame(action.method, action.args)
+                continue
+            if isinstance(action, ReturnAction):
+                frames.pop(action.tid, None)
+                outcome.executions_checked += 1
+                if self.stop_at_first and outcome.violations:
+                    return outcome
+                continue
+            frame = frames.get(tid)
+            if frame is None or frame.failed:
+                continue  # outside any public method (daemons, setup)
+            if isinstance(action, AcquireAction):
+                if frame.phase == "post":
+                    flag(
+                        tid, seq,
+                        f"lock {action.lock!r} acquired after a release: a "
+                        "right-mover follows a left-mover (the section 8 "
+                        "W(p) W(q) pattern; reduction fails)",
+                    )
+            elif isinstance(action, ReleaseAction):
+                frame.phase = "post"
+            elif isinstance(action, (ReadAction, WriteAction)):
+                if action.loc in outcome.racy_locs:
+                    if frame.used_non_mover or frame.phase == "post":
+                        flag(
+                            tid, seq,
+                            f"racy access to {action.loc!r} cannot serve as "
+                            "the single non-mover",
+                            racy={action.loc},
+                        )
+                    else:
+                        frame.used_non_mover = True
+                        frame.phase = "post"
+        return outcome
+
+
+def check_atomicity(log: Log, stop_at_first: bool = False) -> AtomicityOutcome:
+    """Convenience wrapper: run the two-pass atomicity check on ``log``."""
+    return AtomicityChecker(stop_at_first=stop_at_first).check(log)

@@ -1,0 +1,30 @@
+"""Simulated Boxwood (paper section 7.2): Chunk Manager, Cache, B-link tree.
+
+* :class:`ChunkManager` -- reliable handle -> byte-array store (assumed
+  correct, as in the paper's modular verification).
+* :class:`BoxwoodCache` -- the Fig. 8 cache; ``buggy_dirty_write=True``
+  enables the real bug VYRD found (unprotected ``COPY-TO-CACHE`` on a dirty
+  entry).  :func:`cache_view` and :func:`cache_invariants` implement the
+  section 7.2.1 view and runtime invariants.
+* :class:`BLinkTree` -- Sagiv-style B-link tree with data nodes, splits and
+  a tombstone-purging compression thread; ``buggy_duplicates=True`` enables
+  Table 1's duplicated-data-nodes bug.  :func:`blinktree_view` implements
+  the section 7.2.4 view.
+* Specs: :class:`StoreSpec`, :class:`BLinkTreeSpec`.
+"""
+
+from .blinktree import BLinkTree, blinktree_view
+from .cache import BoxwoodCache, cache_invariants, cache_view
+from .chunkmanager import ChunkManager
+from .specs import BLinkTreeSpec, StoreSpec
+
+__all__ = [
+    "BLinkTree",
+    "BLinkTreeSpec",
+    "BoxwoodCache",
+    "ChunkManager",
+    "StoreSpec",
+    "blinktree_view",
+    "cache_invariants",
+    "cache_view",
+]

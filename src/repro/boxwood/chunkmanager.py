@@ -1,0 +1,71 @@
+"""Boxwood Chunk Manager: the reliable store under the cache.
+
+Boxwood's data store abstraction (paper section 7.2): every shared variable
+is a byte array identified by a unique handle, with a version number
+incremented on each write.  The paper *assumes the Chunk Manager is
+implemented correctly* and verifies Cache and BLinkTree against that
+assumption; accordingly this module provides an intentionally simple,
+correct implementation: each chunk's byte array is stored in a single shared
+cell (one atomic write per store operation, matching Boxwood's "atomicity of
+updates ensured by a separate module", section 6.1) guarded by a store lock.
+
+Shared state: ``chunk[<handle>].data`` (a byte tuple or ``None``) and
+``chunk[<handle>].ver``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, Tuple
+
+from ..concurrency import Lock, SharedCell, ThreadCtx
+
+
+class ChunkManager:
+    """Handle -> byte-array store with version numbers."""
+
+    def __init__(self):
+        self._lock = Lock("chunk.store")
+        self._cells: Dict[str, Tuple[SharedCell, SharedCell]] = {}
+        self._ids = itertools.count(0)
+
+    def allocate(self) -> str:
+        """Mint a fresh handle (no shared-state effect until first write)."""
+        return f"h{next(self._ids)}"
+
+    def _cells_for(self, handle: str) -> Tuple[SharedCell, SharedCell]:
+        if handle not in self._cells:
+            self._cells[handle] = (
+                SharedCell(f"chunk[{handle}].data", None),
+                SharedCell(f"chunk[{handle}].ver", 0),
+            )
+        return self._cells[handle]
+
+    def write(self, ctx: ThreadCtx, handle: str, data: Tuple[int, ...], commit: bool = False):
+        """BOXWOOD-ALLOCATOR-WRITE: atomically replace a chunk's contents.
+
+        ``commit`` lets a caller ride its commit action on the chunk write.
+        """
+        data_cell, ver_cell = self._cells_for(handle)
+        yield self._lock.acquire()
+        version = yield ver_cell.read()
+        yield ver_cell.write(version + 1)
+        yield data_cell.write(tuple(data), commit=commit)
+        yield self._lock.release()
+
+    def read(self, ctx: ThreadCtx, handle: str):
+        """Read a chunk's contents (``None`` if never written)."""
+        data_cell, _ = self._cells_for(handle)
+        yield self._lock.acquire()
+        data = yield data_cell.read()
+        yield self._lock.release()
+        return data
+
+    def peek(self, handle: str) -> Optional[Tuple[int, ...]]:
+        """Direct read for post-run assertions."""
+        if handle not in self._cells:
+            return None
+        return self._cells[handle][0].peek()
+
+    def known_handles(self):
+        return list(self._cells)

@@ -1,0 +1,10 @@
+"""Bounded FIFO queue substrate (extension beyond the paper's benchmarks).
+
+Exercises condition-variable-based blocking operations and a
+duplicate-delivery bug (``buggy_nonatomic_dequeue=True``).
+"""
+
+from .queue import EMPTY, BoundedQueue, queue_view
+from .spec import QueueSpec
+
+__all__ = ["BoundedQueue", "EMPTY", "QueueSpec", "queue_view"]

@@ -1,0 +1,169 @@
+"""A monitor-based bounded FIFO queue (extension substrate).
+
+Beyond the paper's own benchmarks, this substrate exercises the parts of the
+framework the others do not: condition variables (blocking operations that
+are *expected* to overlap), and a bug whose I/O manifestation is a duplicate
+delivery -- a pattern common in real queues.
+
+Layout: a ring buffer of ``capacity`` slots with ``q.head`` / ``q.tail`` /
+``q.size`` counters, one monitor lock and two conditions (``not_empty``,
+``not_full``).  The commit action of both mutators is the ``q.size`` write
+-- the single update that makes the insertion/removal visible to the other
+side of the monitor.
+
+The seeded bug (``buggy_nonatomic_dequeue=True``): the dequeue reads the
+front item, **releases the monitor**, and re-acquires it to advance the
+head without re-validating -- two concurrent dequeues can return the same
+item while the head advances past a never-delivered one.  The spec rejects
+the second delivery at its commit (I/O refinement), and the view comparison
+sees the lost element immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..concurrency import Condition, Lock, SharedCell, ThreadCtx
+from ..core import FunctionView, operation
+
+EMPTY = "<empty>"
+
+
+class BoundedQueue:
+    """Blocking bounded FIFO queue with non-blocking ``try_`` variants."""
+
+    def __init__(self, capacity: int = 4, buggy_nonatomic_dequeue: bool = False):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.buggy_nonatomic_dequeue = buggy_nonatomic_dequeue
+        self.lock = Lock("q")
+        self.not_empty = Condition(self.lock, "q.not_empty")
+        self.not_full = Condition(self.lock, "q.not_full")
+        self.buf = [SharedCell(f"q.buf[{i}]", None) for i in range(capacity)]
+        self.head = SharedCell("q.head", 0)
+        self.tail = SharedCell("q.tail", 0)
+        self.size = SharedCell("q.size", 0)
+
+    # -- core paths (caller holds the monitor) --------------------------------
+
+    def _enqueue_locked(self, ctx: ThreadCtx, item):
+        tail = yield self.tail.read()
+        size = yield self.size.read()
+        yield self.buf[tail].write(item)
+        yield self.tail.write((tail + 1) % self.capacity)
+        yield self.size.write(size + 1, commit=True)
+        yield self.not_empty.notify()
+
+    def _dequeue_locked(self, ctx: ThreadCtx):
+        head = yield self.head.read()
+        item = yield self.buf[head].read()
+        if self.buggy_nonatomic_dequeue:
+            # BUG: the monitor is released between reading the front item
+            # and removing it; a concurrent dequeue can read the same item.
+            yield self.lock.release()
+            yield ctx.checkpoint()
+            yield self.lock.acquire()
+        size = yield self.size.read()
+        yield self.buf[head].write(None)
+        yield self.head.write((head + 1) % self.capacity)
+        yield self.size.write(size - 1, commit=True)
+        yield self.not_full.notify()
+        return item
+
+    # -- blocking operations ----------------------------------------------------
+
+    @operation
+    def enqueue(self, ctx: ThreadCtx, item):
+        """Append ``item``; blocks while the queue is full."""
+        yield self.lock.acquire()
+        while True:
+            size = yield self.size.read()
+            if size < self.capacity:
+                break
+            yield self.not_full.wait()
+        yield from self._enqueue_locked(ctx, item)
+        yield self.lock.release()
+        return None
+
+    @operation
+    def dequeue(self, ctx: ThreadCtx):
+        """Remove and return the front item; blocks while empty."""
+        yield self.lock.acquire()
+        while True:
+            size = yield self.size.read()
+            if size > 0:
+                break
+            yield self.not_empty.wait()
+        item = yield from self._dequeue_locked(ctx)
+        yield self.lock.release()
+        return item
+
+    # -- non-blocking operations ---------------------------------------------------
+
+    @operation
+    def try_enqueue(self, ctx: ThreadCtx, item):
+        """Append ``item`` unless full; returns success."""
+        yield self.lock.acquire()
+        size = yield self.size.read()
+        if size >= self.capacity:
+            yield ctx.commit()
+            yield self.lock.release()
+            return False
+        yield from self._enqueue_locked(ctx, item)
+        yield self.lock.release()
+        return True
+
+    @operation
+    def try_dequeue(self, ctx: ThreadCtx):
+        """Remove and return the front item, or :data:`EMPTY`."""
+        yield self.lock.acquire()
+        size = yield self.size.read()
+        if size == 0:
+            yield ctx.commit()
+            yield self.lock.release()
+            return EMPTY
+        item = yield from self._dequeue_locked(ctx)
+        yield self.lock.release()
+        return item
+
+    # -- observer --------------------------------------------------------------------
+
+    @operation
+    def size_of(self, ctx: ThreadCtx):
+        yield self.lock.acquire()
+        size = yield self.size.read()
+        yield self.lock.release()
+        return size
+
+    # -- direct helpers -----------------------------------------------------------------
+
+    def items(self) -> tuple:
+        """Front-to-back contents (post-run assertions only)."""
+        head = self.head.peek()
+        size = self.size.peek()
+        return tuple(
+            self.buf[(head + i) % self.capacity].peek() for i in range(size)
+        )
+
+    VYRD_METHODS = {
+        "enqueue": "mutator",
+        "dequeue": "mutator",
+        "try_enqueue": "mutator",
+        "try_dequeue": "mutator",
+        "size_of": "observer",
+    }
+
+
+def queue_view(capacity: int = 4) -> FunctionView:
+    """``viewI``: the front-to-back contents reconstructed from the log."""
+
+    def compute(state) -> dict:
+        head = state.get("q.head", 0)
+        size = state.get("q.size", 0)
+        items = tuple(
+            state.get(f"q.buf[{(head + i) % capacity}]") for i in range(size)
+        )
+        return {"queue": items}
+
+    return FunctionView(compute)

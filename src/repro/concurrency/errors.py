@@ -1,0 +1,73 @@
+"""Errors raised by the cooperative concurrency simulator.
+
+The simulator replaces native threads with generator coroutines driven by a
+seeded scheduler (see :mod:`repro.concurrency.kernel`).  All error conditions
+detected by the kernel -- deadlocks, misuse of synchronization primitives,
+crashed simulated threads -- are reported through the exception types in this
+module so that callers can distinguish *simulation* problems from
+*verification* results.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for every error raised by the concurrency simulator."""
+
+
+class DeadlockError(SimulationError):
+    """No runnable thread remains but non-daemon threads are still blocked.
+
+    Attributes
+    ----------
+    blocked:
+        A list of ``(thread_name, reason)`` pairs describing each blocked
+        thread and the resource it is waiting for.
+    """
+
+    def __init__(self, blocked):
+        self.blocked = list(blocked)
+        details = ", ".join(f"{name} waiting on {reason}" for name, reason in self.blocked)
+        super().__init__(f"deadlock detected: {details}")
+
+
+class LockError(SimulationError):
+    """A synchronization primitive was used incorrectly.
+
+    Examples: releasing a lock the current thread does not own, or ending a
+    read section of a reader-writer lock that was never begun.
+    """
+
+
+class SimThreadError(SimulationError):
+    """A simulated thread raised an unexpected Python exception.
+
+    The original exception is preserved as ``__cause__`` and the offending
+    thread is available as :attr:`thread`.
+    """
+
+    def __init__(self, thread, cause):
+        self.thread = thread
+        super().__init__(f"simulated thread {thread.name!r} (tid={thread.tid}) crashed: {cause!r}")
+        self.__cause__ = cause
+
+
+class StepLimitExceeded(SimulationError):
+    """The kernel executed more scheduling steps than ``max_steps`` allows.
+
+    Usually indicates a livelock (e.g. a daemon spin loop that never lets the
+    application threads finish) or a run that simply needs a larger budget.
+    """
+
+    def __init__(self, max_steps):
+        self.max_steps = max_steps
+        super().__init__(f"exceeded scheduling step limit of {max_steps}")
+
+
+class KernelStopped(SimulationError):
+    """Raised inside a simulated thread when the kernel is shutting down.
+
+    Daemon threads that are still runnable when all application threads have
+    finished receive this exception so that their ``finally`` blocks run.
+    Thread bodies should not catch and swallow it.
+    """

@@ -1,0 +1,625 @@
+"""A deterministic cooperative concurrency kernel.
+
+VYRD's checker consumes a *log* of fine-grained actions produced by truly
+interleaved method executions.  The paper instruments C#/.NET and Java
+programs running on native threads; under CPython the GIL makes native-thread
+interleavings coarse and irreproducible, so this reproduction substitutes a
+*simulated* concurrency substrate (documented in DESIGN.md):
+
+* A *simulated thread* is a Python generator that ``yield``\\ s
+  :class:`Syscall` objects at every shared-memory access and synchronization
+  operation.
+* The :class:`Kernel` executes one syscall at a time and asks a pluggable
+  :class:`~repro.concurrency.schedulers.Scheduler` which runnable thread to
+  resume next.  A seeded random scheduler therefore produces a fully
+  reproducible, fine-grained interleaving -- every context switch happens at
+  an explicitly marked program point.
+* A :class:`Tracer` observes shared writes, commit annotations and commit
+  blocks; :class:`repro.core.instrument.VyrdTracer` plugs in here to build
+  the VYRD log.
+
+Everything that happens *between* two yields of a simulated thread is atomic
+by construction, which is exactly the property VYRD's commit-action logging
+needs ("each logged action is performed atomically with the corresponding
+log update", paper section 4.2).
+
+Example
+-------
+>>> from repro.concurrency import Kernel, SharedCell
+>>> cell = SharedCell("c", 0)
+>>> def incr(ctx):
+...     v = yield cell.read()
+...     yield cell.write(v + 1)
+>>> kernel = Kernel(seed=7)
+>>> for i in range(2):
+...     _ = kernel.spawn(incr, name=f"t{i}")
+>>> kernel.run()
+>>> cell.peek()  # lost update is possible under some seeds; here both ran
+2
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Iterable, List, Optional
+
+from .errors import (
+    DeadlockError,
+    KernelStopped,
+    LockError,
+    SimThreadError,
+    StepLimitExceeded,
+)
+from .schedulers import RandomScheduler, Scheduler
+
+
+class Status(Enum):
+    """Lifecycle states of a :class:`SimThread`."""
+
+    READY = "ready"
+    BLOCKED = "blocked"
+    DONE = "done"
+    FAILED = "failed"
+
+
+# ---------------------------------------------------------------------------
+# Syscalls
+# ---------------------------------------------------------------------------
+
+
+class Syscall:
+    """Base class for every request a simulated thread can yield."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Pass(Syscall):
+    """A pure scheduling point with no effect (``ctx.checkpoint()``)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ReadSys(Syscall):
+    """Read a :class:`SharedCell`; the cell's value is sent back."""
+
+    cell: Any
+
+    __slots__ = ("cell",)
+
+
+@dataclass(frozen=True)
+class WriteSys(Syscall):
+    """Write ``value`` into ``cell``.
+
+    When ``commit`` is true the tracer records a commit action atomically
+    with the write -- this is how implementations annotate the paper's
+    *commit action* when it coincides with the decisive shared write.
+    """
+
+    cell: Any
+    value: Any
+    commit: bool = False
+
+
+
+@dataclass(frozen=True)
+class AcquireSys(Syscall):
+    """Acquire a reentrant :class:`~repro.concurrency.primitives.Lock`."""
+
+    lock: Any
+
+    __slots__ = ("lock",)
+
+
+@dataclass(frozen=True)
+class ReleaseSys(Syscall):
+    """Release a lock.  ``commit`` marks the release as the commit action."""
+
+    lock: Any
+    commit: bool = False
+
+
+
+@dataclass(frozen=True)
+class RWBeginReadSys(Syscall):
+    rwlock: Any
+
+    __slots__ = ("rwlock",)
+
+
+@dataclass(frozen=True)
+class RWEndReadSys(Syscall):
+    rwlock: Any
+
+    __slots__ = ("rwlock",)
+
+
+@dataclass(frozen=True)
+class RWBeginWriteSys(Syscall):
+    rwlock: Any
+
+    __slots__ = ("rwlock",)
+
+
+@dataclass(frozen=True)
+class RWEndWriteSys(Syscall):
+    rwlock: Any
+    commit: bool = False
+
+
+
+@dataclass(frozen=True)
+class CommitSys(Syscall):
+    """A standalone commit action (for paths with no decisive write)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class BeginCommitBlockSys(Syscall):
+    """Open the current method execution's commit block (paper section 5.2)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class EndCommitBlockSys(Syscall):
+    """Close the commit block; ``commit`` marks it as the commit action."""
+
+    commit: bool = False
+
+
+
+@dataclass(frozen=True)
+class ReplaySys(Syscall):
+    """Emit a coarse-grained, data-structure-specific log entry (section 6.2).
+
+    ``tag`` identifies the replay routine registered with the checker and
+    ``payload`` is the (immutable) data it needs.
+    """
+
+    tag: str
+    payload: Any
+    commit: bool = False
+
+
+
+@dataclass(frozen=True)
+class JoinSys(Syscall):
+    """Block until ``thread`` finishes; its return value is sent back."""
+
+    thread: "SimThread"
+
+    __slots__ = ("thread",)
+
+
+@dataclass(frozen=True)
+class CondWaitSys(Syscall):
+    """Atomically release the condition's lock and block until notified."""
+
+    cond: Any
+
+    __slots__ = ("cond",)
+
+
+@dataclass(frozen=True)
+class CondNotifySys(Syscall):
+    """Wake ``count`` waiters (-1 for all); the caller must hold the lock."""
+
+    cond: Any
+    count: int = 1
+
+
+# ---------------------------------------------------------------------------
+# Tracer protocol
+# ---------------------------------------------------------------------------
+
+
+class Tracer:
+    """Observer interface for kernel events relevant to VYRD logging.
+
+    The kernel invokes these callbacks *atomically* with the corresponding
+    effect (no other simulated thread can run in between), which gives the
+    log-ordering guarantee of paper section 4.2 for free.
+    """
+
+    def on_write(self, tid: int, cell, old, new) -> None:  # pragma: no cover - interface
+        pass
+
+    def on_read(self, tid: int, cell) -> None:  # pragma: no cover - interface
+        pass
+
+    def on_acquire(self, tid: int, lock, mode: str = "x") -> None:  # pragma: no cover - interface
+        pass
+
+    def on_release(self, tid: int, lock, mode: str = "x") -> None:  # pragma: no cover - interface
+        pass
+
+    def on_commit(self, tid: int) -> None:  # pragma: no cover - interface
+        pass
+
+    def on_begin_commit_block(self, tid: int) -> None:  # pragma: no cover - interface
+        pass
+
+    def on_end_commit_block(self, tid: int) -> None:  # pragma: no cover - interface
+        pass
+
+    def on_replay(self, tid: int, tag: str, payload) -> None:  # pragma: no cover - interface
+        pass
+
+
+class NullTracer(Tracer):
+    """A tracer that ignores every event (used when logging is disabled)."""
+
+
+# ---------------------------------------------------------------------------
+# Threads
+# ---------------------------------------------------------------------------
+
+
+class SimThread:
+    """A simulated thread: a generator plus scheduling metadata.
+
+    Instances are created by :meth:`Kernel.spawn`; user code never
+    instantiates this class directly.
+    """
+
+    __slots__ = (
+        "tid",
+        "name",
+        "daemon",
+        "gen",
+        "status",
+        "send_value",
+        "throw_exc",
+        "waiting_reason",
+        "result",
+        "exception",
+        "joiners",
+        "priority",
+    )
+
+    def __init__(self, tid: int, name: str, gen, daemon: bool):
+        self.tid = tid
+        self.name = name
+        self.daemon = daemon
+        self.gen = gen
+        self.status = Status.READY
+        self.send_value: Any = None
+        self.throw_exc: Optional[BaseException] = None
+        self.waiting_reason: Optional[str] = None
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        self.joiners: List["SimThread"] = []
+        self.priority: int = 0  # used by priority schedulers (PCT)
+
+    @property
+    def finished(self) -> bool:
+        return self.status in (Status.DONE, Status.FAILED)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SimThread tid={self.tid} name={self.name!r} {self.status.value}>"
+
+
+class ThreadCtx:
+    """Per-thread handle passed as the first argument of every thread body.
+
+    Provides the thread identity (``tid``), syscall sugar that does not fit
+    on a primitive object, and dynamic spawning.
+    """
+
+    __slots__ = ("tid", "name", "kernel", "thread")
+
+    def __init__(self, tid: int, name: str, kernel: "Kernel", thread: SimThread):
+        self.tid = tid
+        self.name = name
+        self.kernel = kernel
+        self.thread = thread
+
+    def checkpoint(self) -> Pass:
+        """A pure preemption point: ``yield ctx.checkpoint()``."""
+        return Pass()
+
+    def commit(self) -> CommitSys:
+        """A standalone commit action: ``yield ctx.commit()``."""
+        return CommitSys()
+
+    def begin_commit_block(self) -> BeginCommitBlockSys:
+        return BeginCommitBlockSys()
+
+    def end_commit_block(self, commit: bool = False) -> EndCommitBlockSys:
+        return EndCommitBlockSys(commit)
+
+    def replay(self, tag: str, payload, commit: bool = False) -> ReplaySys:
+        """Emit a coarse-grained log entry (paper section 6.2)."""
+        return ReplaySys(tag, payload, commit)
+
+    def spawn(self, fn, *args, name: Optional[str] = None, daemon: bool = False) -> SimThread:
+        """Spawn a new simulated thread from inside a running thread."""
+        return self.kernel.spawn(fn, *args, name=name, daemon=daemon)
+
+    def join(self, thread: SimThread) -> JoinSys:
+        """Block until ``thread`` finishes: ``result = yield ctx.join(t)``."""
+        return JoinSys(thread)
+
+
+def with_lock(lock, body):
+    """Run generator ``body`` while holding ``lock``.
+
+    Usage inside a simulated thread::
+
+        result = yield from with_lock(self.mutex, self._do_work(ctx))
+
+    The lock is released even if ``body`` raises.
+    """
+    yield lock.acquire()
+    try:
+        result = yield from body
+    finally:
+        yield lock.release()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Kernel
+# ---------------------------------------------------------------------------
+
+
+class Kernel:
+    """Deterministic scheduler and syscall interpreter for simulated threads.
+
+    Parameters
+    ----------
+    scheduler:
+        Decides which runnable thread executes next.  Defaults to a
+        :class:`~repro.concurrency.schedulers.RandomScheduler` built from
+        ``seed``.
+    seed:
+        Convenience shortcut for ``scheduler=RandomScheduler(seed)``.
+    tracer:
+        Receives shared-write / commit / commit-block / replay events;
+        VYRD's instrumentation layer plugs in here.
+    max_steps:
+        Upper bound on scheduling steps before :class:`StepLimitExceeded`
+        is raised (guards against livelock).
+    """
+
+    def __init__(
+        self,
+        scheduler: Optional[Scheduler] = None,
+        seed: int = 0,
+        tracer: Optional[Tracer] = None,
+        max_steps: Optional[int] = None,
+    ):
+        self.scheduler: Scheduler = scheduler if scheduler is not None else RandomScheduler(seed)
+        self.tracer: Tracer = tracer if tracer is not None else NullTracer()
+        self.max_steps = max_steps
+        self.threads: List[SimThread] = []
+        self.steps = 0
+        self._tid_counter = itertools.count(0)
+        self._running = False
+        self.current: Optional[SimThread] = None
+
+    # -- thread management -------------------------------------------------
+
+    def spawn(
+        self,
+        fn: Callable[..., Any],
+        *args,
+        name: Optional[str] = None,
+        daemon: bool = False,
+    ) -> SimThread:
+        """Create a simulated thread running ``fn(ctx, *args)``.
+
+        ``fn`` must be a generator function whose first parameter is a
+        :class:`ThreadCtx`.  Threads may be spawned before :meth:`run` or
+        dynamically from inside another simulated thread.
+        """
+        tid = next(self._tid_counter)
+        thread = SimThread(tid, name or f"thread-{tid}", None, daemon)
+        ctx = ThreadCtx(tid, thread.name, self, thread)
+        gen = fn(ctx, *args)
+        if not hasattr(gen, "send"):
+            raise TypeError(f"thread body {fn!r} must be a generator function")
+        thread.gen = gen
+        thread.priority = self.scheduler.initial_priority(thread)
+        self.threads.append(thread)
+        return thread
+
+    def _runnable(self) -> List[SimThread]:
+        return [t for t in self.threads if t.status is Status.READY]
+
+    def _app_threads_pending(self) -> bool:
+        return any(not t.daemon and not t.finished for t in self.threads)
+
+    # -- main loop ----------------------------------------------------------
+
+    def run(self) -> None:
+        """Run until every non-daemon thread has finished.
+
+        Raises
+        ------
+        DeadlockError
+            if non-daemon threads are blocked and nothing can run.
+        SimThreadError
+            if a simulated thread raises an unexpected exception.
+        StepLimitExceeded
+            if ``max_steps`` is exhausted.
+        """
+        if self._running:
+            raise RuntimeError("kernel.run() is not reentrant")
+        self._running = True
+        try:
+            while self._app_threads_pending():
+                runnable = self._runnable()
+                if not runnable:
+                    blocked = [
+                        (t.name, t.waiting_reason or "?")
+                        for t in self.threads
+                        if t.status is Status.BLOCKED and not t.daemon
+                    ]
+                    raise DeadlockError(blocked)
+                if self.max_steps is not None and self.steps >= self.max_steps:
+                    raise StepLimitExceeded(self.max_steps)
+                thread = self.scheduler.pick(runnable, self.steps)
+                self._step(thread)
+            self._shutdown_daemons()
+        finally:
+            self._running = False
+
+    def _shutdown_daemons(self) -> None:
+        """Throw :class:`KernelStopped` into still-live daemon threads."""
+        for t in self.threads:
+            if t.daemon and not t.finished:
+                try:
+                    t.gen.throw(KernelStopped())
+                except (StopIteration, KernelStopped):
+                    pass
+                except Exception as exc:  # daemon crashed during cleanup
+                    t.status = Status.FAILED
+                    t.exception = exc
+                    raise SimThreadError(t, exc)
+                t.status = Status.DONE
+
+    def _step(self, thread: SimThread) -> None:
+        self.steps += 1
+        self.current = thread
+        try:
+            if thread.throw_exc is not None:
+                exc, thread.throw_exc = thread.throw_exc, None
+                syscall = thread.gen.throw(exc)
+            else:
+                value, thread.send_value = thread.send_value, None
+                syscall = thread.gen.send(value)
+        except StopIteration as stop:
+            self._finish(thread, Status.DONE, result=stop.value)
+            return
+        except Exception as exc:
+            self._finish(thread, Status.FAILED, exception=exc)
+            raise SimThreadError(thread, exc)
+        finally:
+            self.current = None
+        try:
+            self._handle(thread, syscall)
+        except SimThreadError:
+            raise
+        except Exception as exc:
+            # misuse detected while interpreting the syscall (bad release,
+            # non-syscall yield, ...): attribute it to the offending thread
+            self._finish(thread, Status.FAILED, exception=exc)
+            raise SimThreadError(thread, exc)
+
+    def _finish(self, thread: SimThread, status: Status, result=None, exception=None) -> None:
+        thread.status = status
+        thread.result = result
+        thread.exception = exception
+        for joiner in thread.joiners:
+            joiner.status = Status.READY
+            joiner.send_value = result
+            joiner.waiting_reason = None
+        thread.joiners.clear()
+
+    # -- syscall dispatch ---------------------------------------------------
+
+    def _handle(self, thread: SimThread, syscall) -> None:
+        if isinstance(syscall, Pass):
+            return
+        if isinstance(syscall, ReadSys):
+            thread.send_value = syscall.cell._value
+            self.tracer.on_read(thread.tid, syscall.cell)
+            return
+        if isinstance(syscall, WriteSys):
+            cell = syscall.cell
+            old = cell._value
+            cell._value = syscall.value
+            self.tracer.on_write(thread.tid, cell, old, syscall.value)
+            if syscall.commit:
+                self.tracer.on_commit(thread.tid)
+            return
+        if isinstance(syscall, AcquireSys):
+            syscall.lock._acquire(self, thread)
+            return
+        if isinstance(syscall, ReleaseSys):
+            syscall.lock._release(self, thread)
+            if syscall.commit:
+                self.tracer.on_commit(thread.tid)
+            return
+        if isinstance(syscall, RWBeginReadSys):
+            syscall.rwlock._begin_read(self, thread)
+            return
+        if isinstance(syscall, RWEndReadSys):
+            syscall.rwlock._end_read(self, thread)
+            return
+        if isinstance(syscall, RWBeginWriteSys):
+            syscall.rwlock._begin_write(self, thread)
+            return
+        if isinstance(syscall, RWEndWriteSys):
+            syscall.rwlock._end_write(self, thread)
+            if syscall.commit:
+                self.tracer.on_commit(thread.tid)
+            return
+        if isinstance(syscall, CommitSys):
+            self.tracer.on_commit(thread.tid)
+            return
+        if isinstance(syscall, BeginCommitBlockSys):
+            self.tracer.on_begin_commit_block(thread.tid)
+            return
+        if isinstance(syscall, EndCommitBlockSys):
+            self.tracer.on_end_commit_block(thread.tid)
+            if syscall.commit:
+                self.tracer.on_commit(thread.tid)
+            return
+        if isinstance(syscall, ReplaySys):
+            self.tracer.on_replay(thread.tid, syscall.tag, syscall.payload)
+            if syscall.commit:
+                self.tracer.on_commit(thread.tid)
+            return
+        if isinstance(syscall, JoinSys):
+            target = syscall.thread
+            if target.finished:
+                thread.send_value = target.result
+            else:
+                thread.status = Status.BLOCKED
+                thread.waiting_reason = f"join({target.name})"
+                target.joiners.append(thread)
+            return
+        if isinstance(syscall, CondWaitSys):
+            syscall.cond._wait(self, thread)
+            return
+        if isinstance(syscall, CondNotifySys):
+            syscall.cond._notify(self, thread, syscall.count)
+            return
+        raise TypeError(f"thread {thread.name!r} yielded a non-syscall: {syscall!r}")
+
+    # -- helpers used by primitives ------------------------------------------
+
+    def block(self, thread: SimThread, reason: str) -> None:
+        thread.status = Status.BLOCKED
+        thread.waiting_reason = reason
+
+    def unblock(self, thread: SimThread, send_value=None) -> None:
+        thread.status = Status.READY
+        thread.send_value = send_value
+        thread.waiting_reason = None
+
+
+def run_threads(
+    bodies: Iterable[Callable[..., Any]],
+    seed: int = 0,
+    scheduler: Optional[Scheduler] = None,
+    tracer: Optional[Tracer] = None,
+    max_steps: Optional[int] = None,
+) -> Kernel:
+    """Convenience: spawn one thread per generator function and run to completion.
+
+    Returns the kernel so callers can inspect thread results.
+    """
+    kernel = Kernel(scheduler=scheduler, seed=seed, tracer=tracer, max_steps=max_steps)
+    for i, body in enumerate(bodies):
+        kernel.spawn(body, name=f"t{i}")
+    kernel.run()
+    return kernel

@@ -1,0 +1,189 @@
+"""Action records: the vocabulary of the VYRD log.
+
+The paper models programs as state transition systems whose runs are
+sequences of *actions* (section 3.1).  VYRD's instrumentation writes a subset
+of those actions into a log; the verification thread replays the log.  This
+module defines one record type per logged action kind:
+
+================================  ============================================
+Record                            Paper concept
+================================  ============================================
+:class:`CallAction`               call action ``(t, mu, alpha)``
+:class:`ReturnAction`             return action ``(t, mu, rho)``
+:class:`CommitAction`             the *commit action* annotation (section 4.1);
+                                  ``op_id is None`` for internal worker-thread
+                                  commits (e.g. the B-link-tree compression
+                                  thread, section 7.2.3)
+:class:`WriteAction`              a shared-variable write (fine-grained
+                                  logging, section 6.2); carries the old value
+                                  so commit-block rollback (section 5.2) needs
+                                  no state traversal
+:class:`BeginCommitBlockAction`   start of a commit block (section 5.2)
+:class:`EndCommitBlockAction`     end of a commit block
+:class:`ReplayAction`             a coarse-grained, data-structure-specific
+                                  log entry with a programmer-supplied replay
+                                  routine (section 6.2)
+================================  ============================================
+
+Each method execution (one invocation of a public method) is identified by a
+globally unique ``op_id`` linking its call, commit and return records.  The
+position of a record in the log is its global sequence number; records do not
+store it themselves.
+
+All records are immutable; payload values must themselves be immutable so the
+log is a faithful snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Optional, Tuple
+
+
+class Action:
+    """Base class of all log records."""
+
+    __slots__ = ()
+
+    def __reduce__(self):
+        # frozen dataclasses with manual __slots__ need explicit pickle
+        # support (LogWriter serializes records with pickle)
+        return (type(self), tuple(getattr(self, f.name) for f in fields(self)))
+
+
+@dataclass(frozen=True)
+class CallAction(Action):
+    """Public-method invocation by application thread ``tid``."""
+
+    tid: int
+    op_id: int
+    method: str
+    args: Tuple[Any, ...]
+
+    __slots__ = ("tid", "op_id", "method", "args")
+
+
+@dataclass(frozen=True)
+class ReturnAction(Action):
+    """Public-method return.  Exceptional termination is modelled by special
+    return values (paper section 3), never by Python exceptions."""
+
+    tid: int
+    op_id: int
+    method: str
+    result: Any
+
+    __slots__ = ("tid", "op_id", "method", "result")
+
+
+@dataclass(frozen=True)
+class CommitAction(Action):
+    """The annotated commit action of a method execution.
+
+    ``op_id is None`` marks an *internal* commit performed by a
+    data-structure worker thread outside any public method; the view checker
+    verifies such commits leave the view unchanged.
+    """
+
+    tid: int
+    op_id: Optional[int]
+
+    __slots__ = ("tid", "op_id")
+
+
+@dataclass(frozen=True)
+class WriteAction(Action):
+    """A write to the shared variable named ``loc``.
+
+    ``op_id`` is the enclosing method execution (``None`` for internal
+    threads).  ``old`` is the value being overwritten -- recorded so that the
+    replay state can roll back uncommitted commit-block writes without
+    retraversing anything.
+    """
+
+    tid: int
+    op_id: Optional[int]
+    loc: str
+    old: Any
+    new: Any
+
+    __slots__ = ("tid", "op_id", "loc", "old", "new")
+
+
+@dataclass(frozen=True)
+class BeginCommitBlockAction(Action):
+    tid: int
+    op_id: Optional[int]
+
+    __slots__ = ("tid", "op_id")
+
+
+@dataclass(frozen=True)
+class EndCommitBlockAction(Action):
+    tid: int
+    op_id: Optional[int]
+
+    __slots__ = ("tid", "op_id")
+
+
+@dataclass(frozen=True)
+class ReplayAction(Action):
+    """Coarse-grained log entry: ``tag`` selects a replay routine registered
+    with the checker; ``payload`` is the immutable data that routine needs."""
+
+    tid: int
+    op_id: Optional[int]
+    tag: str
+    payload: Any
+
+    __slots__ = ("tid", "op_id", "tag", "payload")
+
+
+@dataclass(frozen=True)
+class ReadAction(Action):
+    """A shared-variable read (logged only when read logging is enabled;
+    needed by the Atomizer-style atomicity baseline's race detection)."""
+
+    tid: int
+    op_id: Optional[int]
+    loc: str
+
+    __slots__ = ("tid", "op_id", "loc")
+
+
+@dataclass(frozen=True)
+class AcquireAction(Action):
+    """A lock acquisition (``mode``: ``"x"`` exclusive, ``"r"``/``"w"`` for
+    reader-writer locks).  Logged at grant time, outermost level only."""
+
+    tid: int
+    op_id: Optional[int]
+    lock: str
+    mode: str = "x"
+
+
+@dataclass(frozen=True)
+class ReleaseAction(Action):
+    """A lock release (outermost level only)."""
+
+    tid: int
+    op_id: Optional[int]
+    lock: str
+    mode: str = "x"
+
+
+@dataclass(frozen=True)
+class Signature:
+    """The signature ``Sign(phi) = (t, mu, alpha, rho)`` of a method execution
+    (paper section 3.2)."""
+
+    tid: int
+    method: str
+    args: Tuple[Any, ...]
+    result: Any
+
+    __slots__ = ("tid", "method", "args", "result")
+
+    def __str__(self) -> str:
+        arg_text = ", ".join(repr(a) for a in self.args)
+        return f"t{self.tid}:{self.method}({arg_text}) -> {self.result!r}"

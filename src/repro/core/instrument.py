@@ -1,0 +1,236 @@
+"""Instrumentation: producing the VYRD log from a running implementation.
+
+This is phase one of the paper's two-phase architecture: "the implementation
+is instrumented in order to record information into a log during execution".
+Three pieces cooperate:
+
+* :func:`operation` -- a decorator marking an implementation method as a
+  public data-structure operation (a generator function ``m(self, ctx,
+  *args)`` running on the simulated-concurrency substrate).
+* :class:`VyrdTracer` -- the kernel :class:`~repro.concurrency.kernel.Tracer`
+  that converts kernel events into log records.  Its ``level`` selects the
+  logging granularity that Tables 1-3 of the paper vary:
+
+  - ``"io"``: call, return and commit actions only (what I/O refinement
+    needs -- "very little instrumentation and logging");
+  - ``"view"``: additionally every shared-variable write, commit-block
+    bracket and coarse replay entry (what view refinement needs).
+
+* :class:`InstrumentedDataStructure` -- a wrapper exposing each
+  ``@operation`` method; invoking through the wrapper logs the call action,
+  runs the underlying generator, and logs the return action.  Commit
+  actions are emitted by the implementation itself, atomically with the
+  decisive event (``cell.write(v, commit=True)``,
+  ``lock.release(commit=True)``, ``ctx.commit()`` ...).
+
+Because all logging happens inside kernel syscall handling (one real OS
+thread), each logged action is atomic with its log update -- the ordering
+requirement of paper section 4.2.  Unlike the paper's .NET implementation,
+instrumentation adds *zero* blocking to application threads.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..concurrency.kernel import Tracer
+from .actions import (
+    AcquireAction,
+    BeginCommitBlockAction,
+    CallAction,
+    CommitAction,
+    EndCommitBlockAction,
+    ReadAction,
+    ReleaseAction,
+    ReplayAction,
+    ReturnAction,
+    WriteAction,
+)
+from .log import Log
+
+IO_LEVEL = "io"
+VIEW_LEVEL = "view"
+
+
+def operation(fn):
+    """Mark a generator method of an implementation as a public operation."""
+    fn._vyrd_operation = True
+    return fn
+
+
+@dataclass
+class OpFrame:
+    """Book-keeping for one in-flight method execution on one thread."""
+
+    op_id: int
+    method: str
+    args: tuple
+    commits: int = 0
+
+
+class InstrumentationError(Exception):
+    """The implementation misused the instrumentation API (e.g. nested
+    public operations on one thread)."""
+
+
+class VyrdTracer(Tracer):
+    """Kernel tracer that appends VYRD actions to a :class:`Log`.
+
+    One tracer serves one kernel run.  ``level`` selects granularity; with
+    ``level="none"`` nothing is logged (baseline for overhead benchmarks).
+    """
+
+    LEVELS = ("none", IO_LEVEL, VIEW_LEVEL)
+
+    def __init__(self, log: Optional[Log] = None, level: str = VIEW_LEVEL,
+                 log_locks: bool = False, log_reads: bool = False):
+        """``log_locks``/``log_reads`` additionally record lock grant/release
+        and shared-read events (needed only by the Atomizer-style atomicity
+        baseline in :mod:`repro.atomicity`; refinement checking never reads
+        them)."""
+        if level not in self.LEVELS:
+            raise ValueError(f"unknown logging level {level!r}")
+        self.log = log if log is not None else Log()
+        self.level = level
+        self.log_locks = log_locks and level != "none"
+        self.log_reads = log_reads and level != "none"
+        self._op_ids = itertools.count(0)
+        self._current: Dict[int, OpFrame] = {}  # tid -> open frame
+
+    # -- operation bracketing (called by InstrumentedDataStructure) -----------
+
+    def begin_op(self, tid: int, method: str, args: tuple) -> OpFrame:
+        if tid in self._current:
+            raise InstrumentationError(
+                f"thread {tid} invoked {method!r} while "
+                f"{self._current[tid].method!r} is still executing; public "
+                "operations must not nest (call the raw generator instead)"
+            )
+        frame = OpFrame(next(self._op_ids), method, args)
+        self._current[tid] = frame
+        if self.level != "none":
+            self.log.append(CallAction(tid, frame.op_id, method, args))
+        return frame
+
+    def end_op(self, tid: int, frame: OpFrame, result: Any) -> None:
+        current = self._current.pop(tid, None)
+        if current is not frame:
+            raise InstrumentationError(
+                f"mismatched end_op for {frame.method!r} on thread {tid}"
+            )
+        if self.level != "none":
+            self.log.append(ReturnAction(tid, frame.op_id, frame.method, result))
+
+    def current_op_id(self, tid: int) -> Optional[int]:
+        frame = self._current.get(tid)
+        return frame.op_id if frame is not None else None
+
+    # -- kernel events -----------------------------------------------------------
+
+    def on_write(self, tid: int, cell, old, new) -> None:
+        if self.level == VIEW_LEVEL:
+            self.log.append(
+                WriteAction(tid, self.current_op_id(tid), cell.name, old, new)
+            )
+
+    def on_read(self, tid: int, cell) -> None:
+        if self.log_reads:
+            self.log.append(ReadAction(tid, self.current_op_id(tid), cell.name))
+
+    def on_acquire(self, tid: int, lock, mode: str = "x") -> None:
+        if self.log_locks:
+            self.log.append(
+                AcquireAction(tid, self.current_op_id(tid), lock.name, mode)
+            )
+
+    def on_release(self, tid: int, lock, mode: str = "x") -> None:
+        if self.log_locks:
+            self.log.append(
+                ReleaseAction(tid, self.current_op_id(tid), lock.name, mode)
+            )
+
+    def on_commit(self, tid: int) -> None:
+        if self.level == "none":
+            return
+        frame = self._current.get(tid)
+        if frame is not None:
+            frame.commits += 1
+        self.log.append(CommitAction(tid, frame.op_id if frame else None))
+
+    def on_begin_commit_block(self, tid: int) -> None:
+        if self.level == VIEW_LEVEL:
+            self.log.append(BeginCommitBlockAction(tid, self.current_op_id(tid)))
+
+    def on_end_commit_block(self, tid: int) -> None:
+        if self.level == VIEW_LEVEL:
+            self.log.append(EndCommitBlockAction(tid, self.current_op_id(tid)))
+
+    def on_replay(self, tid: int, tag: str, payload: Any) -> None:
+        if self.level == VIEW_LEVEL:
+            self.log.append(ReplayAction(tid, self.current_op_id(tid), tag, payload))
+
+
+class _BoundOperation:
+    """Callable produced by the wrapper: ``yield from vds.insert(ctx, 3)``."""
+
+    __slots__ = ("_wrapper", "_name")
+
+    def __init__(self, wrapper: "InstrumentedDataStructure", name: str):
+        self._wrapper = wrapper
+        self._name = name
+
+    def __call__(self, ctx, *args):
+        return self._wrapper._invoke(ctx, self._name, args)
+
+
+class InstrumentedDataStructure:
+    """Expose an implementation's ``@operation`` methods with call/return
+    logging.
+
+    >>> vds = InstrumentedDataStructure(multiset, tracer)
+    >>> # inside a simulated thread body:
+    >>> result = yield from vds.insert(ctx, 42)
+
+    The set of public operations defaults to every method decorated with
+    :func:`operation`; pass ``methods`` to restrict or extend it.
+    """
+
+    def __init__(self, impl: Any, tracer: VyrdTracer, methods: Optional[set] = None):
+        self._impl = impl
+        self._tracer = tracer
+        if methods is None:
+            methods = {
+                name
+                for name in dir(type(impl))
+                if getattr(getattr(type(impl), name), "_vyrd_operation", False)
+            }
+        if not methods:
+            raise InstrumentationError(
+                f"{type(impl).__name__} exposes no @operation methods"
+            )
+        self._methods = set(methods)
+
+    @property
+    def operations(self) -> set:
+        return set(self._methods)
+
+    @property
+    def impl(self) -> Any:
+        return self._impl
+
+    def _invoke(self, ctx, name: str, args: tuple):
+        frame = self._tracer.begin_op(ctx.tid, name, args)
+        result = yield from getattr(self._impl, name)(ctx, *args)
+        self._tracer.end_op(ctx.tid, frame, result)
+        return result
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        if name in self._methods:
+            return _BoundOperation(self, name)
+        raise AttributeError(
+            f"{type(self._impl).__name__!r} has no public operation {name!r}"
+        )

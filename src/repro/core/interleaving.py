@@ -1,0 +1,137 @@
+"""Witness interleaving construction (paper section 4).
+
+Given a log, the *witness interleaving* is the method-atomic serialization of
+the logged method executions obtained by ordering them by their commit
+actions.  The refinement checker builds this ordering incrementally while
+draining the log; this module provides the same construction as a standalone,
+whole-log utility -- useful for tests, for trace reports (Fig. 3 style), and
+for explaining to a user *why* the checker serialized overlapping executions
+the way it did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .actions import CallAction, CommitAction, ReturnAction, Signature
+from .log import Log
+
+
+@dataclass
+class Execution:
+    """One method execution reassembled from its log records."""
+
+    op_id: int
+    tid: int
+    method: str
+    args: tuple
+    call_seq: int
+    result: object = None
+    commit_seq: Optional[int] = None
+    return_seq: Optional[int] = None
+
+    @property
+    def committed(self) -> bool:
+        return self.commit_seq is not None
+
+    @property
+    def returned(self) -> bool:
+        return self.return_seq is not None
+
+    @property
+    def signature(self) -> Signature:
+        return Signature(self.tid, self.method, self.args, self.result)
+
+    def overlaps(self, other: "Execution") -> bool:
+        """True when neither execution finished before the other began."""
+        if self.return_seq is None or other.return_seq is None:
+            return True
+        return not (
+            self.return_seq < other.call_seq or other.return_seq < self.call_seq
+        )
+
+
+@dataclass
+class WitnessInterleaving:
+    """All executions of a log plus their commit-order serialization."""
+
+    executions: Dict[int, Execution] = field(default_factory=dict)
+    # op_ids of committed executions in commit order
+    commit_order: List[int] = field(default_factory=list)
+    # op_ids of executions with no commit action (observers, incomplete ops)
+    uncommitted: List[int] = field(default_factory=list)
+    # commit actions with op_id None (internal worker-thread commits)
+    internal_commits: List[int] = field(default_factory=list)
+
+    def serialized(self) -> List[Execution]:
+        """Committed executions in witness (commit-action) order."""
+        return [self.executions[op_id] for op_id in self.commit_order]
+
+    def signatures(self) -> List[Signature]:
+        return [e.signature for e in self.serialized()]
+
+
+def build_witness(log: Log) -> WitnessInterleaving:
+    """Reassemble executions from ``log`` and order them by commit action.
+
+    The log need not be complete: executions missing a return (threads cut
+    off mid-method) are included with ``result=None``/``return_seq=None``,
+    and executions missing a commit land in ``uncommitted``.
+    """
+    witness = WitnessInterleaving()
+    for seq, action in enumerate(log):
+        if isinstance(action, CallAction):
+            witness.executions[action.op_id] = Execution(
+                op_id=action.op_id,
+                tid=action.tid,
+                method=action.method,
+                args=action.args,
+                call_seq=seq,
+            )
+        elif isinstance(action, CommitAction):
+            if action.op_id is None:
+                witness.internal_commits.append(seq)
+                continue
+            execution = witness.executions.get(action.op_id)
+            if execution is not None and execution.commit_seq is None:
+                execution.commit_seq = seq
+                witness.commit_order.append(action.op_id)
+        elif isinstance(action, ReturnAction):
+            execution = witness.executions.get(action.op_id)
+            if execution is not None:
+                execution.result = action.result
+                execution.return_seq = seq
+    witness.uncommitted = [
+        op_id
+        for op_id, execution in witness.executions.items()
+        if execution.commit_seq is None
+    ]
+    return witness
+
+
+def respects_program_order(witness: WitnessInterleaving) -> List[str]:
+    """Check clause (ii) of the refinement definition (section 3.3).
+
+    If execution ``phi`` *finishes before* ``phi'`` begins in the log, then
+    ``phi`` must precede ``phi'`` in the witness interleaving.  Commit
+    actions lie between call and return, so this holds by construction for
+    correctly instrumented logs; the check exists to diagnose bad commit
+    point annotations (section 4.1's iterative debugging process).
+
+    Returns a list of violation descriptions (empty when the order is
+    respected).
+    """
+    problems: List[str] = []
+    order = witness.serialized()
+    for later_pos, later in enumerate(order):
+        for earlier in order[later_pos + 1 :]:
+            if (
+                earlier.return_seq is not None
+                and earlier.return_seq < later.call_seq
+            ):
+                problems.append(
+                    f"{earlier.signature} finished before {later.signature} "
+                    "began, but commits in the opposite order"
+                )
+    return problems

@@ -1,0 +1,30 @@
+"""Runtime invariant checking hooks.
+
+Besides refinement, VYRD verified structural invariants at runtime (paper
+section 7.2.1 checks two invariants of the Boxwood cache, e.g. "if a clean
+cache entry exists for a handle, Cache and Chunk Manager must contain the
+same byte-array").  An :class:`Invariant` is a named predicate over the
+replayed implementation state and the current spec; the checker evaluates
+every registered invariant at each commit action.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """A named predicate ``check(state, spec) -> bool`` evaluated at commits.
+
+    ``state`` is the effective (rollback-applied) replayed implementation
+    state; ``spec`` is the specification instance at the same witness point.
+    Returning ``False`` produces an INVARIANT violation.
+    """
+
+    name: str
+    check: Callable[[Any, Any], bool]
+
+    def holds(self, state, spec) -> bool:
+        return bool(self.check(state, spec))

@@ -1,0 +1,226 @@
+"""The VYRD log: an append-only action sequence with optional file backing.
+
+The paper's architecture (section 4.2) decouples the instrumented
+implementation from the verification thread through a log: "In practice, the
+log is a file whose tail is kept in memory for faster access."  This module
+provides:
+
+* :class:`Log` -- the in-memory append-only sequence.  Implementation
+  threads append through the tracer; the verifier reads by index, so an
+  online verifier simply keeps a cursor into the same object (the "tail kept
+  in memory").
+* :class:`LogWriter` / :class:`LogReader` -- streaming pickle serialization
+  to a file, standing in for the paper's .NET binary object serialization
+  (section 6.1): records round-trip as they were saved at runtime.
+* :func:`validate_well_formed` -- the well-formedness conditions of paper
+  section 3.2 (per-thread call/return nesting discipline) plus the
+  instrumentation obligations of section 4.1 (exactly one commit action per
+  mutator execution path).
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import IO, Iterable, Iterator, List, Optional
+
+from .actions import (
+    AcquireAction,
+    Action,
+    BeginCommitBlockAction,
+    CallAction,
+    CommitAction,
+    EndCommitBlockAction,
+    ReadAction,
+    ReleaseAction,
+    ReplayAction,
+    ReturnAction,
+    WriteAction,
+)
+
+
+class Log:
+    """Append-only in-memory sequence of :class:`Action` records.
+
+    The record's position is its global sequence number.  Appends happen only
+    from kernel callbacks (one real OS thread), so no locking is required;
+    the atomicity requirement of section 4.2 -- each logged action performed
+    atomically with its log update -- is provided by the kernel.
+    """
+
+    __slots__ = ("_records",)
+
+    def __init__(self, records: Optional[Iterable[Action]] = None):
+        self._records: List[Action] = list(records) if records is not None else []
+
+    def append(self, action: Action) -> int:
+        """Append and return the record's sequence number."""
+        self._records.append(action)
+        return len(self._records) - 1
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __getitem__(self, index):
+        return self._records[index]
+
+    def __iter__(self) -> Iterator[Action]:
+        return iter(self._records)
+
+    def since(self, cursor: int) -> List[Action]:
+        """Records appended at or after ``cursor`` (online verifier tail read)."""
+        return self._records[cursor:]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Log {len(self._records)} records>"
+
+
+class LogWriter:
+    """Stream actions to a binary file, one pickled record at a time.
+
+    Can wrap an open binary file object or a path.  Use as a context manager
+    or call :meth:`close` explicitly.
+    """
+
+    def __init__(self, target):
+        if hasattr(target, "write"):
+            self._file: IO[bytes] = target
+            self._owns = False
+        else:
+            self._file = open(target, "wb")
+            self._owns = True
+
+    def write(self, action: Action) -> None:
+        pickle.dump(action, self._file, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def write_all(self, actions: Iterable[Action]) -> None:
+        for action in actions:
+            self.write(action)
+
+    def close(self) -> None:
+        if self._owns:
+            self._file.close()
+
+    def __enter__(self) -> "LogWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class LogReader:
+    """Iterate actions back out of a file written by :class:`LogWriter`."""
+
+    def __init__(self, target):
+        if hasattr(target, "read"):
+            self._file: IO[bytes] = target
+            self._owns = False
+        else:
+            self._file = open(target, "rb")
+            self._owns = True
+
+    def __iter__(self) -> Iterator[Action]:
+        while True:
+            try:
+                yield pickle.load(self._file)
+            except EOFError:
+                return
+
+    def read_log(self) -> Log:
+        """Materialize the whole file as an in-memory :class:`Log`."""
+        return Log(iter(self))
+
+    def close(self) -> None:
+        if self._owns:
+            self._file.close()
+
+    def __enter__(self) -> "LogReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def save_log(log: Log, path) -> None:
+    """Write ``log`` to ``path`` (convenience wrapper around LogWriter)."""
+    with LogWriter(path) as writer:
+        writer.write_all(log)
+
+
+def load_log(path) -> Log:
+    """Read a log previously written with :func:`save_log`."""
+    with LogReader(path) as reader:
+        return reader.read_log()
+
+
+def validate_well_formed(log: Log) -> List[str]:
+    """Check the well-formedness conditions of paper sections 3.2 and 4.1.
+
+    Returns a list of human-readable problems (empty when well-formed):
+
+    * every return matches the thread's currently open call (per-thread
+      sequences of public-method actions are well-nested and sequential);
+    * commit actions with an ``op_id`` fall between that execution's call and
+      return, and no execution commits twice;
+    * commit blocks are opened and closed in matched pairs per thread.
+    """
+    problems: List[str] = []
+    open_op = {}  # tid -> (op_id, committed_count)
+    open_blocks = {}  # tid -> depth
+    finished_ops = set()
+
+    for seq, action in enumerate(log):
+        if isinstance(action, CallAction):
+            if action.tid in open_op:
+                problems.append(
+                    f"@{seq}: thread {action.tid} called {action.method} while "
+                    f"execution {open_op[action.tid][0]} is still open"
+                )
+            if action.op_id in finished_ops:
+                problems.append(f"@{seq}: op_id {action.op_id} reused")
+            open_op[action.tid] = [action.op_id, 0]
+        elif isinstance(action, ReturnAction):
+            current = open_op.get(action.tid)
+            if current is None or current[0] != action.op_id:
+                problems.append(
+                    f"@{seq}: return of op {action.op_id} on thread {action.tid} "
+                    f"does not match open call {current}"
+                )
+            else:
+                del open_op[action.tid]
+                finished_ops.add(action.op_id)
+        elif isinstance(action, CommitAction):
+            if action.op_id is not None:
+                current = open_op.get(action.tid)
+                if current is None or current[0] != action.op_id:
+                    problems.append(
+                        f"@{seq}: commit of op {action.op_id} outside its "
+                        f"call/return window on thread {action.tid}"
+                    )
+                else:
+                    current[1] += 1
+                    if current[1] > 1:
+                        problems.append(
+                            f"@{seq}: op {action.op_id} committed more than once"
+                        )
+        elif isinstance(action, BeginCommitBlockAction):
+            open_blocks[action.tid] = open_blocks.get(action.tid, 0) + 1
+        elif isinstance(action, EndCommitBlockAction):
+            depth = open_blocks.get(action.tid, 0)
+            if depth == 0:
+                problems.append(
+                    f"@{seq}: thread {action.tid} ended a commit block it never began"
+                )
+            else:
+                open_blocks[action.tid] = depth - 1
+        elif isinstance(action, (WriteAction, ReplayAction, ReadAction,
+                                 AcquireAction, ReleaseAction)):
+            pass
+        else:
+            problems.append(f"@{seq}: unknown action type {type(action).__name__}")
+
+    for tid, (op_id, _) in open_op.items():
+        problems.append(f"end of log: op {op_id} on thread {tid} never returned")
+    for tid, depth in open_blocks.items():
+        if depth:
+            problems.append(f"end of log: thread {tid} left {depth} commit block(s) open")
+    return problems

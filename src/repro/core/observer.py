@@ -1,0 +1,74 @@
+"""Observer-method checking without commit annotations (paper section 4.3).
+
+Observer methods do not modify the data structure, and precisely marking
+their commit action would require logging almost every shared read.  VYRD
+instead logs only their call and return actions, and accepts a return value
+``rho`` if it is consistent with the spec state at *any* point in the
+execution's window: the state just before the call (after the last preceding
+mutator commit) or the state after any mutator commit occurring between the
+call and the return.
+
+We implement this with *evaluate-as-you-go* windows and no state snapshots:
+when an observer's call action is processed, the spec observer is evaluated
+at the current spec state; it is re-evaluated after every subsequent mutator
+commit while the observer is pending; at the return action the observed
+result must match one of the accumulated answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List
+
+from .spec import Specification, allows
+
+
+@dataclass
+class ObserverWindow:
+    """A pending observer execution and the spec answers seen in its window."""
+
+    op_id: int
+    tid: int
+    method: str
+    args: tuple
+    call_seq: int
+    answers: List[Any] = field(default_factory=list)
+
+    def record(self, answer: Any) -> None:
+        if not self.answers or self.answers[-1] != answer:
+            self.answers.append(answer)
+
+    def accepts(self, result: Any) -> bool:
+        """True if ``result`` matches any answer seen in the window."""
+        return any(allows(answer, result) for answer in self.answers)
+
+
+class ObserverTracker:
+    """Maintains every pending observer window for the checker."""
+
+    def __init__(self, spec: Specification):
+        self._spec = spec
+        self._pending: dict = {}  # op_id -> ObserverWindow
+
+    def open(self, op_id: int, tid: int, method: str, args: tuple, call_seq: int) -> ObserverWindow:
+        """Start a window at the observer's call action and evaluate the spec
+        at the current state (the witness state s0 of Fig. 7)."""
+        window = ObserverWindow(op_id, tid, method, args, call_seq)
+        window.record(self._spec.run_observer(method, args))
+        self._pending[op_id] = window
+        return window
+
+    def on_commit(self) -> None:
+        """A mutator commit just executed on the spec: extend every window."""
+        for window in self._pending.values():
+            window.record(self._spec.run_observer(window.method, window.args))
+
+    def close(self, op_id: int, result: Any) -> ObserverWindow:
+        """End the window at the observer's return action.
+
+        Returns the window; the caller checks :meth:`ObserverWindow.accepts`.
+        """
+        return self._pending.pop(op_id)
+
+    def pending_count(self) -> int:
+        return len(self._pending)

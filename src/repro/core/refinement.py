@@ -1,0 +1,558 @@
+"""The runtime refinement checker: I/O refinement and view refinement.
+
+This is the verification half of VYRD (paper sections 4 and 5).  The checker
+consumes the log strictly in order and maintains:
+
+* the **spec instance**, driven one atomic method at a time in commit-action
+  order (the witness interleaving);
+* for view mode, the **replayed implementation state**
+  (:class:`~repro.core.replay.ReplayState`) and the incremental
+  implementation view;
+* **observer windows** (:mod:`~repro.core.observer`).
+
+Processing rules per action type:
+
+``Call``
+    open an execution record; observers additionally open a window.
+``Write`` / ``Replay``
+    advance the replayed state and dirty the view (view mode only).
+``Commit`` (with ``op_id``)
+    the heart of I/O refinement: look up the execution's return value
+    (the checker waits until the return is available -- the "look ahead in
+    the implementation's execution" of section 2), execute the spec mutator
+    with it, extend observer windows, and in view mode compare
+    ``viewI``/``viewS`` and evaluate invariants.
+``Commit`` (``op_id is None``)
+    an internal worker-thread commit (compression thread): the spec does not
+    move; the view comparison checks the update left the abstract state
+    unchanged (section 7.2.3).
+``Return``
+    close the execution; observers are checked against their window;
+    mutators must have committed exactly once.
+
+The checker is incremental: :meth:`RefinementChecker.feed` accepts any prefix
+extension of the log, so the same object serves offline checking (feed the
+whole log, then :meth:`finish`) and the online verification thread (feed the
+tail as it grows).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Iterable, List, Optional
+
+from .actions import (
+    AcquireAction,
+    Action,
+    BeginCommitBlockAction,
+    CallAction,
+    CommitAction,
+    EndCommitBlockAction,
+    ReadAction,
+    ReleaseAction,
+    ReplayAction,
+    ReturnAction,
+    Signature,
+    WriteAction,
+)
+from .invariants import Invariant
+from .log import Log
+from .observer import ObserverTracker
+from .replay import ReplayState
+from .spec import MUTATOR, OBSERVER, SpecError, SpecReject, Specification
+from .view import ImplView
+
+IO_MODE = "io"
+VIEW_MODE = "view"
+
+
+class ViolationKind(Enum):
+    """Classification of refinement violations and tool-usage errors."""
+
+    IO = "io-refinement"               # spec rejected a mutator's return value
+    OBSERVER = "observer-window"       # observer result outside its window (I/O refinement)
+    VIEW = "view-refinement"           # viewI != viewS at a commit action
+    INVARIANT = "invariant"            # a registered invariant failed
+    INSTRUMENTATION = "instrumentation"  # missing/double commits, bad blocks
+
+
+@dataclass
+class Violation:
+    """One detected violation, with enough context to debug it."""
+
+    kind: ViolationKind
+    seq: int                      # log position where detection happened
+    message: str
+    signature: Optional[Signature] = None
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        sig = f" [{self.signature}]" if self.signature else ""
+        return f"{self.kind.value}@{self.seq}{sig}: {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (details stringified, they may hold
+        arbitrary log values)."""
+        return {
+            "kind": self.kind.value,
+            "seq": self.seq,
+            "message": self.message,
+            "signature": str(self.signature) if self.signature else None,
+            "details": {key: repr(value) for key, value in self.details.items()},
+        }
+
+
+@dataclass
+class CheckOutcome:
+    """Result of checking one log."""
+
+    violations: List[Violation] = field(default_factory=list)
+    methods_checked: int = 0          # return actions processed
+    commits_executed: int = 0         # mutator commits driven into the spec
+    internal_commits: int = 0         # worker-thread (op-less) commits
+    actions_processed: int = 0
+    detection_method_count: Optional[int] = None  # methods before 1st violation
+    incomplete: bool = False          # log ended mid-execution
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def first_violation(self) -> Optional[Violation]:
+        return self.violations[0] if self.violations else None
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"OK: {self.methods_checked} methods, "
+                f"{self.commits_executed} commits checked"
+            )
+        return (
+            f"{len(self.violations)} violation(s); first after "
+            f"{self.detection_method_count} methods: {self.first_violation}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (for the CLI's ``--json`` and scripting)."""
+        return {
+            "ok": self.ok,
+            "methods_checked": self.methods_checked,
+            "commits_executed": self.commits_executed,
+            "internal_commits": self.internal_commits,
+            "actions_processed": self.actions_processed,
+            "detection_method_count": self.detection_method_count,
+            "incomplete": self.incomplete,
+            "violations": [violation.to_dict() for violation in self.violations],
+            "stats": {key: repr(value) for key, value in self.stats.items()},
+        }
+
+
+@dataclass
+class _OpRecord:
+    op_id: int
+    tid: int
+    method: str
+    args: tuple
+    call_seq: int
+    kind: str
+    commits: int = 0
+
+
+def _view_diff(view_impl: dict, view_spec: dict, limit: int = 6) -> Dict[str, Any]:
+    """Small, readable diff between two dict-shaped views."""
+    if not isinstance(view_impl, dict) or not isinstance(view_spec, dict):
+        return {"viewI": view_impl, "viewS": view_spec}
+    only_impl = {}
+    only_spec = {}
+    differ = {}
+    for key in view_impl:
+        if key not in view_spec:
+            if len(only_impl) < limit:
+                only_impl[key] = view_impl[key]
+        elif view_impl[key] != view_spec[key]:
+            if len(differ) < limit:
+                differ[key] = (view_impl[key], view_spec[key])
+    for key in view_spec:
+        if key not in view_impl and len(only_spec) < limit:
+            only_spec[key] = view_spec[key]
+    return {
+        "only_in_viewI": only_impl,
+        "only_in_viewS": only_spec,
+        "differing (viewI, viewS)": differ,
+    }
+
+
+class RefinementChecker:
+    """Incremental I/O / view refinement checker over a VYRD log.
+
+    Parameters
+    ----------
+    spec:
+        A fresh :class:`~repro.core.spec.Specification`; the checker owns and
+        mutates it.
+    mode:
+        ``"io"`` or ``"view"``.
+    impl_view:
+        Required in view mode: the :class:`~repro.core.view.ImplView`
+        computing ``viewI`` from the replayed state.
+    invariants:
+        :class:`~repro.core.invariants.Invariant` objects evaluated at every
+        commit (available in both modes; they force state replay on).
+    replay_registry:
+        ``tag -> routine(state, payload)`` for coarse-grained log entries.
+    stop_at_first:
+        Stop processing at the first violation (the paper's
+        time-to-detection methodology); set ``False`` to collect all.
+    final_full_check:
+        In view mode, cross-check the incremental view against a
+        from-scratch recomputation and the spec view when the log ends.
+    view_at:
+        When to compare ``viewI``/``viewS`` in view mode: ``"commit"`` (the
+        paper's choice -- at every commit action) or ``"quiescent"`` (only
+        at quiescent states, where no method execution is in flight).  The
+        latter is the commit-atomicity baseline the paper contrasts itself
+        against in section 8: "most industrial-scale concurrent data
+        structures are built to be used by large numbers of threads
+        continuously and during any realistic execution, quiescent points
+        are very rare" -- a claim the ablation benchmark quantifies.
+    """
+
+    def __init__(
+        self,
+        spec: Specification,
+        mode: str = IO_MODE,
+        impl_view: Optional[ImplView] = None,
+        invariants: Iterable[Invariant] = (),
+        replay_registry: Optional[dict] = None,
+        stop_at_first: bool = True,
+        final_full_check: bool = True,
+        view_at: str = "commit",
+    ):
+        if mode not in (IO_MODE, VIEW_MODE):
+            raise ValueError(f"unknown mode {mode!r}")
+        if view_at not in ("commit", "quiescent"):
+            raise ValueError(f"unknown view_at {view_at!r}")
+        if mode == VIEW_MODE and impl_view is None:
+            raise ValueError("view mode requires an impl_view")
+        self.spec = spec
+        self.mode = mode
+        self.impl_view = impl_view
+        self.invariants = list(invariants)
+        self.stop_at_first = stop_at_first
+        self.final_full_check = final_full_check
+        self.view_at = view_at
+        self._track_state = mode == VIEW_MODE or bool(self.invariants)
+        self.replay = ReplayState(replay_registry) if self._track_state else None
+
+        self.outcome = CheckOutcome()
+        self._buffer: deque = deque()
+        self._next_seq = 0
+        self._returns: Dict[int, ReturnAction] = {}
+        self._ops: Dict[int, _OpRecord] = {}
+        self._observers = ObserverTracker(spec)
+        self._open_ops = 0  # executions called but not yet returned
+        self._stopped = False
+        self._finished = False
+
+    # -- feeding ----------------------------------------------------------------
+
+    def feed(self, actions: Iterable[Action]) -> None:
+        """Append new log records (any prefix extension) and process what can
+        be processed."""
+        for action in actions:
+            seq = self._next_seq
+            self._next_seq += 1
+            if isinstance(action, ReturnAction):
+                self._returns[action.op_id] = action
+            self._buffer.append((seq, action))
+        self._drain()
+
+    @property
+    def stopped(self) -> bool:
+        """True once a violation stopped processing (``stop_at_first``)."""
+        return self._stopped
+
+    # -- draining -----------------------------------------------------------------
+
+    def _drain(self) -> None:
+        while self._buffer and not self._stopped:
+            seq, action = self._buffer[0]
+            if isinstance(action, CommitAction) and action.op_id is not None:
+                record = self._ops.get(action.op_id)
+                needs_return = (
+                    record is not None
+                    and record.kind == MUTATOR
+                    and action.op_id not in self._returns
+                )
+                if needs_return:
+                    return  # wait for the return value (online lookahead)
+            self._buffer.popleft()
+            self._process(seq, action)
+            self.outcome.actions_processed += 1
+
+    def _violate(
+        self,
+        kind: ViolationKind,
+        seq: int,
+        message: str,
+        signature: Optional[Signature] = None,
+        **details,
+    ) -> None:
+        violation = Violation(kind, seq, message, signature, details)
+        self.outcome.violations.append(violation)
+        if self.outcome.detection_method_count is None:
+            self.outcome.detection_method_count = self.outcome.methods_checked
+        if self.stop_at_first:
+            self._stopped = True
+
+    # -- per-action processing --------------------------------------------------------
+
+    def _process(self, seq: int, action: Action) -> None:
+        if isinstance(action, CallAction):
+            self._process_call(seq, action)
+        elif isinstance(action, WriteAction):
+            if self._track_state:
+                self.replay.apply_write(action.tid, action.loc, action.old, action.new)
+                if self.impl_view is not None:
+                    self.impl_view.on_write(action.loc)
+        elif isinstance(action, ReplayAction):
+            if self._track_state:
+                written = self.replay.apply_replay(action.tid, action.tag, action.payload)
+                if self.impl_view is not None:
+                    for loc in written:
+                        self.impl_view.on_write(loc)
+        elif isinstance(action, BeginCommitBlockAction):
+            if self._track_state:
+                try:
+                    self.replay.begin_block(action.tid)
+                except ValueError as exc:
+                    self._violate(ViolationKind.INSTRUMENTATION, seq, str(exc))
+        elif isinstance(action, EndCommitBlockAction):
+            if self._track_state:
+                try:
+                    self.replay.end_block(action.tid)
+                except ValueError as exc:
+                    self._violate(ViolationKind.INSTRUMENTATION, seq, str(exc))
+        elif isinstance(action, CommitAction):
+            self._process_commit(seq, action)
+        elif isinstance(action, ReturnAction):
+            self._process_return(seq, action)
+        elif isinstance(action, (ReadAction, AcquireAction, ReleaseAction)):
+            pass  # atomicity-analysis events; refinement ignores them
+        else:
+            self._violate(
+                ViolationKind.INSTRUMENTATION, seq, f"unknown action {action!r}"
+            )
+
+    def _process_call(self, seq: int, action: CallAction) -> None:
+        try:
+            kind = self.spec.method_kind(action.method)
+        except SpecError as exc:
+            self._violate(ViolationKind.INSTRUMENTATION, seq, str(exc))
+            return
+        record = _OpRecord(
+            action.op_id, action.tid, action.method, action.args, seq, kind
+        )
+        self._ops[action.op_id] = record
+        self._open_ops += 1
+        if kind == OBSERVER:
+            self._observers.open(
+                action.op_id, action.tid, action.method, action.args, seq
+            )
+
+    def _process_commit(self, seq: int, action: CommitAction) -> None:
+        if action.op_id is None:
+            self.outcome.internal_commits += 1
+            self._check_views_and_invariants(seq, action.tid, signature=None)
+            return
+        record = self._ops.get(action.op_id)
+        if record is None:
+            self._violate(
+                ViolationKind.INSTRUMENTATION,
+                seq,
+                f"commit for unknown execution op_id={action.op_id}",
+            )
+            return
+        if record.kind == OBSERVER:
+            self._violate(
+                ViolationKind.INSTRUMENTATION,
+                seq,
+                f"observer {record.method} has a commit action; observers must "
+                "not be annotated (section 4.3)",
+            )
+            return
+        record.commits += 1
+        if record.commits > 1:
+            self._violate(
+                ViolationKind.INSTRUMENTATION,
+                seq,
+                f"execution of {record.method} committed more than once",
+            )
+            return
+        result = self._returns[record.op_id].result
+        signature = Signature(record.tid, record.method, record.args, result)
+        try:
+            self.spec.run_mutator(record.method, record.args, result)
+        except SpecReject as reject:
+            self._violate(
+                ViolationKind.IO,
+                seq,
+                f"specification rejects {signature}: {reject.reason}",
+                signature,
+                spec_state=self.spec.describe(),
+                commit_index=self.outcome.commits_executed,
+            )
+            return
+        self.outcome.commits_executed += 1
+        self._observers.on_commit()
+        self._check_views_and_invariants(seq, action.tid, signature)
+
+    def _check_views_and_invariants(
+        self, seq: int, tid: int, signature: Optional[Signature],
+        where: str = "commit action",
+    ) -> None:
+        if not self._track_state or self._stopped:
+            return
+        if self.view_at == "quiescent" and where == "commit action":
+            # commit-atomicity baseline: *all* state checks (view and
+            # invariants) wait for a quiescent point
+            return
+        state = self.replay.effective(tid)
+        if self.mode == VIEW_MODE and (
+            self.view_at == "commit" or where != "commit action"
+        ):
+            extra_dirty = self.replay.open_block_locs(excluding_tid=tid)
+            view_impl = self.impl_view.refresh(state, extra_dirty)
+            view_spec = self.spec.view()
+            if view_impl != view_spec:
+                self._violate(
+                    ViolationKind.VIEW,
+                    seq,
+                    f"viewI differs from viewS at {where}",
+                    signature,
+                    diff=_view_diff(view_impl, view_spec),
+                )
+                return
+        for invariant in self.invariants:
+            if not invariant.holds(state, self.spec):
+                self._violate(
+                    ViolationKind.INVARIANT,
+                    seq,
+                    f"invariant {invariant.name!r} violated at commit action",
+                    signature,
+                )
+                return
+
+    def _process_return(self, seq: int, action: ReturnAction) -> None:
+        self.outcome.methods_checked += 1
+        record = self._ops.get(action.op_id)
+        if record is None:
+            self._violate(
+                ViolationKind.INSTRUMENTATION,
+                seq,
+                f"return for unknown execution op_id={action.op_id}",
+            )
+            return
+        self._open_ops -= 1
+        signature = Signature(record.tid, record.method, record.args, action.result)
+        if record.kind == OBSERVER:
+            window = self._observers.close(action.op_id, action.result)
+            if not window.accepts(action.result):
+                self._violate(
+                    ViolationKind.OBSERVER,
+                    seq,
+                    f"observer result {action.result!r} is not consistent with "
+                    f"any commit point in its window",
+                    signature,
+                    allowed=window.answers,
+                    spec_state=self.spec.describe(),
+                )
+        elif record.commits == 0:
+            self._violate(
+                ViolationKind.INSTRUMENTATION,
+                seq,
+                f"mutator {record.method} returned without a commit action "
+                "(every execution path needs exactly one, section 4.1)",
+                signature,
+            )
+        if (
+            self.view_at == "quiescent"
+            and self.mode == VIEW_MODE
+            and self._open_ops == 0
+            and not self._stopped
+        ):
+            # A quiescent state (section 8's commit-atomicity baseline):
+            # nothing is mid-method, so compare states here.
+            self._check_views_and_invariants(
+                seq, action.tid, signature, where="quiescent state"
+            )
+
+    # -- finishing ---------------------------------------------------------------------
+
+    def finish(self) -> CheckOutcome:
+        """Declare the log complete and return the final outcome."""
+        if self._finished:
+            return self.outcome
+        self._finished = True
+        self._drain()
+        if self._buffer and not self._stopped:
+            self.outcome.incomplete = True
+            self.outcome.stats["unprocessed_actions"] = len(self._buffer)
+        if (
+            self.mode == VIEW_MODE
+            and not self._stopped
+            and self.final_full_check
+            and not self.outcome.incomplete
+        ):
+            state = self.replay.effective(None)
+            full = self.impl_view.compute_full(state)
+            incremental = self.impl_view.refresh(
+                state, self.replay.open_block_locs(None)
+            )
+            if full != incremental:
+                self.outcome.stats["incremental_drift"] = _view_diff(incremental, full)
+                self._violate(
+                    ViolationKind.INSTRUMENTATION,
+                    self._next_seq,
+                    "incremental view drifted from full recomputation "
+                    "(unit_of/supp(view) mapping is incomplete)",
+                )
+            elif full != self.spec.view():
+                self._violate(
+                    ViolationKind.VIEW,
+                    self._next_seq,
+                    "final quiescent viewI differs from viewS",
+                    diff=_view_diff(full, self.spec.view()),
+                )
+        self.outcome.stats.setdefault("pending_observers", self._observers.pending_count())
+        return self.outcome
+
+
+def check_log(
+    log: Log,
+    spec: Specification,
+    mode: str = IO_MODE,
+    impl_view: Optional[ImplView] = None,
+    invariants: Iterable[Invariant] = (),
+    replay_registry: Optional[dict] = None,
+    stop_at_first: bool = True,
+    final_full_check: bool = True,
+    view_at: str = "commit",
+) -> CheckOutcome:
+    """Offline convenience: check a complete log in one call."""
+    checker = RefinementChecker(
+        spec,
+        mode=mode,
+        impl_view=impl_view,
+        invariants=invariants,
+        replay_registry=replay_registry,
+        stop_at_first=stop_at_first,
+        final_full_check=final_full_check,
+        view_at=view_at,
+    )
+    checker.feed(log)
+    return checker.finish()

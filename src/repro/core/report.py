@@ -1,0 +1,149 @@
+"""Human-readable reports: violation summaries and ASCII trace diagrams.
+
+:func:`render_trace` draws a log the way the paper's Figs. 3 and 6 do: one
+column (lane) per thread, time flowing downward, one row per visible action.
+:func:`render_witness` prints the serialized witness interleaving next to the
+raw trace, making it obvious how VYRD ordered overlapping executions by their
+commit actions.  These renderings back the Fig. 3 / Fig. 6 reproduction
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from .actions import (
+    AcquireAction,
+    Action,
+    BeginCommitBlockAction,
+    CallAction,
+    CommitAction,
+    EndCommitBlockAction,
+    ReadAction,
+    ReleaseAction,
+    ReplayAction,
+    ReturnAction,
+    WriteAction,
+)
+from .interleaving import build_witness
+from .log import Log
+from .refinement import CheckOutcome, Violation
+
+
+def _describe(action: Action) -> Optional[str]:
+    if isinstance(action, CallAction):
+        args = ", ".join(repr(a) for a in action.args)
+        return f"call {action.method}({args})"
+    if isinstance(action, ReturnAction):
+        return f"ret  {action.method} = {action.result!r}"
+    if isinstance(action, CommitAction):
+        tag = "" if action.op_id is not None else " (internal)"
+        return f"COMMIT{tag}"
+    if isinstance(action, WriteAction):
+        return f"w {action.loc} := {action.new!r}"
+    if isinstance(action, BeginCommitBlockAction):
+        return "[ begin commit block"
+    if isinstance(action, EndCommitBlockAction):
+        return "] end commit block"
+    if isinstance(action, ReplayAction):
+        return f"replay {action.tag}"
+    if isinstance(action, ReadAction):
+        return f"r {action.loc}"
+    if isinstance(action, AcquireAction):
+        tag = "" if action.mode == "x" else f":{action.mode}"
+        return f"acq {action.lock}{tag}"
+    if isinstance(action, ReleaseAction):
+        tag = "" if action.mode == "x" else f":{action.mode}"
+        return f"rel {action.lock}{tag}"
+    return None
+
+
+def render_trace(
+    log: Log,
+    include_writes: bool = False,
+    max_rows: Optional[int] = None,
+    lane_width: int = 26,
+) -> str:
+    """Render the log as per-thread lanes (Fig. 3 / Fig. 6 style).
+
+    ``include_writes=False`` shows only calls, returns, commits and commit
+    blocks -- the paper's figures omit most fine-grained actions "to keep the
+    figure simple".
+    """
+    tids: List[int] = []
+    for action in log:
+        tid = getattr(action, "tid", None)
+        if tid is not None and tid not in tids:
+            tids.append(tid)
+    columns = {tid: index for index, tid in enumerate(tids)}
+    header = "seq   | " + " | ".join(f"thread {tid}".ljust(lane_width) for tid in tids)
+    ruler = "-" * len(header)
+    lines = [header, ruler]
+    rows = 0
+    detailed = (
+        WriteAction, ReplayAction, BeginCommitBlockAction, EndCommitBlockAction,
+        ReadAction, AcquireAction, ReleaseAction,
+    )
+    for seq, action in enumerate(log):
+        if isinstance(action, detailed) and not include_writes:
+            continue
+        text = _describe(action)
+        if text is None:
+            continue
+        cells = [" " * lane_width] * len(tids)
+        cells[columns[action.tid]] = text[:lane_width].ljust(lane_width)
+        lines.append(f"{seq:<6d}| " + " | ".join(cells))
+        rows += 1
+        if max_rows is not None and rows >= max_rows:
+            lines.append(f"... ({len(log) - seq - 1} more records)")
+            break
+    return "\n".join(lines)
+
+
+def render_witness(log: Log) -> str:
+    """Print the witness interleaving: executions in commit-action order."""
+    witness = build_witness(log)
+    lines = ["witness interleaving (commit order):"]
+    for position, execution in enumerate(witness.serialized()):
+        lines.append(
+            f"  {position + 1:3d}. {execution.signature}  "
+            f"(call@{execution.call_seq}, commit@{execution.commit_seq}, "
+            f"ret@{execution.return_seq})"
+        )
+    if witness.uncommitted:
+        pending = ", ".join(str(op) for op in sorted(witness.uncommitted))
+        lines.append(f"  uncommitted executions (observers/incomplete): {pending}")
+    if witness.internal_commits:
+        lines.append(
+            f"  internal worker-thread commits at seq: {witness.internal_commits}"
+        )
+    return "\n".join(lines)
+
+
+def format_violation(violation: Violation) -> str:
+    """Multi-line description of one violation."""
+    lines = [str(violation)]
+    for key, value in violation.details.items():
+        lines.append(f"    {key}: {value!r}")
+    return "\n".join(lines)
+
+
+def format_outcome(outcome: CheckOutcome, title: str = "VYRD check") -> str:
+    """Full report of a check outcome."""
+    lines = [
+        f"== {title} ==",
+        f"result: {'PASS' if outcome.ok else 'FAIL'}",
+        f"methods checked: {outcome.methods_checked}",
+        f"mutator commits executed on spec: {outcome.commits_executed}",
+        f"internal commits checked: {outcome.internal_commits}",
+        f"log records processed: {outcome.actions_processed}",
+    ]
+    if outcome.incomplete:
+        lines.append("warning: log ended mid-execution; tail not checked")
+    if not outcome.ok:
+        lines.append(
+            f"first violation after {outcome.detection_method_count} completed methods:"
+        )
+        for violation in outcome.violations:
+            lines.append(format_violation(violation))
+    return "\n".join(lines)

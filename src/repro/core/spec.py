@@ -1,0 +1,246 @@
+"""Executable specifications: method-atomic, deterministic transition systems.
+
+Paper section 3.2 requires specifications to be *method-atomic* (a single
+method executes at a time, to completion) and *deterministic* (given the
+start state, the method, its arguments **and its return value**, the final
+state is unique).  Note what determinism does *not* forbid: a method may have
+several allowed return values at a given state -- e.g. ``Insert`` may return
+``success`` or ``failure`` -- as long as each return value determines the
+next state.  This is exactly how the paper's Fig. 1 multiset spec is written:
+the spec *consumes* the implementation's observed return value and either
+accepts it (updating state accordingly) or rejects it (a refinement
+violation).
+
+Writing a spec
+--------------
+Subclass :class:`Specification`; decorate each method with
+:func:`mutator` or :func:`observer`:
+
+* A **mutator** receives the positional arguments of the call plus the
+  observed return value as the keyword argument ``result``.  It must either
+  update the spec state consistently with ``result`` and return normally, or
+  raise :class:`SpecReject` when no spec transition with that return value
+  exists.
+* An **observer** receives only the call arguments and returns the value (or
+  an :class:`AnyOf` set of values) the spec allows at the current state.
+  Observers must not modify state.
+
+Specs used for *view refinement* additionally implement :meth:`view`,
+returning the canonical abstraction ``viewS`` of the current state
+(section 5).
+
+:class:`AtomizedSpec` implements section 4.4: when no separate spec exists,
+an *atomized* interpretation of the implementation itself -- every method run
+to completion in isolation -- serves as the specification.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, Iterable, Optional
+
+MUTATOR = "mutator"
+OBSERVER = "observer"
+
+
+class SpecError(Exception):
+    """A specification object is malformed or misused (tool-usage error)."""
+
+
+class SpecReject(Exception):
+    """The spec has no transition matching ``(method, args, result)``.
+
+    Raised by mutator methods; the checker converts it into an I/O-refinement
+    violation carrying :attr:`reason`.
+    """
+
+    def __init__(self, reason: str = ""):
+        self.reason = reason
+        super().__init__(reason or "specification rejected the observed return value")
+
+
+class AnyOf:
+    """A set of allowed observer return values (spec nondeterminism).
+
+    Example: a ``size`` observer during concurrent inserts might return
+    ``AnyOf({2, 3})``.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: Iterable[Any]):
+        self.values = frozenset(values)
+
+    def __contains__(self, value: Any) -> bool:
+        return value in self.values
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, AnyOf) and self.values == other.values
+
+    def __hash__(self) -> int:
+        return hash(("AnyOf", self.values))
+
+    def __repr__(self) -> str:
+        return f"AnyOf({set(self.values)!r})"
+
+
+def allows(allowed: Any, result: Any) -> bool:
+    """True if observer result ``result`` matches spec answer ``allowed``."""
+    if isinstance(allowed, AnyOf):
+        return result in allowed
+    return allowed == result
+
+
+def mutator(fn: Callable) -> Callable:
+    """Mark a spec method as a mutator (receives ``result`` keyword)."""
+    fn._vyrd_kind = MUTATOR
+    return fn
+
+
+def observer(fn: Callable) -> Callable:
+    """Mark a spec method as an observer (must not modify spec state)."""
+    fn._vyrd_kind = OBSERVER
+    return fn
+
+
+class Specification:
+    """Base class for executable specifications.
+
+    Subclasses define decorated methods and, for view refinement,
+    :meth:`view`.  A spec instance is single-use per checked log: the checker
+    drives it from its initial state through the witness interleaving.
+    """
+
+    def method_kind(self, name: str) -> str:
+        """Return ``"mutator"`` or ``"observer"`` for public method ``name``."""
+        fn = getattr(self, name, None)
+        kind = getattr(fn, "_vyrd_kind", None)
+        if kind is None:
+            raise SpecError(f"{type(self).__name__} has no spec method {name!r}")
+        return kind
+
+    def methods(self) -> Dict[str, str]:
+        """All spec methods as a ``name -> kind`` mapping."""
+        found = {}
+        for name in dir(self):
+            if name.startswith("_"):
+                continue
+            kind = getattr(getattr(self, name), "_vyrd_kind", None)
+            if kind is not None:
+                found[name] = kind
+        return found
+
+    def run_mutator(self, name: str, args, result) -> None:
+        """Execute mutator ``name`` with the observed return value.
+
+        Raises :class:`SpecReject` if the spec disallows ``result`` here.
+        """
+        if self.method_kind(name) != MUTATOR:
+            raise SpecError(f"{name!r} is not a mutator of {type(self).__name__}")
+        getattr(self, name)(*args, result=result)
+
+    def run_observer(self, name: str, args) -> Any:
+        """Evaluate observer ``name``; returns a value or :class:`AnyOf`."""
+        if self.method_kind(name) != OBSERVER:
+            raise SpecError(f"{name!r} is not an observer of {type(self).__name__}")
+        return getattr(self, name)(*args)
+
+    def view(self) -> Any:
+        """Canonical abstraction ``viewS`` of the current spec state.
+
+        Only required for view refinement.  Must return a value comparable
+        with ``==`` against the implementation view.
+        """
+        raise SpecError(f"{type(self).__name__} does not define a view")
+
+    def describe(self) -> str:
+        """Short human-readable state description for violation reports."""
+        return repr(self.__dict__)
+
+
+class AtomizedSpec(Specification):
+    """Use an atomized interpretation of an implementation as the spec.
+
+    Section 4.4: the implementation's own code, forced to run each method
+    atomically (one method at a time, to completion, no interleaving), acts
+    as the specification.  Mutator methods "take the return value as an
+    argument": here, the atomized run produces its own result, which is
+    reconciled with the observed one:
+
+    * equal -> accept;
+    * observed result in ``no_op_results`` (results that, per the spec's
+      contract, may arise only from concurrent resource contention and must
+      leave the state unchanged -- e.g. ``InsertPair``'s ``failure``) ->
+      accept and roll the atomized state back to the pre-call snapshot;
+    * otherwise -> :class:`SpecReject`.
+
+    Requirements on the wrapped implementation object:
+
+    * public methods are generator functions ``m(ctx, *args)`` (the same
+      code that runs concurrently);
+    * ``snapshot()`` / ``restore(snap)`` capture and reinstate its shared
+      state (used for rollback of allowed no-op results);
+    * a ``VYRD_METHODS`` mapping ``name -> "mutator" | "observer"``;
+    * optionally ``view_atomic()`` returning ``viewS`` for view refinement.
+    """
+
+    def __init__(
+        self,
+        impl: Any,
+        methods: Optional[Dict[str, str]] = None,
+        no_op_results: FrozenSet[Any] = frozenset(),
+        max_steps: int = 1_000_000,
+    ):
+        self._impl = impl
+        self._methods = dict(methods if methods is not None else impl.VYRD_METHODS)
+        self._no_op_results = frozenset(no_op_results)
+        self._max_steps = max_steps
+
+    def method_kind(self, name: str) -> str:
+        try:
+            return self._methods[name]
+        except KeyError:
+            raise SpecError(f"atomized spec has no method {name!r}")
+
+    def methods(self) -> Dict[str, str]:
+        return dict(self._methods)
+
+    def _run_atomic(self, name: str, args) -> Any:
+        """Run one method of the implementation to completion, atomically."""
+        from ..concurrency import Kernel, RoundRobinScheduler
+
+        kernel = Kernel(scheduler=RoundRobinScheduler(), max_steps=self._max_steps)
+        thread = kernel.spawn(getattr(self._impl, name), *args, name=f"atomized-{name}")
+        kernel.run()
+        return thread.result
+
+    def run_mutator(self, name: str, args, result) -> None:
+        if self.method_kind(name) != MUTATOR:
+            raise SpecError(f"{name!r} is not a mutator of the atomized spec")
+        snapshot = self._impl.snapshot()
+        atomic_result = self._run_atomic(name, args)
+        if atomic_result == result:
+            return
+        if result in self._no_op_results:
+            self._impl.restore(snapshot)
+            return
+        raise SpecReject(
+            f"atomized {name}{tuple(args)!r} returned {atomic_result!r}, "
+            f"implementation returned {result!r}"
+        )
+
+    def run_observer(self, name: str, args) -> Any:
+        if self.method_kind(name) != OBSERVER:
+            raise SpecError(f"{name!r} is not an observer of the atomized spec")
+        return self._run_atomic(name, args)
+
+    def view(self) -> Any:
+        view_fn = getattr(self._impl, "view_atomic", None)
+        if view_fn is None:
+            raise SpecError(
+                f"{type(self._impl).__name__} does not define view_atomic(); "
+                "atomized view refinement is unavailable"
+            )
+        return view_fn()
+
+    def describe(self) -> str:
+        return f"atomized({type(self._impl).__name__})"

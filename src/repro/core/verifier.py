@@ -1,0 +1,197 @@
+"""The VYRD facade: wiring instrumentation, logging and checking together.
+
+Typical use::
+
+    from repro import Vyrd, Kernel
+
+    vyrd = Vyrd(
+        spec_factory=lambda: MultisetSpec(),
+        mode="view",
+        impl_view_factory=lambda: multiset_view("A"),
+    )
+    kernel = Kernel(seed=11, tracer=vyrd.tracer)
+    ds = VectorMultiset(size=8)
+    vds = vyrd.wrap(ds)
+    ... spawn threads that `yield from vds.insert(ctx, x)` ...
+    kernel.run()
+    outcome = vyrd.check_offline()
+
+Two checking deployments, mirroring paper section 4.2 / Table 3:
+
+* **offline** -- run the program first, check the completed log afterwards
+  (:meth:`Vyrd.check_offline`); the "VYRD alone" column of Table 3.
+* **online** -- spawn a daemon *verification thread* into the same kernel
+  (:meth:`Vyrd.start_online`); it consumes the log tail while application
+  threads run, interleaved by the scheduler exactly like the paper's separate
+  verifier thread; the "Prog + logging and VYRD" column of Table 3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from ..concurrency.kernel import Kernel, SimThread
+from .instrument import (
+    IO_LEVEL,
+    VIEW_LEVEL,
+    InstrumentedDataStructure,
+    VyrdTracer,
+)
+from .invariants import Invariant
+from .log import Log
+from .refinement import IO_MODE, VIEW_MODE, CheckOutcome, RefinementChecker
+from .spec import Specification
+from .view import ImplView
+
+
+class Vyrd:
+    """One verification session: a log, a tracer and checker factories.
+
+    Parameters
+    ----------
+    spec_factory:
+        Builds a fresh :class:`Specification` in its initial state.  A
+        factory (not an instance) because every checker run consumes one.
+    mode:
+        ``"io"`` or ``"view"`` refinement.
+    impl_view_factory:
+        Builds a fresh :class:`ImplView`; required in view mode.
+    invariants:
+        Runtime invariants evaluated at every commit.
+    replay_registry:
+        Routines for coarse-grained log entries, ``tag -> fn(state, payload)``.
+    log_level:
+        Logging granularity override; defaults to what ``mode`` needs
+        (``"io"`` logs calls/returns/commits only, ``"view"`` adds writes).
+    """
+
+    def __init__(
+        self,
+        spec_factory: Callable[[], Specification],
+        mode: str = IO_MODE,
+        impl_view_factory: Optional[Callable[[], ImplView]] = None,
+        invariants: Iterable[Invariant] = (),
+        replay_registry: Optional[dict] = None,
+        log_level: Optional[str] = None,
+        log_locks: bool = False,
+        log_reads: bool = False,
+    ):
+        if mode == VIEW_MODE and impl_view_factory is None:
+            raise ValueError("view mode requires impl_view_factory")
+        self.spec_factory = spec_factory
+        self.mode = mode
+        self.impl_view_factory = impl_view_factory
+        self.invariants = tuple(invariants)
+        self.replay_registry = dict(replay_registry or {})
+        needs_state = mode == VIEW_MODE or bool(self.invariants)
+        level = log_level if log_level is not None else (
+            VIEW_LEVEL if needs_state else IO_LEVEL
+        )
+        self.log = Log()
+        self.tracer = VyrdTracer(
+            self.log, level=level, log_locks=log_locks, log_reads=log_reads
+        )
+
+    # -- instrumentation -------------------------------------------------------
+
+    def wrap(self, impl, methods: Optional[set] = None) -> InstrumentedDataStructure:
+        """Wrap an implementation so its public operations are logged."""
+        return InstrumentedDataStructure(impl, self.tracer, methods)
+
+    # -- checking ----------------------------------------------------------------
+
+    def new_checker(self, stop_at_first: bool = True) -> RefinementChecker:
+        """A fresh incremental checker bound to this session's configuration."""
+        return RefinementChecker(
+            self.spec_factory(),
+            mode=self.mode,
+            impl_view=self.impl_view_factory() if self.impl_view_factory else None,
+            invariants=self.invariants,
+            replay_registry=self.replay_registry,
+            stop_at_first=stop_at_first,
+        )
+
+    def check_offline(self, stop_at_first: bool = True) -> CheckOutcome:
+        """Check the (completed) log from scratch."""
+        checker = self.new_checker(stop_at_first=stop_at_first)
+        checker.feed(self.log)
+        return checker.finish()
+
+    def check_offline_with_mode(
+        self, mode: str, stop_at_first: bool = True, view_at: str = "commit"
+    ) -> CheckOutcome:
+        """Check the same log under a different refinement mode.
+
+        This is how the paper compares I/O and view refinement "on the same
+        trace" (Table 1): one view-level log, two checkers.  Pure I/O mode
+        uses neither the replayed state nor the invariants.
+        ``view_at="quiescent"`` gives the commit-atomicity baseline of
+        section 8 (state comparison only at quiescent points)."""
+        checker = RefinementChecker(
+            self.spec_factory(),
+            mode=mode,
+            impl_view=(
+                self.impl_view_factory()
+                if mode == VIEW_MODE and self.impl_view_factory is not None
+                else None
+            ),
+            invariants=self.invariants if mode == VIEW_MODE else (),
+            replay_registry=self.replay_registry,
+            stop_at_first=stop_at_first,
+            view_at=view_at,
+        )
+        checker.feed(self.log)
+        return checker.finish()
+
+    def start_online(self, kernel: Kernel, stop_at_first: bool = True) -> "OnlineVerifier":
+        """Spawn the verification thread into ``kernel`` (daemon).
+
+        Call :meth:`OnlineVerifier.finalize` after ``kernel.run()`` to
+        process the remaining log tail and obtain the outcome.
+        """
+        verifier = OnlineVerifier(self, stop_at_first=stop_at_first)
+        verifier.thread = kernel.spawn(verifier._body, name="vyrd-verifier", daemon=True)
+        return verifier
+
+
+class OnlineVerifier:
+    """The separate verification thread of paper section 4.2.
+
+    It runs as a daemon simulated thread: every time the scheduler picks it,
+    it atomically consumes all new log records through an incremental
+    :class:`RefinementChecker`.  Violations are therefore detected *during*
+    the run, as close to their commit actions as scheduling allows.
+    """
+
+    def __init__(self, session: Vyrd, stop_at_first: bool = True):
+        self.session = session
+        self.checker = session.new_checker(stop_at_first=stop_at_first)
+        self.cursor = 0
+        self.thread: Optional[SimThread] = None
+        self._finalized: Optional[CheckOutcome] = None
+
+    def _consume(self) -> None:
+        log = self.session.log
+        if self.cursor < len(log):
+            fresh = log.since(self.cursor)
+            self.cursor = len(log)
+            self.checker.feed(fresh)
+
+    def _body(self, ctx):
+        while True:
+            yield ctx.checkpoint()
+            if not self.checker.stopped:
+                self._consume()
+
+    @property
+    def detected(self) -> bool:
+        """True once the online checker has found a violation."""
+        return bool(self.checker.outcome.violations)
+
+    def finalize(self) -> CheckOutcome:
+        """Consume whatever the run left in the log and finish the check."""
+        if self._finalized is None:
+            if not self.checker.stopped:
+                self._consume()
+            self._finalized = self.checker.finish()
+        return self._finalized

@@ -1,0 +1,237 @@
+"""Implementation views: computing ``viewI`` from the replayed state.
+
+View refinement (paper section 5) compares, at every mutator commit action, a
+canonical abstraction of the implementation state (``viewI``) against the
+same abstraction of the spec state (``viewS``).  The programmer specifies how
+``viewI`` is computed from shared-variable names and values; this module
+provides the two standard shapes:
+
+* :class:`FunctionView` -- a full recomputation ``fn(state)`` at every
+  commit.  Simple, and the baseline for the incremental-vs-full ablation
+  benchmark.
+* :class:`ContributionView` -- the incremental scheme of paper section 6.4.
+  The view value is assembled from independent *units* (an array slot, a
+  cache entry, a tree data node).  Each logged write dirties only the unit
+  its location belongs to (``unit_of``), and at a commit only dirty units are
+  recomputed (``contribute``).  This avoids "re-traversing the entire program
+  state at each verification step".
+
+Canonical values are dictionaries so they compare with ``==``:
+
+* ``aggregate="list"`` -- ``{key: tuple(sorted(values))}``; a *map-shaped*
+  view (B-link tree contents, cache+store contents).  A key contributed by
+  two units shows up as a length-2 tuple, which is how duplicate-data-node
+  bugs become visible.
+* ``aggregate="count"`` -- ``{key: total}``; a *bag-shaped* view (multiset
+  contents).
+
+Helpers :func:`canonical_map` and :func:`canonical_bag` build the matching
+``viewS`` values inside spec ``view()`` methods.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Iterable, Mapping, Optional, Tuple
+
+
+def canonical_map(mapping: Mapping) -> Dict[Hashable, tuple]:
+    """Spec-side canonical value matching a ``aggregate="list"`` view."""
+    return {key: (value,) for key, value in mapping.items()}
+
+
+def canonical_bag(counts: Mapping[Hashable, int]) -> Dict[Hashable, int]:
+    """Spec-side canonical value matching an ``aggregate="count"`` view.
+
+    Zero counts are dropped so that "absent" and "present zero times"
+    compare equal.
+    """
+    return {key: count for key, count in counts.items() if count}
+
+
+def _sort_key(value: Any):
+    return (type(value).__name__, repr(value))
+
+
+class ImplView:
+    """Interface for implementation views.
+
+    ``on_write`` observes every replayed fine-grained write (and every
+    location a coarse replay routine touched).  ``refresh`` returns the
+    up-to-date canonical value given the current (possibly rolled-back)
+    effective state.  ``compute_full`` recomputes from scratch, ignoring all
+    caches -- the checker cross-checks it against ``refresh`` at the end of a
+    run to guard against incremental drift.
+    """
+
+    def on_write(self, loc: str) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def refresh(self, state, extra_dirty_locs: Iterable[str] = ()) -> Any:
+        raise NotImplementedError
+
+    def compute_full(self, state) -> Any:
+        raise NotImplementedError
+
+
+class FunctionView(ImplView):
+    """Recompute the whole view with ``fn(state)`` at every commit.
+
+    ``state`` is a :class:`~repro.core.replay.EffectiveState`.  This is the
+    non-incremental baseline; prefer :class:`ContributionView` for large
+    structures.
+    """
+
+    def __init__(self, fn: Callable[[Any], Any]):
+        self._fn = fn
+
+    def on_write(self, loc: str) -> None:
+        pass
+
+    def refresh(self, state, extra_dirty_locs: Iterable[str] = ()) -> Any:
+        return self._fn(state)
+
+    def compute_full(self, state) -> Any:
+        return self._fn(state)
+
+
+class ContributionView(ImplView):
+    """Incrementally maintained view assembled from per-unit contributions.
+
+    Parameters
+    ----------
+    unit_of:
+        Maps a shared-variable name to the unit it belongs to, or ``None``
+        when the variable is outside ``supp(view)`` (writes to it never
+        dirty the view).  This encodes the paper's static dependency
+        analysis of the view computation.
+    contribute:
+        ``contribute(state, unit) -> (key, value) | None``.  ``None`` means
+        the unit currently contributes nothing (empty slot, evicted entry,
+        freed node).
+    aggregate:
+        ``"list"`` (map-shaped) or ``"count"`` (bag-shaped); see module doc.
+    """
+
+    def __init__(
+        self,
+        unit_of: Callable[[str], Optional[Hashable]],
+        contribute: Callable[[Any, Hashable], Optional[Tuple[Hashable, Any]]],
+        aggregate: str = "list",
+    ):
+        if aggregate not in ("list", "count"):
+            raise ValueError(f"unknown aggregate mode {aggregate!r}")
+        self._unit_of = unit_of
+        self._contribute = contribute
+        self._aggregate = aggregate
+        self._dirty: set = set()
+        # unit -> (key, value) contribution currently folded into the view
+        self._contribs: Dict[Hashable, Tuple[Hashable, Any]] = {}
+        # key -> {unit: value}
+        self._by_key: Dict[Hashable, Dict[Hashable, Any]] = {}
+        # materialized canonical value
+        self._value: Dict[Hashable, Any] = {}
+
+    # -- dirtiness ------------------------------------------------------------
+
+    def on_write(self, loc: str) -> None:
+        unit = self._unit_of(loc)
+        if unit is not None:
+            self._dirty.add(unit)
+
+    def _mark_locs(self, locs: Iterable[str]) -> set:
+        units = set()
+        for loc in locs:
+            unit = self._unit_of(loc)
+            if unit is not None:
+                units.add(unit)
+        return units
+
+    # -- maintenance -----------------------------------------------------------
+
+    def _remove_contribution(self, unit: Hashable) -> None:
+        contribution = self._contribs.pop(unit, None)
+        if contribution is None:
+            return
+        key, _ = contribution
+        units = self._by_key.get(key)
+        if units is not None:
+            units.pop(unit, None)
+            if not units:
+                del self._by_key[key]
+            self._refresh_key(key)
+
+    def _add_contribution(self, unit: Hashable, key: Hashable, value: Any) -> None:
+        self._contribs[unit] = (key, value)
+        self._by_key.setdefault(key, {})[unit] = value
+        self._refresh_key(key)
+
+    def _refresh_key(self, key: Hashable) -> None:
+        units = self._by_key.get(key)
+        if not units:
+            self._value.pop(key, None)
+        elif self._aggregate == "list":
+            self._value[key] = tuple(sorted(units.values(), key=_sort_key))
+        else:
+            self._value[key] = sum(units.values())
+
+    def refresh(self, state, extra_dirty_locs: Iterable[str] = ()) -> Dict[Hashable, Any]:
+        """Bring the view up to date against ``state`` and return it.
+
+        ``extra_dirty_locs`` carries the locations currently rolled back by
+        open commit blocks: their cached contributions were computed against
+        different values, so they are recomputed here *and stay dirty* for
+        the next refresh (they will read different values again once the
+        blocks close).
+        """
+        extra_units = self._mark_locs(extra_dirty_locs)
+        todo = self._dirty | extra_units
+        for unit in todo:
+            self._remove_contribution(unit)
+            contribution = self._contribute(state, unit)
+            if contribution is not None:
+                key, value = contribution
+                self._add_contribution(unit, key, value)
+        # Units shadowed by open blocks must be revisited at the next commit.
+        self._dirty = set(extra_units)
+        return self._value
+
+    def value(self) -> Dict[Hashable, Any]:
+        """The current materialized view (without refreshing)."""
+        return self._value
+
+    def compute_full(self, state) -> Dict[Hashable, Any]:
+        """From-scratch recomputation over every unit present in ``state``."""
+        fresh: Dict[Hashable, Dict[Hashable, Any]] = {}
+        units = set()
+        for loc in state:
+            unit = self._unit_of(loc)
+            if unit is not None:
+                units.add(unit)
+        for unit in units:
+            contribution = self._contribute(state, unit)
+            if contribution is not None:
+                key, value = contribution
+                fresh.setdefault(key, {})[unit] = value
+        if self._aggregate == "list":
+            return {
+                key: tuple(sorted(values.values(), key=_sort_key))
+                for key, values in fresh.items()
+            }
+        return {key: sum(values.values()) for key, values in fresh.items()}
+
+
+def prefix_unit(prefix: str, stop: str = ".") -> Callable[[str], Optional[str]]:
+    """Build a ``unit_of`` function for names like ``prefix[...]...``.
+
+    Locations starting with ``prefix`` map to their name truncated at the
+    first ``stop`` character *after* the prefix (so ``A[3].elt`` and
+    ``A[3].valid`` share the unit ``A[3]``); other locations map to ``None``.
+    """
+
+    def unit_of(loc: str) -> Optional[str]:
+        if not loc.startswith(prefix):
+            return None
+        index = loc.find(stop, len(prefix))
+        return loc if index < 0 else loc[:index]
+
+    return unit_of

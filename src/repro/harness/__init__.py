@@ -1,0 +1,42 @@
+"""Randomized test harness and experiment drivers (paper section 7).
+
+* :data:`PROGRAMS` -- one :class:`Program` per evaluated system (the rows of
+  Table 1, plus the Scan file system).
+* :func:`run_program` -- run one seeded workload and obtain its VYRD log.
+* :func:`detection_experiment` (Table 1),
+  :func:`logging_overhead_experiment` (Table 2),
+  :func:`breakdown_experiment` (Table 3).
+"""
+
+from .metrics import Timer, fmt, mean, render_table, time_call
+from .runner import (
+    BreakdownResult,
+    DetectionResult,
+    LoggingOverheadResult,
+    RunResult,
+    breakdown_experiment,
+    detection_experiment,
+    logging_overhead_experiment,
+    run_program,
+)
+from .workload import PROGRAMS, BuiltProgram, Program, ShrinkingPool
+
+__all__ = [
+    "BreakdownResult",
+    "BuiltProgram",
+    "DetectionResult",
+    "LoggingOverheadResult",
+    "PROGRAMS",
+    "Program",
+    "RunResult",
+    "ShrinkingPool",
+    "Timer",
+    "breakdown_experiment",
+    "detection_experiment",
+    "fmt",
+    "logging_overhead_experiment",
+    "mean",
+    "render_table",
+    "run_program",
+    "time_call",
+]

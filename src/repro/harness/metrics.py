@@ -1,0 +1,69 @@
+"""Measurement utilities and table formatting for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterable, List, Optional, Sequence
+
+
+class Timer:
+    """Accumulating process-time timer (the paper reports CPU seconds)."""
+
+    def __init__(self):
+        self.elapsed = 0.0
+
+    @contextmanager
+    def measure(self):
+        start = time.process_time()
+        try:
+            yield self
+        finally:
+            self.elapsed += time.process_time() - start
+
+
+def time_call(fn, *args, **kwargs):
+    """Run ``fn`` and return ``(result, cpu_seconds)``."""
+    start = time.process_time()
+    result = fn(*args, **kwargs)
+    return result, time.process_time() - start
+
+
+def mean(values: Iterable[float]) -> Optional[float]:
+    values = [v for v in values if v is not None]
+    if not values:
+        return None
+    return sum(values) / len(values)
+
+
+def fmt(value, width: int = 10, digits: int = 3) -> str:
+    """Format one table cell."""
+    if value is None:
+        return "-".rjust(width)
+    if isinstance(value, float):
+        return f"{value:.{digits}f}".rjust(width)
+    return str(value).rjust(width)
+
+
+def render_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Plain-text table in the style of the paper's Tables 1-3."""
+    rows = [list(r) for r in rows]
+    widths = [len(h) for h in headers]
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = [
+            cell if isinstance(cell, str) else fmt(cell, 0)
+            for cell in row
+        ]
+        rendered_rows.append(rendered)
+        for i, cell in enumerate(rendered):
+            widths[i] = max(widths[i], len(cell))
+    lines = [f"== {title} =="]
+    header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for rendered in rendered_rows:
+        lines.append(
+            " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(rendered))
+        )
+    return "\n".join(lines)

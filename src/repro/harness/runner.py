@@ -1,0 +1,292 @@
+"""Experiment drivers behind the paper's Tables 1-3.
+
+* :func:`run_program` -- execute one harness workload (section 7.1) on a
+  fresh program instance under a seeded scheduler, producing a VYRD log.
+* :func:`detection_experiment` -- Table 1: methods executed before the first
+  error is detected, I/O vs view refinement, plus the view/I-O checker CPU
+  ratio *on the same trace* (the paper's last column).
+* :func:`logging_overhead_experiment` -- Table 2: run time with no logging
+  vs I/O-refinement logging vs view-refinement logging.  The tracer never
+  influences scheduling, so all three timings replay the *identical*
+  interleaving.
+* :func:`breakdown_experiment` -- Table 3: program alone / program+logging /
+  program+logging+online VYRD / offline VYRD alone.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..concurrency import Kernel
+from ..core import CheckOutcome, Vyrd
+from .metrics import mean
+from .workload import PROGRAMS, BuiltProgram, Program
+
+
+def _resolve(program: Union[str, Program]) -> Program:
+    if isinstance(program, Program):
+        return program
+    return PROGRAMS[program]
+
+
+@dataclass
+class RunResult:
+    """One executed workload plus its verification session."""
+
+    program: Program
+    built: BuiltProgram
+    vyrd: Vyrd
+    kernel: Kernel
+    run_cpu: float
+    online_outcome: Optional[CheckOutcome] = None
+
+    @property
+    def log(self):
+        return self.vyrd.log
+
+
+def run_program(
+    program: Union[str, Program],
+    buggy: bool = False,
+    num_threads: int = 4,
+    calls_per_thread: int = 50,
+    seed: int = 0,
+    mode: str = "view",
+    log_level: Optional[str] = None,
+    online: bool = False,
+    max_steps: int = 20_000_000,
+    scheduler_factory=None,
+    log_locks: bool = False,
+    log_reads: bool = False,
+) -> RunResult:
+    """Build, run and (optionally online-) verify one program instance.
+
+    ``scheduler_factory(seed)`` overrides the default seeded random
+    scheduler (e.g. with :class:`~repro.concurrency.PCTScheduler` for the
+    scheduling ablation).  ``log_locks``/``log_reads`` additionally record
+    the events the :mod:`repro.atomicity` baseline needs."""
+    program = _resolve(program)
+    built = program.build(buggy, num_threads)
+    vyrd = Vyrd(
+        spec_factory=built.spec_factory,
+        mode=mode,
+        impl_view_factory=built.view_factory,
+        invariants=built.invariants,
+        replay_registry=built.replay_registry,
+        log_level=log_level,
+        log_locks=log_locks,
+        log_reads=log_reads,
+    )
+    scheduler = scheduler_factory(seed) if scheduler_factory is not None else None
+    kernel = Kernel(
+        scheduler=scheduler, seed=seed, tracer=vyrd.tracer, max_steps=max_steps
+    )
+    vds = vyrd.wrap(built.impl)
+    verifier = vyrd.start_online(kernel) if online else None
+    for index in range(num_threads):
+        body = built.make_worker(
+            vds, random.Random(seed * 131 + index), index, calls_per_thread
+        )
+        kernel.spawn(body, name=f"app-{index}")
+    for daemon in built.daemons:
+        kernel.spawn(daemon, daemon=True)
+    start = time.process_time()
+    kernel.run()
+    run_cpu = time.process_time() - start
+    online_outcome = verifier.finalize() if verifier is not None else None
+    return RunResult(program, built, vyrd, kernel, run_cpu, online_outcome)
+
+
+# ---------------------------------------------------------------------------
+# Table 1: time to detection
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DetectionResult:
+    """Aggregated Table 1 row for one (program, thread count)."""
+
+    program: str
+    bug: str
+    num_threads: int
+    runs: int = 0
+    io_detections: List[int] = field(default_factory=list)
+    view_detections: List[int] = field(default_factory=list)
+    io_cpu: float = 0.0
+    view_cpu: float = 0.0
+
+    @property
+    def io_mean(self) -> Optional[float]:
+        return mean(self.io_detections)
+
+    @property
+    def view_mean(self) -> Optional[float]:
+        return mean(self.view_detections)
+
+    @property
+    def cpu_ratio(self) -> Optional[float]:
+        if self.io_cpu <= 0:
+            return None
+        return self.view_cpu / self.io_cpu
+
+
+def detection_experiment(
+    program: Union[str, Program],
+    num_threads: int = 4,
+    calls_per_thread: int = 80,
+    seeds=range(8),
+    require_both: bool = False,
+) -> DetectionResult:
+    """Run the buggy program under several seeds; check each trace in both
+    modes and aggregate methods-to-detection and checker CPU times.
+
+    A seed that triggers the bug contributes its detection counts; a seed
+    where a mode finds nothing contributes nothing to that mode's mean (the
+    paper averages over runs of the same experiment; rare-triggering bugs
+    simply need more seeds).  ``require_both=True`` keeps only seeds where
+    *both* modes detect, making the means directly comparable.
+
+    The checker CPU ratio (the paper's last column: view-mode VYRD time over
+    I/O-mode VYRD time on the same trace) is measured on a *correct* run of
+    the same workload, so both checkers process the complete trace rather
+    than stopping at the first violation.
+    """
+    program = _resolve(program)
+    result = DetectionResult(program.name, program.bug, num_threads)
+    seeds = list(seeds)
+    for seed in seeds:
+        run = run_program(
+            program,
+            buggy=True,
+            num_threads=num_threads,
+            calls_per_thread=calls_per_thread,
+            seed=seed,
+            mode="view",
+            log_level="view",
+        )
+        result.runs += 1
+        io_outcome = run.vyrd.check_offline_with_mode("io")
+        view_outcome = run.vyrd.check_offline_with_mode("view")
+        io_hit = io_outcome.detection_method_count if not io_outcome.ok else None
+        view_hit = view_outcome.detection_method_count if not view_outcome.ok else None
+        if require_both and (io_hit is None or view_hit is None):
+            continue
+        if io_hit is not None:
+            result.io_detections.append(io_hit)
+        if view_hit is not None:
+            result.view_detections.append(view_hit)
+    # checker cost ratio on a complete (violation-free) trace
+    ratio_seed = (max(seeds) if seeds else 0) + 1
+    clean = run_program(
+        program,
+        buggy=False,
+        num_threads=num_threads,
+        calls_per_thread=calls_per_thread,
+        seed=ratio_seed,
+        mode="view",
+        log_level="view",
+    )
+    start = time.process_time()
+    clean.vyrd.check_offline_with_mode("io")
+    result.io_cpu = time.process_time() - start
+    start = time.process_time()
+    clean.vyrd.check_offline_with_mode("view")
+    result.view_cpu = time.process_time() - start
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table 2: logging overhead
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LoggingOverheadResult:
+    program: str
+    num_threads: int
+    calls_per_thread: int
+    program_alone: float = 0.0
+    io_logging: float = 0.0    # extra time with call/return/commit logging
+    view_logging: float = 0.0  # extra time with full view-level logging
+
+    @property
+    def io_total(self) -> float:
+        return self.program_alone + self.io_logging
+
+    @property
+    def view_total(self) -> float:
+        return self.program_alone + self.view_logging
+
+
+def logging_overhead_experiment(
+    program: Union[str, Program],
+    num_threads: int = 8,
+    calls_per_thread: int = 60,
+    seeds=range(3),
+    buggy: bool = False,
+) -> LoggingOverheadResult:
+    """Table 2: the cost of producing the log, by granularity.
+
+    Reports, like the paper, the *program alone* time and the additional
+    overhead of I/O-level and view-level logging (same seeds -> identical
+    schedules, since logging does not perturb scheduling)."""
+    program = _resolve(program)
+    result = LoggingOverheadResult(program.name, num_threads, calls_per_thread)
+    for seed in seeds:
+        alone = run_program(program, buggy, num_threads, calls_per_thread, seed,
+                            log_level="none").run_cpu
+        io_run = run_program(program, buggy, num_threads, calls_per_thread, seed,
+                             log_level="io").run_cpu
+        view_run = run_program(program, buggy, num_threads, calls_per_thread, seed,
+                               log_level="view").run_cpu
+        result.program_alone += alone
+        result.io_logging += max(0.0, io_run - alone)
+        result.view_logging += max(0.0, view_run - alone)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table 3: running time breakdown
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BreakdownResult:
+    program: str
+    num_threads: int
+    calls_per_thread: int
+    prog_alone: float = 0.0
+    prog_logging: float = 0.0
+    prog_logging_online_vyrd: float = 0.0
+    vyrd_offline: float = 0.0
+
+
+def breakdown_experiment(
+    program: Union[str, Program],
+    num_threads: int = 10,
+    calls_per_thread: int = 50,
+    seeds=range(3),
+) -> BreakdownResult:
+    """Table 3: where the time goes, online vs offline checking."""
+    program = _resolve(program)
+    result = BreakdownResult(program.name, num_threads, calls_per_thread)
+    for seed in seeds:
+        result.prog_alone += run_program(
+            program, False, num_threads, calls_per_thread, seed, log_level="none"
+        ).run_cpu
+        logged = run_program(
+            program, False, num_threads, calls_per_thread, seed, log_level="view"
+        )
+        result.prog_logging += logged.run_cpu
+        start = time.process_time()
+        logged.vyrd.check_offline()
+        result.vyrd_offline += time.process_time() - start
+        online = run_program(
+            program, False, num_threads, calls_per_thread, seed,
+            log_level="view", online=True,
+        )
+        result.prog_logging_online_vyrd += online.run_cpu
+    return result

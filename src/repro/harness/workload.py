@@ -1,0 +1,403 @@
+"""Test-harness workloads (paper section 7.1).
+
+"Each test program first generates a random pool of keys to be shared by all
+threads as arguments for method calls.  Then the program creates a number of
+threads each of which, using arguments randomly chosen from the pool, issues
+a given number of random method calls to the same data structure instance
+concurrently.  The pool is reduced gradually over time to focus more
+concurrent method calls on a smaller region of the data structure.  In
+implementations with compression mechanisms, the compression thread is
+either triggered automatically by mutator methods, or, otherwise, it is run
+continuously."
+
+This module packages that methodology as one :class:`Program` per benchmark
+row of Table 1.  Each program knows how to build a fresh instance (correct
+or with its seeded bug), its spec/view/invariants, its worker-thread bodies
+and its internal daemon threads.
+
+One deliberate deviation, documented in DESIGN.md and
+:mod:`repro.multiset.spec`: the vector-multiset workload inserts each key at
+most once (threads own disjoint key ranges), because the scan-based lookup is
+genuinely non-linearizable under re-insertion of duplicated keys -- strict
+observer checking would otherwise flag the *correct* implementation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..bqueue import BoundedQueue, QueueSpec, queue_view
+from ..boxwood import (
+    BLinkTree,
+    BLinkTreeSpec,
+    BoxwoodCache,
+    ChunkManager,
+    StoreSpec,
+    blinktree_view,
+    cache_invariants,
+    cache_view,
+)
+from ..core import Invariant
+from ..javalib import (
+    JavaVector,
+    StringBufferSpec,
+    StringBufferSystem,
+    VectorSpec,
+    stringbuffer_view,
+    vector_view,
+)
+from ..multiset import (
+    MultisetSpec,
+    TreeMultiset,
+    VectorMultiset,
+    multiset_view,
+    tree_multiset_view,
+)
+from ..scanfs import BlockCache, BlockDevice, FsSpec, ScanFS, scanfs_view
+
+
+class ShrinkingPool:
+    """The paper's gradually shrinking key pool.
+
+    Starts over the full key range; as draws accumulate, the effective range
+    narrows toward its low end, concentrating contention."""
+
+    def __init__(self, size: int, rng: random.Random, min_size: int = 4):
+        self.size = size
+        self.min_size = min(min_size, size)
+        self.rng = rng
+        self.draws = 0
+        self.horizon = max(1, size * 4)
+
+    def draw(self) -> int:
+        progress = min(1.0, self.draws / self.horizon)
+        effective = max(self.min_size, int(self.size * (1.0 - 0.75 * progress)))
+        self.draws += 1
+        return self.rng.randrange(effective)
+
+
+@dataclass
+class BuiltProgram:
+    """Everything needed to run + verify one program instance."""
+
+    impl: object
+    spec_factory: Callable
+    view_factory: Callable
+    invariants: tuple = ()
+    replay_registry: Optional[dict] = None
+    # worker body factories: each is fn(vds, rng, thread_index, calls) -> thread body
+    make_worker: Callable = None
+    # daemon generator-function list (bound to impl), spawned with daemon=True
+    daemons: tuple = ()
+
+
+@dataclass(frozen=True)
+class Program:
+    """A named benchmark program (one Table 1 row)."""
+
+    name: str
+    bug: str
+    build: Callable[[bool, int], BuiltProgram]  # (buggy, num_threads) -> built
+
+
+# ---------------------------------------------------------------------------
+# Program definitions
+# ---------------------------------------------------------------------------
+
+
+def _build_multiset_vector(buggy: bool, num_threads: int) -> BuiltProgram:
+    size = max(16, num_threads * 10)
+    impl = VectorMultiset(size=size, buggy_findslot=buggy)
+
+    def make_worker(vds, rng: random.Random, index: int, calls: int):
+        base = index * 10_000
+        lookup_pool = ShrinkingPool(num_threads * 40, rng)
+
+        def body(ctx):
+            fresh = 0
+            for _ in range(calls):
+                op = rng.choice(
+                    ("insert", "insert_pair", "insert_pair", "delete", "lookup", "lookup")
+                )
+                if op == "insert":
+                    yield from vds.insert(ctx, base + fresh)
+                    fresh += 1
+                elif op == "insert_pair":
+                    yield from vds.insert_pair(ctx, base + fresh, base + fresh + 1)
+                    fresh += 2
+                elif op == "delete":
+                    yield from vds.delete(ctx, base + rng.randrange(max(1, fresh + 2)))
+                else:
+                    target = rng.randrange(num_threads) * 10_000 + lookup_pool.draw()
+                    yield from vds.lookup(ctx, target)
+
+        return body
+
+    return BuiltProgram(
+        impl=impl,
+        spec_factory=MultisetSpec,
+        view_factory=multiset_view,
+        make_worker=make_worker,
+        daemons=(impl.compression_thread,),
+    )
+
+
+def _build_multiset_tree(buggy: bool, num_threads: int) -> BuiltProgram:
+    impl = TreeMultiset(buggy_unlock_parent=buggy)
+
+    def make_worker(vds, rng: random.Random, index: int, calls: int):
+        pool = ShrinkingPool(num_threads * 12, rng)
+
+        def body(ctx):
+            for _ in range(calls):
+                op = rng.choice(("insert", "insert", "delete", "lookup", "lookup"))
+                key = pool.draw()
+                if op == "insert":
+                    yield from vds.insert(ctx, key)
+                elif op == "delete":
+                    yield from vds.delete(ctx, key)
+                else:
+                    yield from vds.lookup(ctx, key)
+
+        return body
+
+    return BuiltProgram(
+        impl=impl,
+        spec_factory=lambda: MultisetSpec(strict_delete=True),
+        view_factory=tree_multiset_view,
+        make_worker=make_worker,
+        daemons=(impl.compression_thread,),
+    )
+
+
+def _build_java_vector(buggy: bool, num_threads: int) -> BuiltProgram:
+    impl = JavaVector(capacity=64, buggy_last_index_of=buggy)
+
+    def make_worker(vds, rng: random.Random, index: int, calls: int):
+        def body(ctx):
+            for _ in range(calls):
+                op = rng.choice(
+                    ("add", "add", "add", "remove_all", "last_index_of",
+                     "last_index_of", "element_at", "size")
+                )
+                if op == "add":
+                    yield from vds.add_element(ctx, rng.randrange(8))
+                elif op == "remove_all":
+                    yield from vds.remove_all_elements(ctx)
+                elif op == "last_index_of":
+                    yield from vds.last_index_of(ctx, rng.randrange(8))
+                elif op == "element_at":
+                    yield from vds.element_at(ctx, rng.randrange(10))
+                else:
+                    yield from vds.size(ctx)
+
+        return body
+
+    return BuiltProgram(
+        impl=impl,
+        spec_factory=lambda: VectorSpec(capacity=64),
+        view_factory=vector_view,
+        make_worker=make_worker,
+    )
+
+
+def _build_stringbuffer(buggy: bool, num_threads: int) -> BuiltProgram:
+    impl = StringBufferSystem(capacity=64, buggy_append=buggy)
+
+    def make_worker(vds, rng: random.Random, index: int, calls: int):
+        def body(ctx):
+            for _ in range(calls):
+                if index % 2 == 0:
+                    op = rng.choice(("append_buffer", "append_buffer", "to_string"))
+                else:
+                    op = rng.choice(("append_str", "delete", "delete", "length_of"))
+                if op == "append_buffer":
+                    yield from vds.append_buffer(ctx, "dst", "src")
+                elif op == "append_str":
+                    text = "abcdefgh"[: 1 + rng.randrange(4)]
+                    yield from vds.append_str(ctx, "src", text)
+                elif op == "delete":
+                    yield from vds.delete(ctx, "src", 0, rng.randrange(1, 4))
+                elif op == "to_string":
+                    yield from vds.to_string(ctx, "dst")
+                else:
+                    yield from vds.length_of(ctx, "src")
+
+        return body
+
+    return BuiltProgram(
+        impl=impl,
+        spec_factory=lambda: StringBufferSpec(capacity=64),
+        view_factory=stringbuffer_view,
+        make_worker=make_worker,
+    )
+
+
+def _build_blinktree(buggy: bool, num_threads: int) -> BuiltProgram:
+    impl = BLinkTree(order=4, buggy_duplicates=buggy)
+
+    def make_worker(vds, rng: random.Random, index: int, calls: int):
+        pool = ShrinkingPool(num_threads * 10, rng)
+
+        def body(ctx):
+            for i in range(calls):
+                op = rng.choice(("insert", "insert", "insert", "delete", "lookup", "lookup"))
+                key = pool.draw()
+                if op == "insert":
+                    yield from vds.insert(ctx, key, (index, i))
+                elif op == "delete":
+                    yield from vds.delete(ctx, key)
+                else:
+                    yield from vds.lookup(ctx, key)
+
+        return body
+
+    return BuiltProgram(
+        impl=impl,
+        spec_factory=BLinkTreeSpec,
+        view_factory=blinktree_view,
+        make_worker=make_worker,
+        daemons=(impl.compression_thread,),
+    )
+
+
+class _CacheProgram:
+    """Cache + ChunkManager with dedicated flusher workers."""
+
+    BLOCK = 8
+
+    def __init__(self, buggy: bool, num_threads: int):
+        self.chunks = ChunkManager()
+        self.cache = BoxwoodCache(
+            self.chunks, block_size=self.BLOCK, buggy_dirty_write=buggy
+        )
+        self.handles = [self.chunks.allocate() for _ in range(max(2, num_threads))]
+
+
+def _build_cache(buggy: bool, num_threads: int) -> BuiltProgram:
+    program = _CacheProgram(buggy, num_threads)
+
+    def make_worker(vds, rng: random.Random, index: int, calls: int):
+        handles = program.handles
+
+        def body(ctx):
+            for _ in range(calls):
+                if index % 4 == 3:
+                    op = rng.choice(("flush", "flush", "evict", "read"))
+                else:
+                    op = rng.choice(("write", "write", "write", "read", "flush"))
+                handle = rng.choice(handles)
+                if op == "write":
+                    buffer = tuple(rng.randrange(256) for _ in range(program.BLOCK))
+                    yield from vds.write(ctx, handle, buffer)
+                elif op == "read":
+                    yield from vds.read(ctx, handle)
+                elif op == "evict":
+                    yield from vds.evict(ctx, handle)
+                else:
+                    yield from vds.flush(ctx)
+
+        return body
+
+    return BuiltProgram(
+        impl=program.cache,
+        spec_factory=StoreSpec,
+        view_factory=lambda: cache_view(_CacheProgram.BLOCK),
+        invariants=tuple(cache_invariants(_CacheProgram.BLOCK)),
+        make_worker=make_worker,
+    )
+
+
+class _ScanFsProgram:
+    def __init__(self, buggy: bool):
+        self.device = BlockDevice(num_blocks=12, block_size=8)
+        self.cache = BlockCache(self.device, buggy_dirty_update=buggy)
+        self.fs = ScanFS(self.cache)
+
+
+def _build_scanfs(buggy: bool, num_threads: int) -> BuiltProgram:
+    program = _ScanFsProgram(buggy)
+    names = [f"f{i}" for i in range(6)]
+
+    def make_worker(vds, rng: random.Random, index: int, calls: int):
+        def body(ctx):
+            for _ in range(calls):
+                op = rng.choice(("create", "write", "write", "write", "read", "delete"))
+                name = rng.choice(names)
+                if op == "create":
+                    yield from vds.create(ctx, name)
+                elif op == "write":
+                    content = tuple(rng.randrange(256) for _ in range(rng.randrange(7)))
+                    yield from vds.write_file(ctx, name, content)
+                elif op == "read":
+                    yield from vds.read_file(ctx, name)
+                else:
+                    yield from vds.delete(ctx, name)
+
+        return body
+
+    return BuiltProgram(
+        impl=program.fs,
+        spec_factory=lambda: FsSpec(num_blocks=12, max_content=7),
+        view_factory=lambda: scanfs_view(12, 8),
+        make_worker=make_worker,
+        daemons=(program.cache.flush_thread,),
+    )
+
+
+def _build_bounded_queue(buggy: bool, num_threads: int) -> BuiltProgram:
+    capacity = max(4, num_threads)
+    impl = BoundedQueue(capacity=capacity, buggy_nonatomic_dequeue=buggy)
+
+    def make_worker(vds, rng: random.Random, index: int, calls: int):
+        def body(ctx):
+            for i in range(calls):
+                op = rng.choice(
+                    ("try_enqueue", "try_enqueue", "try_dequeue", "try_dequeue",
+                     "size_of")
+                )
+                if op == "try_enqueue":
+                    yield from vds.try_enqueue(ctx, (index, i))
+                elif op == "try_dequeue":
+                    yield from vds.try_dequeue(ctx)
+                else:
+                    yield from vds.size_of(ctx)
+
+        return body
+
+    return BuiltProgram(
+        impl=impl,
+        spec_factory=lambda: QueueSpec(capacity=capacity),
+        view_factory=lambda: queue_view(capacity),
+        make_worker=make_worker,
+    )
+
+
+PROGRAMS: Dict[str, Program] = {
+    "multiset-vector": Program(
+        "multiset-vector", "Moving acquire in FindSlot", _build_multiset_vector
+    ),
+    "multiset-tree": Program(
+        "multiset-tree", "Unlocking parent before insertion", _build_multiset_tree
+    ),
+    "java-vector": Program(
+        "java-vector", "Taking length non-atomically in lastIndexOf()", _build_java_vector
+    ),
+    "stringbuffer": Program(
+        "stringbuffer", "Copying from an unprotected StringBuffer", _build_stringbuffer
+    ),
+    "blinktree": Program(
+        "blinktree", "Allowing duplicated data nodes", _build_blinktree
+    ),
+    "cache": Program(
+        "cache", "Writing an unprotected dirty cache entry", _build_cache
+    ),
+    "scanfs": Program(
+        "scanfs", "Unprotected update of a dirty cached block", _build_scanfs
+    ),
+    "bounded-queue": Program(
+        "bounded-queue", "Releasing the monitor mid-dequeue", _build_bounded_queue
+    ),
+}

@@ -1,0 +1,30 @@
+"""Java class-library ports with their known concurrency bugs (section 7.4.1).
+
+* :class:`JavaVector` -- ``java.util.Vector`` subset; the Table 1 bug
+  "Taking length non-atomically in lastIndexOf()" is enabled with
+  ``buggy_last_index_of=True``.  An observer-only bug: view refinement has
+  no edge over I/O refinement here.
+* :class:`StringBufferSystem` -- named ``StringBuffer`` family; the Table 1
+  bug "Copying from an unprotected StringBuffer" is enabled with
+  ``buggy_append=True``.  A state-corrupting bug: view refinement detects it
+  at the corrupting commit.
+"""
+
+from .spec import StringBufferSpec, VectorSpec
+from .stringbuffer import (
+    StringBufferSystem,
+    stringbuffer_replay_registry,
+    stringbuffer_view,
+)
+from .vector import IOOBE, JavaVector, vector_view
+
+__all__ = [
+    "IOOBE",
+    "JavaVector",
+    "StringBufferSpec",
+    "StringBufferSystem",
+    "VectorSpec",
+    "stringbuffer_replay_registry",
+    "stringbuffer_view",
+    "vector_view",
+]

@@ -1,0 +1,267 @@
+"""A port of ``java.util.StringBuffer`` with its known concurrency bug.
+
+The paper (section 7.4.1) checks ``StringBuffer`` against the error reported
+by Flanagan/Freund: ``append(StringBuffer sb)`` reads ``sb.length()`` (one
+synchronized call) and then copies ``sb``'s characters (a second synchronized
+call) **without holding ``sb``'s monitor across the two** -- "Copying from an
+unprotected StringBuffer" in Table 1.  If ``sb`` shrinks in between, the copy
+reads past ``sb``'s logical length into stale characters (Java's ``delete``
+shifts characters left and decrements the count, leaving garbage beyond the
+new length), silently corrupting the destination.
+
+This is a *state-corrupting* bug, so view refinement catches it at the
+append's commit action, long before any observer happens to read the
+corrupted region -- the shape Table 1 reports (e.g. 195 vs 90 methods at 4
+threads).
+
+The verified "data structure" is a small system of named buffers
+(:class:`StringBufferSystem`), because the bug inherently involves two
+instances: a destination being appended to and a source being shrunk.
+
+Shared state: per buffer ``b``, ``sb.<b>.len`` plus ``sb.<b>.data[i]`` cells.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..concurrency import Lock, SharedCell, ThreadCtx
+from ..core import FunctionView, operation
+
+
+class _Buffer:
+    __slots__ = ("name", "length", "data", "lock", "capacity")
+
+    def __init__(self, name: str, capacity: int):
+        self.name = name
+        self.capacity = capacity
+        self.length = SharedCell(f"sb.{name}.len", 0)
+        self.data = [SharedCell(f"sb.{name}.data[{i}]", "\0") for i in range(capacity)]
+        self.lock = Lock(f"sb.{name}")
+
+
+class StringBufferSystem:
+    """A family of named string buffers supporting the paper's scenario.
+
+    ``coarse_logging=True`` switches the mutators to the coarse-grained
+    logging of paper section 6.2: instead of one logged write per character,
+    each lock-protected group of updates is logged as a *single*
+    :class:`~repro.core.actions.ReplayAction` (tag ``"sb.set"``), replayed by
+    the routine from :func:`stringbuffer_replay_registry`.  The paper's
+    precondition -- the programmer ensures the group is atomic -- holds here
+    because every group runs under the buffer's monitor; accordingly the
+    coarse mode refuses to combine with ``buggy_append``.
+    """
+
+    def __init__(self, names: Tuple[str, ...] = ("dst", "src"), capacity: int = 64,
+                 buggy_append: bool = False, coarse_logging: bool = False):
+        if buggy_append and coarse_logging:
+            raise ValueError(
+                "coarse logging presumes the logged groups are atomic; the "
+                "buggy append violates exactly that"
+            )
+        self.capacity = capacity
+        self.buggy_append = buggy_append
+        self.coarse_logging = coarse_logging
+        self.buffers: Dict[str, _Buffer] = {
+            name: _Buffer(name, capacity) for name in names
+        }
+
+    # -- coarse-grained logging helpers (section 6.2) -----------------------
+
+    def _poke_content(self, buffer: _Buffer, text: str) -> None:
+        """Apply new contents directly (atomic within one kernel step; only
+        used under the buffer's monitor in coarse mode)."""
+        for i, char in enumerate(text):
+            buffer.data[i].poke(char)
+        buffer.length.poke(len(text))
+
+    def _coarse_set(self, ctx: ThreadCtx, buffer: _Buffer, text: str,
+                    commit: bool = False):
+        self._poke_content(buffer, text)
+        yield ctx.replay("sb.set", (buffer.name, text), commit=commit)
+
+    # -- mutators -----------------------------------------------------------
+
+    @operation
+    def append_str(self, ctx: ThreadCtx, buf: str, text: str):
+        """Append a constant string to buffer ``buf``.  Fails when full."""
+        buffer = self.buffers[buf]
+        yield buffer.lock.acquire()
+        length = yield buffer.length.read()
+        if length + len(text) > buffer.capacity:
+            yield ctx.commit()
+            yield buffer.lock.release()
+            return False
+        if self.coarse_logging:
+            current = "".join(buffer.data[i].peek() for i in range(length))
+            yield from self._coarse_set(ctx, buffer, current + text, commit=True)
+        else:
+            for offset, char in enumerate(text):
+                yield buffer.data[length + offset].write(char)
+            yield buffer.length.write(length + len(text), commit=True)
+        yield buffer.lock.release()
+        return True
+
+    @operation
+    def append_buffer(self, ctx: ThreadCtx, dst: str, src: str):
+        """``dst.append(src)``: copy ``src``'s current contents onto ``dst``.
+
+        Correct variant: ``src``'s monitor is held across the length read
+        and the character copy.  Buggy variant: length and characters are
+        fetched by *separate* synchronized calls, so a concurrent
+        ``delete`` on ``src`` between them makes the copy read stale
+        characters beyond ``src``'s new length.
+        """
+        destination = self.buffers[dst]
+        source = self.buffers[src]
+        # The method itself is synchronized on the destination (Java).
+        yield destination.lock.acquire()
+        if self.buggy_append:
+            # sb.length(): its own synchronized call on src ...
+            yield source.lock.acquire()
+            src_len = yield source.length.read()
+            yield source.lock.release()
+            # ... then a window in which src may shrink ...
+            yield ctx.checkpoint()
+            # ... then sb.getChars(0, src_len, ...): synchronized on src
+            # again, but the stale src_len is trusted (the bug: characters
+            # beyond src's new length are stale garbage).
+            yield source.lock.acquire()
+            chars = []
+            for i in range(src_len):
+                char = yield source.data[i].read()
+                chars.append(char)
+        else:
+            # Correct variant: src's monitor is held across the length read,
+            # the copy, and the destination commit, so the appended snapshot
+            # is exactly src's contents at the commit action.
+            yield source.lock.acquire()
+            src_len = yield source.length.read()
+            chars = []
+            for i in range(src_len):
+                char = yield source.data[i].read()
+                chars.append(char)
+        dst_len = yield destination.length.read()
+        if dst_len + len(chars) > destination.capacity:
+            yield ctx.commit()
+            yield source.lock.release()
+            yield destination.lock.release()
+            return False
+        if self.coarse_logging:
+            current = "".join(destination.data[i].peek() for i in range(dst_len))
+            yield from self._coarse_set(
+                ctx, destination, current + "".join(chars), commit=True
+            )
+        else:
+            for offset, char in enumerate(chars):
+                yield destination.data[dst_len + offset].write(char)
+            yield destination.length.write(dst_len + len(chars), commit=True)
+        yield source.lock.release()
+        yield destination.lock.release()
+        return True
+
+    @operation
+    def delete(self, ctx: ThreadCtx, buf: str, start: int, end: int):
+        """``delete(start, end)``: shift the tail left, shrink the length.
+
+        Like Java, characters beyond the new length are left in place
+        (stale).  The shifts plus the length write are a commit block under
+        the buffer's monitor; the length write is the commit action.
+        """
+        buffer = self.buffers[buf]
+        yield buffer.lock.acquire()
+        length = yield buffer.length.read()
+        if start < 0 or start > end or start > length:
+            yield ctx.commit()
+            yield buffer.lock.release()
+            return False
+        end = min(end, length)
+        removed = end - start
+        if self.coarse_logging:
+            current = "".join(buffer.data[i].peek() for i in range(length))
+            # Java-style: shift, leaving stale characters beyond the new
+            # length in the backing array (poke keeps them, the replay
+            # routine only materializes up to the new length -- the view
+            # reads no further either way).
+            yield from self._coarse_set(
+                ctx, buffer, current[:start] + current[end:], commit=True
+            )
+        else:
+            yield ctx.begin_commit_block()
+            for i in range(start, length - removed):
+                char = yield buffer.data[i + removed].read()
+                yield buffer.data[i].write(char)
+            yield buffer.length.write(length - removed)
+            yield ctx.end_commit_block(commit=True)
+        yield buffer.lock.release()
+        return True
+
+    # -- observers --------------------------------------------------------------
+
+    @operation
+    def to_string(self, ctx: ThreadCtx, buf: str):
+        buffer = self.buffers[buf]
+        yield buffer.lock.acquire()
+        length = yield buffer.length.read()
+        chars = []
+        for i in range(length):
+            char = yield buffer.data[i].read()
+            chars.append(char)
+        yield buffer.lock.release()
+        return "".join(chars)
+
+    @operation
+    def length_of(self, ctx: ThreadCtx, buf: str):
+        buffer = self.buffers[buf]
+        yield buffer.lock.acquire()
+        length = yield buffer.length.read()
+        yield buffer.lock.release()
+        return length
+
+    # -- direct helpers -----------------------------------------------------------
+
+    def text(self, buf: str) -> str:
+        """Current contents of ``buf`` (post-run assertions only)."""
+        buffer = self.buffers[buf]
+        n = buffer.length.peek()
+        return "".join(buffer.data[i].peek() for i in range(n))
+
+    VYRD_METHODS = {
+        "append_str": "mutator",
+        "append_buffer": "mutator",
+        "delete": "mutator",
+        "to_string": "observer",
+        "length_of": "observer",
+    }
+
+
+def stringbuffer_replay_registry() -> dict:
+    """Replay routines for the coarse-grained log entries (section 6.2).
+
+    ``"sb.set"`` carries ``(buffer_name, new_text)``; the routine rebuilds
+    the same shared-variable names fine-grained logging would have written,
+    so :func:`stringbuffer_view` works unchanged on coarse logs."""
+
+    def set_content(state, payload):
+        name, text = payload
+        for i, char in enumerate(text):
+            state[f"sb.{name}.data[{i}]"] = char
+        state[f"sb.{name}.len"] = len(text)
+
+    return {"sb.set": set_content}
+
+
+def stringbuffer_view(names: Tuple[str, ...] = ("dst", "src")) -> FunctionView:
+    """``viewI``: the string contents of every buffer."""
+
+    def compute(state) -> dict:
+        result = {}
+        for name in names:
+            length = state.get(f"sb.{name}.len", 0)
+            result[name] = "".join(
+                state.get(f"sb.{name}.data[{i}]", "\0") for i in range(length)
+            )
+        return result
+
+    return FunctionView(compute)

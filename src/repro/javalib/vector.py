@@ -1,0 +1,158 @@
+"""A port of ``java.util.Vector`` with its known concurrency bug.
+
+The paper (section 7.4.1) checks ``java.util.Vector`` against the
+concurrency error reported by Flanagan/Freund and Wang/Stoller: the
+``lastIndexOf(Object)`` entry point reads ``elementCount`` *outside* any
+synchronization and passes ``elementCount - 1`` as the starting index to the
+synchronized ``lastIndexOf(Object, int)``.  If another thread's
+``removeAllElements`` runs between the read and the lock acquisition, the
+inner method's bounds check throws ``IndexOutOfBoundsException`` (modelled
+here -- like all exceptional terminations -- as the special return value
+:data:`IOOBE`), or a stale index produces a wrong answer.
+
+Table 1 calls this "Taking length non-atomically in lastIndexOf()" and notes
+it is an *observer* bug: the data structure state is never corrupted, so
+view refinement has no advantage over I/O refinement for it -- a shape our
+benchmarks reproduce.
+
+Layout of shared state: ``vec.count`` plus one ``vec.data[i]`` cell per
+backing-array slot (the backing array does not shrink, exactly like Java's).
+All synchronized methods share the single vector lock.
+"""
+
+from __future__ import annotations
+
+from ..concurrency import Lock, SharedCell, ThreadCtx
+from ..core import FunctionView, operation
+
+IOOBE = "IndexOutOfBoundsException"
+
+
+class JavaVector:
+    """``java.util.Vector`` subset: add / removeAll / elementAt / size /
+    lastIndexOf, with per-instance monitor semantics."""
+
+    def __init__(self, capacity: int = 32, buggy_last_index_of: bool = False):
+        self.capacity = capacity
+        self.buggy_last_index_of = buggy_last_index_of
+        self.count = SharedCell("vec.count", 0)
+        self.data = [SharedCell(f"vec.data[{i}]", None) for i in range(capacity)]
+        self.lock = Lock("vec")
+
+    # -- mutators ------------------------------------------------------------
+
+    @operation
+    def add_element(self, ctx: ThreadCtx, obj):
+        """``addElement``: append at index ``count``.  Fails when full."""
+        yield self.lock.acquire()
+        count = yield self.count.read()
+        if count >= self.capacity:
+            yield ctx.commit()
+            yield self.lock.release()
+            return False
+        yield self.data[count].write(obj)
+        yield self.count.write(count + 1, commit=True)
+        yield self.lock.release()
+        return True
+
+    @operation
+    def remove_all_elements(self, ctx: ThreadCtx):
+        """``removeAllElements``: null out references, reset the count.
+
+        The null writes plus the count reset form a commit block (they are
+        atomic under the vector lock); the count write is the commit action.
+        """
+        yield self.lock.acquire()
+        count = yield self.count.read()
+        yield ctx.begin_commit_block()
+        for i in range(count):
+            yield self.data[i].write(None)
+        yield self.count.write(0)
+        yield ctx.end_commit_block(commit=True)
+        yield self.lock.release()
+        return None
+
+    # -- observers --------------------------------------------------------------
+
+    @operation
+    def size(self, ctx: ThreadCtx):
+        yield self.lock.acquire()
+        count = yield self.count.read()
+        yield self.lock.release()
+        return count
+
+    @operation
+    def element_at(self, ctx: ThreadCtx, index: int):
+        """``elementAt``: the element, or :data:`IOOBE` when out of range."""
+        yield self.lock.acquire()
+        count = yield self.count.read()
+        if index < 0 or index >= count:
+            yield self.lock.release()
+            return IOOBE
+        value = yield self.data[index].read()
+        yield self.lock.release()
+        return value
+
+    @operation
+    def last_index_of(self, ctx: ThreadCtx, obj):
+        """``lastIndexOf(Object)``: index of the last occurrence, or -1.
+
+        Correct variant: the starting index is derived from ``count``
+        *inside* the synchronized region.  Buggy variant (Java's actual
+        code): ``count`` is read before synchronizing, so the inner bounds
+        check can observe a smaller vector and "throw" :data:`IOOBE`.
+        """
+        if self.buggy_last_index_of:
+            count = yield self.count.read()  # BUG: unsynchronized read
+            start = count - 1
+            return (yield from self._last_index_of_inner(ctx, obj, start))
+        yield self.lock.acquire()
+        count = yield self.count.read()
+        result = yield from self._scan_down(obj, count - 1)
+        yield self.lock.release()
+        return result
+
+    def _last_index_of_inner(self, ctx: ThreadCtx, obj, index: int):
+        """``lastIndexOf(Object, int)``: synchronized, bounds-checked."""
+        yield self.lock.acquire()
+        count = yield self.count.read()
+        if index >= count:
+            yield self.lock.release()
+            return IOOBE
+        result = yield from self._scan_down(obj, index)
+        yield self.lock.release()
+        return result
+
+    def _scan_down(self, obj, start: int):
+        for i in range(start, -1, -1):
+            value = yield self.data[i].read()
+            if value == obj:
+                return i
+        return -1
+
+    # -- direct helpers ---------------------------------------------------------
+
+    def contents(self) -> tuple:
+        """Current elements, read directly (post-run assertions only)."""
+        n = self.count.peek()
+        return tuple(self.data[i].peek() for i in range(n))
+
+    VYRD_METHODS = {
+        "add_element": "mutator",
+        "remove_all_elements": "mutator",
+        "size": "observer",
+        "element_at": "observer",
+        "last_index_of": "observer",
+    }
+
+
+def vector_view() -> FunctionView:
+    """``viewI`` for :class:`JavaVector`: the element sequence up to count."""
+
+    def compute(state) -> dict:
+        count = state.get("vec.count", 0)
+        return {
+            "contents": tuple(state.get(f"vec.data[{i}]") for i in range(count))
+        }
+
+    return FunctionView(compute)

@@ -1,0 +1,27 @@
+"""The multiset running example of the paper (sections 2 and 7.4.2).
+
+Two implementations with seeded concurrency bugs from Table 1:
+
+* :class:`VectorMultiset` -- array-backed (Figs. 2/4), with the buggy
+  ``FindSlot`` of Fig. 5 (``buggy_findslot=True``).
+* :class:`TreeMultiset` -- BST-backed with lock coupling, with the
+  "unlocking parent before insertion" bug (``buggy_unlock_parent=True``).
+
+Plus :class:`MultisetSpec` (Fig. 1) and the view constructors
+:func:`multiset_view` (incremental) and :func:`tree_multiset_view`
+(traversal-based).
+"""
+
+from .spec import FAILURE, SUCCESS, MultisetSpec
+from .tree_multiset import TreeMultiset, tree_multiset_view
+from .vector_multiset import VectorMultiset, multiset_view
+
+__all__ = [
+    "FAILURE",
+    "MultisetSpec",
+    "SUCCESS",
+    "TreeMultiset",
+    "VectorMultiset",
+    "multiset_view",
+    "tree_multiset_view",
+]

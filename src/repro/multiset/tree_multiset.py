@@ -1,0 +1,300 @@
+"""Binary-search-tree concurrent multiset (paper section 7.4.2).
+
+A BST keyed by element with a per-node occurrence count; descent uses
+hand-over-hand lock coupling (hold the current node's lock while acquiring
+the child's, then release the parent).  A compression thread unlinks
+zero-count leaf nodes, restructuring the tree without changing the multiset
+contents -- its unlink is an internal (op-less) commit, checked by view
+refinement to leave the view unchanged (as the paper does for the B-link
+tree's compression thread, section 7.2.3).
+
+Shared state layout (names seen by the replay state / view):
+
+* ``ms.root`` -- node id of the root (``None`` when empty).
+* ``ms.n<id>.key`` -- the node's key (written once at creation).
+* ``ms.n<id>.count`` -- occurrence count of the key.
+* ``ms.n<id>.left`` / ``ms.n<id>.right`` -- child node ids or ``None``.
+
+Commit actions: an insert into an existing node commits on the count
+increment; an insert of a new node commits on the *link* write (the single
+write that makes the node reachable -- until then its cells are invisible to
+the view, which traverses from the root).  Deletes commit on the decrement,
+or with a standalone commit taken **while still holding the relevant node
+lock** on failure paths, which is what makes the strict
+(``strict_delete=True``) multiset spec sound for this implementation.
+
+The injected bug (Table 1's "Unlocking parent before insertion",
+``buggy_unlock_parent=True``): when the descent finds a null child pointer,
+the buggy code releases the node's lock *before* creating and linking the
+new node and never re-checks the pointer, so two concurrent inserts can both
+see the null child and the second link overwrites the first -- losing the
+first thread's (already committed) subtree.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from ..concurrency import KernelStopped, Lock, SharedCell, ThreadCtx
+from ..core import FunctionView, operation
+from .spec import FAILURE, SUCCESS
+
+
+class _Node:
+    """Live bookkeeping for one tree node (cells + lock)."""
+
+    __slots__ = ("nid", "key", "count", "left", "right", "lock")
+
+    def __init__(self, nid: int, key):
+        self.nid = nid
+        self.key = SharedCell(f"ms.n{nid}.key", None)
+        self.count = SharedCell(f"ms.n{nid}.count", 0)
+        self.left = SharedCell(f"ms.n{nid}.left", None)
+        self.right = SharedCell(f"ms.n{nid}.right", None)
+        self.lock = Lock(f"ms.n{nid}")
+
+
+class TreeMultiset:
+    """The BST-backed multiset implementation."""
+
+    def __init__(self, buggy_unlock_parent: bool = False):
+        self.buggy_unlock_parent = buggy_unlock_parent
+        self.root = SharedCell("ms.root", None)
+        self.root_lock = Lock("ms.rootlock")
+        self._nodes: Dict[int, _Node] = {}
+        self._ids = itertools.count(0)
+
+    # -- node management ------------------------------------------------------
+
+    def _new_node(self, ctx: ThreadCtx, key):
+        """Allocate a node and write its cells (count starts at 1).
+
+        The writes are logged but the node is unreachable until linked, so
+        the view is unaffected until the link commit.
+        """
+        node = _Node(next(self._ids), key)
+        self._nodes[node.nid] = node
+        yield node.key.write(key)
+        yield node.count.write(1)
+        return node
+
+    def _node(self, nid: int) -> _Node:
+        return self._nodes[nid]
+
+    # -- public operations ----------------------------------------------------------
+
+    @operation
+    def insert(self, ctx: ThreadCtx, x):
+        """Insert one occurrence of ``x``.  Never fails."""
+        yield self.root_lock.acquire()
+        rid = yield self.root.read()
+        if rid is None:
+            node = yield from self._new_node(ctx, x)
+            yield self.root.write(node.nid, commit=True)
+            yield self.root_lock.release()
+            return SUCCESS
+        node = self._node(rid)
+        yield node.lock.acquire()
+        yield self.root_lock.release()
+        while True:
+            key = yield node.key.read()
+            if x == key:
+                count = yield node.count.read()
+                yield node.count.write(count + 1, commit=True)
+                yield node.lock.release()
+                return SUCCESS
+            child_cell = node.left if x < key else node.right
+            cid = yield child_cell.read()
+            if cid is None:
+                if self.buggy_unlock_parent:
+                    # BUG: the parent lock is released before the new node is
+                    # linked, and the pointer is not re-checked, so a racing
+                    # insert's link can be overwritten (lost subtree).
+                    yield node.lock.release()
+                    yield ctx.checkpoint()
+                    fresh = yield from self._new_node(ctx, x)
+                    yield child_cell.write(fresh.nid, commit=True)
+                    return SUCCESS
+                fresh = yield from self._new_node(ctx, x)
+                yield child_cell.write(fresh.nid, commit=True)
+                yield node.lock.release()
+                return SUCCESS
+            child = self._node(cid)
+            yield child.lock.acquire()
+            yield node.lock.release()
+            node = child
+
+    @operation
+    def delete(self, ctx: ThreadCtx, x):
+        """Remove one occurrence of ``x``; False when absent."""
+        yield self.root_lock.acquire()
+        rid = yield self.root.read()
+        if rid is None:
+            yield ctx.commit()  # failure decided while holding root_lock
+            yield self.root_lock.release()
+            return False
+        node = self._node(rid)
+        yield node.lock.acquire()
+        yield self.root_lock.release()
+        while True:
+            key = yield node.key.read()
+            if x == key:
+                count = yield node.count.read()
+                if count > 0:
+                    yield node.count.write(count - 1, commit=True)
+                    yield node.lock.release()
+                    return True
+                yield ctx.commit()  # failure decided under the node lock
+                yield node.lock.release()
+                return False
+            child_cell = node.left if x < key else node.right
+            cid = yield child_cell.read()
+            if cid is None:
+                yield ctx.commit()  # failure decided under the node lock
+                yield node.lock.release()
+                return False
+            child = self._node(cid)
+            yield child.lock.acquire()
+            yield node.lock.release()
+            node = child
+
+    @operation
+    def lookup(self, ctx: ThreadCtx, x):
+        """Observer: is ``x`` in the multiset?"""
+        yield self.root_lock.acquire()
+        rid = yield self.root.read()
+        if rid is None:
+            yield self.root_lock.release()
+            return False
+        node = self._node(rid)
+        yield node.lock.acquire()
+        yield self.root_lock.release()
+        while True:
+            key = yield node.key.read()
+            if x == key:
+                count = yield node.count.read()
+                yield node.lock.release()
+                return count > 0
+            child_cell = node.left if x < key else node.right
+            cid = yield child_cell.read()
+            if cid is None:
+                yield node.lock.release()
+                return False
+            child = self._node(cid)
+            yield child.lock.acquire()
+            yield node.lock.release()
+            node = child
+
+    # -- compression (zero-count leaf removal) -----------------------------------
+
+    def compression_pass(self, ctx: ThreadCtx):
+        """Unlink one zero-count leaf node; True if one was removed."""
+        yield self.root_lock.acquire()
+        rid = yield self.root.read()
+        if rid is None:
+            yield self.root_lock.release()
+            return False
+        node = self._node(rid)
+        yield node.lock.acquire()
+        # Root itself a removable leaf?
+        count = yield node.count.read()
+        left = yield node.left.read()
+        right = yield node.right.read()
+        if count == 0 and left is None and right is None:
+            yield self.root.write(None, commit=True)  # internal commit
+            yield node.lock.release()
+            yield self.root_lock.release()
+            return True
+        yield self.root_lock.release()
+        # Descend holding parent + child.
+        while True:
+            for child_cell in (node.left, node.right):
+                cid = yield child_cell.read()
+                if cid is None:
+                    continue
+                child = self._node(cid)
+                yield child.lock.acquire()
+                count = yield child.count.read()
+                c_left = yield child.left.read()
+                c_right = yield child.right.read()
+                if count == 0 and c_left is None and c_right is None:
+                    yield child_cell.write(None, commit=True)  # internal commit
+                    yield child.lock.release()
+                    yield node.lock.release()
+                    return True
+                yield child.lock.release()
+            # Move to a random-ish child to keep scanning (leftmost first).
+            left = yield node.left.read()
+            right = yield node.right.read()
+            nid = left if left is not None else right
+            if nid is None:
+                yield node.lock.release()
+                return False
+            child = self._node(nid)
+            yield child.lock.acquire()
+            yield node.lock.release()
+            node = child
+
+    def compression_thread(self, ctx: ThreadCtx):
+        """Daemon body: continuously unlink dead leaves."""
+        try:
+            while True:
+                yield ctx.checkpoint()
+                yield from self.compression_pass(ctx)
+        except KernelStopped:
+            return
+
+    # -- direct helpers -------------------------------------------------------------
+
+    def contents(self) -> dict:
+        """Element -> count via direct traversal (post-run assertions)."""
+        counts: dict = {}
+
+        def visit(nid: Optional[int]) -> None:
+            if nid is None:
+                return
+            node = self._nodes[nid]
+            count = node.count.peek()
+            if count:
+                key = node.key.peek()
+                counts[key] = counts.get(key, 0) + count
+            visit(node.left.peek())
+            visit(node.right.peek())
+
+        visit(self.root.peek())
+        return counts
+
+    VYRD_METHODS = {
+        "insert": "mutator",
+        "delete": "mutator",
+        "lookup": "observer",
+    }
+
+
+def tree_multiset_view() -> FunctionView:
+    """``viewI`` for :class:`TreeMultiset`: traverse the replayed tree.
+
+    Reachability from ``ms.root`` is what makes lost-subtree bugs visible:
+    a node whose link was overwritten keeps its cells in the replay state but
+    drops out of the traversal, so ``viewI`` loses its key while ``viewS``
+    keeps it.  (A full traversal per commit; the vector multiset demonstrates
+    the incremental alternative.)
+    """
+
+    def compute(state) -> dict:
+        counts: dict = {}
+        stack = [state.get("ms.root")]
+        while stack:
+            nid = stack.pop()
+            if nid is None:
+                continue
+            count = state.get(f"ms.n{nid}.count", 0)
+            if count:
+                key = state.get(f"ms.n{nid}.key")
+                counts[key] = counts.get(key, 0) + count
+            stack.append(state.get(f"ms.n{nid}.left"))
+            stack.append(state.get(f"ms.n{nid}.right"))
+        return counts
+
+    return FunctionView(compute)

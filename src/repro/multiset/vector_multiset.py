@@ -1,0 +1,277 @@
+"""Array-based concurrent multiset (paper section 2, Figs. 2, 4, 5).
+
+The multiset is stored in an array ``A[0..n-1]``; slot ``i`` has two shared
+variables, ``A[i].elt`` (the element, ``None`` when free) and ``A[i].valid``
+(whether the slot counts as a member, section 2.1), plus a per-slot lock
+(Java ``synchronized (A[i])``).
+
+Operations:
+
+* ``FindSlot(x)`` reserves a free slot for ``x`` by writing ``A[i].elt = x``
+  while holding the slot lock (Fig. 2).  With ``buggy_findslot=True`` the
+  emptiness test happens *before* taking the lock and is not re-checked
+  under it (Fig. 5) -- two concurrent ``FindSlot`` calls can reserve the
+  same slot, the second overwriting the first's element.  This is the
+  "Moving acquire in FindSlot" bug of Table 1.
+* ``insert(x)`` reserves a slot and sets its valid bit; the valid-bit write
+  is the commit action.
+* ``insert_pair(x, y)`` (Fig. 4) reserves two slots and sets both valid bits
+  inside a commit block whose end is the commit action (Fig. 4 line 13) --
+  the point at which the modified multiset becomes visible to other threads.
+* ``delete(x)`` invalidates one occurrence (commit action: the valid-bit
+  write); its failure path commits after the scan.
+* ``lookup(x)`` is an observer: no commit annotation, no logging beyond
+  call/return (section 4.3).
+
+Scan direction and compaction.  ``lookup``/``delete`` scan *downward* and
+the optional compression thread (:func:`compression_pass` /
+:func:`compression_thread`, section 7.4.2) only moves elements *downward*
+into lower free slots, holding both slot locks and wrapping the four writes
+in a commit block with an internal (op-less) commit.  Same-direction scans
+can never miss an element that stays in the multiset throughout the scan,
+which keeps the strict observer-window check sound.
+
+Lock ordering: whenever two slot locks are held at once (``insert_pair``,
+compression), they are acquired in ascending index order.  The paper's
+Fig. 4 acquires in reservation order; ordering by index preserves the
+commit-block semantics while making the implementation deadlock-free
+alongside the compression thread.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..concurrency import KernelStopped, Lock, SharedCell, ThreadCtx
+from ..core import ContributionView, operation, prefix_unit
+from .spec import FAILURE, SUCCESS
+
+
+class _Slot:
+    """One array slot: element cell, valid cell and the slot lock."""
+
+    __slots__ = ("elt", "valid", "lock")
+
+    def __init__(self, index: int):
+        self.elt = SharedCell(f"A[{index}].elt", None)
+        self.valid = SharedCell(f"A[{index}].valid", False)
+        self.lock = Lock(f"A[{index}]")
+
+
+class VectorMultiset:
+    """The vector-backed multiset implementation.
+
+    All public operations are generator methods ``op(ctx, ...)`` running on
+    the simulated-concurrency substrate; wrap instances with
+    :meth:`repro.core.Vyrd.wrap` to log call/return actions.
+    """
+
+    def __init__(self, size: int = 8, buggy_findslot: bool = False):
+        self.size = size
+        self.buggy_findslot = buggy_findslot
+        self.slots: List[_Slot] = [_Slot(i) for i in range(size)]
+
+    # -- FindSlot (Fig. 2 / Fig. 5) -----------------------------------------
+
+    def find_slot(self, ctx: ThreadCtx, x):
+        """Reserve a free slot for ``x``; returns its index or -1.
+
+        Internal subroutine -- not a public operation.
+        """
+        if self.buggy_findslot:
+            return (yield from self._find_slot_buggy(ctx, x))
+        return (yield from self._find_slot_correct(ctx, x))
+
+    def _find_slot_correct(self, ctx: ThreadCtx, x):
+        for i in range(self.size):
+            slot = self.slots[i]
+            yield slot.lock.acquire()
+            elt = yield slot.elt.read()
+            if elt is None:
+                yield slot.elt.write(x)
+                yield slot.lock.release()
+                return i
+            yield slot.lock.release()
+        return -1
+
+    def _find_slot_buggy(self, ctx: ThreadCtx, x):
+        # Fig. 5: the emptiness check runs without the slot lock and is not
+        # repeated once the lock is held, so the reservation can overwrite a
+        # concurrent one.
+        for i in range(self.size):
+            slot = self.slots[i]
+            elt = yield slot.elt.read()  # A[i] should be locked here
+            if elt is None:
+                yield slot.lock.acquire()
+                yield slot.elt.write(x)
+                yield slot.lock.release()
+                return i
+        return -1
+
+    # -- public operations ------------------------------------------------------
+
+    @operation
+    def insert(self, ctx: ThreadCtx, x):
+        """Insert one occurrence of ``x``; may fail when the array is full."""
+        i = yield from self.find_slot(ctx, x)
+        if i == -1:
+            yield ctx.commit()  # failure path: commit with M unchanged
+            return FAILURE
+        slot = self.slots[i]
+        yield slot.lock.acquire()
+        yield slot.valid.write(True, commit=True)
+        yield slot.lock.release()
+        return SUCCESS
+
+    @operation
+    def insert_pair(self, ctx: ThreadCtx, x, y):
+        """Insert ``x`` and ``y`` atomically (Fig. 4); all-or-nothing."""
+        i = yield from self.find_slot(ctx, x)
+        if i == -1:
+            yield ctx.commit()
+            return FAILURE
+        j = yield from self.find_slot(ctx, y)
+        if j == -1:
+            slot_i = self.slots[i]
+            yield slot_i.lock.acquire()
+            yield slot_i.elt.write(None)  # free the reservation
+            yield slot_i.lock.release()
+            yield ctx.commit()
+            return FAILURE
+        lo, hi = (i, j) if i < j else (j, i)
+        yield self.slots[lo].lock.acquire()
+        yield self.slots[hi].lock.acquire()
+        yield ctx.begin_commit_block()  # Fig. 4 line 9
+        yield self.slots[i].valid.write(True)  # line 11
+        yield self.slots[j].valid.write(True)  # line 12
+        yield ctx.end_commit_block(commit=True)  # line 13: the commit action
+        yield self.slots[hi].lock.release()
+        yield self.slots[lo].lock.release()
+        return SUCCESS
+
+    @operation
+    def delete(self, ctx: ThreadCtx, x):
+        """Remove one occurrence of ``x``; False when the scan finds none."""
+        for i in range(self.size - 1, -1, -1):
+            slot = self.slots[i]
+            yield slot.lock.acquire()
+            elt = yield slot.elt.read()
+            valid = yield slot.valid.read()
+            if elt == x and valid:
+                yield slot.valid.write(False, commit=True)
+                yield slot.elt.write(None)
+                yield slot.lock.release()
+                return True
+            yield slot.lock.release()
+        yield ctx.commit()  # failure path
+        return False
+
+    @operation
+    def lookup(self, ctx: ThreadCtx, x):
+        """Observer: is ``x`` currently in the multiset?"""
+        for i in range(self.size - 1, -1, -1):
+            slot = self.slots[i]
+            yield slot.lock.acquire()
+            elt = yield slot.elt.read()
+            valid = yield slot.valid.read()
+            yield slot.lock.release()
+            if elt == x and valid:
+                return True
+        return False
+
+    # -- compression (section 7.4.2) -----------------------------------------------
+
+    def compression_pass(self, ctx: ThreadCtx):
+        """Move one element into the lowest free slot; True if moved.
+
+        The four writes of the move are a commit block ended by an internal
+        commit action, so the view checker verifies the move left the
+        abstract multiset unchanged.
+        """
+        for e in range(self.size):
+            low = self.slots[e]
+            yield low.lock.acquire()
+            low_elt = yield low.elt.read()
+            if low_elt is not None:
+                yield low.lock.release()
+                continue
+            for f in range(self.size - 1, e, -1):
+                high = self.slots[f]
+                yield high.lock.acquire()
+                high_valid = yield high.valid.read()
+                if not high_valid:
+                    yield high.lock.release()
+                    continue
+                value = yield high.elt.read()
+                yield ctx.begin_commit_block()
+                yield low.elt.write(value)
+                yield low.valid.write(True)
+                yield high.valid.write(False)
+                yield high.elt.write(None)
+                yield ctx.end_commit_block(commit=True)  # internal commit
+                yield high.lock.release()
+                yield low.lock.release()
+                return True
+            yield low.lock.release()
+            return False
+        return False
+
+    def compression_thread(self, ctx: ThreadCtx):
+        """Daemon body: compact continuously (run with ``daemon=True``)."""
+        try:
+            while True:
+                yield ctx.checkpoint()
+                yield from self.compression_pass(ctx)
+        except KernelStopped:
+            return
+
+    # -- direct (non-simulated) helpers for tests and the atomized spec ----------
+
+    def snapshot(self) -> tuple:
+        """Capture shared state (for :class:`repro.core.AtomizedSpec`)."""
+        return tuple((s.elt.peek(), s.valid.peek()) for s in self.slots)
+
+    def restore(self, snap: tuple) -> None:
+        for slot, (elt, valid) in zip(self.slots, snap):
+            slot.elt.poke(elt)
+            slot.valid.poke(valid)
+
+    def contents(self) -> dict:
+        """Element -> count, read directly (post-run assertions only)."""
+        counts: dict = {}
+        for slot in self.slots:
+            if slot.valid.peek():
+                element = slot.elt.peek()
+                counts[element] = counts.get(element, 0) + 1
+        return counts
+
+    def view_atomic(self) -> dict:
+        """``viewS`` provider when this instance serves as an atomized spec."""
+        return self.contents()
+
+    VYRD_METHODS = {
+        "insert": "mutator",
+        "insert_pair": "mutator",
+        "delete": "mutator",
+        "lookup": "observer",
+    }
+
+
+def multiset_view() -> ContributionView:
+    """``viewI`` for :class:`VectorMultiset` (section 5.1's computation).
+
+    Unit = array slot; a slot contributes one occurrence of its element when
+    its valid bit is set.  ``supp(view)`` is exactly the ``A[i].elt`` /
+    ``A[i].valid`` cells, encoded by the unit mapping.
+    """
+
+    def contribute(state, unit):
+        if state.get(f"{unit}.valid"):
+            return (state.get(f"{unit}.elt"), 1)
+        return None
+
+    return ContributionView(
+        unit_of=prefix_unit("A[", stop="."),
+        contribute=contribute,
+        aggregate="count",
+    )

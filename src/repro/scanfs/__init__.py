@@ -1,0 +1,16 @@
+"""A Scan-like write-back file system (paper section 7.3).
+
+* :class:`BlockDevice` -- atomic-sector block store.
+* :class:`BlockCache` -- write-back block cache; ``buggy_dirty_update=True``
+  enables the Scan/Boxwood-class bug (unprotected update of a dirty block,
+  torn by a concurrent flush).
+* :class:`ScanFS` -- flat file system over the cache; :func:`scanfs_view`
+  and :class:`FsSpec` define the verified abstraction (name -> content).
+"""
+
+from .blockdev import BlockDevice
+from .cache import BlockCache
+from .fs import ScanFS, scanfs_view
+from .spec import FsSpec
+
+__all__ = ["BlockCache", "BlockDevice", "FsSpec", "ScanFS", "scanfs_view"]

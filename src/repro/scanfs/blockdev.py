@@ -1,0 +1,43 @@
+"""Block device under the Scan file system.
+
+The Scan file system (paper references [9]/[13]) is a write-optimized file
+system for Windows NT.  We model its storage as a simple block device whose
+sector writes are atomic -- one shared cell per block, so each device write
+is a single logged action.  The interesting (bug-prone) concurrency lives in
+the block cache above it, as in the paper ("interestingly, these bugs were
+also in the cache module of Scan", section 7.3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..concurrency import Lock, SharedCell, ThreadCtx
+
+
+class BlockDevice:
+    """Fixed array of atomic blocks (``disk[i]`` cells)."""
+
+    def __init__(self, num_blocks: int = 16, block_size: int = 8):
+        self.num_blocks = num_blocks
+        self.block_size = block_size
+        self._lock = Lock("disk")
+        self.blocks = [SharedCell(f"disk[{i}]", None) for i in range(num_blocks)]
+
+    def write_block(self, ctx: ThreadCtx, block_no: int, data: Tuple[int, ...],
+                    commit: bool = False):
+        """Atomically replace one block (sector write)."""
+        if len(data) != self.block_size:
+            raise ValueError("data must be exactly one block")
+        yield self._lock.acquire()
+        yield self.blocks[block_no].write(tuple(data), commit=commit)
+        yield self._lock.release()
+
+    def read_block(self, ctx: ThreadCtx, block_no: int):
+        yield self._lock.acquire()
+        data = yield self.blocks[block_no].read()
+        yield self._lock.release()
+        return data
+
+    def peek(self, block_no: int) -> Optional[Tuple[int, ...]]:
+        return self.blocks[block_no].peek()

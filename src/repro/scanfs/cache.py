@@ -1,0 +1,147 @@
+"""Scan's block cache, with the Boxwood-style unprotected-update bug.
+
+A write-back cache of device blocks.  Per block: a state cell (``"none"`` /
+``"clean"`` / ``"dirty"``) and byte-granular data cells, all nominally
+guarded by one cache lock.  The seeded bug (paper section 7.3: Scan's bugs
+were "very similar to those found in Boxwood's Cache"): updating an
+*already-dirty* block copies the new bytes without taking the cache lock, so
+a concurrent flush can write a torn buffer to the device and mark the block
+clean.
+
+The flusher is meant to run as an internal daemon
+(:meth:`BlockCache.flush_thread`): its write-back commits are internal
+(op-less) commits, verified by view refinement to leave the file-system
+contents unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..concurrency import KernelStopped, Lock, SharedCell, ThreadCtx
+from .blockdev import BlockDevice
+
+NONE = "none"
+CLEAN = "clean"
+DIRTY = "dirty"
+
+
+class BlockCache:
+    """Write-back block cache over a :class:`BlockDevice`."""
+
+    def __init__(self, device: BlockDevice, buggy_dirty_update: bool = False):
+        self.device = device
+        self.block_size = device.block_size
+        self.buggy_dirty_update = buggy_dirty_update
+        self.lock = Lock("scache")
+        self.state = [
+            SharedCell(f"scache[{i}].state", NONE) for i in range(device.num_blocks)
+        ]
+        self.data = [
+            [SharedCell(f"scache[{i}].data[{j}]", 0) for j in range(self.block_size)]
+            for i in range(device.num_blocks)
+        ]
+
+    def _copy_in(self, block_no: int, data: Tuple[int, ...], commit_last: bool = False):
+        last = self.block_size - 1
+        for j, byte in enumerate(data):
+            yield self.data[block_no][j].write(byte, commit=commit_last and j == last)
+
+    def _read_bytes(self, block_no: int):
+        out: List[int] = []
+        for cell in self.data[block_no]:
+            byte = yield cell.read()
+            out.append(byte)
+        return tuple(out)
+
+    def write_block(self, ctx: ThreadCtx, block_no: int, data: Tuple[int, ...],
+                    commit: bool = False):
+        """Buffer a block write (dirty the cache entry).
+
+        ``commit`` rides the caller's commit action on the write that makes
+        the new contents visible.
+        """
+        data = tuple(data)
+        yield self.lock.acquire()
+        state = yield self.state[block_no].read()
+        if state == DIRTY and self.buggy_dirty_update:
+            # BUG: update the dirty buffer outside the cache lock; a
+            # concurrent flush can snapshot it mid-copy.
+            yield self.lock.release()
+            yield from self._copy_in(block_no, data, commit_last=commit)
+            return
+        yield ctx.begin_commit_block()
+        yield from self._copy_in(block_no, data)
+        yield self.state[block_no].write(DIRTY, commit=commit)
+        yield ctx.end_commit_block()
+        yield self.lock.release()
+
+    def read_block(self, ctx: ThreadCtx, block_no: int):
+        """Cached bytes; miss fills from the device (read-through)."""
+        yield self.lock.acquire()
+        state = yield self.state[block_no].read()
+        if state in (CLEAN, DIRTY):
+            data = yield from self._read_bytes(block_no)
+            yield self.lock.release()
+            return data
+        yield self.lock.release()
+        data = yield from self.device.read_block(ctx, block_no)
+        if data is not None:
+            yield self.lock.acquire()
+            state = yield self.state[block_no].read()
+            if state == NONE:
+                yield from self._copy_in(block_no, data)
+                yield self.state[block_no].write(CLEAN)
+            data = yield from self._read_bytes(block_no)
+            yield self.lock.release()
+        return data
+
+    def invalidate(self, ctx: ThreadCtx, block_no: int):
+        """Drop a block from the cache without write-back (file deletion)."""
+        yield self.lock.acquire()
+        yield self.state[block_no].write(NONE)
+        yield self.lock.release()
+
+    def flush_pass(self, ctx: ThreadCtx):
+        """Write every dirty block back and mark it clean.
+
+        One internal commit per written-back block (the clean-marking write),
+        verified by view refinement to leave the FS contents unchanged."""
+        flushed = False
+        for block_no in range(self.device.num_blocks):
+            yield self.lock.acquire()
+            state = yield self.state[block_no].read()
+            if state == DIRTY:
+                data = yield from self._read_bytes(block_no)
+                yield ctx.begin_commit_block()
+                yield from self.device.write_block(ctx, block_no, data)
+                yield self.state[block_no].write(CLEAN, commit=True)
+                yield ctx.end_commit_block()
+                flushed = True
+            yield self.lock.release()
+        return flushed
+
+    def evict_clean(self, ctx: ThreadCtx):
+        """Drop every clean block (cache shrink); internal commits."""
+        for block_no in range(self.device.num_blocks):
+            yield self.lock.acquire()
+            state = yield self.state[block_no].read()
+            if state == CLEAN:
+                yield self.state[block_no].write(NONE, commit=True)
+            yield self.lock.release()
+
+    def flush_thread(self, ctx: ThreadCtx):
+        """Daemon body: continuously flush and occasionally evict."""
+        try:
+            passes = 0
+            while True:
+                yield ctx.checkpoint()
+                yield from self.flush_pass(ctx)
+                passes += 1
+                if passes % 4 == 0:
+                    yield from self.evict_clean(ctx)
+        except KernelStopped:
+            return
+
+    def peek_state(self, block_no: int) -> str:
+        return self.state[block_no].peek()

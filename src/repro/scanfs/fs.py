@@ -1,0 +1,178 @@
+"""The Scan-like file system layered on the block cache.
+
+A deliberately small write-optimized-FS stand-in (DESIGN.md records the
+substitution): a flat directory maps names to inode numbers; inode ``i``
+owns block ``i``; a file's content (up to ``block_size - 1`` bytes) is
+stored length-prefixed in its block, written through the
+:class:`~repro.scanfs.cache.BlockCache`; a flush daemon writes dirty blocks
+back to the device.  The verified property is the paper's: the file system,
+observed through its public operations, refines a map from names to
+contents, with the cache invisible -- so the cache bug (torn write-back)
+surfaces as a view-refinement violation at a flush/evict commit long before
+any ``read_file`` happens to return corrupted data.
+
+Directory and allocation updates are serialized by one directory lock; the
+interesting concurrency is between file operations and the flush/evict
+daemon, which is where Scan's real bugs lived (section 7.3).
+
+Shared state: ``fs.dir[<name>]`` (inode or ``None``), ``fs.used[i]``
+allocation bits, plus the cache/device cells.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..concurrency import Lock, SharedCell, ThreadCtx
+from ..core import FunctionView, operation
+from .blockdev import BlockDevice
+from .cache import CLEAN, DIRTY, BlockCache
+
+
+class ScanFS:
+    """Flat file system over a block cache."""
+
+    def __init__(self, cache: BlockCache):
+        self.cache = cache
+        self.device = cache.device
+        self.block_size = cache.block_size
+        self.max_content = self.block_size - 1
+        self.dir_lock = Lock("fs.dir-lock")
+        self._dir_cells: Dict[str, SharedCell] = {}
+        self.used = [
+            SharedCell(f"fs.used[{i}]", False) for i in range(self.device.num_blocks)
+        ]
+
+    def _dir_cell(self, name: str) -> SharedCell:
+        if name not in self._dir_cells:
+            self._dir_cells[name] = SharedCell(f"fs.dir[{name}]", None)
+        return self._dir_cells[name]
+
+    def _encode(self, content: Tuple[int, ...]) -> Tuple[int, ...]:
+        padding = (0,) * (self.max_content - len(content))
+        return (len(content),) + tuple(content) + padding
+
+    @staticmethod
+    def decode(block: Optional[Tuple[int, ...]]) -> Optional[Tuple[int, ...]]:
+        """Length-prefixed block -> content tuple (``None`` passes through)."""
+        if block is None:
+            return None
+        length = block[0]
+        return tuple(block[1 : 1 + length])
+
+    # -- public operations -----------------------------------------------------
+
+    @operation
+    def create(self, ctx: ThreadCtx, name: str):
+        """Create an empty file; False if it exists or the disk is full."""
+        yield self.dir_lock.acquire()
+        ino = yield self._dir_cell(name).read()
+        if ino is not None:
+            yield ctx.commit()
+            yield self.dir_lock.release()
+            return False
+        block_no = None
+        for i in range(self.device.num_blocks):
+            used = yield self.used[i].read()
+            if not used:
+                block_no = i
+                break
+        if block_no is None:
+            yield ctx.commit()
+            yield self.dir_lock.release()
+            return False
+        yield self.used[block_no].write(True)
+        yield from self.cache.write_block(ctx, block_no, self._encode(()))
+        yield self._dir_cell(name).write(block_no, commit=True)
+        yield self.dir_lock.release()
+        return True
+
+    @operation
+    def write_file(self, ctx: ThreadCtx, name: str, content: Tuple[int, ...]):
+        """Replace a file's content; False if absent or content too long."""
+        content = tuple(content)
+        yield self.dir_lock.acquire()
+        ino = yield self._dir_cell(name).read()
+        if ino is None or len(content) > self.max_content:
+            yield ctx.commit()
+            yield self.dir_lock.release()
+            return False
+        yield from self.cache.write_block(ctx, ino, self._encode(content), commit=True)
+        yield self.dir_lock.release()
+        return True
+
+    @operation
+    def read_file(self, ctx: ThreadCtx, name: str):
+        """Observer: the file's content tuple, or ``None`` if absent."""
+        yield self.dir_lock.acquire()
+        ino = yield self._dir_cell(name).read()
+        if ino is None:
+            yield self.dir_lock.release()
+            return None
+        block = yield from self.cache.read_block(ctx, ino)
+        yield self.dir_lock.release()
+        return self.decode(block)
+
+    @operation
+    def delete(self, ctx: ThreadCtx, name: str):
+        """Remove a file; False if absent."""
+        yield self.dir_lock.acquire()
+        ino = yield self._dir_cell(name).read()
+        if ino is None:
+            yield ctx.commit()
+            yield self.dir_lock.release()
+            return False
+        # Unpublish first (the commit action), then reclaim the block: the
+        # block must already be invisible when its cache state changes.
+        yield self._dir_cell(name).write(None, commit=True)
+        yield from self.cache.invalidate(ctx, ino)
+        yield self.used[ino].write(False)
+        yield self.dir_lock.release()
+        return True
+
+    # -- direct helpers ------------------------------------------------------------
+
+    def files(self) -> Dict[str, Tuple[int, ...]]:
+        """name -> content via direct reads (post-run assertions only)."""
+        result: Dict[str, Tuple[int, ...]] = {}
+        for name, cell in self._dir_cells.items():
+            ino = cell.peek()
+            if ino is None:
+                continue
+            state = self.cache.peek_state(ino)
+            if state in (CLEAN, DIRTY):
+                block = tuple(c.peek() for c in self.cache.data[ino])
+            else:
+                block = self.device.peek(ino)
+            result[name] = self.decode(block)
+        return result
+
+    VYRD_METHODS = {
+        "create": "mutator",
+        "write_file": "mutator",
+        "read_file": "observer",
+        "delete": "mutator",
+    }
+
+
+def scanfs_view(num_blocks: int = 16, block_size: int = 8) -> FunctionView:
+    """``viewI``: name -> content through cache-over-device, per the replay
+    state."""
+
+    def compute(state) -> dict:
+        result = {}
+        for loc, ino in state.items_with_prefix("fs.dir["):
+            if ino is None:
+                continue
+            name = loc[len("fs.dir[") : -1]
+            cache_state = state.get(f"scache[{ino}].state", "none")
+            if cache_state in (CLEAN, DIRTY):
+                block = tuple(
+                    state.get(f"scache[{ino}].data[{j}]", 0) for j in range(block_size)
+                )
+            else:
+                block = state.get(f"disk[{ino}]")
+            result[name] = ScanFS.decode(block)
+        return result
+
+    return FunctionView(compute)

@@ -1,0 +1,8 @@
+"""Command-line tooling: run, save, check and render VYRD logs.
+
+See :mod:`repro.tools.cli` (``python -m repro.tools.cli --help``).  The
+``main`` entry point is intentionally not re-exported here so that
+``python -m repro.tools.cli`` does not import the module twice.
+"""
+
+__all__: list = []

@@ -1,0 +1,189 @@
+"""The ``vyrd`` command line: run workloads, check and inspect logs.
+
+The paper's deployment story is two-phase: instrumented runs write a log
+file; a verification pass replays it (section 4.2 -- "in practice, the log
+is a file").  This CLI packages that workflow over the built-in benchmark
+programs:
+
+.. code-block:: console
+
+   $ python -m repro.tools.cli programs
+   $ python -m repro.tools.cli run --program multiset-vector --buggy \\
+         --seed 7 --save run.vyrdlog
+   $ python -m repro.tools.cli check run.vyrdlog --program multiset-vector \\
+         --mode view
+   $ python -m repro.tools.cli trace run.vyrdlog --max-rows 40
+   $ python -m repro.tools.cli witness run.vyrdlog
+
+``check`` rebuilds the program's spec/view/invariants from the registry and
+replays the saved log offline; ``trace``/``witness`` render Fig. 3/6-style
+diagrams from any saved log.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..core import (
+    RefinementChecker,
+    format_outcome,
+    load_log,
+    render_trace,
+    render_witness,
+    save_log,
+    validate_well_formed,
+)
+from ..harness import PROGRAMS, run_program
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="vyrd",
+        description="Runtime refinement-violation detection (VYRD, PLDI 2005).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("programs", help="list the built-in benchmark programs")
+
+    run_parser = sub.add_parser("run", help="run a workload and check it")
+    run_parser.add_argument("--program", required=True, choices=sorted(PROGRAMS))
+    run_parser.add_argument("--buggy", action="store_true",
+                            help="enable the program's seeded bug")
+    run_parser.add_argument("--threads", type=int, default=4)
+    run_parser.add_argument("--calls", type=int, default=40,
+                            help="method calls per thread")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--mode", choices=("io", "view"), default="view")
+    run_parser.add_argument("--online", action="store_true",
+                            help="verify with the online verification thread")
+    run_parser.add_argument("--atomicity", action="store_true",
+                            help="also run the Atomizer-style atomicity "
+                                 "baseline (logs lock/read events)")
+    run_parser.add_argument("--save", metavar="PATH",
+                            help="write the log to PATH for later checking")
+
+    check_parser = sub.add_parser("check", help="check a saved log offline")
+    check_parser.add_argument("log", help="log file written by `run --save`")
+    check_parser.add_argument("--program", required=True, choices=sorted(PROGRAMS))
+    check_parser.add_argument("--mode", choices=("io", "view"), default="view")
+    check_parser.add_argument("--all", action="store_true",
+                              help="collect all violations, not just the first")
+    check_parser.add_argument("--json", action="store_true",
+                              help="emit the outcome as JSON")
+
+    trace_parser = sub.add_parser("trace", help="render a log as thread lanes")
+    trace_parser.add_argument("log")
+    trace_parser.add_argument("--writes", action="store_true",
+                              help="include shared-variable writes")
+    trace_parser.add_argument("--max-rows", type=int, default=None)
+
+    witness_parser = sub.add_parser(
+        "witness", help="show the commit-order witness interleaving"
+    )
+    witness_parser.add_argument("log")
+
+    return parser
+
+
+def _cmd_programs(args) -> int:
+    width = max(len(name) for name in PROGRAMS)
+    for name in sorted(PROGRAMS):
+        print(f"{name.ljust(width)}  seeded bug: {PROGRAMS[name].bug}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    result = run_program(
+        args.program,
+        buggy=args.buggy,
+        num_threads=args.threads,
+        calls_per_thread=args.calls,
+        seed=args.seed,
+        mode=args.mode,
+        online=args.online,
+        log_locks=args.atomicity,
+        log_reads=args.atomicity,
+    )
+    outcome = (
+        result.online_outcome if args.online else result.vyrd.check_offline()
+    )
+    variant = "buggy" if args.buggy else "correct"
+    print(
+        f"ran {args.program} ({variant}), {args.threads} threads x "
+        f"{args.calls} calls, seed {args.seed}: {len(result.log)} log records"
+    )
+    print(format_outcome(outcome, title=f"{args.mode} refinement"))
+    if args.atomicity:
+        from ..atomicity import check_atomicity
+
+        atomicity = check_atomicity(result.log)
+        print(f"atomicity baseline: {atomicity.summary()}")
+    if args.save:
+        save_log(result.log, args.save)
+        print(f"log written to {args.save}")
+    return 0 if outcome.ok else 1
+
+
+def _checker_for(program_name: str, mode: str, stop_at_first: bool) -> RefinementChecker:
+    built = PROGRAMS[program_name].build(False, 1)
+    return RefinementChecker(
+        built.spec_factory(),
+        mode=mode,
+        impl_view=built.view_factory() if mode == "view" else None,
+        invariants=built.invariants if mode == "view" else (),
+        replay_registry=built.replay_registry,
+        stop_at_first=stop_at_first,
+    )
+
+
+def _cmd_check(args) -> int:
+    log = load_log(args.log)
+    problems = validate_well_formed(log)
+    if problems and not args.json:
+        print(f"warning: log is not well-formed ({len(problems)} problem(s)):")
+        for problem in problems[:5]:
+            print(f"  {problem}")
+    checker = _checker_for(args.program, args.mode, stop_at_first=not args.all)
+    checker.feed(log)
+    outcome = checker.finish()
+    if args.json:
+        import json
+
+        payload = outcome.to_dict()
+        payload["well_formed"] = not problems
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_outcome(outcome, title=f"{args.mode} refinement of {args.log}"))
+    return 0 if outcome.ok else 1
+
+
+def _cmd_trace(args) -> int:
+    log = load_log(args.log)
+    print(render_trace(log, include_writes=args.writes, max_rows=args.max_rows))
+    return 0
+
+
+def _cmd_witness(args) -> int:
+    log = load_log(args.log)
+    print(render_witness(log))
+    return 0
+
+
+_COMMANDS = {
+    "programs": _cmd_programs,
+    "run": _cmd_run,
+    "check": _cmd_check,
+    "trace": _cmd_trace,
+    "witness": _cmd_witness,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,215 @@
+"""Atomicity baseline: reduction patterns, race analysis, and the paper's
+refinement-vs-atomicity comparison."""
+
+from repro import Kernel, Vyrd
+from repro.atomicity import check_atomicity
+from repro.core.actions import (
+    AcquireAction,
+    CallAction,
+    ReadAction,
+    ReleaseAction,
+    ReturnAction,
+    WriteAction,
+)
+from repro.core.log import Log
+from repro.multiset import MultisetSpec, VectorMultiset, multiset_view
+
+
+def _execution(tid, op_id, method, events):
+    """Wrap raw events in call/return records."""
+    actions = [CallAction(tid, op_id, method, ())]
+    actions.extend(events)
+    actions.append(ReturnAction(tid, op_id, method, None))
+    return actions
+
+
+def test_single_critical_section_is_atomic():
+    log = Log(_execution(0, 0, "m", [
+        AcquireAction(0, 0, "l"),
+        ReadAction(0, 0, "x"),
+        WriteAction(0, 0, "x", 0, 1),
+        ReleaseAction(0, 0, "l"),
+    ]))
+    outcome = check_atomicity(log)
+    assert outcome.ok
+    assert outcome.executions_checked == 1
+
+
+def test_two_critical_sections_fail_reduction():
+    """The section 8 ``W(p) W(q)`` pattern: two lock-protected writes in one
+    method are not reducible even though each write is race-free."""
+    def method_events(tid, op_id):
+        return _execution(tid, op_id, "m", [
+            AcquireAction(tid, op_id, "lp"),
+            WriteAction(tid, op_id, "p", 0, tid),
+            ReleaseAction(tid, op_id, "lp"),
+            AcquireAction(tid, op_id, "lq"),
+            WriteAction(tid, op_id, "q", 0, tid),
+            ReleaseAction(tid, op_id, "lq"),
+        ])
+
+    log = Log(method_events(0, 0) + method_events(1, 1))
+    outcome = check_atomicity(log)
+    assert not outcome.ok
+    assert outcome.flagged_methods == {"m"}
+    assert not outcome.racy_locs  # everything is lock-protected
+    assert "right-mover follows a left-mover" in outcome.violations[0].reason
+
+
+def test_single_racy_access_is_the_allowed_non_mover():
+    """One unprotected access inside the critical pattern is tolerated as
+    the commit ((R|B)* N (L|B)*)."""
+    log = Log(
+        _execution(0, 0, "m", [
+            AcquireAction(0, 0, "l"),
+            WriteAction(0, 0, "racy", 0, 1),  # N, serves as the commit
+            ReleaseAction(0, 0, "l"),
+        ])
+        + _execution(1, 1, "m", [WriteAction(1, 1, "racy", 1, 2)])
+    )
+    outcome = check_atomicity(log)
+    assert "racy" in outcome.racy_locs
+    assert outcome.ok
+
+
+def test_two_racy_accesses_fail():
+    log = Log(
+        _execution(0, 0, "m", [
+            WriteAction(0, 0, "racy", 0, 1),
+            WriteAction(0, 0, "racy", 1, 2),
+        ])
+        + _execution(1, 1, "m", [WriteAction(1, 1, "racy", 2, 3)])
+    )
+    outcome = check_atomicity(log)
+    assert not outcome.ok
+    assert "single non-mover" in outcome.violations[0].reason
+
+
+def test_racy_access_after_release_fails():
+    log = Log(
+        _execution(0, 0, "m", [
+            AcquireAction(0, 0, "l"),
+            ReleaseAction(0, 0, "l"),
+            WriteAction(0, 0, "racy", 0, 1),  # N in the post phase
+        ])
+        + _execution(1, 1, "m", [WriteAction(1, 1, "racy", 1, 2)])
+    )
+    outcome = check_atomicity(log)
+    assert not outcome.ok
+
+
+def test_single_threaded_locations_are_not_racy():
+    log = Log(
+        _execution(0, 0, "m", [WriteAction(0, 0, "mine", 0, 1)])
+        + _execution(0, 1, "m", [WriteAction(0, 1, "mine", 1, 2)])
+    )
+    outcome = check_atomicity(log)
+    assert outcome.ok
+    assert not outcome.racy_locs
+
+
+def test_rw_read_mode_protects_reads_but_not_writes():
+    def reader(tid, op_id):
+        return _execution(tid, op_id, "r", [
+            AcquireAction(tid, op_id, "rw", "r"),
+            ReadAction(tid, op_id, "shared"),
+            ReleaseAction(tid, op_id, "rw", "r"),
+        ])
+
+    # readers only: protected
+    log = Log(reader(0, 0) + reader(1, 1))
+    assert "shared" not in check_atomicity(log).racy_locs
+
+    # a writer under read-mode (wrong!) makes it racy
+    bad_writer = _execution(2, 2, "w", [
+        AcquireAction(2, 2, "rw", "r"),
+        WriteAction(2, 2, "shared", 0, 1),
+        ReleaseAction(2, 2, "rw", "r"),
+    ])
+    log = Log(reader(0, 0) + bad_writer)
+    assert "shared" in check_atomicity(log).racy_locs
+
+    # a writer under write-mode keeps it protected
+    good_writer = _execution(2, 2, "w", [
+        AcquireAction(2, 2, "rw", "w"),
+        WriteAction(2, 2, "shared", 0, 1),
+        ReleaseAction(2, 2, "rw", "w"),
+    ])
+    log = Log(reader(0, 0) + good_writer)
+    assert "shared" not in check_atomicity(log).racy_locs
+
+
+def test_daemon_actions_outside_methods_are_ignored():
+    log = Log([
+        AcquireAction(9, None, "l"),
+        WriteAction(9, None, "x", 0, 1),
+        ReleaseAction(9, None, "l"),
+    ])
+    outcome = check_atomicity(log)
+    assert outcome.ok
+    assert outcome.executions_checked == 0
+
+
+def test_stop_at_first():
+    def bad(tid, op_id):
+        return _execution(tid, op_id, "m", [
+            AcquireAction(tid, op_id, "a"),
+            ReleaseAction(tid, op_id, "a"),
+            AcquireAction(tid, op_id, "b"),
+            ReleaseAction(tid, op_id, "b"),
+        ])
+
+    log = Log(bad(0, 0) + bad(0, 1))
+    assert len(check_atomicity(log).violations) == 2
+    assert len(check_atomicity(log, stop_at_first=True).violations) == 1
+
+
+# -- the paper's comparison, end to end ---------------------------------------
+
+
+def test_insert_pair_refines_but_is_not_atomic():
+    """Sections 2.1/8: InsertPair cannot be proven atomic by reduction, yet
+    it refines the multiset spec."""
+    vyrd = Vyrd(
+        spec_factory=MultisetSpec, mode="view", impl_view_factory=multiset_view,
+        log_locks=True, log_reads=True,
+    )
+    kernel = Kernel(seed=2, tracer=vyrd.tracer)
+    multiset = VectorMultiset(size=8)
+    vds = vyrd.wrap(multiset)
+
+    def worker(ctx, x, y):
+        yield from vds.insert_pair(ctx, x, y)
+
+    kernel.spawn(worker, 1, 2)
+    kernel.spawn(worker, 3, 4)
+    kernel.run()
+
+    refinement = vyrd.check_offline()
+    assert refinement.ok, str(refinement.first_violation)
+
+    atomicity = check_atomicity(vyrd.log)
+    assert not atomicity.ok
+    assert "insert_pair" in atomicity.flagged_methods
+
+
+def test_lock_and_read_events_do_not_disturb_refinement_checking():
+    vyrd = Vyrd(
+        spec_factory=MultisetSpec, mode="view", impl_view_factory=multiset_view,
+        log_locks=True, log_reads=True,
+    )
+    kernel = Kernel(seed=1, tracer=vyrd.tracer)
+    multiset = VectorMultiset(size=8)
+    vds = vyrd.wrap(multiset)
+
+    def worker(ctx):
+        yield from vds.insert(ctx, 7)
+        yield from vds.lookup(ctx, 7)
+
+    kernel.spawn(worker)
+    kernel.run()
+    outcome = vyrd.check_offline()
+    assert outcome.ok
+    from repro.core import validate_well_formed
+
+    assert validate_well_formed(vyrd.log) == []

@@ -1,0 +1,153 @@
+"""B-link tree: sequential semantics, splits, concurrency, compression."""
+
+import random
+
+from repro import Kernel, Vyrd
+from repro.boxwood import BLinkTree, BLinkTreeSpec, blinktree_view
+from repro.concurrency import RoundRobinScheduler
+
+
+def _sequential(tree, script):
+    kernel = Kernel(scheduler=RoundRobinScheduler())
+    results = []
+
+    def body(ctx):
+        yield from script(ctx, results)
+
+    kernel.spawn(body)
+    kernel.run()
+    return results
+
+
+def test_insert_lookup_delete_roundtrip():
+    tree = BLinkTree(order=4)
+
+    def script(ctx, results):
+        results.append((yield from tree.insert(ctx, 10, "a")))
+        results.append((yield from tree.lookup(ctx, 10)))
+        results.append((yield from tree.delete(ctx, 10)))
+        results.append((yield from tree.lookup(ctx, 10)))
+        results.append((yield from tree.delete(ctx, 10)))
+
+    assert _sequential(tree, script) == [True, "a", True, None, False]
+
+
+def test_overwrite_bumps_version():
+    tree = BLinkTree(order=4)
+
+    def script(ctx, results):
+        yield from tree.insert(ctx, 1, "v1")
+        yield from tree.insert(ctx, 1, "v2")
+
+    _sequential(tree, script)
+    assert tree.contents() == {1: ("v2", 2)}
+
+
+def test_reinsert_after_delete_restarts_version():
+    tree = BLinkTree(order=4)
+
+    def script(ctx, results):
+        yield from tree.insert(ctx, 1, "v1")
+        yield from tree.delete(ctx, 1)
+        yield from tree.insert(ctx, 1, "v3")
+
+    _sequential(tree, script)
+    assert tree.contents() == {1: ("v3", 1)}
+
+
+def test_splits_preserve_contents_and_structure():
+    tree = BLinkTree(order=4)
+    keys = list(range(40))
+    random.Random(7).shuffle(keys)
+
+    def script(ctx, results):
+        for key in keys:
+            yield from tree.insert(ctx, key, key * 2)
+
+    _sequential(tree, script)
+    assert tree.contents() == {k: (k * 2, 1) for k in range(40)}
+    assert tree.check_structure() == []
+    # splits actually happened: more than one leaf in the chain
+    record = tree._nodes[tree.leftmost].cell.peek()
+    assert record[4] is not None
+
+
+def test_lookup_after_splits_finds_everything():
+    tree = BLinkTree(order=2)
+
+    def script(ctx, results):
+        for key in (5, 1, 9, 3, 7, 2, 8, 4, 6, 0):
+            yield from tree.insert(ctx, key, str(key))
+        for key in range(10):
+            results.append((yield from tree.lookup(ctx, key)))
+
+    results = _sequential(tree, script)
+    assert results == [str(k) for k in range(10)]
+
+
+def test_compression_purges_tombstones():
+    tree = BLinkTree(order=4)
+
+    def script(ctx, results):
+        for key in range(8):
+            yield from tree.insert(ctx, key, key)
+        for key in range(0, 8, 2):
+            yield from tree.delete(ctx, key)
+        results.append((yield from tree.compression_pass(ctx)))
+
+    results = _sequential(tree, script)
+    assert results == [True]
+    assert tree.contents() == {k: (k, 1) for k in range(1, 8, 2)}
+    # tombstoned entries are gone from the leaf chain
+    nid = tree.leftmost
+    while nid is not None:
+        record = tree._nodes[nid].cell.peek()
+        for key, dnid in record[2]:
+            assert tree._data_cells[dnid].peek()[3], "dead entry survived purge"
+        nid = record[4]
+
+
+def test_concurrent_inserts_with_checker_and_compression():
+    for seed in range(6):
+        vyrd = Vyrd(spec_factory=BLinkTreeSpec, mode="view",
+                    impl_view_factory=blinktree_view)
+        kernel = Kernel(seed=seed, tracer=vyrd.tracer)
+        tree = BLinkTree(order=4)
+        vt = vyrd.wrap(tree)
+
+        def worker(index):
+            def body(ctx):
+                rng = random.Random(seed * 100 + index)
+                for i in range(25):
+                    op = rng.choice(("insert", "insert", "delete", "lookup"))
+                    key = rng.randrange(25)
+                    if op == "insert":
+                        yield from vt.insert(ctx, key, (index, i))
+                    elif op == "delete":
+                        yield from vt.delete(ctx, key)
+                    else:
+                        yield from vt.lookup(ctx, key)
+
+            return body
+
+        for i in range(4):
+            kernel.spawn(worker(i))
+        kernel.spawn(tree.compression_thread, daemon=True)
+        kernel.run()
+        outcome = vyrd.check_offline()
+        assert outcome.ok, (seed, str(outcome.first_violation))
+        assert tree.check_structure() == []
+
+
+def test_root_growth_to_multiple_levels():
+    tree = BLinkTree(order=2)
+
+    def script(ctx, results):
+        for key in range(30):
+            yield from tree.insert(ctx, key, key)
+
+    _sequential(tree, script)
+    root_record = tree._nodes[tree.root.peek()].cell.peek()
+    assert root_record[0] == "index"
+    assert root_record[1] >= 2  # at least two index levels
+    assert tree.contents() == {k: (k, 1) for k in range(30)}

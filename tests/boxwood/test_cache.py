@@ -1,0 +1,170 @@
+"""Boxwood Cache: Fig. 8 semantics, invariants, and the real bug."""
+
+import random
+
+from repro import Kernel, ViolationKind, Vyrd
+from repro.boxwood import (
+    BoxwoodCache,
+    ChunkManager,
+    StoreSpec,
+    cache_invariants,
+    cache_view,
+)
+from repro.concurrency import RoundRobinScheduler
+from tests.conftest import find_detecting_seed
+
+BLOCK = 4
+
+
+def _setup(buggy=False):
+    chunks = ChunkManager()
+    cache = BoxwoodCache(chunks, block_size=BLOCK, buggy_dirty_write=buggy)
+    return chunks, cache
+
+
+def _run(cache, script):
+    kernel = Kernel(scheduler=RoundRobinScheduler())
+    results = []
+
+    def body(ctx):
+        yield from script(ctx, results)
+
+    kernel.spawn(body)
+    kernel.run()
+    return results
+
+
+def test_write_read_through_cache():
+    chunks, cache = _setup()
+    handle = chunks.allocate()
+
+    def script(ctx, results):
+        results.append((yield from cache.write(ctx, handle, (1, 2, 3, 4))))
+        results.append((yield from cache.read(ctx, handle)))
+
+    assert _run(cache, script) == [True, (1, 2, 3, 4)]
+    # dirty: not yet on the chunk manager
+    assert chunks.peek(handle) is None
+
+
+def test_flush_writes_back_and_moves_to_clean():
+    chunks, cache = _setup()
+    handle = chunks.allocate()
+
+    def script(ctx, results):
+        yield from cache.write(ctx, handle, (9, 9, 9, 9))
+        yield from cache.flush(ctx)
+        results.append((yield from cache.read(ctx, handle)))
+
+    assert _run(cache, script) == [(9, 9, 9, 9)]
+    assert chunks.peek(handle) == (9, 9, 9, 9)
+    assert cache._dirty_cells[handle].peek() is None
+    assert cache._clean_cells[handle].peek() is not None
+
+
+def test_read_miss_fills_from_chunks():
+    chunks, cache = _setup()
+    handle = chunks.allocate()
+
+    def prime(ctx, results):
+        yield from chunks.write(ctx, handle, (5, 6, 7, 8))
+
+    _run(cache, prime)
+
+    def script(ctx, results):
+        results.append((yield from cache.read(ctx, handle)))
+
+    assert _run(cache, script) == [(5, 6, 7, 8)]
+    assert cache._clean_cells[handle].peek() is not None  # installed clean
+
+
+def test_evict_drops_entry_after_writeback():
+    chunks, cache = _setup()
+    handle = chunks.allocate()
+
+    def script(ctx, results):
+        yield from cache.write(ctx, handle, (1, 1, 1, 1))
+        yield from cache.evict(ctx, handle)
+        results.append((yield from cache.read(ctx, handle)))
+
+    assert _run(cache, script) == [(1, 1, 1, 1)]
+    assert chunks.peek(handle) == (1, 1, 1, 1)
+
+
+def test_reclaim_drops_all_clean_entries():
+    chunks, cache = _setup()
+    handle = chunks.allocate()
+
+    def script(ctx, results):
+        yield from cache.write(ctx, handle, (2, 2, 2, 2))
+        yield from cache.flush(ctx)
+        yield from cache.reclaim_clean(ctx)
+
+    _run(cache, script)
+    assert cache._clean_cells[handle].peek() is None
+    assert chunks.peek(handle) == (2, 2, 2, 2)
+
+
+def test_dirty_rewrite_hits_branch_three():
+    chunks, cache = _setup()
+    handle = chunks.allocate()
+
+    def script(ctx, results):
+        yield from cache.write(ctx, handle, (1, 1, 1, 1))
+        yield from cache.write(ctx, handle, (2, 2, 2, 2))  # branch 3
+        results.append((yield from cache.read(ctx, handle)))
+
+    assert _run(cache, script) == [(2, 2, 2, 2)]
+
+
+def _concurrent_run(seed, buggy):
+    vyrd = Vyrd(
+        spec_factory=StoreSpec,
+        mode="view",
+        impl_view_factory=lambda: cache_view(BLOCK),
+        invariants=cache_invariants(BLOCK),
+    )
+    kernel = Kernel(seed=seed, tracer=vyrd.tracer)
+    chunks, cache = _setup(buggy)
+    vc = vyrd.wrap(cache)
+    handle = chunks.allocate()
+
+    def writer(ctx, r):
+        for _ in range(8):
+            yield from vc.write(ctx, handle, tuple(r.randrange(9) for _ in range(BLOCK)))
+
+    def flusher(ctx):
+        for _ in range(8):
+            yield from vc.flush(ctx)
+
+    kernel.spawn(writer, random.Random(seed))
+    kernel.spawn(writer, random.Random(seed + 1000))
+    kernel.spawn(flusher)
+    kernel.run()
+    return vyrd.check_offline()
+
+
+def test_correct_cache_clean_under_contention():
+    for seed in range(15):
+        outcome = _concurrent_run(seed, buggy=False)
+        assert outcome.ok, (seed, str(outcome.first_violation))
+
+
+def test_buggy_cache_detected_via_invariant_or_view():
+    seed, outcome = find_detecting_seed(lambda s: _concurrent_run(s, True))
+    assert outcome.first_violation.kind in (
+        ViolationKind.INVARIANT,
+        ViolationKind.VIEW,
+    )
+
+
+def test_paper_bug_scenario_clean_matches_chunk_invariant():
+    """Force the paper's exact interleaving with a scripted schedule search:
+    a dirty re-write torn by a concurrent flush violates invariant (i)."""
+    hits = 0
+    for seed in range(60):
+        outcome = _concurrent_run(seed, buggy=True)
+        if not outcome.ok and outcome.first_violation.kind is ViolationKind.INVARIANT:
+            assert "clean-matches-chunk" in outcome.first_violation.message
+            hits += 1
+    assert hits > 0, "invariant (i) never fired across seeds"

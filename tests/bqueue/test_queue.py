@@ -1,0 +1,186 @@
+"""Bounded queue: blocking semantics, FIFO order, duplicate-delivery bug."""
+
+import random
+
+from repro import Kernel, ViolationKind, Vyrd
+from repro.bqueue import EMPTY, BoundedQueue, QueueSpec, queue_view
+from repro.concurrency import RoundRobinScheduler
+from tests.conftest import find_detecting_seed
+
+
+def _sequential(queue, script):
+    kernel = Kernel(scheduler=RoundRobinScheduler())
+    results = []
+
+    def body(ctx):
+        yield from script(ctx, results)
+
+    kernel.spawn(body)
+    kernel.run()
+    return results
+
+
+def test_fifo_order_sequential():
+    queue = BoundedQueue(capacity=3)
+
+    def script(ctx, results):
+        for i in range(3):
+            yield from queue.enqueue(ctx, i)
+        for _ in range(3):
+            results.append((yield from queue.dequeue(ctx)))
+
+    assert _sequential(queue, script) == [0, 1, 2]
+    assert queue.items() == ()
+
+
+def test_try_variants_report_full_and_empty():
+    queue = BoundedQueue(capacity=1)
+
+    def script(ctx, results):
+        results.append((yield from queue.try_dequeue(ctx)))
+        results.append((yield from queue.try_enqueue(ctx, "a")))
+        results.append((yield from queue.try_enqueue(ctx, "b")))
+        results.append((yield from queue.size_of(ctx)))
+        results.append((yield from queue.try_dequeue(ctx)))
+
+    assert _sequential(queue, script) == [EMPTY, True, False, 1, "a"]
+
+
+def test_ring_buffer_wraparound():
+    queue = BoundedQueue(capacity=2)
+
+    def script(ctx, results):
+        for value in "abcde":
+            yield from queue.enqueue(ctx, value)
+            results.append((yield from queue.dequeue(ctx)))
+
+    assert _sequential(queue, script) == list("abcde")
+
+
+def test_blocking_enqueue_waits_for_space():
+    queue = BoundedQueue(capacity=1)
+    order = []
+
+    def producer(ctx):
+        yield from queue.enqueue(ctx, 1)
+        order.append("p1")
+        yield from queue.enqueue(ctx, 2)  # must block until the dequeue
+        order.append("p2")
+
+    def consumer(ctx):
+        for _ in range(4):
+            yield ctx.checkpoint()
+        order.append("c")
+        yield from queue.dequeue(ctx)
+
+    kernel = Kernel(scheduler=RoundRobinScheduler())
+    kernel.spawn(producer)
+    kernel.spawn(consumer)
+    kernel.run()
+    assert order.index("c") < order.index("p2")
+
+
+def test_blocking_dequeue_waits_for_item():
+    queue = BoundedQueue(capacity=2)
+    got = []
+
+    def consumer(ctx):
+        got.append((yield from queue.dequeue(ctx)))
+
+    def producer(ctx):
+        for _ in range(5):
+            yield ctx.checkpoint()
+        yield from queue.enqueue(ctx, "late")
+
+    kernel = Kernel(scheduler=RoundRobinScheduler())
+    kernel.spawn(consumer)
+    kernel.spawn(producer)
+    kernel.run()
+    assert got == ["late"]
+
+
+def _concurrent_blocking_run(seed, buggy=False, producers=2, consumers=2, per=8):
+    """Balanced producers/consumers over the blocking API."""
+    vyrd = Vyrd(spec_factory=lambda: QueueSpec(capacity=3), mode="view",
+                impl_view_factory=lambda: queue_view(3))
+    kernel = Kernel(seed=seed, tracer=vyrd.tracer)
+    queue = BoundedQueue(capacity=3, buggy_nonatomic_dequeue=buggy)
+    vq = vyrd.wrap(queue)
+    delivered = []
+
+    def producer(ctx, index):
+        for i in range(per):
+            yield from vq.enqueue(ctx, (index, i))
+
+    def consumer(ctx):
+        for _ in range(per * producers // consumers):
+            item = yield from vq.dequeue(ctx)
+            delivered.append(item)
+
+    for i in range(producers):
+        kernel.spawn(producer, i)
+    for _ in range(consumers):
+        kernel.spawn(consumer)
+    kernel.run()
+    return vyrd.check_offline(), delivered
+
+
+def test_concurrent_blocking_correct_is_clean_and_exactly_once():
+    for seed in range(10):
+        outcome, delivered = _concurrent_blocking_run(seed)
+        assert outcome.ok, (seed, str(outcome.first_violation))
+        assert len(delivered) == len(set(delivered)) == 16
+
+
+def test_per_producer_order_preserved():
+    for seed in range(5):
+        outcome, delivered = _concurrent_blocking_run(seed)
+        assert outcome.ok
+        for producer_index in (0, 1):
+            own = [i for p, i in delivered if p == producer_index]
+            assert own == sorted(own)
+
+
+def _try_run(seed, buggy):
+    vyrd = Vyrd(spec_factory=lambda: QueueSpec(capacity=3), mode="view",
+                impl_view_factory=lambda: queue_view(3))
+    kernel = Kernel(seed=seed, tracer=vyrd.tracer)
+    queue = BoundedQueue(capacity=3, buggy_nonatomic_dequeue=buggy)
+    vq = vyrd.wrap(queue)
+
+    def worker(ctx, rng, index):
+        for i in range(15):
+            if rng.random() < 0.5:
+                yield from vq.try_enqueue(ctx, (index, i))
+            else:
+                yield from vq.try_dequeue(ctx)
+
+    for i in range(4):
+        kernel.spawn(worker, random.Random(seed * 11 + i), i)
+    kernel.run()
+    return vyrd.check_offline()
+
+
+def test_try_workload_correct_clean():
+    for seed in range(10):
+        outcome = _try_run(seed, buggy=False)
+        assert outcome.ok, (seed, str(outcome.first_violation))
+
+
+def test_duplicate_delivery_bug_detected():
+    seed, outcome = find_detecting_seed(lambda s: _try_run(s, True))
+    assert outcome.first_violation.kind in (ViolationKind.IO, ViolationKind.VIEW)
+
+
+def test_bug_manifests_as_duplicate_or_lost_item():
+    """Find an I/O violation and confirm the message names the FIFO breach."""
+    for seed in range(80):
+        outcome = _try_run(seed, buggy=True)
+        if not outcome.ok and outcome.first_violation.kind is ViolationKind.IO:
+            message = outcome.first_violation.message
+            assert "front" in message or "empty" in message
+            return
+    # view-only detections are acceptable, but we expect some I/O hits
+    import pytest
+
+    pytest.skip("no I/O-mode manifestation in 80 seeds (view caught it first)")

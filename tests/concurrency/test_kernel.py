@@ -1,0 +1,242 @@
+"""Kernel semantics: spawning, scheduling, atomicity, daemons, failures."""
+
+import pytest
+
+from repro.concurrency import (
+    DeadlockError,
+    Kernel,
+    KernelStopped,
+    Lock,
+    RoundRobinScheduler,
+    SharedCell,
+    SimThreadError,
+    Status,
+    StepLimitExceeded,
+    run_threads,
+)
+
+
+def test_single_thread_runs_to_completion():
+    cell = SharedCell("c", 0)
+
+    def body(ctx):
+        value = yield cell.read()
+        yield cell.write(value + 41)
+        return "done"
+
+    kernel = Kernel(seed=0)
+    thread = kernel.spawn(body)
+    kernel.run()
+    assert thread.status is Status.DONE
+    assert thread.result == "done"
+    assert cell.peek() == 41
+
+
+def test_thread_body_must_be_generator():
+    kernel = Kernel()
+    with pytest.raises(TypeError):
+        kernel.spawn(lambda ctx: 42)
+
+
+def test_code_between_yields_is_atomic():
+    """Code between two yields of one thread runs with no interleaving, so a
+    read-modify-write expressed without an intervening yield never loses an
+    update.  (Note that ``value = yield cell.read()`` delivers the value at
+    the *next* resumption -- using it later is a stale read by design.)"""
+    cell = SharedCell("c", 0)
+
+    def body(ctx):
+        for _ in range(50):
+            yield ctx.checkpoint()
+            cell.poke(cell.peek() + 1)  # entirely within one step: atomic
+
+    kernel = run_threads([body, body], seed=7)
+    assert cell.peek() == 100
+    assert kernel.steps > 0
+
+
+def test_interleaved_read_write_can_lose_updates():
+    """With a yield between read and write, lost updates become possible
+    under some schedule (the reason shared accesses are preemption points)."""
+    lost = False
+    for seed in range(20):
+        cell = SharedCell("c", 0)
+
+        def body(ctx):
+            for _ in range(5):
+                value = yield cell.read()
+                yield cell.write(value + 1)
+
+        run_threads([body, body], seed=seed)
+        if cell.peek() < 10:
+            lost = True
+            break
+    assert lost, "expected at least one seed to exhibit a lost update"
+
+
+def test_same_seed_same_interleaving():
+    def make_program():
+        cell = SharedCell("c", 0)
+
+        def body(ctx):
+            for _ in range(10):
+                value = yield cell.read()
+                yield cell.write(value + 1)
+
+        return cell, [body, body, body]
+
+    results = []
+    for _ in range(3):
+        cell, bodies = make_program()
+        run_threads(bodies, seed=42)
+        results.append(cell.peek())
+    assert len(set(results)) == 1
+
+
+def test_different_seeds_reach_different_interleavings():
+    outcomes = set()
+    for seed in range(30):
+        cell = SharedCell("c", 0)
+
+        def body(ctx):
+            value = yield cell.read()
+            yield cell.write(value + 1)
+
+        run_threads([body, body, body], seed=seed)
+        outcomes.add(cell.peek())
+    assert len(outcomes) > 1
+
+
+def test_daemon_does_not_block_completion():
+    ticks = []
+
+    def daemon(ctx):
+        try:
+            while True:
+                yield ctx.checkpoint()
+                ticks.append(1)
+        except KernelStopped:
+            ticks.append("stopped")
+            raise
+
+    def app(ctx):
+        for _ in range(5):
+            yield ctx.checkpoint()
+
+    kernel = Kernel(seed=3)
+    kernel.spawn(daemon, daemon=True)
+    kernel.spawn(app)
+    kernel.run()
+    assert ticks  # the daemon ran
+    assert ticks[-1] == "stopped"  # and was shut down cleanly
+
+
+def test_join_returns_result():
+    def child(ctx):
+        yield ctx.checkpoint()
+        return 99
+
+    collected = []
+
+    def parent(ctx):
+        thread = ctx.spawn(child)
+        result = yield ctx.join(thread)
+        collected.append(result)
+
+    kernel = Kernel(seed=1)
+    kernel.spawn(parent)
+    kernel.run()
+    assert collected == [99]
+
+
+def test_join_finished_thread_is_immediate():
+    def child(ctx):
+        return 7
+        yield  # pragma: no cover
+
+    def parent(ctx):
+        thread = ctx.spawn(child)
+        yield ctx.checkpoint()
+        yield ctx.checkpoint()
+        result = yield ctx.join(thread)
+        return result
+
+    kernel = Kernel(scheduler=RoundRobinScheduler())
+    parent_thread = kernel.spawn(parent)
+    kernel.run()
+    assert parent_thread.result == 7
+
+
+def test_deadlock_detection():
+    a, b = Lock("a"), Lock("b")
+
+    def t1(ctx):
+        yield a.acquire()
+        yield ctx.checkpoint()
+        yield b.acquire()
+
+    def t2(ctx):
+        yield b.acquire()
+        yield ctx.checkpoint()
+        yield a.acquire()
+
+    with pytest.raises(DeadlockError) as excinfo:
+        run_threads([t1, t2], scheduler=RoundRobinScheduler())
+    assert len(excinfo.value.blocked) == 2
+
+
+def test_crashing_thread_raises_sim_thread_error():
+    def body(ctx):
+        yield ctx.checkpoint()
+        raise ValueError("boom")
+
+    with pytest.raises(SimThreadError) as excinfo:
+        run_threads([body])
+    assert isinstance(excinfo.value.__cause__, ValueError)
+
+
+def test_step_limit():
+    def spinner(ctx):
+        while True:
+            yield ctx.checkpoint()
+
+    kernel = Kernel(seed=0, max_steps=100)
+    kernel.spawn(spinner)
+    with pytest.raises(StepLimitExceeded):
+        kernel.run()
+
+
+def test_non_syscall_yield_is_rejected():
+    def body(ctx):
+        yield "not a syscall"
+
+    with pytest.raises(SimThreadError) as excinfo:
+        run_threads([body])
+    assert isinstance(excinfo.value.__cause__, TypeError)
+
+
+def test_run_not_reentrant():
+    kernel = Kernel()
+
+    def body(ctx):
+        with pytest.raises(RuntimeError):
+            kernel.run()
+        yield ctx.checkpoint()
+
+    kernel.spawn(body)
+    kernel.run()
+
+
+def test_kernel_can_run_again_after_completion():
+    cell = SharedCell("c", 0)
+
+    def body(ctx):
+        value = yield cell.read()
+        yield cell.write(value + 1)
+
+    kernel = Kernel(seed=0)
+    kernel.spawn(body)
+    kernel.run()
+    kernel.spawn(body)
+    kernel.run()
+    assert cell.peek() == 2

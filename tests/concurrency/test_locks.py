@@ -1,0 +1,230 @@
+"""Lock and RWLock semantics under the simulated kernel."""
+
+import pytest
+
+from repro.concurrency import (
+    Kernel,
+    Lock,
+    LockError,
+    RoundRobinScheduler,
+    RWLock,
+    SharedCell,
+    SimThreadError,
+    run_threads,
+    with_lock,
+)
+
+
+def test_mutual_exclusion():
+    lock = Lock("m")
+    cell = SharedCell("c", 0)
+
+    def body(ctx):
+        for _ in range(20):
+            yield lock.acquire()
+            value = yield cell.read()
+            yield ctx.checkpoint()  # tempt the scheduler
+            yield cell.write(value + 1)
+            yield lock.release()
+
+    for seed in range(10):
+        cell.poke(0)
+        run_threads([body, body, body], seed=seed)
+        assert cell.peek() == 60, f"lost update under lock at seed {seed}"
+
+
+def test_reentrant_acquire():
+    lock = Lock("m")
+    trace = []
+
+    def body(ctx):
+        yield lock.acquire()
+        yield lock.acquire()
+        trace.append("inner")
+        yield lock.release()
+        assert lock.held_by(ctx.tid)
+        yield lock.release()
+        trace.append("released")
+
+    run_threads([body])
+    assert trace == ["inner", "released"]
+    assert lock.owner is None
+
+
+def test_release_unowned_lock_raises():
+    lock = Lock("m")
+
+    def body(ctx):
+        yield lock.release()
+
+    with pytest.raises(SimThreadError) as excinfo:
+        run_threads([body])
+    assert isinstance(excinfo.value.__cause__, LockError)
+
+
+def test_fifo_handoff():
+    lock = Lock("m")
+    order = []
+
+    def holder(ctx):
+        yield lock.acquire()
+        for _ in range(5):
+            yield ctx.checkpoint()
+        yield lock.release()
+
+    def waiter(name):
+        def body(ctx):
+            yield lock.acquire()
+            order.append(name)
+            yield lock.release()
+
+        return body
+
+    kernel = Kernel(scheduler=RoundRobinScheduler())
+    kernel.spawn(holder)
+    kernel.spawn(waiter("first"))
+    kernel.spawn(waiter("second"))
+    kernel.run()
+    assert order == ["first", "second"]
+
+
+def test_with_lock_helper_releases_on_exception():
+    lock = Lock("m")
+
+    def failing(ctx):
+        yield ctx.checkpoint()
+        raise RuntimeError("inner failure")
+
+    def body(ctx):
+        try:
+            yield from with_lock(lock, failing(ctx))
+        except RuntimeError:
+            pass
+        # lock must have been released by the helper's finally
+        yield lock.acquire()
+        yield lock.release()
+        return "recovered"
+
+    kernel = Kernel()
+    thread = kernel.spawn(body)
+    kernel.run()
+    assert thread.result == "recovered"
+
+
+# -- RWLock ------------------------------------------------------------------
+
+
+def test_rwlock_concurrent_readers():
+    rw = RWLock("r")
+    peak = {"value": 0, "current": 0}
+
+    def reader(ctx):
+        yield rw.begin_read()
+        peak["current"] += 1
+        peak["value"] = max(peak["value"], peak["current"])
+        yield ctx.checkpoint()
+        peak["current"] -= 1
+        yield rw.end_read()
+
+    run_threads([reader, reader, reader], scheduler=RoundRobinScheduler())
+    assert peak["value"] >= 2, "readers should overlap"
+
+
+def test_rwlock_writer_excludes_everyone():
+    rw = RWLock("r")
+    cell = SharedCell("c", 0)
+
+    def writer(ctx):
+        for _ in range(10):
+            yield rw.begin_write()
+            value = yield cell.read()
+            yield ctx.checkpoint()
+            yield cell.write(value + 1)
+            yield rw.end_write()
+
+    for seed in range(8):
+        cell.poke(0)
+        run_threads([writer, writer], seed=seed)
+        assert cell.peek() == 20
+
+
+def test_rwlock_writer_waits_for_readers_and_gets_preference():
+    rw = RWLock("r")
+    order = []
+
+    def reader(name, steps):
+        def body(ctx):
+            yield rw.begin_read()
+            for _ in range(steps):
+                yield ctx.checkpoint()
+            order.append(name)
+            yield rw.end_read()
+
+        return body
+
+    def writer(ctx):
+        yield rw.begin_write()
+        order.append("writer")
+        yield rw.end_write()
+
+    def late_reader(ctx):
+        # arrives while the writer is already queued behind r1/r2
+        yield ctx.checkpoint()
+        yield ctx.checkpoint()
+        yield rw.begin_read()
+        order.append("r3")
+        yield rw.end_read()
+
+    kernel = Kernel(scheduler=RoundRobinScheduler())
+    kernel.spawn(reader("r1", 6))
+    kernel.spawn(reader("r2", 6))
+    kernel.spawn(writer)
+    kernel.spawn(late_reader)
+    kernel.run()
+    assert order.index("writer") < order.index("r3")
+
+
+def test_rwlock_reentrant_read():
+    rw = RWLock("r")
+
+    def body(ctx):
+        yield rw.begin_read()
+        yield rw.begin_read()
+        yield rw.end_read()
+        yield rw.end_read()
+        return "ok"
+
+    kernel = Kernel()
+    thread = kernel.spawn(body)
+    kernel.run()
+    assert thread.result == "ok"
+    assert not rw.readers
+
+
+def test_rwlock_end_read_without_begin_raises():
+    rw = RWLock("r")
+
+    def body(ctx):
+        yield rw.end_read()
+
+    with pytest.raises(SimThreadError) as excinfo:
+        run_threads([body])
+    assert isinstance(excinfo.value.__cause__, LockError)
+
+
+def test_rwlock_end_write_by_non_owner_raises():
+    rw = RWLock("r")
+
+    def owner(ctx):
+        yield rw.begin_write()
+        for _ in range(5):
+            yield ctx.checkpoint()
+        yield rw.end_write()
+
+    def impostor(ctx):
+        yield ctx.checkpoint()
+        yield rw.end_write()
+
+    with pytest.raises(SimThreadError) as excinfo:
+        run_threads([owner, impostor], scheduler=RoundRobinScheduler())
+    assert isinstance(excinfo.value.__cause__, LockError)

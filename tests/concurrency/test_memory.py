@@ -1,0 +1,97 @@
+"""Shared memory: cells, arrays, factories and tracer visibility."""
+
+from repro.concurrency import (
+    CellFactory,
+    Kernel,
+    SharedArray,
+    SharedCell,
+    Tracer,
+)
+
+
+def test_cell_peek_poke():
+    cell = SharedCell("x", 5)
+    assert cell.peek() == 5
+    cell.poke(9)
+    assert cell.peek() == 9
+    assert cell.name == "x"
+
+
+def test_cell_read_write_via_kernel():
+    cell = SharedCell("x", 1)
+
+    def body(ctx):
+        value = yield cell.read()
+        yield cell.write(value * 2)
+
+    kernel = Kernel()
+    kernel.spawn(body)
+    kernel.run()
+    assert cell.peek() == 2
+
+
+def test_shared_array_naming_and_access():
+    array = SharedArray("A", 4, init=0)
+    assert len(array) == 4
+    assert array[2].name == "A[2]"
+    assert [cell.peek() for cell in array] == [0, 0, 0, 0]
+    array[1].poke(7)
+    assert array.peek_all() == [0, 7, 0, 0]
+
+
+def test_shared_array_init_fn():
+    array = SharedArray("B", 3, init_fn=lambda i: i * i)
+    assert array.peek_all() == [0, 1, 4]
+
+
+def test_cell_factory_unique_names():
+    factory = CellFactory("node")
+    a = factory.fresh("data")
+    b = factory.fresh("data")
+    c = factory.fresh()
+    assert a.name != b.name
+    assert a.name.startswith("node.data#")
+    assert c.name.startswith("node#")
+    named = factory.named("root", 1)
+    assert named.name == "node.root"
+    assert named.peek() == 1
+
+
+def test_writes_reach_tracer_with_old_and_new():
+    events = []
+
+    class Spy(Tracer):
+        def on_write(self, tid, cell, old, new):
+            events.append((tid, cell.name, old, new))
+
+    cell = SharedCell("x", 10)
+
+    def body(ctx):
+        yield cell.write(11)
+        yield cell.write(12)
+
+    kernel = Kernel(tracer=Spy())
+    kernel.spawn(body)
+    kernel.run()
+    assert events == [(0, "x", 10, 11), (0, "x", 11, 12)]
+
+
+def test_commit_flag_reaches_tracer_after_write():
+    events = []
+
+    class Spy(Tracer):
+        def on_write(self, tid, cell, old, new):
+            events.append("write")
+
+        def on_commit(self, tid):
+            events.append("commit")
+
+    cell = SharedCell("x", 0)
+
+    def body(ctx):
+        yield cell.write(1, commit=True)
+
+    kernel = Kernel(tracer=Spy())
+    kernel.spawn(body)
+    kernel.run()
+    assert events == ["write", "commit"]

@@ -1,0 +1,67 @@
+"""Shared helpers for the VYRD reproduction test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Kernel, Vyrd
+
+
+def run_session(
+    impl,
+    spec_factory,
+    bodies,
+    view_factory=None,
+    invariants=(),
+    seed=0,
+    mode="view",
+    daemons=(),
+    online=False,
+    max_steps=2_000_000,
+):
+    """Run simulated threads against an instrumented ``impl`` and check.
+
+    ``bodies`` is a list of callables ``body(ctx, vds)`` (generator
+    functions); each becomes one application thread.  Returns
+    ``(outcome, vyrd, kernel)``.
+    """
+    vyrd = Vyrd(
+        spec_factory=spec_factory,
+        mode=mode,
+        impl_view_factory=view_factory,
+        invariants=invariants,
+    )
+    kernel = Kernel(seed=seed, tracer=vyrd.tracer, max_steps=max_steps)
+    vds = vyrd.wrap(impl)
+    verifier = vyrd.start_online(kernel) if online else None
+
+    def wrap(body):
+        def thread_body(ctx):
+            result = yield from body(ctx, vds)
+            return result
+
+        return thread_body
+
+    for i, body in enumerate(bodies):
+        kernel.spawn(wrap(body), name=f"w{i}")
+    for daemon in daemons:
+        kernel.spawn(daemon, daemon=True)
+    kernel.run()
+    outcome = verifier.finalize() if verifier else vyrd.check_offline()
+    return outcome, vyrd, kernel
+
+
+def find_detecting_seed(run_once, seeds=range(64)):
+    """Return the first seed whose run produces a violation (or fail)."""
+    for seed in seeds:
+        outcome = run_once(seed)
+        if not outcome.ok:
+            return seed, outcome
+    pytest.fail(f"no violation found in {len(list(seeds))} seeds")
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1234)

@@ -1,0 +1,141 @@
+"""Log behavior, serialization round-trips and well-formedness checking."""
+
+import io
+
+from repro.core import (
+    BeginCommitBlockAction,
+    CallAction,
+    CommitAction,
+    EndCommitBlockAction,
+    Log,
+    LogReader,
+    LogWriter,
+    ReturnAction,
+    Signature,
+    WriteAction,
+    load_log,
+    save_log,
+    validate_well_formed,
+)
+
+
+def _simple_log():
+    return Log([
+        CallAction(0, 0, "insert", (3,)),
+        WriteAction(0, 0, "A[0].elt", None, 3),
+        CommitAction(0, 0),
+        ReturnAction(0, 0, "insert", "success"),
+    ])
+
+
+def test_log_append_and_indexing():
+    log = Log()
+    assert len(log) == 0
+    seq = log.append(CallAction(1, 7, "m", ()))
+    assert seq == 0
+    assert log[0].method == "m"
+    assert log.append(ReturnAction(1, 7, "m", None)) == 1
+    assert len(log) == 2
+
+
+def test_log_since_cursor():
+    log = _simple_log()
+    tail = log.since(2)
+    assert len(tail) == 2
+    assert isinstance(tail[0], CommitAction)
+    assert log.since(len(log)) == []
+
+
+def test_file_round_trip(tmp_path):
+    log = _simple_log()
+    path = tmp_path / "run.vyrdlog"
+    save_log(log, path)
+    restored = load_log(path)
+    assert list(restored) == list(log)
+
+
+def test_stream_round_trip_in_memory():
+    log = _simple_log()
+    buffer = io.BytesIO()
+    with LogWriter(buffer) as writer:
+        writer.write_all(log)
+    buffer.seek(0)
+    with LogReader(buffer) as reader:
+        assert list(reader) == list(log)
+
+
+def test_signature_str():
+    sig = Signature(2, "lookup", (5,), True)
+    assert str(sig) == "t2:lookup(5) -> True"
+
+
+def test_well_formed_log_passes():
+    assert validate_well_formed(_simple_log()) == []
+
+
+def test_call_while_open_is_flagged():
+    log = Log([
+        CallAction(0, 0, "a", ()),
+        CallAction(0, 1, "b", ()),
+    ])
+    problems = validate_well_formed(log)
+    assert any("still open" in p for p in problems)
+
+
+def test_unmatched_return_is_flagged():
+    log = Log([ReturnAction(0, 5, "a", None)])
+    problems = validate_well_formed(log)
+    assert any("does not match" in p for p in problems)
+
+
+def test_commit_outside_window_is_flagged():
+    log = Log([
+        CallAction(0, 0, "a", ()),
+        ReturnAction(0, 0, "a", None),
+        CommitAction(0, 0),
+    ])
+    problems = validate_well_formed(log)
+    assert any("outside its call/return window" in p for p in problems)
+
+
+def test_double_commit_is_flagged():
+    log = Log([
+        CallAction(0, 0, "a", ()),
+        CommitAction(0, 0),
+        CommitAction(0, 0),
+        ReturnAction(0, 0, "a", None),
+    ])
+    problems = validate_well_formed(log)
+    assert any("more than once" in p for p in problems)
+
+
+def test_internal_commit_is_not_flagged():
+    log = Log([CommitAction(3, None)])
+    assert validate_well_formed(log) == []
+
+
+def test_unbalanced_commit_block_is_flagged():
+    log = Log([BeginCommitBlockAction(0, None)])
+    problems = validate_well_formed(log)
+    assert any("commit block" in p for p in problems)
+
+    log2 = Log([EndCommitBlockAction(0, None)])
+    problems2 = validate_well_formed(log2)
+    assert any("never began" in p for p in problems2)
+
+
+def test_missing_return_at_end_is_flagged():
+    log = Log([CallAction(0, 0, "a", ())])
+    problems = validate_well_formed(log)
+    assert any("never returned" in p for p in problems)
+
+
+def test_op_id_reuse_is_flagged():
+    log = Log([
+        CallAction(0, 0, "a", ()),
+        ReturnAction(0, 0, "a", None),
+        CallAction(1, 0, "a", ()),
+        ReturnAction(1, 0, "a", None),
+    ])
+    problems = validate_well_formed(log)
+    assert any("reused" in p for p in problems)

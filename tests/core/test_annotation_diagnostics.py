@@ -1,0 +1,119 @@
+"""Diagnosing wrong commit-point annotations (paper section 4.1).
+
+"The runtime refinement check could fail either because the implementation
+truly does not refine the specification or because the witness interleaving
+obtained using the commit actions is wrong."  These tests exercise the
+second case: a *correct* implementation with a *misplaced* commit annotation
+produces violations, and the tooling (trace rendering, witness listing,
+program-order diagnostics) pinpoints the annotation rather than the code.
+"""
+
+from repro import Kernel, Vyrd
+from repro.concurrency import ThreadCtx
+from repro.core import build_witness, render_witness, respects_program_order
+from repro.multiset import SUCCESS, MultisetSpec, VectorMultiset, multiset_view
+
+
+class EarlyCommitMultiset(VectorMultiset):
+    """Correct code, wrong annotation: insert commits on the *reservation*
+    write (before the valid bit is set), so the witness says the element is
+    in M before any other thread can observe it."""
+
+    def insert(self, ctx: ThreadCtx, x):
+        i = yield from self.find_slot_committing(ctx, x)
+        if i == -1:
+            yield ctx.commit()
+            return "failure"
+        slot = self.slots[i]
+        yield slot.lock.acquire()
+        yield slot.valid.write(True)  # no commit here anymore
+        yield slot.lock.release()
+        return SUCCESS
+
+    def find_slot_committing(self, ctx: ThreadCtx, x):
+        for i in range(self.size):
+            slot = self.slots[i]
+            yield slot.lock.acquire()
+            elt = yield slot.elt.read()
+            if elt is None:
+                yield slot.elt.write(x, commit=True)  # too early!
+                yield slot.lock.release()
+                return i
+            yield slot.lock.release()
+        return -1
+
+    VYRD_METHODS = VectorMultiset.VYRD_METHODS
+
+
+# re-register the @operation marker lost by overriding
+EarlyCommitMultiset.insert._vyrd_operation = True
+
+
+def _run(ds_class, seed):
+    vyrd = Vyrd(spec_factory=MultisetSpec, mode="view",
+                impl_view_factory=multiset_view)
+    kernel = Kernel(seed=seed, tracer=vyrd.tracer)
+    ds = ds_class(size=8)
+    vds = vyrd.wrap(ds)
+
+    def inserter(ctx, x):
+        yield from vds.insert(ctx, x)
+
+    def prober(ctx):
+        for key in (1, 2):
+            yield from vds.lookup(ctx, key)
+
+    kernel.spawn(inserter, 1)
+    kernel.spawn(inserter, 2)
+    kernel.spawn(prober)
+    kernel.run()
+    return vyrd
+
+
+def test_early_commit_annotation_causes_spurious_violations():
+    """The early commit makes view refinement flag the (correct) code: at
+    the commit, the valid bit is not yet set, so viewI lacks the element the
+    spec just inserted."""
+    flagged = False
+    for seed in range(40):
+        vyrd = _run(EarlyCommitMultiset, seed)
+        outcome = vyrd.check_offline()
+        if not outcome.ok:
+            flagged = True
+            # the correctly annotated implementation is clean on this seed
+            control = _run(VectorMultiset, seed).check_offline()
+            assert control.ok, str(control.first_violation)
+            break
+    assert flagged, "the misplaced commit never produced a violation"
+
+
+def test_witness_tools_support_the_debugging_loop():
+    """The paper's remedy is comparing the witness with the trace; the
+    witness utilities must expose commit positions for that comparison."""
+    vyrd = _run(EarlyCommitMultiset, 0)
+    witness = build_witness(vyrd.log)
+    for execution in witness.serialized():
+        assert execution.call_seq < execution.commit_seq < execution.return_seq
+    listing = render_witness(vyrd.log)
+    assert "commit@" in listing
+    # program order is still respected (commits inside windows), so the
+    # diagnosis points at commit *placement*, not ordering
+    assert respects_program_order(witness) == []
+
+
+def test_commit_annotation_after_return_is_caught_by_well_formedness():
+    from repro.core import (
+        CallAction,
+        CommitAction,
+        Log,
+        ReturnAction,
+        validate_well_formed,
+    )
+
+    log = Log([
+        CallAction(0, 0, "insert", (1,)),
+        ReturnAction(0, 0, "insert", SUCCESS),
+        CommitAction(0, 0),  # annotation fired after the return
+    ])
+    problems = validate_well_formed(log)
+    assert any("outside its call/return window" in p for p in problems)

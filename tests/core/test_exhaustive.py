@@ -1,0 +1,76 @@
+"""Bounded exhaustive refinement verification over all schedules."""
+
+from repro import Kernel, Vyrd
+from repro.core import replay_schedule, verify_all_schedules
+from repro.multiset import MultisetSpec, VectorMultiset, multiset_view
+
+
+def _make_run_factory(buggy: bool):
+    def make_run(scheduler):
+        vyrd = Vyrd(
+            spec_factory=MultisetSpec,
+            mode="view",
+            impl_view_factory=multiset_view,
+        )
+        kernel = Kernel(scheduler=scheduler, tracer=vyrd.tracer)
+        multiset = VectorMultiset(size=4, buggy_findslot=buggy)
+        vds = vyrd.wrap(multiset)
+
+        def inserter(ctx, value):
+            yield from vds.insert(ctx, value)
+
+        kernel.spawn(inserter, "a")
+        kernel.spawn(inserter, "b")
+        kernel.run()
+        return vyrd
+
+    return make_run
+
+
+def test_correct_program_verified_over_all_schedules():
+    result = verify_all_schedules(_make_run_factory(False), max_runs=20_000)
+    assert result.exhausted, "schedule space should be coverable at this size"
+    assert result.all_ok, result.summary()
+    assert result.schedules_run > 10  # genuinely many interleavings
+    assert "OK" in result.summary()
+
+
+def test_buggy_program_has_violating_schedules():
+    result = verify_all_schedules(_make_run_factory(True), max_runs=20_000)
+    assert result.exhausted
+    assert not result.all_ok
+    # every reported violation carries a refinement outcome (no crashes)
+    for violation in result.violations:
+        assert violation.outcome is not None
+        assert not violation.outcome.ok
+    # ...and the correct schedules still pass: not everything violates
+    assert len(result.violations) < result.schedules_run
+
+
+def test_violating_schedule_replays_deterministically():
+    result = verify_all_schedules(
+        _make_run_factory(True), max_runs=20_000, stop_at_first=True
+    )
+    assert result.violations
+    schedule = result.violations[0].schedule
+    vyrd, outcome = replay_schedule(_make_run_factory(True), schedule)
+    assert not outcome.ok
+    assert (
+        str(outcome.first_violation)
+        == str(result.violations[0].outcome.first_violation)
+    )
+
+
+def test_stop_at_first_stops_early():
+    full = verify_all_schedules(_make_run_factory(True), max_runs=20_000)
+    stopped = verify_all_schedules(
+        _make_run_factory(True), max_runs=20_000, stop_at_first=True
+    )
+    assert stopped.schedules_run <= full.schedules_run
+    assert len(stopped.violations) == 1
+
+
+def test_budget_limits_runs():
+    result = verify_all_schedules(_make_run_factory(False), max_runs=5)
+    assert result.schedules_run == 5
+    assert not result.exhausted

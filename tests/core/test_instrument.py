@@ -1,0 +1,150 @@
+"""Instrumentation layer: tracer levels, op bracketing, the wrapper."""
+
+import pytest
+
+from repro.concurrency import Kernel, SharedCell
+from repro.core import (
+    BeginCommitBlockAction,
+    CallAction,
+    CommitAction,
+    EndCommitBlockAction,
+    InstrumentationError,
+    InstrumentedDataStructure,
+    Log,
+    ReplayAction,
+    ReturnAction,
+    VyrdTracer,
+    WriteAction,
+    operation,
+)
+
+
+class Toy:
+    """Minimal instrumentable structure."""
+
+    def __init__(self):
+        self.cell = SharedCell("toy.value", 0)
+
+    @operation
+    def bump(self, ctx, amount):
+        value = yield self.cell.read()
+        yield self.cell.write(value + amount, commit=True)
+        return value + amount
+
+    @operation
+    def peek_op(self, ctx):
+        value = yield self.cell.read()
+        return value
+
+    def helper(self, ctx):
+        yield ctx.checkpoint()
+
+
+def _run(level):
+    tracer = VyrdTracer(level=level)
+    toy = Toy()
+    wrapped = InstrumentedDataStructure(toy, tracer)
+    kernel = Kernel(tracer=tracer)
+
+    def body(ctx):
+        yield from wrapped.bump(ctx, 5)
+        yield from wrapped.peek_op(ctx)
+        yield ctx.begin_commit_block()
+        yield ctx.end_commit_block()
+        yield ctx.replay("tag", 1)
+
+    kernel.spawn(body)
+    kernel.run()
+    return tracer.log
+
+
+def test_view_level_logs_everything():
+    log = _run("view")
+    kinds = [type(a).__name__ for a in log]
+    assert kinds == [
+        "CallAction", "WriteAction", "CommitAction", "ReturnAction",
+        "CallAction", "ReturnAction",
+        "BeginCommitBlockAction", "EndCommitBlockAction", "ReplayAction",
+    ]
+
+
+def test_io_level_logs_only_call_return_commit():
+    log = _run("io")
+    kinds = {type(a).__name__ for a in log}
+    assert kinds == {"CallAction", "CommitAction", "ReturnAction"}
+    assert len(log) == 5
+
+
+def test_none_level_logs_nothing():
+    assert len(_run("none")) == 0
+
+
+def test_unknown_level_rejected():
+    with pytest.raises(ValueError):
+        VyrdTracer(level="debug")
+
+
+def test_op_ids_link_call_commit_return():
+    log = _run("view")
+    call, write, commit, ret = log[0], log[1], log[2], log[3]
+    assert call.op_id == write.op_id == commit.op_id == ret.op_id
+    assert call.method == ret.method == "bump"
+    assert call.args == (5,)
+    assert ret.result == 5
+
+
+def test_actions_outside_ops_have_no_op_id():
+    log = _run("view")
+    assert log[6].op_id is None  # begin block after the ops finished
+    assert log[8].op_id is None  # replay action
+
+
+def test_nested_public_operations_rejected():
+    tracer = VyrdTracer(level="io")
+    toy = Toy()
+    wrapped = InstrumentedDataStructure(toy, tracer)
+    kernel = Kernel(tracer=tracer)
+
+    def body(ctx):
+        frame = tracer.begin_op(ctx.tid, "outer", ())
+        yield ctx.checkpoint()
+        with pytest.raises(InstrumentationError):
+            yield from wrapped.bump(ctx, 1)
+        tracer.end_op(ctx.tid, frame, None)
+
+    kernel.spawn(body)
+    kernel.run()
+
+
+def test_wrapper_exposes_only_operations():
+    toy = Toy()
+    wrapped = InstrumentedDataStructure(toy, VyrdTracer())
+    assert wrapped.operations == {"bump", "peek_op"}
+    with pytest.raises(AttributeError):
+        wrapped.helper
+    with pytest.raises(AttributeError):
+        wrapped._private
+    assert wrapped.impl is toy
+
+
+def test_wrapper_requires_operations():
+    class Empty:
+        pass
+
+    with pytest.raises(InstrumentationError):
+        InstrumentedDataStructure(Empty(), VyrdTracer())
+
+
+def test_explicit_method_set_overrides_discovery():
+    toy = Toy()
+    wrapped = InstrumentedDataStructure(toy, VyrdTracer(), methods={"bump"})
+    assert wrapped.operations == {"bump"}
+    with pytest.raises(AttributeError):
+        wrapped.peek_op
+
+
+def test_mismatched_end_op_rejected():
+    tracer = VyrdTracer()
+    frame_a = tracer.begin_op(0, "a", ())
+    with pytest.raises(InstrumentationError):
+        tracer.end_op(1, frame_a, None)  # wrong thread

@@ -1,0 +1,100 @@
+"""Witness-interleaving construction and program-order diagnostics."""
+
+from repro.core import (
+    CallAction,
+    CommitAction,
+    Log,
+    ReturnAction,
+    build_witness,
+    respects_program_order,
+)
+
+
+def _overlapping_log():
+    """Two overlapping sets; the later caller commits first."""
+    return Log([
+        CallAction(0, 0, "set", (1,)),
+        CallAction(1, 1, "set", (2,)),
+        CommitAction(1, 1),
+        CommitAction(0, 0),
+        ReturnAction(1, 1, "set", True),
+        ReturnAction(0, 0, "set", True),
+    ])
+
+
+def test_commit_order_serialization():
+    witness = build_witness(_overlapping_log())
+    assert [e.op_id for e in witness.serialized()] == [1, 0]
+    signatures = [str(s) for s in witness.signatures()]
+    assert signatures == ["t1:set(2) -> True", "t0:set(1) -> True"]
+
+
+def test_execution_records_have_positions():
+    witness = build_witness(_overlapping_log())
+    execution = witness.executions[0]
+    assert execution.call_seq == 0
+    assert execution.commit_seq == 3
+    assert execution.return_seq == 5
+    assert execution.committed and execution.returned
+
+
+def test_overlap_detection():
+    witness = build_witness(_overlapping_log())
+    a, b = witness.executions[0], witness.executions[1]
+    assert a.overlaps(b) and b.overlaps(a)
+
+    sequential = Log([
+        CallAction(0, 0, "set", (1,)),
+        CommitAction(0, 0),
+        ReturnAction(0, 0, "set", True),
+        CallAction(0, 1, "set", (2,)),
+        CommitAction(0, 1),
+        ReturnAction(0, 1, "set", True),
+    ])
+    witness = build_witness(sequential)
+    first, second = witness.executions[0], witness.executions[1]
+    assert not first.overlaps(second)
+
+
+def test_uncommitted_executions_listed():
+    log = Log([
+        CallAction(0, 0, "get", ()),
+        ReturnAction(0, 0, "get", 1),
+        CallAction(1, 1, "set", (2,)),  # incomplete: no commit, no return
+    ])
+    witness = build_witness(log)
+    assert sorted(witness.uncommitted) == [0, 1]
+    assert witness.commit_order == []
+
+
+def test_internal_commits_collected():
+    log = Log([
+        CommitAction(9, None),
+        CallAction(0, 0, "set", (1,)),
+        CommitAction(0, 0),
+        ReturnAction(0, 0, "set", True),
+        CommitAction(9, None),
+    ])
+    witness = build_witness(log)
+    assert witness.internal_commits == [0, 4]
+    assert witness.commit_order == [0]
+
+
+def test_program_order_respected_for_commit_in_window():
+    assert respects_program_order(build_witness(_overlapping_log())) == []
+
+
+def test_program_order_violation_flagged():
+    """A commit logged after the execution's return (a bad annotation)
+    can serialize a later, non-overlapping execution first."""
+    log = Log([
+        CallAction(0, 0, "set", (1,)),
+        ReturnAction(0, 0, "set", True),     # finished...
+        CallAction(1, 1, "set", (2,)),       # ...before this one starts
+        CommitAction(1, 1),
+        ReturnAction(1, 1, "set", True),
+        CommitAction(0, 0),                  # stray late commit
+    ])
+    witness = build_witness(log)
+    problems = respects_program_order(witness)
+    assert problems and "opposite order" in problems[0]

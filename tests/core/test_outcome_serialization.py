@@ -1,0 +1,64 @@
+"""CheckOutcome/Violation serialization and report rendering of lock events."""
+
+import json
+
+from repro.core import (
+    AcquireAction,
+    CallAction,
+    CommitAction,
+    Log,
+    ReadAction,
+    ReleaseAction,
+    ReturnAction,
+    check_log,
+    render_trace,
+)
+from tests.core.test_refinement_unit import RegisterSpec
+
+
+def test_outcome_to_dict_is_json_serializable_on_pass():
+    log = Log([
+        CallAction(0, 0, "set", (5,)),
+        CommitAction(0, 0),
+        ReturnAction(0, 0, "set", True),
+    ])
+    outcome = check_log(log, RegisterSpec(), mode="io")
+    payload = json.loads(json.dumps(outcome.to_dict()))
+    assert payload["ok"] is True
+    assert payload["methods_checked"] == 1
+    assert payload["violations"] == []
+
+
+def test_outcome_to_dict_carries_violation_details():
+    log = Log([
+        CallAction(0, 0, "set", (5,)),
+        CommitAction(0, 0),
+        ReturnAction(0, 0, "set", "bogus"),
+    ])
+    outcome = check_log(log, RegisterSpec(), mode="io")
+    payload = json.loads(json.dumps(outcome.to_dict()))
+    assert payload["ok"] is False
+    violation = payload["violations"][0]
+    assert violation["kind"] == "io-refinement"
+    assert "set" in violation["signature"]
+    assert violation["seq"] == 1
+    assert isinstance(violation["details"], dict)
+
+
+def test_render_trace_shows_lock_and_read_events_with_writes():
+    log = Log([
+        CallAction(0, 0, "m", ()),
+        AcquireAction(0, 0, "mylock"),
+        ReadAction(0, 0, "x"),
+        ReleaseAction(0, 0, "mylock"),
+        AcquireAction(0, 0, "rw", "r"),
+        ReleaseAction(0, 0, "rw", "r"),
+        ReturnAction(0, 0, "m", None),
+    ])
+    detailed = render_trace(log, include_writes=True)
+    assert "acq mylock" in detailed
+    assert "r x" in detailed
+    assert "rel rw:r" in detailed
+    # the default rendering hides them like other fine-grained events
+    compact = render_trace(log)
+    assert "acq" not in compact and "r x" not in compact

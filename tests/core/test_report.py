@@ -1,0 +1,86 @@
+"""Report rendering: trace lanes, witness listing, outcome formatting."""
+
+from repro.core import (
+    CallAction,
+    CommitAction,
+    Log,
+    ReturnAction,
+    Violation,
+    ViolationKind,
+    WriteAction,
+    check_log,
+    format_outcome,
+    format_violation,
+    render_trace,
+    render_witness,
+)
+from tests.core.test_refinement_unit import RegisterSpec
+
+
+def _log():
+    return Log([
+        CallAction(0, 0, "set", (1,)),
+        WriteAction(0, 0, "reg", None, 1),
+        CallAction(1, 1, "get", ()),
+        CommitAction(0, 0),
+        ReturnAction(0, 0, "set", True),
+        ReturnAction(1, 1, "get", 1),
+        CommitAction(2, None),
+    ])
+
+
+def test_render_trace_has_one_lane_per_thread():
+    text = render_trace(_log())
+    header = text.splitlines()[0]
+    assert "thread 0" in header and "thread 1" in header and "thread 2" in header
+    assert "call set(1)" in text
+    assert "ret  get = 1" in text
+    assert "COMMIT (internal)" in text
+    # writes hidden by default
+    assert "reg :=" not in text
+
+
+def test_render_trace_with_writes():
+    text = render_trace(_log(), include_writes=True)
+    assert "w reg := 1" in text
+
+
+def test_render_trace_row_limit():
+    text = render_trace(_log(), max_rows=2)
+    assert "more records" in text
+
+
+def test_render_witness_lists_commit_order():
+    text = render_witness(_log())
+    assert "witness interleaving" in text
+    assert "t0:set(1) -> True" in text
+    assert "uncommitted executions" in text  # the observer
+    assert "internal worker-thread commits" in text
+
+
+def test_format_outcome_pass():
+    outcome = check_log(_log(), RegisterSpec(), mode="io")
+    text = format_outcome(outcome, title="demo")
+    assert "PASS" in text
+    assert "methods checked: 2" in text
+
+
+def test_format_outcome_fail_lists_violations():
+    bad = Log([
+        CallAction(0, 0, "set", (1,)),
+        CommitAction(0, 0),
+        ReturnAction(0, 0, "set", "nope"),
+    ])
+    outcome = check_log(bad, RegisterSpec(), mode="io")
+    text = format_outcome(outcome)
+    assert "FAIL" in text
+    assert "io-refinement" in text
+
+
+def test_format_violation_includes_details():
+    violation = Violation(
+        ViolationKind.VIEW, 12, "mismatch", None, {"diff": {"k": (1, 2)}}
+    )
+    text = format_violation(violation)
+    assert "view-refinement@12" in text
+    assert "diff" in text

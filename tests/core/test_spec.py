@@ -1,0 +1,142 @@
+"""Specification framework: decorators, dispatch, AnyOf, atomized specs."""
+
+import pytest
+
+from repro.core import (
+    AnyOf,
+    AtomizedSpec,
+    SpecError,
+    SpecReject,
+    Specification,
+    allows,
+    mutator,
+    observer,
+)
+from repro.multiset import FAILURE, SUCCESS, VectorMultiset
+
+
+class CounterSpec(Specification):
+    def __init__(self):
+        self.value = 0
+
+    @mutator
+    def increment(self, amount, *, result):
+        if result is not True:
+            raise SpecReject("increment always succeeds")
+        self.value += amount
+
+    @observer
+    def get(self):
+        return self.value
+
+    def view(self):
+        return {"value": self.value}
+
+
+def test_method_kind_lookup():
+    spec = CounterSpec()
+    assert spec.method_kind("increment") == "mutator"
+    assert spec.method_kind("get") == "observer"
+    with pytest.raises(SpecError):
+        spec.method_kind("missing")
+
+
+def test_methods_enumeration():
+    assert CounterSpec().methods() == {"increment": "mutator", "get": "observer"}
+
+
+def test_run_mutator_updates_state():
+    spec = CounterSpec()
+    spec.run_mutator("increment", (5,), True)
+    assert spec.value == 5
+    with pytest.raises(SpecReject):
+        spec.run_mutator("increment", (1,), False)
+
+
+def test_run_mutator_wrong_kind():
+    spec = CounterSpec()
+    with pytest.raises(SpecError):
+        spec.run_mutator("get", (), None)
+    with pytest.raises(SpecError):
+        spec.run_observer("increment", (1,))
+
+
+def test_run_observer():
+    spec = CounterSpec()
+    assert spec.run_observer("get", ()) == 0
+
+
+def test_view_default_raises():
+    class NoView(Specification):
+        @mutator
+        def m(self, *, result):
+            pass
+
+    with pytest.raises(SpecError):
+        NoView().view()
+
+
+def test_anyof_matching():
+    answers = AnyOf({1, 2})
+    assert 1 in answers and 2 in answers and 3 not in answers
+    assert allows(answers, 2)
+    assert not allows(answers, 3)
+    assert allows(5, 5)
+    assert not allows(5, 6)
+    assert AnyOf({1}) == AnyOf([1])
+    assert hash(AnyOf({1})) == hash(AnyOf({1}))
+
+
+# -- AtomizedSpec (section 4.4) -----------------------------------------------
+
+
+def _atomized_multiset():
+    return AtomizedSpec(
+        VectorMultiset(size=4),
+        no_op_results=frozenset({FAILURE}),
+    )
+
+
+def test_atomized_spec_accepts_matching_results():
+    spec = _atomized_multiset()
+    spec.run_mutator("insert", (3,), SUCCESS)
+    assert spec.run_observer("lookup", (3,)) is True
+    assert spec.run_observer("lookup", (4,)) is False
+
+
+def test_atomized_spec_rolls_back_allowed_failures():
+    spec = _atomized_multiset()
+    # atomically, insert succeeds; the observed 'failure' is an allowed
+    # contention outcome, so the state must be rolled back
+    spec.run_mutator("insert", (7,), FAILURE)
+    assert spec.run_observer("lookup", (7,)) is False
+
+
+def test_atomized_spec_rejects_impossible_results():
+    spec = _atomized_multiset()
+    with pytest.raises(SpecReject):
+        spec.run_mutator("delete", (42,), True)  # deleting an absent element
+
+
+def test_atomized_spec_method_kinds():
+    spec = _atomized_multiset()
+    assert spec.method_kind("insert") == "mutator"
+    assert spec.method_kind("lookup") == "observer"
+    with pytest.raises(SpecError):
+        spec.method_kind("nope")
+    assert spec.methods() == VectorMultiset.VYRD_METHODS
+
+
+def test_atomized_spec_view():
+    spec = _atomized_multiset()
+    spec.run_mutator("insert", (1,), SUCCESS)
+    spec.run_mutator("insert", (1,), SUCCESS)
+    assert spec.view() == {1: 2}
+
+
+def test_atomized_spec_genuinely_full_failure():
+    spec = AtomizedSpec(VectorMultiset(size=1), no_op_results=frozenset({FAILURE}))
+    spec.run_mutator("insert", (1,), SUCCESS)
+    # the array is full: the atomized run also fails, results match
+    spec.run_mutator("insert", (2,), FAILURE)
+    assert spec.run_observer("lookup", (1,)) is True

@@ -1,0 +1,111 @@
+"""The Vyrd facade: offline checking, online verification thread, modes."""
+
+import pytest
+
+from repro import Kernel, Vyrd
+from repro.multiset import MultisetSpec, VectorMultiset, multiset_view
+
+
+def _session(mode="view", log_level=None):
+    return Vyrd(
+        spec_factory=MultisetSpec,
+        mode=mode,
+        impl_view_factory=multiset_view if mode == "view" else None,
+        log_level=log_level,
+    )
+
+
+def _spawn_workload(vyrd, seed=0, buggy=False):
+    kernel = Kernel(seed=seed, tracer=vyrd.tracer)
+    ds = VectorMultiset(size=8, buggy_findslot=buggy)
+    vds = vyrd.wrap(ds)
+
+    def worker(ctx, values):
+        for v in values:
+            yield from vds.insert_pair(ctx, v, v + 100)
+            yield from vds.lookup(ctx, v)
+
+    kernel.spawn(worker, [1, 2])
+    kernel.spawn(worker, [3, 4])
+    return kernel
+
+
+def test_view_mode_requires_view_factory():
+    with pytest.raises(ValueError):
+        Vyrd(spec_factory=MultisetSpec, mode="view")
+
+
+def test_log_level_defaults_follow_mode():
+    assert _session("view").tracer.level == "view"
+    assert _session("io").tracer.level == "io"
+    assert _session("view", log_level="none").tracer.level == "none"
+
+
+def test_offline_check_passes_on_correct_run():
+    vyrd = _session()
+    kernel = _spawn_workload(vyrd)
+    kernel.run()
+    outcome = vyrd.check_offline()
+    assert outcome.ok
+    assert outcome.methods_checked == 8
+
+
+def test_offline_check_is_repeatable():
+    vyrd = _session()
+    _spawn_workload(vyrd).run()
+    first = vyrd.check_offline()
+    second = vyrd.check_offline()
+    assert first.ok == second.ok
+    assert first.methods_checked == second.methods_checked
+
+
+def test_check_offline_with_mode_io_on_view_log():
+    vyrd = _session("view")
+    _spawn_workload(vyrd).run()
+    io_outcome = vyrd.check_offline_with_mode("io")
+    view_outcome = vyrd.check_offline_with_mode("view")
+    assert io_outcome.ok and view_outcome.ok
+    assert io_outcome.methods_checked == view_outcome.methods_checked
+
+
+def test_online_verifier_matches_offline():
+    for seed in range(5):
+        vyrd = _session()
+        kernel = _spawn_workload(vyrd, seed=seed)
+        verifier = vyrd.start_online(kernel)
+        kernel.run()
+        online = verifier.finalize()
+        offline = vyrd.check_offline()
+        assert online.ok == offline.ok
+        assert online.methods_checked == offline.methods_checked
+
+
+def test_online_verifier_detects_during_run():
+    detected_seed = None
+    for seed in range(40):
+        vyrd = _session()
+        kernel = _spawn_workload(vyrd, seed=seed, buggy=True)
+        verifier = vyrd.start_online(kernel)
+        kernel.run()
+        outcome = verifier.finalize()
+        if not outcome.ok:
+            detected_seed = seed
+            assert verifier.detected
+            break
+    assert detected_seed is not None, "buggy FindSlot never detected online"
+
+
+def test_online_finalize_idempotent():
+    vyrd = _session()
+    kernel = _spawn_workload(vyrd)
+    verifier = vyrd.start_online(kernel)
+    kernel.run()
+    assert verifier.finalize() is verifier.finalize()
+
+
+def test_io_mode_session_produces_smaller_log():
+    view_session = _session("view")
+    _spawn_workload(view_session).run()
+    io_session = _session("io")
+    _spawn_workload(io_session).run()
+    assert len(io_session.log) < len(view_session.log)

@@ -1,0 +1,149 @@
+"""View machinery: full recompute, incremental contributions, canonical forms."""
+
+from repro.core import (
+    ContributionView,
+    FunctionView,
+    ReplayState,
+    canonical_bag,
+    canonical_map,
+    prefix_unit,
+)
+
+
+def _bag_view():
+    def contribute(state, unit):
+        if state.get(f"{unit}.valid"):
+            return (state.get(f"{unit}.elt"), 1)
+        return None
+
+    return ContributionView(
+        unit_of=prefix_unit("A[", stop="."),
+        contribute=contribute,
+        aggregate="count",
+    )
+
+
+def test_prefix_unit_mapping():
+    unit_of = prefix_unit("A[", stop=".")
+    assert unit_of("A[3].elt") == "A[3]"
+    assert unit_of("A[3].valid") == "A[3]"
+    assert unit_of("A[12]") == "A[12]"
+    assert unit_of("B[3].elt") is None
+
+
+def test_canonical_helpers():
+    assert canonical_map({"k": 1}) == {"k": (1,)}
+    assert canonical_bag({"a": 2, "b": 0}) == {"a": 2}
+
+
+def test_function_view_recomputes():
+    view = FunctionView(lambda state: dict(state.items_with_prefix("x")))
+    state = ReplayState()
+    state.apply_write(0, "x1", None, 1)
+    assert view.refresh(state.effective(None)) == {"x1": 1}
+    state.apply_write(0, "x2", None, 2)
+    assert view.compute_full(state.effective(None)) == {"x1": 1, "x2": 2}
+    view.on_write("x1")  # no-op, but part of the interface
+
+
+def test_contribution_view_incremental_updates():
+    view = _bag_view()
+    state = ReplayState()
+
+    def write(loc, value):
+        state.apply_write(0, loc, state.get(loc), value)
+        view.on_write(loc)
+
+    write("A[0].elt", "x")
+    write("A[0].valid", True)
+    assert view.refresh(state.effective(None)) == {"x": 1}
+    write("A[1].elt", "x")
+    write("A[1].valid", True)
+    assert view.refresh(state.effective(None)) == {"x": 2}
+    write("A[0].valid", False)
+    assert view.refresh(state.effective(None)) == {"x": 1}
+    # value() returns the cached result without refreshing
+    assert view.value() == {"x": 1}
+
+
+def test_contribution_view_ignores_unrelated_writes():
+    view = _bag_view()
+    state = ReplayState()
+    state.apply_write(0, "other.loc", None, 5)
+    view.on_write("other.loc")
+    assert view.refresh(state.effective(None)) == {}
+
+
+def test_contribution_view_full_matches_incremental():
+    view = _bag_view()
+    state = ReplayState()
+    writes = [
+        ("A[0].elt", "a"), ("A[0].valid", True),
+        ("A[1].elt", "b"), ("A[1].valid", True),
+        ("A[2].elt", "a"), ("A[2].valid", True),
+        ("A[1].valid", False),
+        ("A[2].elt", "c"),
+    ]
+    for loc, value in writes:
+        state.apply_write(0, loc, state.get(loc), value)
+        view.on_write(loc)
+        incremental = view.refresh(state.effective(None))
+        assert incremental == view.compute_full(state.effective(None))
+
+
+def test_contribution_view_list_aggregate_shows_duplicates():
+    def contribute(state, unit):
+        value = state.get(f"{unit}.kv")
+        return value  # (key, payload) or None
+
+    view = ContributionView(
+        unit_of=prefix_unit("n", stop="."),
+        contribute=contribute,
+        aggregate="list",
+    )
+    state = ReplayState()
+    state.apply_write(0, "n1.kv", None, ("k", "v1"))
+    view.on_write("n1.kv")
+    state.apply_write(0, "n2.kv", None, ("k", "v2"))
+    view.on_write("n2.kv")
+    assert view.refresh(state.effective(None)) == {"k": ("v1", "v2")}
+    # a spec with unique keys can never produce a two-element tuple
+    assert canonical_map({"k": "v2"}) != view.value()
+
+
+def test_extra_dirty_locs_stay_dirty_until_blocks_close():
+    """Locations shadowed by an open commit block are recomputed with the
+    rolled-back value at every commit, and again after the block closes."""
+    view = _bag_view()
+    state = ReplayState()
+    state.apply_write(0, "A[0].elt", None, "x")
+    state.apply_write(0, "A[0].valid", None, True)
+    view.on_write("A[0].elt")
+    view.on_write("A[0].valid")
+    assert view.refresh(state.effective(None)) == {"x": 1}
+
+    # thread 1 opens a block and flips the slot to y (uncommitted)
+    state.begin_block(1)
+    state.apply_write(1, "A[0].elt", "x", "y")
+    view.on_write("A[0].elt")
+
+    # thread 0 commits: must see x, not y
+    extra = state.open_block_locs(excluding_tid=0)
+    assert view.refresh(state.effective(0), extra) == {"x": 1}
+
+    # thread 1 commits: sees its own y
+    extra = state.open_block_locs(excluding_tid=1)
+    assert view.refresh(state.effective(1), extra) == {"y": 1}
+
+    # block closes with no further writes; a later commit must see y
+    state.end_block(1)
+    extra = state.open_block_locs(excluding_tid=0)
+    assert view.refresh(state.effective(0), extra) == {"y": 1}
+
+
+def test_aggregate_mode_validation():
+    import pytest
+
+    with pytest.raises(ValueError):
+        ContributionView(unit_of=lambda loc: None, contribute=lambda s, u: None,
+                         aggregate="bogus")

@@ -1,0 +1,72 @@
+"""Experiment drivers: detection, logging-overhead and breakdown results."""
+
+from repro.harness import (
+    breakdown_experiment,
+    detection_experiment,
+    logging_overhead_experiment,
+    render_table,
+    run_program,
+)
+
+
+def test_detection_experiment_shapes():
+    result = detection_experiment(
+        "multiset-vector", num_threads=4, calls_per_thread=40, seeds=range(4)
+    )
+    assert result.runs == 4
+    assert result.view_detections, "view refinement should detect the FindSlot bug"
+    assert result.view_mean is not None
+    if result.io_mean is not None:
+        assert result.view_mean <= result.io_mean
+    assert result.cpu_ratio is not None and result.cpu_ratio > 0
+
+
+def test_detection_experiment_observer_bug_equal_modes():
+    result = detection_experiment(
+        "java-vector", num_threads=4, calls_per_thread=50, seeds=range(4),
+        require_both=True,
+    )
+    if result.io_detections:
+        assert result.io_detections == result.view_detections
+
+
+def test_logging_overhead_ordering():
+    result = logging_overhead_experiment(
+        "cache", num_threads=4, calls_per_thread=25, seeds=range(2)
+    )
+    assert result.program_alone > 0
+    # view-level logging records strictly more than io-level logging
+    assert result.view_logging >= result.io_logging >= 0
+    assert result.io_total >= result.program_alone
+
+
+def test_breakdown_ordering():
+    result = breakdown_experiment(
+        "stringbuffer", num_threads=4, calls_per_thread=20, seeds=range(2)
+    )
+    assert result.prog_alone > 0
+    assert result.prog_logging >= result.prog_alone * 0.5  # same order of magnitude
+    # online checking adds work on top of logging
+    assert result.prog_logging_online_vyrd > result.prog_logging
+    assert result.vyrd_offline > 0
+
+
+def test_online_run_detects_buggy_program():
+    detected = False
+    for seed in range(30):
+        result = run_program(
+            "multiset-vector", buggy=True, num_threads=4, calls_per_thread=40,
+            seed=seed, online=True,
+        )
+        if not result.online_outcome.ok:
+            detected = True
+            break
+    assert detected
+
+
+def test_render_table_formats_rows():
+    text = render_table(
+        "Demo", ["prog", "value"], [["a", 1.5], ["b", None]]
+    )
+    assert "== Demo ==" in text
+    assert "prog" in text and "a" in text

@@ -1,0 +1,58 @@
+"""Harness workloads: program registry and correctness of correct builds."""
+
+import pytest
+
+from repro.harness import PROGRAMS, ShrinkingPool, run_program
+
+
+def test_registry_covers_table1_rows():
+    assert set(PROGRAMS) >= {
+        "multiset-vector",
+        "multiset-tree",
+        "java-vector",
+        "stringbuffer",
+        "blinktree",
+        "cache",
+    }
+    assert PROGRAMS["cache"].bug == "Writing an unprotected dirty cache entry"
+
+
+def test_shrinking_pool_focuses_over_time():
+    import random
+
+    pool = ShrinkingPool(100, random.Random(0), min_size=5)
+    early = [pool.draw() for _ in range(50)]
+    for _ in range(2000):
+        pool.draw()
+    late = [pool.draw() for _ in range(50)]
+    assert max(late) < 100
+    assert max(late) <= max(max(early), 25)  # focused on the low region
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_correct_programs_pass_verification(name):
+    result = run_program(name, buggy=False, num_threads=4, calls_per_thread=25, seed=5)
+    outcome = result.vyrd.check_offline()
+    assert outcome.ok, str(outcome.first_violation)
+    assert outcome.methods_checked > 0
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_runs_are_reproducible(name):
+    first = run_program(name, buggy=False, num_threads=3, calls_per_thread=15, seed=9)
+    second = run_program(name, buggy=False, num_threads=3, calls_per_thread=15, seed=9)
+    assert list(first.log) == list(second.log)
+
+
+def test_logging_level_none_produces_empty_log():
+    result = run_program("multiset-tree", num_threads=2, calls_per_thread=10,
+                         seed=0, log_level="none")
+    assert len(result.log) == 0
+
+
+def test_io_level_log_subset_of_view_level():
+    io_run = run_program("multiset-tree", num_threads=2, calls_per_thread=10,
+                         seed=0, log_level="io")
+    view_run = run_program("multiset-tree", num_threads=2, calls_per_thread=10,
+                           seed=0, log_level="view")
+    assert 0 < len(io_run.log) < len(view_run.log)

@@ -1,0 +1,151 @@
+"""StringBuffer port: semantics and the unprotected-append bug (Table 1 row 4)."""
+
+from repro import Kernel, ViolationKind, Vyrd
+from repro.concurrency import RoundRobinScheduler
+from repro.javalib import StringBufferSpec, StringBufferSystem, stringbuffer_view
+from tests.conftest import find_detecting_seed
+
+
+def _sequential(ds, script):
+    kernel = Kernel(scheduler=RoundRobinScheduler())
+    results = []
+
+    def body(ctx):
+        yield from script(ctx, results)
+
+    kernel.spawn(body)
+    kernel.run()
+    return results
+
+
+def test_append_str_and_to_string():
+    ds = StringBufferSystem(capacity=8)
+
+    def script(ctx, results):
+        results.append((yield from ds.append_str(ctx, "dst", "abc")))
+        results.append((yield from ds.to_string(ctx, "dst")))
+        results.append((yield from ds.length_of(ctx, "dst")))
+
+    assert _sequential(ds, script) == [True, "abc", 3]
+    assert ds.text("dst") == "abc"
+
+
+def test_append_str_respects_capacity():
+    ds = StringBufferSystem(capacity=4)
+
+    def script(ctx, results):
+        results.append((yield from ds.append_str(ctx, "dst", "abc")))
+        results.append((yield from ds.append_str(ctx, "dst", "de")))
+
+    assert _sequential(ds, script) == [True, False]
+    assert ds.text("dst") == "abc"
+
+
+def test_append_buffer_copies_source():
+    ds = StringBufferSystem()
+
+    def script(ctx, results):
+        yield from ds.append_str(ctx, "src", "hello")
+        yield from ds.append_str(ctx, "dst", ">>")
+        results.append((yield from ds.append_buffer(ctx, "dst", "src")))
+        results.append((yield from ds.to_string(ctx, "dst")))
+
+    assert _sequential(ds, script) == [True, ">>hello"]
+
+
+def test_delete_shifts_and_leaves_stale_tail():
+    ds = StringBufferSystem()
+
+    def script(ctx, results):
+        yield from ds.append_str(ctx, "src", "abcdef")
+        results.append((yield from ds.delete(ctx, "src", 1, 3)))
+        results.append((yield from ds.to_string(ctx, "src")))
+
+    assert _sequential(ds, script) == [True, "adef"]
+    # Java-style: characters beyond the new length are stale, not cleared
+    assert ds.buffers["src"].data[4].peek() == "e"
+
+
+def test_delete_invalid_range_fails():
+    ds = StringBufferSystem()
+
+    def script(ctx, results):
+        yield from ds.append_str(ctx, "src", "ab")
+        results.append((yield from ds.delete(ctx, "src", 3, 5)))
+        results.append((yield from ds.delete(ctx, "src", 2, 1)))
+
+    assert _sequential(ds, script) == [False, False]
+
+
+def _buggy_run(seed):
+    vyrd = Vyrd(
+        spec_factory=lambda: StringBufferSpec(capacity=64),
+        mode="view",
+        impl_view_factory=stringbuffer_view,
+        log_level="view",
+    )
+    kernel = Kernel(seed=seed, tracer=vyrd.tracer)
+    ds = StringBufferSystem(capacity=64, buggy_append=True)
+    vds = vyrd.wrap(ds)
+
+    def appender(ctx):
+        for _ in range(6):
+            yield from vds.append_buffer(ctx, "dst", "src")
+
+    def shrinker(ctx):
+        for _ in range(6):
+            yield from vds.append_str(ctx, "src", "abcd")
+            yield from vds.delete(ctx, "src", 0, 3)
+
+    def observer_thread(ctx):
+        for _ in range(10):
+            yield from vds.to_string(ctx, "dst")
+
+    kernel.spawn(appender)
+    kernel.spawn(shrinker)
+    kernel.spawn(observer_thread)
+    kernel.run()
+    return vyrd
+
+
+def test_buggy_append_detected_by_view_refinement():
+    seed, outcome = find_detecting_seed(lambda s: _buggy_run(s).check_offline())
+    assert outcome.first_violation.kind is ViolationKind.VIEW
+
+
+def test_state_corrupting_bug_view_no_later_than_io():
+    compared = []
+    for seed in range(40):
+        vyrd = _buggy_run(seed)
+        io_outcome = vyrd.check_offline_with_mode("io")
+        view_outcome = vyrd.check_offline_with_mode("view")
+        if not view_outcome.ok and not io_outcome.ok:
+            compared.append(
+                (view_outcome.detection_method_count, io_outcome.detection_method_count)
+            )
+    assert compared
+    assert all(view_at <= io_at for view_at, io_at in compared)
+
+
+def test_correct_append_clean_under_same_contention():
+    for seed in range(10):
+        vyrd = Vyrd(spec_factory=lambda: StringBufferSpec(capacity=64), mode="view",
+                    impl_view_factory=stringbuffer_view)
+        kernel = Kernel(seed=seed, tracer=vyrd.tracer)
+        ds = StringBufferSystem(capacity=64)
+        vds = vyrd.wrap(ds)
+
+        def appender(ctx):
+            for _ in range(6):
+                yield from vds.append_buffer(ctx, "dst", "src")
+
+        def shrinker(ctx):
+            for _ in range(6):
+                yield from vds.append_str(ctx, "src", "abcd")
+                yield from vds.delete(ctx, "src", 0, 3)
+
+        kernel.spawn(appender)
+        kernel.spawn(shrinker)
+        kernel.run()
+        outcome = vyrd.check_offline()
+        assert outcome.ok, (seed, str(outcome.first_violation))

@@ -1,0 +1,153 @@
+"""java.util.Vector port: semantics and the lastIndexOf bug (Table 1 row 3)."""
+
+from repro import Kernel, ViolationKind, Vyrd
+from repro.concurrency import RoundRobinScheduler
+from repro.javalib import IOOBE, JavaVector, VectorSpec, vector_view
+from tests.conftest import find_detecting_seed
+
+
+def _sequential(ds, script):
+    kernel = Kernel(scheduler=RoundRobinScheduler())
+    results = []
+
+    def body(ctx):
+        yield from script(ctx, results)
+
+    kernel.spawn(body)
+    kernel.run()
+    return results
+
+
+def test_add_size_element_at():
+    ds = JavaVector(capacity=4)
+
+    def script(ctx, results):
+        results.append((yield from ds.add_element(ctx, "a")))
+        results.append((yield from ds.add_element(ctx, "b")))
+        results.append((yield from ds.size(ctx)))
+        results.append((yield from ds.element_at(ctx, 1)))
+        results.append((yield from ds.element_at(ctx, 5)))
+
+    assert _sequential(ds, script) == [True, True, 2, "b", IOOBE]
+    assert ds.contents() == ("a", "b")
+
+
+def test_add_fails_when_full():
+    ds = JavaVector(capacity=1)
+
+    def script(ctx, results):
+        results.append((yield from ds.add_element(ctx, 1)))
+        results.append((yield from ds.add_element(ctx, 2)))
+
+    assert _sequential(ds, script) == [True, False]
+
+
+def test_remove_all_clears():
+    ds = JavaVector()
+
+    def script(ctx, results):
+        yield from ds.add_element(ctx, 1)
+        yield from ds.add_element(ctx, 2)
+        results.append((yield from ds.remove_all_elements(ctx)))
+        results.append((yield from ds.size(ctx)))
+
+    assert _sequential(ds, script) == [None, 0]
+    assert ds.contents() == ()
+
+
+def test_last_index_of_finds_last_occurrence():
+    ds = JavaVector()
+
+    def script(ctx, results):
+        for value in ("x", "y", "x"):
+            yield from ds.add_element(ctx, value)
+        results.append((yield from ds.last_index_of(ctx, "x")))
+        results.append((yield from ds.last_index_of(ctx, "z")))
+
+    assert _sequential(ds, script) == [2, -1]
+
+
+def test_empty_vector_last_index_of_is_minus_one_even_buggy():
+    ds = JavaVector(buggy_last_index_of=True)
+
+    def script(ctx, results):
+        results.append((yield from ds.last_index_of(ctx, "x")))
+
+    assert _sequential(ds, script) == [-1]
+
+
+def _buggy_run(seed, mode):
+    vyrd = Vyrd(
+        spec_factory=lambda: VectorSpec(capacity=16),
+        mode=mode,
+        impl_view_factory=vector_view if mode == "view" else None,
+        log_level="view",
+    )
+    kernel = Kernel(seed=seed, tracer=vyrd.tracer)
+    ds = JavaVector(capacity=16, buggy_last_index_of=True)
+    vds = vyrd.wrap(ds)
+
+    def adder(ctx):
+        for _ in range(6):
+            yield from vds.add_element(ctx, "v")
+            yield from vds.remove_all_elements(ctx)
+
+    def reader(ctx):
+        for _ in range(8):
+            yield from vds.last_index_of(ctx, "v")
+
+    kernel.spawn(adder)
+    kernel.spawn(reader)
+    kernel.run()
+    return vyrd
+
+
+def test_last_index_of_bug_detected_as_ioobe():
+    seed, outcome = find_detecting_seed(
+        lambda s: _buggy_run(s, "io").check_offline()
+    )
+    violation = outcome.first_violation
+    assert violation.kind is ViolationKind.OBSERVER
+    assert violation.signature.result == IOOBE
+
+
+def test_observer_bug_gives_view_no_advantage():
+    """Table 1's footnote: the Vector bug is in an observer and does not
+    corrupt state, so view refinement detects it no earlier than I/O."""
+    compared = []
+    for seed in range(60):
+        vyrd = _buggy_run(seed, "view")
+        io_outcome = vyrd.check_offline_with_mode("io")
+        view_outcome = vyrd.check_offline_with_mode("view")
+        assert io_outcome.ok == view_outcome.ok
+        if not io_outcome.ok:
+            compared.append(
+                (io_outcome.detection_method_count, view_outcome.detection_method_count)
+            )
+    assert compared, "bug never triggered"
+    assert all(io_at == view_at for io_at, view_at in compared)
+
+
+def test_correct_vector_clean_under_contention():
+    for seed in range(8):
+        vyrd = Vyrd(spec_factory=lambda: VectorSpec(capacity=16), mode="view",
+                    impl_view_factory=vector_view)
+        kernel = Kernel(seed=seed, tracer=vyrd.tracer)
+        ds = JavaVector(capacity=16)
+        vds = vyrd.wrap(ds)
+
+        def adder(ctx):
+            for _ in range(6):
+                yield from vds.add_element(ctx, "v")
+                yield from vds.remove_all_elements(ctx)
+
+        def reader(ctx):
+            for _ in range(8):
+                yield from vds.last_index_of(ctx, "v")
+                yield from vds.element_at(ctx, 0)
+
+        kernel.spawn(adder)
+        kernel.spawn(reader)
+        kernel.run()
+        outcome = vyrd.check_offline()
+        assert outcome.ok, (seed, str(outcome.first_violation))

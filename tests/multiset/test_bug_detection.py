@@ -1,0 +1,173 @@
+"""Detection of the seeded multiset bugs (Table 1 rows 1-2, Fig. 6)."""
+
+from repro import Kernel, ViolationKind, Vyrd
+from repro.multiset import (
+    MultisetSpec,
+    TreeMultiset,
+    VectorMultiset,
+    multiset_view,
+    tree_multiset_view,
+)
+from tests.conftest import find_detecting_seed
+
+
+def _fig6_run(seed, mode):
+    """The paper's Fig. 6 scenario: two InsertPairs race in buggy FindSlot,
+    followed by the LookUps that make the error I/O-visible."""
+    vyrd = Vyrd(
+        spec_factory=MultisetSpec,
+        mode=mode,
+        impl_view_factory=multiset_view if mode == "view" else None,
+    )
+    kernel = Kernel(seed=seed, tracer=vyrd.tracer)
+    ds = VectorMultiset(size=8, buggy_findslot=True)
+    vds = vyrd.wrap(ds)
+
+    def t1(ctx):
+        yield from vds.insert_pair(ctx, 5, 6)
+        yield from vds.lookup(ctx, 5)
+
+    def t2(ctx):
+        yield from vds.insert_pair(ctx, 7, 8)
+
+    def t3(ctx):
+        for key in (5, 6, 7, 8):
+            yield from vds.lookup(ctx, key)
+
+    kernel.spawn(t1)
+    kernel.spawn(t2)
+    kernel.spawn(t3)
+    kernel.run()
+    return vyrd.check_offline()
+
+
+def test_fig6_bug_detected_by_view_refinement():
+    seed, outcome = find_detecting_seed(lambda s: _fig6_run(s, "view"))
+    assert outcome.first_violation.kind in (ViolationKind.VIEW, ViolationKind.OBSERVER)
+
+
+def test_fig6_bug_detected_by_io_refinement():
+    seed, outcome = find_detecting_seed(lambda s: _fig6_run(s, "io"), seeds=range(200))
+    assert outcome.first_violation.kind is ViolationKind.OBSERVER
+
+
+def test_view_detects_fig6_without_any_lookups():
+    """Section 5's central claim: with no observer calls at all, I/O
+    refinement passes trivially while view refinement still detects the
+    corruption."""
+
+    def run(seed, mode):
+        vyrd = Vyrd(
+            spec_factory=MultisetSpec,
+            mode=mode,
+            impl_view_factory=multiset_view if mode == "view" else None,
+            log_level="view",
+        )
+        kernel = Kernel(seed=seed, tracer=vyrd.tracer)
+        ds = VectorMultiset(size=8, buggy_findslot=True)
+        vds = vyrd.wrap(ds)
+
+        def t1(ctx):
+            yield from vds.insert_pair(ctx, 5, 6)
+
+        def t2(ctx):
+            yield from vds.insert_pair(ctx, 7, 8)
+
+        kernel.spawn(t1)
+        kernel.spawn(t2)
+        kernel.run()
+        return vyrd
+
+    seed, _ = find_detecting_seed(lambda s: run(s, "view").check_offline())
+    vyrd = run(seed, "view")
+    assert not vyrd.check_offline_with_mode("view").ok
+    assert vyrd.check_offline_with_mode("io").ok  # trivially passes
+
+
+def test_view_detects_earlier_than_io_on_same_trace():
+    """On a trace where both detect, view's methods-to-detection is <= IO's."""
+    detected = []
+    for seed in range(80):
+        vyrd = Vyrd(
+            spec_factory=MultisetSpec,
+            mode="view",
+            impl_view_factory=multiset_view,
+        )
+        kernel = Kernel(seed=seed, tracer=vyrd.tracer)
+        ds = VectorMultiset(size=8, buggy_findslot=True)
+        vds = vyrd.wrap(ds)
+
+        def t1(ctx):
+            yield from vds.insert_pair(ctx, 5, 6)
+            yield from vds.lookup(ctx, 5)
+            yield from vds.lookup(ctx, 6)
+
+        def t2(ctx):
+            yield from vds.insert_pair(ctx, 7, 8)
+            yield from vds.lookup(ctx, 7)
+            yield from vds.lookup(ctx, 8)
+
+        kernel.spawn(t1)
+        kernel.spawn(t2)
+        kernel.run()
+        io_outcome = vyrd.check_offline_with_mode("io")
+        view_outcome = vyrd.check_offline_with_mode("view")
+        if not io_outcome.ok and not view_outcome.ok:
+            detected.append(
+                (view_outcome.detection_method_count, io_outcome.detection_method_count)
+            )
+    assert detected, "bug never triggered in both modes"
+    assert all(view_at <= io_at for view_at, io_at in detected)
+
+
+def test_tree_bug_detected_and_explains_lost_subtree():
+    def run(seed):
+        vyrd = Vyrd(
+            spec_factory=lambda: MultisetSpec(strict_delete=True),
+            mode="view",
+            impl_view_factory=tree_multiset_view,
+        )
+        kernel = Kernel(seed=seed, tracer=vyrd.tracer)
+        ds = TreeMultiset(buggy_unlock_parent=True)
+        vds = vyrd.wrap(ds)
+
+        def worker(values):
+            def body(ctx):
+                for value in values:
+                    yield from vds.insert(ctx, value)
+
+            return body
+
+        kernel.spawn(worker([3, 1, 5]))
+        kernel.spawn(worker([2, 4, 6]))
+        kernel.run()
+        return vyrd.check_offline()
+
+    seed, outcome = find_detecting_seed(run)
+    violation = outcome.first_violation
+    assert violation.kind is ViolationKind.VIEW
+    diff = violation.details["diff"]
+    # the spec has keys the (replayed) implementation lost, or counts differ
+    assert diff["only_in_viewS"] or diff["differing (viewI, viewS)"]
+
+
+def test_correct_variants_pass_same_scenarios():
+    """The exact scenarios above, with bugs disabled, are clean."""
+    for seed in range(10):
+        vyrd = Vyrd(spec_factory=MultisetSpec, mode="view",
+                    impl_view_factory=multiset_view)
+        kernel = Kernel(seed=seed, tracer=vyrd.tracer)
+        ds = VectorMultiset(size=8)
+        vds = vyrd.wrap(ds)
+
+        def t1(ctx):
+            yield from vds.insert_pair(ctx, 5, 6)
+            yield from vds.lookup(ctx, 5)
+
+        def t2(ctx):
+            yield from vds.insert_pair(ctx, 7, 8)
+
+        kernel.spawn(t1)
+        kernel.spawn(t2)
+        kernel.run()
+        assert vyrd.check_offline().ok

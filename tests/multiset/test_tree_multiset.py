@@ -1,0 +1,151 @@
+"""Tree multiset: sequential semantics, lock coupling, compression."""
+
+import random
+
+from repro import Kernel
+from repro.concurrency import RoundRobinScheduler
+from repro.multiset import MultisetSpec, SUCCESS, TreeMultiset, tree_multiset_view
+from tests.conftest import run_session
+
+
+def _sequential(ds, script):
+    kernel = Kernel(scheduler=RoundRobinScheduler())
+    results = []
+
+    def body(ctx):
+        yield from script(ctx, results)
+
+    kernel.spawn(body)
+    kernel.run()
+    return results
+
+
+def test_insert_lookup_delete():
+    ds = TreeMultiset()
+
+    def script(ctx, results):
+        for key in (5, 3, 8, 5):
+            results.append((yield from ds.insert(ctx, key)))
+        results.append((yield from ds.lookup(ctx, 5)))
+        results.append((yield from ds.delete(ctx, 5)))
+        results.append((yield from ds.lookup(ctx, 5)))  # still one 5 left
+        results.append((yield from ds.delete(ctx, 5)))
+        results.append((yield from ds.lookup(ctx, 5)))
+        results.append((yield from ds.delete(ctx, 99)))
+
+    results = _sequential(ds, script)
+    assert results == [SUCCESS] * 4 + [True, True, True, True, False, False]
+    assert ds.contents() == {3: 1, 8: 1}
+
+
+def test_bst_shape_via_contents():
+    ds = TreeMultiset()
+    keys = [50, 25, 75, 10, 30, 60, 90, 25]
+
+    def script(ctx, results):
+        for key in keys:
+            yield from ds.insert(ctx, key)
+
+    _sequential(ds, script)
+    assert ds.contents() == {50: 1, 25: 2, 75: 1, 10: 1, 30: 1, 60: 1, 90: 1}
+
+
+def test_compression_unlinks_dead_leaves():
+    ds = TreeMultiset()
+
+    def script(ctx, results):
+        for key in (5, 3, 8):
+            yield from ds.insert(ctx, key)
+        yield from ds.delete(ctx, 3)
+        yield from ds.delete(ctx, 8)
+        removed_one = yield from ds.compression_pass(ctx)
+        results.append(removed_one)
+
+    results = _sequential(ds, script)
+    assert results == [True]
+    assert ds.contents() == {5: 1}
+    root = ds._nodes[ds.root.peek()]
+    children = {root.left.peek(), root.right.peek()}
+    assert None in children  # at least one dead leaf unlinked
+
+
+def test_compression_removes_dead_root():
+    ds = TreeMultiset()
+
+    def script(ctx, results):
+        yield from ds.insert(ctx, 1)
+        yield from ds.delete(ctx, 1)
+        results.append((yield from ds.compression_pass(ctx)))
+
+    results = _sequential(ds, script)
+    assert results == [True]
+    assert ds.root.peek() is None
+
+
+def test_concurrent_correct_clean_with_strict_spec():
+    for seed in range(6):
+        ds = TreeMultiset()
+
+        def worker(index):
+            def body(ctx, vds):
+                rng = random.Random(seed * 10 + index)
+                for _ in range(20):
+                    op = rng.choice(("insert", "insert", "delete", "lookup"))
+                    key = rng.randrange(8)
+                    if op == "insert":
+                        yield from vds.insert(ctx, key)
+                    elif op == "delete":
+                        yield from vds.delete(ctx, key)
+                    else:
+                        yield from vds.lookup(ctx, key)
+
+            return body
+
+        outcome, vyrd, _ = run_session(
+            ds,
+            lambda: MultisetSpec(strict_delete=True),
+            [worker(i) for i in range(4)],
+            view_factory=tree_multiset_view,
+            seed=seed,
+            daemons=(ds.compression_thread,),
+        )
+        assert outcome.ok, (seed, str(outcome.first_violation))
+
+
+def test_final_contents_match_spec_model():
+    """After a concurrent run, the impl contents equal a sequential replay of
+    the witness interleaving."""
+    from collections import Counter
+
+    from repro.core import build_witness
+
+    ds = TreeMultiset()
+
+    def worker(index):
+        def body(ctx, vds):
+            rng = random.Random(index)
+            for _ in range(15):
+                key = rng.randrange(6)
+                if rng.random() < 0.6:
+                    yield from vds.insert(ctx, key)
+                else:
+                    yield from vds.delete(ctx, key)
+
+        return body
+
+    outcome, vyrd, _ = run_session(
+        ds,
+        lambda: MultisetSpec(strict_delete=True),
+        [worker(i) for i in range(3)],
+        view_factory=tree_multiset_view,
+        seed=11,
+    )
+    assert outcome.ok
+    model = Counter()
+    for execution in build_witness(vyrd.log).serialized():
+        if execution.method == "insert" and execution.result == SUCCESS:
+            model[execution.args[0]] += 1
+        elif execution.method == "delete" and execution.result is True:
+            model[execution.args[0]] -= 1
+    expected = {k: v for k, v in model.items() if v}
+    assert ds.contents() == expected

@@ -1,0 +1,154 @@
+"""Vector multiset: sequential semantics, concurrency, compression."""
+
+import random
+
+from repro import Kernel
+from repro.concurrency import RoundRobinScheduler
+from repro.multiset import FAILURE, SUCCESS, MultisetSpec, VectorMultiset, multiset_view
+from tests.conftest import run_session
+
+
+def _sequential(ds, script):
+    """Run a single simulated thread over ``script(ctx, vds-like impl)``."""
+    kernel = Kernel(scheduler=RoundRobinScheduler())
+    results = []
+
+    def body(ctx):
+        yield from script(ctx, results)
+
+    kernel.spawn(body)
+    kernel.run()
+    return results
+
+
+def test_insert_lookup_delete_sequence():
+    ds = VectorMultiset(size=4)
+
+    def script(ctx, results):
+        results.append((yield from ds.insert(ctx, 5)))
+        results.append((yield from ds.lookup(ctx, 5)))
+        results.append((yield from ds.delete(ctx, 5)))
+        results.append((yield from ds.lookup(ctx, 5)))
+        results.append((yield from ds.delete(ctx, 5)))
+
+    results = _sequential(ds, script)
+    assert results == [SUCCESS, True, True, False, False]
+    assert ds.contents() == {}
+
+
+def test_insert_fails_when_full():
+    ds = VectorMultiset(size=2)
+
+    def script(ctx, results):
+        results.append((yield from ds.insert(ctx, 1)))
+        results.append((yield from ds.insert(ctx, 2)))
+        results.append((yield from ds.insert(ctx, 3)))
+
+    results = _sequential(ds, script)
+    assert results == [SUCCESS, SUCCESS, FAILURE]
+    assert ds.contents() == {1: 1, 2: 1}
+
+
+def test_insert_pair_all_or_nothing_on_full_array():
+    ds = VectorMultiset(size=3)
+
+    def script(ctx, results):
+        results.append((yield from ds.insert(ctx, 1)))
+        results.append((yield from ds.insert(ctx, 2)))
+        # one free slot: x reserves it, y fails, x's slot must be freed
+        results.append((yield from ds.insert_pair(ctx, 8, 9)))
+        results.append((yield from ds.lookup(ctx, 8)))
+        # the freed slot is usable again
+        results.append((yield from ds.insert(ctx, 3)))
+
+    results = _sequential(ds, script)
+    assert results == [SUCCESS, SUCCESS, FAILURE, False, SUCCESS]
+    assert ds.contents() == {1: 1, 2: 1, 3: 1}
+
+
+def test_duplicates_are_counted():
+    ds = VectorMultiset(size=4)
+
+    def script(ctx, results):
+        yield from ds.insert_pair(ctx, 7, 7)
+        results.append((yield from ds.delete(ctx, 7)))
+        results.append((yield from ds.lookup(ctx, 7)))
+
+    results = _sequential(ds, script)
+    assert results == [True, True]  # one occurrence left after one delete
+
+
+def test_compression_pass_moves_elements_down():
+    ds = VectorMultiset(size=4)
+
+    def script(ctx, results):
+        yield from ds.insert(ctx, 1)
+        yield from ds.insert(ctx, 2)
+        yield from ds.delete(ctx, 1)       # slot 0 now free
+        moved = yield from ds.compression_pass(ctx)
+        results.append(moved)
+
+    results = _sequential(ds, script)
+    assert results == [True]
+    assert ds.slots[0].elt.peek() == 2
+    assert ds.slots[0].valid.peek() is True
+    assert ds.slots[1].valid.peek() is False
+    assert ds.contents() == {2: 1}
+
+
+def test_compression_noop_when_compact():
+    ds = VectorMultiset(size=4)
+
+    def script(ctx, results):
+        yield from ds.insert(ctx, 1)
+        moved = yield from ds.compression_pass(ctx)
+        results.append(moved)
+
+    assert _sequential(ds, script) == [False]
+
+
+def test_concurrent_correct_runs_clean_with_checker():
+    """Unique-key concurrent workload + compression: no violations, and the
+    final contents match the spec."""
+    for seed in range(6):
+        ds = VectorMultiset(size=24)
+
+        def worker(base):
+            def body(ctx, vds):
+                rng = random.Random(base * 7 + seed)
+                for k in range(8):
+                    yield from vds.insert(ctx, base + k)
+                    if rng.random() < 0.4:
+                        yield from vds.delete(ctx, base + rng.randrange(k + 1))
+                    yield from vds.lookup(ctx, base + rng.randrange(8))
+
+            return body
+
+        outcome, vyrd, _ = run_session(
+            ds,
+            MultisetSpec,
+            [worker(0), worker(100), worker(200)],
+            view_factory=multiset_view,
+            seed=seed,
+            daemons=(ds.compression_thread,),
+        )
+        assert outcome.ok, (seed, str(outcome.first_violation))
+
+
+def test_snapshot_restore_round_trip():
+    ds = VectorMultiset(size=3)
+
+    def script(ctx, results):
+        yield from ds.insert(ctx, 1)
+
+    _sequential(ds, script)
+    snap = ds.snapshot()
+
+    def script2(ctx, results):
+        yield from ds.insert(ctx, 2)
+
+    _sequential(ds, script2)
+    assert ds.contents() == {1: 1, 2: 1}
+    ds.restore(snap)
+    assert ds.contents() == {1: 1}
+    assert ds.view_atomic() == {1: 1}

@@ -1,0 +1,114 @@
+"""Properties of the atomicity baseline over generated structured programs."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.atomicity import check_atomicity
+from repro.core.actions import (
+    AcquireAction,
+    CallAction,
+    ReadAction,
+    ReleaseAction,
+    ReturnAction,
+    WriteAction,
+)
+from repro.core.log import Log
+
+LOCKS = ["l0", "l1", "l2"]
+LOCS = ["x", "y", "z"]
+
+
+# A "critical section" = acquire, some protected accesses, release.
+section = st.tuples(
+    st.sampled_from(LOCKS),
+    st.lists(
+        st.tuples(st.sampled_from(["r", "w"]), st.sampled_from(LOCS)),
+        min_size=1, max_size=3,
+    ),
+)
+
+
+def _section_events(tid, op_id, lock, accesses, lock_of_loc):
+    """One well-formed critical region: acquire the section lock and every
+    needed guard up front (acquires are right-movers), access, then release
+    everything (left-movers) -- the canonical reducible shape."""
+    guards = sorted({lock_of_loc[loc] for _, loc in accesses} - {lock})
+    events = [AcquireAction(tid, op_id, lock)]
+    events.extend(AcquireAction(tid, op_id, guard) for guard in guards)
+    for kind, loc in accesses:
+        if kind == "r":
+            events.append(ReadAction(tid, op_id, loc))
+        else:
+            events.append(WriteAction(tid, op_id, loc, 0, 1))
+    events.extend(ReleaseAction(tid, op_id, guard) for guard in reversed(guards))
+    events.append(ReleaseAction(tid, op_id, lock))
+    return events
+
+
+@given(
+    st.lists(section, min_size=1, max_size=3),
+    st.lists(section, min_size=1, max_size=3),
+)
+@settings(max_examples=60, deadline=None)
+def test_consistently_locked_single_section_methods_are_atomic(sections_a, sections_b):
+    """Methods made of ONE critical section each (one section per method
+    execution) with consistent per-location locks always reduce."""
+    lock_of_loc = {"x": "l0", "y": "l1", "z": "l2"}
+    actions = []
+    op_id = 0
+    for tid, sections in ((0, sections_a), (1, sections_b)):
+        for lock, accesses in sections:
+            actions.append(CallAction(tid, op_id, "m", ()))
+            actions.extend(_section_events(tid, op_id, lock, accesses, lock_of_loc))
+            actions.append(ReturnAction(tid, op_id, "m", None))
+            op_id += 1
+    # interleaving order does not matter for the per-execution analysis;
+    # sequential concatenation suffices here
+    outcome = check_atomicity(Log(actions))
+    assert outcome.ok, [str(v) for v in outcome.violations]
+    assert not outcome.racy_locs
+
+
+@given(st.lists(section, min_size=2, max_size=4))
+@settings(max_examples=60, deadline=None)
+def test_multi_section_methods_never_reduce(sections):
+    """A single method execution containing >= 2 critical sections always
+    fails reduction (the W(p) W(q) shape), regardless of protection."""
+    lock_of_loc = {"x": "l0", "y": "l1", "z": "l2"}
+    actions = [CallAction(0, 0, "m", ())]
+    for lock, accesses in sections:
+        actions.extend(_section_events(0, 0, lock, accesses, lock_of_loc))
+    actions.append(ReturnAction(0, 0, "m", None))
+    outcome = check_atomicity(Log(actions))
+    assert not outcome.ok
+    assert outcome.flagged_methods == {"m"}
+
+
+@given(st.integers(1, 4), st.integers(1, 4))
+@settings(max_examples=30, deadline=None)
+def test_unprotected_single_writer_per_loc_is_fine(n_a, n_b):
+    """Distinct per-thread locations never become racy, lock-free or not."""
+    actions = []
+    for tid, count in ((0, n_a), (1, n_b)):
+        for i in range(count):
+            op_id = tid * 100 + i
+            actions.append(CallAction(tid, op_id, "m", ()))
+            actions.append(WriteAction(tid, op_id, f"own{tid}", i, i + 1))
+            actions.append(ReturnAction(tid, op_id, "m", None))
+    outcome = check_atomicity(Log(actions))
+    assert outcome.ok
+    assert not outcome.racy_locs
+
+
+@given(st.integers(2, 5))
+@settings(max_examples=20, deadline=None)
+def test_shared_unprotected_loc_is_racy(writers):
+    actions = []
+    for tid in range(writers):
+        actions.append(CallAction(tid, tid, "m", ()))
+        actions.append(WriteAction(tid, tid, "shared", 0, tid))
+        actions.append(ReturnAction(tid, tid, "m", None))
+    outcome = check_atomicity(Log(actions))
+    assert "shared" in outcome.racy_locs
+    # one racy access per execution is the allowed non-mover
+    assert outcome.ok

@@ -1,0 +1,88 @@
+"""Properties of the concurrency kernel: determinism and lock safety."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.concurrency import (
+    Kernel,
+    Lock,
+    RandomScheduler,
+    SharedCell,
+    explore_exhaustive,
+)
+
+
+@given(st.integers(0, 10_000), st.integers(min_value=1, max_value=4),
+       st.integers(min_value=1, max_value=5))
+@settings(max_examples=40, deadline=None)
+def test_seeded_runs_are_deterministic(seed, threads, iterations):
+    def run():
+        cell = SharedCell("c", 0)
+        trace = []
+
+        def body(index):
+            def gen(ctx):
+                for _ in range(iterations):
+                    value = yield cell.read()
+                    trace.append((index, value))
+                    yield cell.write(value + 1)
+
+            return gen
+
+        kernel = Kernel(scheduler=RandomScheduler(seed))
+        for i in range(threads):
+            kernel.spawn(body(i))
+        kernel.run()
+        return cell.peek(), tuple(trace)
+
+    assert run() == run()
+
+
+@given(st.integers(0, 10_000), st.integers(min_value=2, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_lock_protected_counter_never_loses_updates(seed, threads):
+    lock = Lock("m")
+    cell = SharedCell("c", 0)
+    per_thread = 8
+
+    def body(ctx):
+        for _ in range(per_thread):
+            yield lock.acquire()
+            value = yield cell.read()
+            yield ctx.checkpoint()
+            yield cell.write(value + 1)
+            yield lock.release()
+
+    kernel = Kernel(scheduler=RandomScheduler(seed))
+    for _ in range(threads):
+        kernel.spawn(body)
+    kernel.run()
+    assert cell.peek() == threads * per_thread
+    assert lock.owner is None
+
+
+@given(st.integers(min_value=1, max_value=3))
+@settings(max_examples=10, deadline=None)
+def test_exhaustive_exploration_of_locked_increments_is_uniform(increments):
+    """Every schedule of lock-protected increments yields the same total."""
+
+    def program(scheduler):
+        lock = Lock("m")
+        cell = SharedCell("c", 0)
+
+        def body(ctx):
+            for _ in range(increments):
+                yield lock.acquire()
+                value = yield cell.read()
+                yield cell.write(value + 1)
+                yield lock.release()
+
+        kernel = Kernel(scheduler=scheduler)
+        kernel.spawn(body)
+        kernel.spawn(body)
+        kernel.run()
+        return cell.peek()
+
+    result = explore_exhaustive(program, max_runs=3000)
+    assert result.outcomes() == {2 * increments}
+    assert not result.failures

@@ -1,0 +1,135 @@
+"""Properties of the log layer and the checker over generated histories.
+
+Strategy: generate random *sequential* histories against a register-file
+model, render them as logs, and require the checker to accept them; then
+corrupt a single return value and require the checker to reject."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import (
+    CallAction,
+    CommitAction,
+    Log,
+    ReturnAction,
+    SpecReject,
+    Specification,
+    WriteAction,
+    check_log,
+    load_log,
+    mutator,
+    observer,
+    save_log,
+    validate_well_formed,
+)
+from repro.core.view import FunctionView
+
+
+class RegisterFileSpec(Specification):
+    def __init__(self):
+        self.regs = {}
+
+    @mutator
+    def set(self, name, value, *, result):
+        if result is not True:
+            raise SpecReject("set returns True")
+        self.regs[name] = value
+
+    @observer
+    def get(self, name):
+        return self.regs.get(name)
+
+    def view(self):
+        return dict(self.regs)
+
+
+def register_file_view():
+    return FunctionView(lambda state: dict(state.items_with_prefix("r")))
+
+
+history_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["set", "get"]),
+        st.sampled_from(["r0", "r1", "r2"]),
+        st.integers(0, 9),
+    ),
+    max_size=30,
+)
+
+
+def _history_to_log(history):
+    """Render a sequential history as a correct single-thread log."""
+    model = {}
+    actions = []
+    for op_id, (op, reg, value) in enumerate(history):
+        if op == "set":
+            actions.append(CallAction(0, op_id, "set", (reg, value)))
+            actions.append(WriteAction(0, op_id, reg, model.get(reg), value))
+            actions.append(CommitAction(0, op_id))
+            actions.append(ReturnAction(0, op_id, "set", True))
+            model[reg] = value
+        else:
+            actions.append(CallAction(0, op_id, "get", (reg,)))
+            actions.append(ReturnAction(0, op_id, "get", model.get(reg)))
+    return Log(actions)
+
+
+@given(history_strategy)
+@settings(max_examples=60, deadline=None)
+def test_correct_histories_accepted_in_both_modes(history):
+    log = _history_to_log(history)
+    assert validate_well_formed(log) == []
+    assert check_log(log, RegisterFileSpec(), mode="io").ok
+    outcome = check_log(
+        log, RegisterFileSpec(), mode="view", impl_view=register_file_view()
+    )
+    assert outcome.ok, str(outcome.first_violation)
+
+
+@given(history_strategy.filter(lambda h: any(op == "get" for op, _, _ in h)),
+       st.integers(0, 10_000))
+@settings(max_examples=60, deadline=None)
+def test_corrupting_an_observer_return_is_rejected(history, pick):
+    log = _history_to_log(history)
+    get_returns = [
+        i for i, a in enumerate(log)
+        if isinstance(a, ReturnAction) and a.method == "get"
+    ]
+    index = get_returns[pick % len(get_returns)]
+    original = log[index]
+    corrupted = ReturnAction(original.tid, original.op_id, "get", "corrupt!")
+    actions = list(log)
+    actions[index] = corrupted
+    outcome = check_log(Log(actions), RegisterFileSpec(), mode="io")
+    assert not outcome.ok
+
+
+@given(history_strategy)
+@settings(max_examples=30, deadline=None)
+def test_log_file_round_trip_preserves_checking(history):
+    import os
+    import tempfile
+
+    log = _history_to_log(history)
+    fd, path = tempfile.mkstemp(suffix=".vyrdlog")
+    os.close(fd)
+    try:
+        save_log(log, path)
+        restored = load_log(path)
+    finally:
+        os.unlink(path)
+    assert list(restored) == list(log)
+    assert check_log(restored, RegisterFileSpec(), mode="io").ok
+
+
+@given(history_strategy, st.data())
+@settings(max_examples=40, deadline=None)
+def test_dropping_a_commit_is_flagged(history, data):
+    log = _history_to_log(history)
+    commits = [i for i, a in enumerate(log) if isinstance(a, CommitAction)]
+    if not commits:
+        return
+    index = data.draw(st.sampled_from(commits))
+    actions = [a for i, a in enumerate(log) if i != index]
+    outcome = check_log(Log(actions), RegisterFileSpec(), mode="io")
+    assert not outcome.ok  # mutator without commit -> instrumentation error

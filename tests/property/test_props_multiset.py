@@ -1,0 +1,127 @@
+"""Property: multiset implementations agree with a Counter model, and the
+checker accepts every correct sequential execution."""
+
+from collections import Counter
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro import Kernel, Vyrd
+from repro.concurrency import RoundRobinScheduler
+from repro.multiset import (
+    FAILURE,
+    SUCCESS,
+    MultisetSpec,
+    TreeMultiset,
+    VectorMultiset,
+    multiset_view,
+    tree_multiset_view,
+)
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "insert_pair", "delete", "lookup"]),
+        st.integers(0, 5),
+        st.integers(0, 5),
+    ),
+    max_size=25,
+)
+
+
+def _drive(vds, ops, results):
+    def body(ctx):
+        for op, x, y in ops:
+            if op == "insert":
+                results.append((op, x, (yield from vds.insert(ctx, x))))
+            elif op == "insert_pair":
+                results.append((op, (x, y), (yield from vds.insert_pair(ctx, x, y))))
+            elif op == "delete":
+                results.append((op, x, (yield from vds.delete(ctx, x))))
+            else:
+                results.append((op, x, (yield from vds.lookup(ctx, x))))
+
+    return body
+
+
+def _model(results):
+    model = Counter()
+    for op, arg, result in results:
+        if op == "insert" and result == SUCCESS:
+            model[arg] += 1
+        elif op == "insert_pair" and result == SUCCESS:
+            model[arg[0]] += 1
+            model[arg[1]] += 1
+        elif op == "delete" and result is True:
+            model[arg] -= 1
+    return {k: v for k, v in model.items() if v}
+
+
+@given(ops_strategy)
+@settings(max_examples=50, deadline=None)
+def test_vector_multiset_sequential_matches_model(ops):
+    vyrd = Vyrd(spec_factory=MultisetSpec, mode="view",
+                impl_view_factory=multiset_view)
+    kernel = Kernel(scheduler=RoundRobinScheduler(), tracer=vyrd.tracer)
+    ds = VectorMultiset(size=8)
+    vds = vyrd.wrap(ds)
+    results = []
+    kernel.spawn(_drive(vds, ops, results))
+    kernel.run()
+
+    model = _model(results)
+    assert ds.contents() == model
+    # sequential lookups/deletes are exact
+    live = Counter()
+    for op, arg, result in results:
+        if op == "insert" and result == SUCCESS:
+            live[arg] += 1
+        elif op == "insert_pair" and result == SUCCESS:
+            live[arg[0]] += 1
+            live[arg[1]] += 1
+        elif op == "delete":
+            assert result is (live[arg] > 0)
+            if result:
+                live[arg] -= 1
+        elif op == "lookup":
+            assert result is (live[arg] > 0)
+    outcome = vyrd.check_offline()
+    assert outcome.ok, str(outcome.first_violation)
+
+
+@given(ops_strategy)
+@settings(max_examples=50, deadline=None)
+def test_tree_multiset_sequential_matches_model(ops):
+    ops = [(op if op != "insert_pair" else "insert", x, y) for op, x, y in ops]
+    vyrd = Vyrd(spec_factory=lambda: MultisetSpec(strict_delete=True), mode="view",
+                impl_view_factory=tree_multiset_view)
+    kernel = Kernel(scheduler=RoundRobinScheduler(), tracer=vyrd.tracer)
+    ds = TreeMultiset()
+    vds = vyrd.wrap(ds)
+    results = []
+    kernel.spawn(_drive(vds, ops, results))
+    kernel.run()
+    assert ds.contents() == _model(results)
+    outcome = vyrd.check_offline()
+    assert outcome.ok, str(outcome.first_violation)
+
+
+@given(ops_strategy, st.integers(0, 50))
+@settings(max_examples=30, deadline=None)
+def test_vector_multiset_insert_never_fails_with_room(ops, seed):
+    """With an array at least as large as the number of insert slots needed,
+    sequential inserts never fail."""
+    needed = sum(2 if op == "insert_pair" else 1 for op, _, _ in ops)
+    ds = VectorMultiset(size=max(needed, 1))
+    kernel = Kernel(scheduler=RoundRobinScheduler())
+    results = []
+
+    def body(ctx):
+        for op, x, y in ops:
+            if op == "insert":
+                results.append((yield from ds.insert(ctx, x)))
+            elif op == "insert_pair":
+                results.append((yield from ds.insert_pair(ctx, x, y)))
+
+    kernel.spawn(body)
+    kernel.run()
+    assert FAILURE not in results

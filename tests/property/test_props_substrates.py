@@ -1,0 +1,220 @@
+"""Model-based properties: each substrate agrees with its reference model
+under random sequential operation sequences, and verifies clean."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro import Kernel, Vyrd
+from repro.bqueue import EMPTY, BoundedQueue, QueueSpec, queue_view
+from repro.boxwood import BoxwoodCache, ChunkManager, StoreSpec, cache_invariants, cache_view
+from repro.concurrency import RoundRobinScheduler
+from repro.javalib import (
+    StringBufferSpec,
+    StringBufferSystem,
+    stringbuffer_view,
+)
+from repro.scanfs import BlockCache, BlockDevice, FsSpec, ScanFS, scanfs_view
+
+
+def _run_sequential(vyrd, script):
+    kernel = Kernel(scheduler=RoundRobinScheduler(), tracer=vyrd.tracer)
+    kernel.spawn(script)
+    kernel.run()
+    return vyrd.check_offline()
+
+
+# -- StringBuffer vs str model -------------------------------------------------
+
+sb_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("append_str"), st.sampled_from(["dst", "src"]),
+                  st.text(alphabet="xyz", min_size=1, max_size=3)),
+        st.tuples(st.just("append_buffer"), st.just("dst"), st.just("src")),
+        st.tuples(st.just("delete"), st.sampled_from(["dst", "src"]),
+                  st.tuples(st.integers(0, 5), st.integers(0, 8))),
+    ),
+    max_size=20,
+)
+
+
+@given(sb_ops)
+@settings(max_examples=50, deadline=None)
+def test_stringbuffer_matches_string_model(ops):
+    vyrd = Vyrd(spec_factory=lambda: StringBufferSpec(capacity=48), mode="view",
+                impl_view_factory=stringbuffer_view)
+    system = StringBufferSystem(capacity=48)
+    vds = vyrd.wrap(system)
+    model = {"dst": "", "src": ""}
+
+    def script(ctx):
+        for op, buf, arg in ops:
+            if op == "append_str":
+                ok = yield from vds.append_str(ctx, buf, arg)
+                if ok:
+                    model[buf] += arg
+            elif op == "append_buffer":
+                ok = yield from vds.append_buffer(ctx, "dst", "src")
+                if ok:
+                    model["dst"] += model["src"]
+            else:
+                start, end = arg
+                ok = yield from vds.delete(ctx, buf, start, end)
+                if ok:
+                    end = min(end, len(model[buf]))
+                    model[buf] = model[buf][:start] + model[buf][end:]
+
+    outcome = _run_sequential(vyrd, script)
+    assert outcome.ok, str(outcome.first_violation)
+    assert system.text("dst") == model["dst"]
+    assert system.text("src") == model["src"]
+
+
+# -- Bounded queue vs deque model -----------------------------------------------
+
+queue_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("enq"), st.integers(0, 99)),
+        st.tuples(st.just("deq"), st.just(None)),
+        st.tuples(st.just("size"), st.just(None)),
+    ),
+    max_size=30,
+)
+
+
+@given(queue_ops, st.integers(min_value=1, max_value=4))
+@settings(max_examples=50, deadline=None)
+def test_queue_matches_deque_model(ops, capacity):
+    from collections import deque
+
+    vyrd = Vyrd(spec_factory=lambda: QueueSpec(capacity=capacity), mode="view",
+                impl_view_factory=lambda: queue_view(capacity))
+    queue = BoundedQueue(capacity=capacity)
+    vq = vyrd.wrap(queue)
+    model = deque()
+    problems = []
+
+    def script(ctx):
+        for op, arg in ops:
+            if op == "enq":
+                ok = yield from vq.try_enqueue(ctx, arg)
+                if ok != (len(model) < capacity):
+                    problems.append(("enq", ok))
+                if ok:
+                    model.append(arg)
+            elif op == "deq":
+                got = yield from vq.try_dequeue(ctx)
+                expected = model.popleft() if model else EMPTY
+                if got != expected:
+                    problems.append(("deq", got, expected))
+            else:
+                size = yield from vq.size_of(ctx)
+                if size != len(model):
+                    problems.append(("size", size, len(model)))
+
+    outcome = _run_sequential(vyrd, script)
+    assert not problems
+    assert outcome.ok, str(outcome.first_violation)
+    assert queue.items() == tuple(model)
+
+
+# -- Cache + ChunkManager vs dict model ---------------------------------------------
+
+cache_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), st.integers(0, 2),
+                  st.tuples(*([st.integers(0, 9)] * 4))),
+        st.tuples(st.just("read"), st.integers(0, 2), st.none()),
+        st.tuples(st.just("flush"), st.none(), st.none()),
+        st.tuples(st.just("evict"), st.integers(0, 2), st.none()),
+    ),
+    max_size=25,
+)
+
+
+@given(cache_ops)
+@settings(max_examples=40, deadline=None)
+def test_cache_matches_dict_model(ops):
+    vyrd = Vyrd(spec_factory=StoreSpec, mode="view",
+                impl_view_factory=lambda: cache_view(4),
+                invariants=cache_invariants(4))
+    chunks = ChunkManager()
+    cache = BoxwoodCache(chunks, block_size=4)
+    vc = vyrd.wrap(cache)
+    handles = [chunks.allocate() for _ in range(3)]
+    model = {}
+    problems = []
+
+    def script(ctx):
+        for op, index, buffer in ops:
+            if op == "write":
+                yield from vc.write(ctx, handles[index], buffer)
+                model[handles[index]] = tuple(buffer)
+            elif op == "read":
+                got = yield from vc.read(ctx, handles[index])
+                if got != model.get(handles[index]):
+                    problems.append(("read", got, model.get(handles[index])))
+            elif op == "flush":
+                yield from vc.flush(ctx)
+            else:
+                yield from vc.evict(ctx, handles[index])
+
+    outcome = _run_sequential(vyrd, script)
+    assert not problems
+    assert outcome.ok, str(outcome.first_violation)
+
+
+# -- ScanFS vs dict model -----------------------------------------------------------
+
+fs_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("create"), st.sampled_from("abc"), st.none()),
+        st.tuples(st.just("write"), st.sampled_from("abc"),
+                  st.lists(st.integers(0, 9), max_size=6)),
+        st.tuples(st.just("read"), st.sampled_from("abc"), st.none()),
+        st.tuples(st.just("delete"), st.sampled_from("abc"), st.none()),
+    ),
+    max_size=25,
+)
+
+
+@given(fs_ops)
+@settings(max_examples=40, deadline=None)
+def test_scanfs_matches_dict_model(ops):
+    device = BlockDevice(num_blocks=4, block_size=8)
+    fs = ScanFS(BlockCache(device))
+    vyrd = Vyrd(spec_factory=lambda: FsSpec(num_blocks=4, max_content=7),
+                mode="view", impl_view_factory=lambda: scanfs_view(4, 8))
+    vfs = vyrd.wrap(fs)
+    model = {}
+    problems = []
+
+    def script(ctx):
+        for op, name, payload in ops:
+            if op == "create":
+                ok = yield from vfs.create(ctx, name)
+                expected = name not in model and len(model) < 4
+                if ok != expected:
+                    problems.append(("create", name, ok))
+                if ok:
+                    model[name] = ()
+            elif op == "write":
+                content = tuple(payload)
+                ok = yield from vfs.write_file(ctx, name, content)
+                if ok != (name in model):
+                    problems.append(("write", name, ok))
+                if ok:
+                    model[name] = content
+            elif op == "read":
+                got = yield from vfs.read_file(ctx, name)
+                if got != model.get(name):
+                    problems.append(("read", name, got, model.get(name)))
+            else:
+                ok = yield from vfs.delete(ctx, name)
+                if ok != (name in model):
+                    problems.append(("delete", name, ok))
+                model.pop(name, None)
+
+    outcome = _run_sequential(vyrd, script)
+    assert not problems
+    assert outcome.ok, str(outcome.first_violation)
+    assert fs.files() == model

@@ -1,0 +1,94 @@
+"""Property: incremental views always agree with full recomputation."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import ContributionView, ReplayState, prefix_unit
+
+SLOTS = [f"A[{i}]" for i in range(5)]
+FIELDS = ["elt", "valid"]
+
+
+def _make_view():
+    def contribute(state, unit):
+        if state.get(f"{unit}.valid"):
+            return (state.get(f"{unit}.elt"), 1)
+        return None
+
+    return ContributionView(
+        unit_of=prefix_unit("A[", stop="."),
+        contribute=contribute,
+        aggregate="count",
+    )
+
+
+write_strategy = st.tuples(
+    st.sampled_from(SLOTS),
+    st.sampled_from(FIELDS),
+    st.one_of(st.booleans(), st.integers(0, 3), st.none()),
+)
+
+
+@given(st.lists(write_strategy, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_incremental_equals_full_after_every_refresh(writes):
+    view = _make_view()
+    state = ReplayState()
+    for slot, field, value in writes:
+        loc = f"{slot}.{field}"
+        state.apply_write(0, loc, state.get(loc), value)
+        view.on_write(loc)
+        effective = state.effective(None)
+        assert view.refresh(effective) == view.compute_full(effective)
+
+
+@given(
+    st.lists(write_strategy, min_size=1, max_size=20),
+    st.lists(write_strategy, min_size=1, max_size=10),
+)
+@settings(max_examples=40, deadline=None)
+def test_rollback_view_matches_full_on_effective_state(committed, in_block):
+    """Writes inside an open block by thread 1: at thread 0's commit, the
+    incremental view over the rolled-back state equals a fresh computation
+    over that same state."""
+    view = _make_view()
+    state = ReplayState()
+    for slot, field, value in committed:
+        loc = f"{slot}.{field}"
+        state.apply_write(0, loc, state.get(loc), value)
+        view.on_write(loc)
+    view.refresh(state.effective(None))
+
+    state.begin_block(1)
+    for slot, field, value in in_block:
+        loc = f"{slot}.{field}"
+        state.apply_write(1, loc, state.get(loc), value)
+        view.on_write(loc)
+
+    effective = state.effective(0)  # thread 0 commits: block rolled back
+    extra = state.open_block_locs(excluding_tid=0)
+    assert view.refresh(effective, extra) == view.compute_full(effective)
+
+    # and at thread 1's own commit, its writes are visible
+    own = state.effective(1)
+    extra = state.open_block_locs(excluding_tid=1)
+    assert view.refresh(own, extra) == view.compute_full(own)
+
+    # after the block closes, everything is permanent
+    state.end_block(1)
+    final = state.effective(None)
+    assert view.refresh(final, state.open_block_locs(None)) == view.compute_full(final)
+
+
+@given(st.lists(write_strategy, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_replay_state_get_matches_last_write(writes):
+    state = ReplayState()
+    model = {}
+    for slot, field, value in writes:
+        loc = f"{slot}.{field}"
+        state.apply_write(0, loc, state.get(loc), value)
+        model[loc] = value
+    for loc, value in model.items():
+        assert state.get(loc) == value
+    assert dict(state.raw()) == {k: v for k, v in model.items()}

@@ -1,0 +1,153 @@
+"""Scan-like file system: semantics, flush daemon, torn-write bug."""
+
+import random
+
+from repro import Kernel, ViolationKind, Vyrd
+from repro.concurrency import RoundRobinScheduler
+from repro.scanfs import BlockCache, BlockDevice, FsSpec, ScanFS, scanfs_view
+from tests.conftest import find_detecting_seed
+
+
+def _setup(buggy=False, blocks=8):
+    device = BlockDevice(num_blocks=blocks, block_size=8)
+    cache = BlockCache(device, buggy_dirty_update=buggy)
+    return device, cache, ScanFS(cache)
+
+
+def _sequential(fs, script):
+    kernel = Kernel(scheduler=RoundRobinScheduler())
+    results = []
+
+    def body(ctx):
+        yield from script(ctx, results)
+
+    kernel.spawn(body)
+    kernel.run()
+    return results
+
+
+def test_create_write_read_delete_cycle():
+    _, _, fs = _setup()
+
+    def script(ctx, results):
+        results.append((yield from fs.create(ctx, "a")))
+        results.append((yield from fs.write_file(ctx, "a", (1, 2, 3))))
+        results.append((yield from fs.read_file(ctx, "a")))
+        results.append((yield from fs.delete(ctx, "a")))
+        results.append((yield from fs.read_file(ctx, "a")))
+
+    assert _sequential(fs, script) == [True, True, (1, 2, 3), True, None]
+
+
+def test_create_existing_fails():
+    _, _, fs = _setup()
+
+    def script(ctx, results):
+        yield from fs.create(ctx, "a")
+        results.append((yield from fs.create(ctx, "a")))
+
+    assert _sequential(fs, script) == [False]
+
+
+def test_create_fails_when_disk_full():
+    _, _, fs = _setup(blocks=2)
+
+    def script(ctx, results):
+        results.append((yield from fs.create(ctx, "a")))
+        results.append((yield from fs.create(ctx, "b")))
+        results.append((yield from fs.create(ctx, "c")))
+
+    assert _sequential(fs, script) == [True, True, False]
+
+
+def test_write_absent_file_fails():
+    _, _, fs = _setup()
+
+    def script(ctx, results):
+        results.append((yield from fs.write_file(ctx, "ghost", (1,))))
+
+    assert _sequential(fs, script) == [False]
+
+
+def test_oversized_write_fails():
+    _, _, fs = _setup()
+
+    def script(ctx, results):
+        yield from fs.create(ctx, "a")
+        results.append((yield from fs.write_file(ctx, "a", tuple(range(20)))))
+
+    assert _sequential(fs, script) == [False]
+
+
+def test_block_reuse_after_delete():
+    _, _, fs = _setup(blocks=1)
+
+    def script(ctx, results):
+        yield from fs.create(ctx, "a")
+        yield from fs.write_file(ctx, "a", (7,))
+        yield from fs.delete(ctx, "a")
+        results.append((yield from fs.create(ctx, "b")))
+        results.append((yield from fs.read_file(ctx, "b")))
+
+    assert _sequential(fs, script) == [True, ()]
+
+
+def test_flush_and_evict_survive_content():
+    device, cache, fs = _setup()
+
+    def script(ctx, results):
+        yield from fs.create(ctx, "a")
+        yield from fs.write_file(ctx, "a", (4, 5))
+        yield from cache.flush_pass(ctx)
+        yield from cache.evict_clean(ctx)
+        results.append((yield from fs.read_file(ctx, "a")))
+
+    assert _sequential(fs, script) == [(4, 5)]
+    assert fs.files() == {"a": (4, 5)}
+
+
+def _concurrent_run(seed, buggy):
+    device, cache, fs = _setup(buggy)
+    vyrd = Vyrd(
+        spec_factory=lambda: FsSpec(num_blocks=8, max_content=7),
+        mode="view",
+        impl_view_factory=lambda: scanfs_view(8, 8),
+    )
+    kernel = Kernel(seed=seed, tracer=vyrd.tracer)
+    vfs = vyrd.wrap(fs)
+    names = ["a", "b"]
+
+    def worker(ctx, r):
+        for _ in range(12):
+            op = r.choice(("create", "write", "write", "write", "read"))
+            name = r.choice(names)
+            if op == "create":
+                yield from vfs.create(ctx, name)
+            elif op == "write":
+                content = tuple(r.randrange(9) for _ in range(r.randrange(7)))
+                yield from vfs.write_file(ctx, name, content)
+            else:
+                yield from vfs.read_file(ctx, name)
+
+    kernel.spawn(worker, random.Random(seed))
+    kernel.spawn(worker, random.Random(seed + 31))
+    kernel.spawn(worker, random.Random(seed + 77))
+    kernel.spawn(cache.flush_thread, daemon=True)
+    kernel.run()
+    return vyrd.check_offline()
+
+
+def test_correct_fs_clean_under_contention():
+    for seed in range(10):
+        outcome = _concurrent_run(seed, buggy=False)
+        assert outcome.ok, (seed, str(outcome.first_violation))
+
+
+def test_torn_write_bug_detected():
+    seed, outcome = find_detecting_seed(
+        lambda s: _concurrent_run(s, True), seeds=range(150)
+    )
+    assert outcome.first_violation.kind in (
+        ViolationKind.VIEW,
+        ViolationKind.OBSERVER,
+    )
