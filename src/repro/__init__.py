@@ -17,6 +17,10 @@ Packages
     The evaluated data structures, each with the paper's seeded bugs.
 :mod:`repro.harness`
     The randomized test harness and measurement drivers behind Tables 1-3.
+:mod:`repro.races`
+    Dynamic race detection (vector-clock happens-before and Eraser
+    lockset) over the same log; :mod:`repro.atomicity` is the reduction
+    baseline sharing its lockset engine.
 
 Quickstart
 ----------
@@ -70,6 +74,7 @@ from .core import (
     render_trace,
     render_witness,
 )
+from .races import Race, RaceChecker, RaceOutcome, check_races
 
 __version__ = "1.0.0"
 
@@ -85,6 +90,9 @@ __all__ = [
     "Log",
     "PCTScheduler",
     "RWLock",
+    "Race",
+    "RaceChecker",
+    "RaceOutcome",
     "RandomScheduler",
     "RefinementChecker",
     "RoundRobinScheduler",
@@ -98,6 +106,7 @@ __all__ = [
     "Vyrd",
     "VyrdTracer",
     "check_log",
+    "check_races",
     "format_outcome",
     "mutator",
     "observer",

@@ -24,20 +24,23 @@ concentrate exactly on the multi-critical-section methods the paper names.
 Two passes over a log recorded with ``VyrdTracer(log_locks=True,
 log_reads=True)``:
 
-1. **Race analysis** (Eraser-style lockset discipline, simplified: no
+1. **Race analysis**, delegated to the shared lockset engine of
+   :mod:`repro.races.lockset` in its ``"strict"`` discipline (no
    initialization or read-share states): for every shared location, the
    candidate lockset is intersected at each access with the locks the
    accessing thread holds -- regular locks and write-mode RW-locks protect
    reads and writes, read-mode RW-locks protect reads only.  A location
    accessed by more than one thread whose candidate set drains empty is
-   *racy*; accesses to it are non-movers.
+   *racy*; accesses to it are non-movers.  (The full Eraser state machine
+   lives in :class:`repro.races.LocksetEngine` too; dynamic race detection
+   proper is :mod:`repro.races`.)
 2. **Reduction check** per method execution against ``(R|B)* [N] (L|B)*``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
 from ..core.actions import (
     AcquireAction,
@@ -49,6 +52,7 @@ from ..core.actions import (
     WriteAction,
 )
 from ..core.log import Log
+from ..races.lockset import STRICT, compute_racy_locs
 
 
 @dataclass
@@ -91,56 +95,9 @@ class AtomicityOutcome:
         )
 
 
-class _HeldLocks:
-    """Locks held per thread, split by protection strength."""
-
-    def __init__(self):
-        self.exclusive: Set[str] = set()   # regular locks + RW write mode
-        self.shared: Set[str] = set()      # RW read mode
-
-    def write_protection(self) -> Set[str]:
-        return set(self.exclusive)
-
-    def read_protection(self) -> Set[str]:
-        return self.exclusive | self.shared
-
-
 def _compute_racy_locs(log: Log) -> Set[str]:
-    """Pass 1: Eraser-style lockset analysis over the whole log."""
-    held: Dict[int, _HeldLocks] = {}
-    candidate: Dict[str, Set[str]] = {}
-    accessors: Dict[str, Set[int]] = {}
-
-    def held_for(tid: int) -> _HeldLocks:
-        if tid not in held:
-            held[tid] = _HeldLocks()
-        return held[tid]
-
-    for action in log:
-        if isinstance(action, AcquireAction):
-            locks = held_for(action.tid)
-            (locks.shared if action.mode == "r" else locks.exclusive).add(action.lock)
-        elif isinstance(action, ReleaseAction):
-            locks = held_for(action.tid)
-            (locks.shared if action.mode == "r" else locks.exclusive).discard(action.lock)
-        elif isinstance(action, (ReadAction, WriteAction)):
-            locks = held_for(action.tid)
-            protection = (
-                locks.read_protection()
-                if isinstance(action, ReadAction)
-                else locks.write_protection()
-            )
-            loc = action.loc
-            accessors.setdefault(loc, set()).add(action.tid)
-            if loc in candidate:
-                candidate[loc] &= protection
-            else:
-                candidate[loc] = set(protection)
-    return {
-        loc
-        for loc, lockset in candidate.items()
-        if not lockset and len(accessors[loc]) > 1
-    }
+    """Pass 1: strict lockset analysis (shared engine, no Eraser states)."""
+    return compute_racy_locs(log, discipline=STRICT)
 
 
 class AtomicityChecker:

@@ -251,6 +251,12 @@ class Tracer:
     def on_replay(self, tid: int, tag: str, payload) -> None:  # pragma: no cover - interface
         pass
 
+    def on_spawn(self, parent_tid: int, child_tid: int) -> None:  # pragma: no cover - interface
+        pass
+
+    def on_join(self, tid: int, child_tid: int) -> None:  # pragma: no cover - interface
+        pass
+
 
 class NullTracer(Tracer):
     """A tracer that ignores every event (used when logging is disabled)."""
@@ -428,6 +434,10 @@ class Kernel:
         thread.gen = gen
         thread.priority = self.scheduler.initial_priority(thread)
         self.threads.append(thread)
+        if self.current is not None:
+            # dynamic spawn from a running simulated thread: the fork edge
+            # is visible to tracers (race detection needs it)
+            self.tracer.on_spawn(self.current.tid, tid)
         return thread
 
     def _runnable(self) -> List[SimThread]:
@@ -521,6 +531,7 @@ class Kernel:
             joiner.status = Status.READY
             joiner.send_value = result
             joiner.waiting_reason = None
+            self.tracer.on_join(joiner.tid, thread.tid)
         thread.joiners.clear()
 
     # -- syscall dispatch ---------------------------------------------------
@@ -582,6 +593,7 @@ class Kernel:
             target = syscall.thread
             if target.finished:
                 thread.send_value = target.result
+                self.tracer.on_join(thread.tid, target.tid)
             else:
                 thread.status = Status.BLOCKED
                 thread.waiting_reason = f"join({target.name})"

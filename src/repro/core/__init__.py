@@ -24,11 +24,13 @@ from .actions import (
     CallAction,
     CommitAction,
     EndCommitBlockAction,
+    JoinAction,
     ReadAction,
     ReleaseAction,
     ReplayAction,
     ReturnAction,
     Signature,
+    SpawnAction,
     WriteAction,
 )
 from .exhaustive import (
@@ -96,6 +98,7 @@ __all__ = [
     "InstrumentationError",
     "InstrumentedDataStructure",
     "Invariant",
+    "JoinAction",
     "Log",
     "LogReader",
     "LogWriter",
@@ -110,6 +113,7 @@ __all__ = [
     "ReturnAction",
     "ScheduleViolation",
     "Signature",
+    "SpawnAction",
     "SpecError",
     "SpecReject",
     "Specification",

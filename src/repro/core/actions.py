@@ -173,6 +173,33 @@ class ReleaseAction(Action):
 
 
 @dataclass(frozen=True)
+class SpawnAction(Action):
+    """Thread ``tid`` spawned simulated thread ``child_tid``.
+
+    Logged only for *dynamic* spawns (from inside a running simulated
+    thread); threads created before ``kernel.run()`` have no logged parent.
+    Gives the race detector its fork happens-before edge."""
+
+    tid: int
+    op_id: Optional[int]
+    child_tid: int
+
+    __slots__ = ("tid", "op_id", "child_tid")
+
+
+@dataclass(frozen=True)
+class JoinAction(Action):
+    """Thread ``tid`` observed the completion of thread ``child_tid`` via
+    ``ctx.join`` (the join happens-before edge)."""
+
+    tid: int
+    op_id: Optional[int]
+    child_tid: int
+
+    __slots__ = ("tid", "op_id", "child_tid")
+
+
+@dataclass(frozen=True)
 class Signature:
     """The signature ``Sign(phi) = (t, mu, alpha, rho)`` of a method execution
     (paper section 3.2)."""

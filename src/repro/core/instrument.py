@@ -42,10 +42,12 @@ from .actions import (
     CallAction,
     CommitAction,
     EndCommitBlockAction,
+    JoinAction,
     ReadAction,
     ReleaseAction,
     ReplayAction,
     ReturnAction,
+    SpawnAction,
     WriteAction,
 )
 from .log import Log
@@ -86,10 +88,11 @@ class VyrdTracer(Tracer):
 
     def __init__(self, log: Optional[Log] = None, level: str = VIEW_LEVEL,
                  log_locks: bool = False, log_reads: bool = False):
-        """``log_locks``/``log_reads`` additionally record lock grant/release
-        and shared-read events (needed only by the Atomizer-style atomicity
-        baseline in :mod:`repro.atomicity`; refinement checking never reads
-        them)."""
+        """``log_locks``/``log_reads`` additionally record synchronization
+        events (lock grant/release, thread spawn/join) and shared-read
+        events.  Refinement checking never reads them; they feed the
+        Atomizer-style atomicity baseline in :mod:`repro.atomicity` and the
+        dynamic race detectors in :mod:`repro.races`."""
         if level not in self.LEVELS:
             raise ValueError(f"unknown logging level {level!r}")
         self.log = log if log is not None else Log()
@@ -150,6 +153,16 @@ class VyrdTracer(Tracer):
             self.log.append(
                 ReleaseAction(tid, self.current_op_id(tid), lock.name, mode)
             )
+
+    def on_spawn(self, parent_tid: int, child_tid: int) -> None:
+        if self.log_locks:
+            self.log.append(
+                SpawnAction(parent_tid, self.current_op_id(parent_tid), child_tid)
+            )
+
+    def on_join(self, tid: int, child_tid: int) -> None:
+        if self.log_locks:
+            self.log.append(JoinAction(tid, self.current_op_id(tid), child_tid))
 
     def on_commit(self, tid: int) -> None:
         if self.level == "none":

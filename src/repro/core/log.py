@@ -30,10 +30,12 @@ from .actions import (
     CallAction,
     CommitAction,
     EndCommitBlockAction,
+    JoinAction,
     ReadAction,
     ReleaseAction,
     ReplayAction,
     ReturnAction,
+    SpawnAction,
     WriteAction,
 )
 
@@ -213,7 +215,8 @@ def validate_well_formed(log: Log) -> List[str]:
             else:
                 open_blocks[action.tid] = depth - 1
         elif isinstance(action, (WriteAction, ReplayAction, ReadAction,
-                                 AcquireAction, ReleaseAction)):
+                                 AcquireAction, ReleaseAction,
+                                 SpawnAction, JoinAction)):
             pass
         else:
             problems.append(f"@{seq}: unknown action type {type(action).__name__}")

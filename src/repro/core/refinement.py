@@ -99,6 +99,7 @@ class Violation:
             "kind": self.kind.value,
             "seq": self.seq,
             "message": self.message,
+            "problem": str(self),
             "signature": str(self.signature) if self.signature else None,
             "details": {key: repr(value) for key, value in self.details.items()},
         }

@@ -19,10 +19,12 @@ from .actions import (
     CallAction,
     CommitAction,
     EndCommitBlockAction,
+    JoinAction,
     ReadAction,
     ReleaseAction,
     ReplayAction,
     ReturnAction,
+    SpawnAction,
     WriteAction,
 )
 from .interleaving import build_witness
@@ -55,6 +57,10 @@ def _describe(action: Action) -> Optional[str]:
     if isinstance(action, ReleaseAction):
         tag = "" if action.mode == "x" else f":{action.mode}"
         return f"rel {action.lock}{tag}"
+    if isinstance(action, SpawnAction):
+        return f"spawn t{action.child_tid}"
+    if isinstance(action, JoinAction):
+        return f"join t{action.child_tid}"
     return None
 
 
@@ -82,7 +88,7 @@ def render_trace(
     rows = 0
     detailed = (
         WriteAction, ReplayAction, BeginCommitBlockAction, EndCommitBlockAction,
-        ReadAction, AcquireAction, ReleaseAction,
+        ReadAction, AcquireAction, ReleaseAction, SpawnAction, JoinAction,
     )
     for seq, action in enumerate(log):
         if isinstance(action, detailed) and not include_writes:

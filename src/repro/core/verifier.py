@@ -63,6 +63,15 @@ class Vyrd:
     log_level:
         Logging granularity override; defaults to what ``mode`` needs
         (``"io"`` logs calls/returns/commits only, ``"view"`` adds writes).
+    races:
+        Enable dynamic race detection alongside refinement: ``"hb"``
+        (vector-clock happens-before), ``"lockset"`` (full Eraser), or
+        ``"both"``/``True``.  Implies ``log_locks`` and ``log_reads`` so the
+        log carries the synchronization and read events the detectors need.
+    atomic_locs:
+        Location-name prefixes that are atomic by construction (volatile /
+        internally synchronized storage); the race detectors treat their
+        accesses as synchronization, not as candidate races.
     """
 
     def __init__(
@@ -75,6 +84,8 @@ class Vyrd:
         log_level: Optional[str] = None,
         log_locks: bool = False,
         log_reads: bool = False,
+        races=None,
+        atomic_locs: Iterable[str] = (),
     ):
         if mode == VIEW_MODE and impl_view_factory is None:
             raise ValueError("view mode requires impl_view_factory")
@@ -83,6 +94,14 @@ class Vyrd:
         self.impl_view_factory = impl_view_factory
         self.invariants = tuple(invariants)
         self.replay_registry = dict(replay_registry or {})
+        if races:
+            from ..races import normalize_detectors
+
+            self.races = normalize_detectors(races)
+            log_locks = log_reads = True
+        else:
+            self.races = None
+        self.atomic_locs = tuple(atomic_locs)
         needs_state = mode == VIEW_MODE or bool(self.invariants)
         level = log_level if log_level is not None else (
             VIEW_LEVEL if needs_state else IO_LEVEL
@@ -114,6 +133,27 @@ class Vyrd:
     def check_offline(self, stop_at_first: bool = True) -> CheckOutcome:
         """Check the (completed) log from scratch."""
         checker = self.new_checker(stop_at_first=stop_at_first)
+        checker.feed(self.log)
+        return checker.finish()
+
+    def new_race_checker(self, stop_at_first: bool = False):
+        """A fresh incremental race checker for this session's detectors.
+
+        Requires ``races=...`` at construction (the tracer must have
+        recorded synchronization and read events)."""
+        if self.races is None:
+            raise ValueError(
+                "race detection not enabled; construct Vyrd(races='both' "
+                "/ 'hb' / 'lockset')"
+            )
+        from ..races import RaceChecker
+
+        return RaceChecker(detectors=self.races, stop_at_first=stop_at_first,
+                           atomic_locs=self.atomic_locs)
+
+    def check_races(self, stop_at_first: bool = False):
+        """Run the configured race detectors over the (completed) log."""
+        checker = self.new_race_checker(stop_at_first=stop_at_first)
         checker.feed(self.log)
         return checker.finish()
 
@@ -161,26 +201,42 @@ class OnlineVerifier:
     it atomically consumes all new log records through an incremental
     :class:`RefinementChecker`.  Violations are therefore detected *during*
     the run, as close to their commit actions as scheduling allows.
+
+    When the session was built with ``races=...``, the same tail feeds an
+    incremental :class:`~repro.races.RaceChecker`, so race detection runs
+    alongside refinement; read the result with :meth:`finalize_races`.
     """
 
     def __init__(self, session: Vyrd, stop_at_first: bool = True):
         self.session = session
         self.checker = session.new_checker(stop_at_first=stop_at_first)
+        self.race_checker = (
+            session.new_race_checker() if session.races is not None else None
+        )
         self.cursor = 0
         self.thread: Optional[SimThread] = None
         self._finalized: Optional[CheckOutcome] = None
+        self._race_outcome = None
 
     def _consume(self) -> None:
         log = self.session.log
         if self.cursor < len(log):
             fresh = log.since(self.cursor)
             self.cursor = len(log)
-            self.checker.feed(fresh)
+            if not self.checker.stopped:
+                self.checker.feed(fresh)
+            if self.race_checker is not None and not self.race_checker.stopped:
+                self.race_checker.feed(fresh)
+
+    def _done(self) -> bool:
+        if not self.checker.stopped:
+            return False
+        return self.race_checker is None or self.race_checker.stopped
 
     def _body(self, ctx):
         while True:
             yield ctx.checkpoint()
-            if not self.checker.stopped:
+            if not self._done():
                 self._consume()
 
     @property
@@ -188,10 +244,24 @@ class OnlineVerifier:
         """True once the online checker has found a violation."""
         return bool(self.checker.outcome.violations)
 
+    @property
+    def races_detected(self) -> bool:
+        """True once the online race checker has reported a race."""
+        return self.race_checker is not None and self.race_checker.detected
+
     def finalize(self) -> CheckOutcome:
         """Consume whatever the run left in the log and finish the check."""
         if self._finalized is None:
-            if not self.checker.stopped:
+            if not self._done():
                 self._consume()
             self._finalized = self.checker.finish()
         return self._finalized
+
+    def finalize_races(self):
+        """Finish the online race check (requires ``Vyrd(races=...)``)."""
+        if self.race_checker is None:
+            raise ValueError("race detection not enabled for this session")
+        if self._race_outcome is None:
+            self.finalize()
+            self._race_outcome = self.race_checker.finish()
+        return self._race_outcome

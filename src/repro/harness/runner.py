@@ -42,6 +42,7 @@ class RunResult:
     kernel: Kernel
     run_cpu: float
     online_outcome: Optional[CheckOutcome] = None
+    race_outcome: Optional[object] = None  # RaceOutcome when races enabled
 
     @property
     def log(self):
@@ -61,13 +62,17 @@ def run_program(
     scheduler_factory=None,
     log_locks: bool = False,
     log_reads: bool = False,
+    races=None,
 ) -> RunResult:
     """Build, run and (optionally online-) verify one program instance.
 
     ``scheduler_factory(seed)`` overrides the default seeded random
     scheduler (e.g. with :class:`~repro.concurrency.PCTScheduler` for the
     scheduling ablation).  ``log_locks``/``log_reads`` additionally record
-    the events the :mod:`repro.atomicity` baseline needs."""
+    the events the :mod:`repro.atomicity` baseline needs.  ``races``
+    (``"hb"``/``"lockset"``/``"both"``) runs the :mod:`repro.races`
+    detectors over the same log -- incrementally when ``online=True``,
+    offline otherwise -- and fills ``RunResult.race_outcome``."""
     program = _resolve(program)
     built = program.build(buggy, num_threads)
     vyrd = Vyrd(
@@ -79,6 +84,8 @@ def run_program(
         log_level=log_level,
         log_locks=log_locks,
         log_reads=log_reads,
+        races=races,
+        atomic_locs=program.atomic_locs,
     )
     scheduler = scheduler_factory(seed) if scheduler_factory is not None else None
     kernel = Kernel(
@@ -97,7 +104,15 @@ def run_program(
     kernel.run()
     run_cpu = time.process_time() - start
     online_outcome = verifier.finalize() if verifier is not None else None
-    return RunResult(program, built, vyrd, kernel, run_cpu, online_outcome)
+    race_outcome = None
+    if races:
+        race_outcome = (
+            verifier.finalize_races() if verifier is not None
+            else vyrd.check_races()
+        )
+    return RunResult(
+        program, built, vyrd, kernel, run_cpu, online_outcome, race_outcome
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -100,6 +100,10 @@ class Program:
     name: str
     bug: str
     build: Callable[[bool, int], BuiltProgram]  # (buggy, num_threads) -> built
+    # location prefixes that are atomic by construction (see Vyrd(atomic_locs=...));
+    # the B-link tree's lock-free descents read node cells that real Boxwood
+    # accesses through the internally-locked Cache, so they synchronize, not race
+    atomic_locs: tuple = ()
 
 
 # ---------------------------------------------------------------------------
@@ -389,7 +393,8 @@ PROGRAMS: Dict[str, Program] = {
         "stringbuffer", "Copying from an unprotected StringBuffer", _build_stringbuffer
     ),
     "blinktree": Program(
-        "blinktree", "Allowing duplicated data nodes", _build_blinktree
+        "blinktree", "Allowing duplicated data nodes", _build_blinktree,
+        atomic_locs=("blt.",),
     ),
     "cache": Program(
         "cache", "Writing an unprotected dirty cache entry", _build_cache

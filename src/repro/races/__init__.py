@@ -1,0 +1,83 @@
+"""Dynamic data-race detection over the VYRD action log.
+
+The log VYRD records for refinement checking already carries every
+shared-variable access and synchronization event (when recorded with
+``log_locks=True, log_reads=True``), which is exactly what dynamic race
+detectors consume.  This package provides two interchangeable analyses over
+that log:
+
+* :class:`HappensBeforeDetector` -- a vector-clock happens-before detector
+  (FastTrack-style epochs with read-share promotion; release-acquire,
+  fork and join edges).  Precise: a report is a real race *in this
+  interleaving*.
+* :class:`LocksetEngine` -- the full Eraser lockset discipline with the
+  virgin -> exclusive -> shared -> shared-modified state machine.
+  Conservative: generalizes over interleavings, may false-alarm.
+
+Both report :class:`Race` records carrying the two access sites, rendered
+as Fig. 6-style two-lane excerpts by :mod:`repro.races.report`.  The
+:class:`RaceChecker` facade exposes the incremental ``feed``/``finish``
+protocol the online verification thread uses, so race detection can run
+alongside refinement on the log tail (``Vyrd(races="both")``).
+
+The atomicity baseline (:mod:`repro.atomicity`) delegates its race pass to
+the same lockset engine (``discipline="strict"``).
+"""
+
+from .checker import BOTH, HB, LOCKSET, RaceChecker, check_races, normalize_detectors
+from .happens_before import HappensBeforeDetector
+from .lockset import (
+    ERASER,
+    STRICT,
+    HeldLockTracker,
+    LocksetEngine,
+    compute_racy_locs,
+)
+from .model import (
+    HB_DETECTOR,
+    LOCKSET_DETECTOR,
+    READ_SHARED,
+    READ_WRITE,
+    WRITE_READ,
+    WRITE_WRITE,
+    AccessSite,
+    Race,
+    RaceOutcome,
+)
+from .report import (
+    format_race,
+    format_race_outcome,
+    render_first_race,
+    render_race_excerpt,
+)
+from .vectorclock import Epoch, VectorClock
+
+__all__ = [
+    "AccessSite",
+    "BOTH",
+    "ERASER",
+    "Epoch",
+    "HB",
+    "HB_DETECTOR",
+    "HappensBeforeDetector",
+    "HeldLockTracker",
+    "LOCKSET",
+    "LOCKSET_DETECTOR",
+    "LocksetEngine",
+    "Race",
+    "RaceChecker",
+    "RaceOutcome",
+    "READ_SHARED",
+    "READ_WRITE",
+    "STRICT",
+    "VectorClock",
+    "WRITE_READ",
+    "WRITE_WRITE",
+    "check_races",
+    "compute_racy_locs",
+    "format_race",
+    "format_race_outcome",
+    "normalize_detectors",
+    "render_first_race",
+    "render_race_excerpt",
+]

@@ -1,0 +1,241 @@
+"""The shared lockset engine: Eraser's discipline over a VYRD log.
+
+Eraser [Savage et al., TOCS 1997] checks the *locking discipline*: every
+shared location should be consistently protected by some lock.  Each
+location carries a candidate set ``C(v)``, intersected with the accessing
+thread's held locks; an empty candidate set means no common protection.
+
+Two disciplines share this engine:
+
+``STRICT``
+    The simplified variant the atomicity baseline has always used (no
+    initialization or read-share states): every access refines ``C(v)``
+    and a location is racy as soon as the candidate set is empty and more
+    than one thread has touched it.  :mod:`repro.atomicity` delegates its
+    pass 1 here.
+
+``ERASER``
+    The full virgin -> exclusive -> shared -> shared-modified state machine.
+    The initialization window (all accesses by the first thread) and
+    read-sharing (many readers, no writer after the transition) do not
+    report, which removes the classic false alarms on init-then-share data.
+    Two deliberate deviations from the 1997 paper, both making the report
+    set a superset of the happens-before detector's (a property the test
+    suite checks):
+
+    * ``C(v)`` is refined from the *first* access onward, not only after
+      leaving the exclusive state, so a racy pair involving the very first
+      access is still caught;
+    * with ``report_read_shared`` (default), draining the candidate set in
+      the read-shared state reports a ``read-shared`` race against the last
+      write instead of staying silent -- Eraser proper trades this false
+      negative away.
+
+Reported races carry both access sites (the engine remembers the last
+access per thread and the last write per location).  Locations matching an
+``atomic_locs`` prefix (volatile / cache-mediated storage, declared per
+program) are exempt from the discipline, as Eraser's annotations exempt
+volatiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from ..core.actions import (
+    AcquireAction,
+    Action,
+    ReadAction,
+    ReleaseAction,
+    WriteAction,
+)
+from .model import (
+    LOCKSET_DETECTOR,
+    READ_SHARED,
+    READ_WRITE,
+    WRITE_READ,
+    WRITE_WRITE,
+    AccessSite,
+    Race,
+)
+
+STRICT = "strict"
+ERASER = "eraser"
+
+# location protection states (ERASER discipline)
+_VIRGIN = "virgin"             # implicit: no entry yet
+_EXCLUSIVE = "exclusive"       # one thread only (initialization window)
+_SHARED = "shared"             # many readers, writes only by first thread
+_SHARED_MODIFIED = "shared-modified"
+
+
+class HeldLockTracker:
+    """Locks currently held per thread, split by protection strength.
+
+    Regular locks and write-mode RW-locks protect reads and writes;
+    read-mode RW-locks protect reads only.
+    """
+
+    __slots__ = ("_exclusive", "_shared")
+
+    def __init__(self):
+        self._exclusive: Dict[int, Set[str]] = {}
+        self._shared: Dict[int, Set[str]] = {}
+
+    def apply(self, action: Action) -> None:
+        """Track one Acquire/Release record (other kinds are ignored)."""
+        if isinstance(action, AcquireAction):
+            table = self._shared if action.mode == "r" else self._exclusive
+            table.setdefault(action.tid, set()).add(action.lock)
+        elif isinstance(action, ReleaseAction):
+            table = self._shared if action.mode == "r" else self._exclusive
+            table.get(action.tid, set()).discard(action.lock)
+
+    def write_protection(self, tid: int) -> Set[str]:
+        return set(self._exclusive.get(tid, ()))
+
+    def read_protection(self, tid: int) -> Set[str]:
+        return self._exclusive.get(tid, set()) | self._shared.get(tid, set())
+
+    def held(self, tid: int) -> frozenset:
+        """Everything held, for access-site display."""
+        return frozenset(self.read_protection(tid))
+
+
+@dataclass
+class _LocState:
+    """Per-location lockset bookkeeping."""
+
+    state: str
+    owner: int                           # first accessing thread
+    candidate: Set[str]
+    accessors: Set[int] = field(default_factory=set)
+    last_write: Optional[AccessSite] = None
+    last_by_tid: Dict[int, AccessSite] = field(default_factory=dict)
+    reported: bool = False
+
+
+class LocksetEngine:
+    """Incremental lockset analysis; feed it every log record in order.
+
+    ``feed`` returns a :class:`Race` the first time a location's discipline
+    is violated (``ERASER`` discipline only; ``STRICT`` callers read
+    :attr:`racy_locs`).
+    """
+
+    def __init__(self, discipline: str = ERASER, report_read_shared: bool = True,
+                 atomic_locs: tuple = ()):
+        if discipline not in (STRICT, ERASER):
+            raise ValueError(f"unknown lockset discipline {discipline!r}")
+        self.discipline = discipline
+        self.report_read_shared = report_read_shared
+        self.atomic_locs = tuple(atomic_locs)
+        self.held = HeldLockTracker()
+        self._locs: Dict[str, _LocState] = {}
+        self._racy: Set[str] = set()
+
+    @property
+    def racy_locs(self) -> Set[str]:
+        """Locations whose discipline has been violated so far."""
+        return set(self._racy)
+
+    @property
+    def locations_tracked(self) -> int:
+        return len(self._locs)
+
+    # -- per-record processing ---------------------------------------------
+
+    def feed(self, seq: int, action: Action) -> Optional[Race]:
+        if isinstance(action, (AcquireAction, ReleaseAction)):
+            self.held.apply(action)
+            return None
+        if isinstance(action, ReadAction):
+            return self._access(seq, action.tid, action.op_id, action.loc, "read")
+        if isinstance(action, WriteAction):
+            return self._access(seq, action.tid, action.op_id, action.loc, "write")
+        return None
+
+    def _access(
+        self, seq: int, tid: int, op_id: Optional[int], loc: str, kind: str
+    ) -> Optional[Race]:
+        if self.atomic_locs and loc.startswith(self.atomic_locs):
+            return None  # volatile/cache-mediated: exempt from the discipline
+        protection = (
+            self.held.write_protection(tid)
+            if kind == "write"
+            else self.held.read_protection(tid)
+        )
+        site = AccessSite(tid, seq, kind, loc, op_id, self.held.held(tid))
+        entry = self._locs.get(loc)
+        if entry is None:
+            entry = _LocState(_EXCLUSIVE, tid, set(protection))
+            self._locs[loc] = entry
+        else:
+            entry.candidate &= protection
+            self._advance_state(entry, tid, kind)
+        entry.accessors.add(tid)
+        race = self._judge(entry, loc, site)
+        entry.last_by_tid[tid] = site
+        if kind == "write":
+            entry.last_write = site
+        return race
+
+    def _advance_state(self, entry: _LocState, tid: int, kind: str) -> None:
+        if entry.state == _EXCLUSIVE and tid != entry.owner:
+            entry.state = _SHARED_MODIFIED if kind == "write" else _SHARED
+        elif entry.state == _SHARED and kind == "write":
+            entry.state = _SHARED_MODIFIED
+
+    def _judge(self, entry: _LocState, loc: str, site: AccessSite) -> Optional[Race]:
+        if self.discipline == STRICT:
+            if not entry.candidate and len(entry.accessors) > 1:
+                self._racy.add(loc)
+            return None
+        if entry.candidate or entry.reported:
+            return None
+        if entry.state == _SHARED_MODIFIED:
+            kind = WRITE_WRITE if site.kind == "write" else WRITE_READ
+            prior = self._prior_site(entry, site)
+            if prior is None:
+                return None
+            if prior.kind == "read" and site.kind == "write":
+                kind = READ_WRITE
+            detail = "no lock consistently protects this location"
+        elif entry.state == _SHARED and self.report_read_shared:
+            # a write happened in the exclusive window; Eraser proper stays
+            # silent here (the read-share exception) -- we surface it
+            prior = entry.last_write
+            if prior is None or prior.tid == site.tid:
+                return None
+            kind = READ_SHARED
+            detail = (
+                "candidate set drained in the read-shared state "
+                "(unprotected write-then-read)"
+            )
+        else:
+            return None
+        entry.reported = True
+        self._racy.add(loc)
+        return Race(loc, kind, prior, site, LOCKSET_DETECTOR, detail)
+
+    def _prior_site(self, entry: _LocState, site: AccessSite) -> Optional[AccessSite]:
+        """The other end of the pair: prefer the last write by another
+        thread, else the most recent access by another thread."""
+        if entry.last_write is not None and entry.last_write.tid != site.tid:
+            return entry.last_write
+        best = None
+        for tid, other in entry.last_by_tid.items():
+            if tid == site.tid:
+                continue
+            if best is None or other.seq > best.seq:
+                best = other
+        return best
+
+
+def compute_racy_locs(log, discipline: str = STRICT) -> Set[str]:
+    """One-shot lockset pass over a complete log (atomizer's pass 1)."""
+    engine = LocksetEngine(discipline=discipline)
+    for seq, action in enumerate(log):
+        engine.feed(seq, action)
+    return engine.racy_locs

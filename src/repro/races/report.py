@@ -1,0 +1,111 @@
+"""Race reports: summaries and Fig. 6-style two-lane trace excerpts.
+
+A reported race names two access sites; :func:`render_race_excerpt` shows
+them the way the paper's Fig. 6 shows a refinement violation -- the two
+involved threads as lanes, time flowing downward, the racing accesses
+marked -- cropped to a window around the pair so a long log stays readable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.log import Log
+from ..core.report import _describe
+from .model import Race, RaceOutcome
+
+
+def format_race(race: Race) -> str:
+    """Multi-line description of one race (both sites on their own lines)."""
+    return "\n".join([
+        f"{race.kind} race on {race.loc!r} [{race.detector}]",
+        f"    prior : {race.prior}",
+        f"    access: {race.access}",
+    ] + ([f"    note  : {race.detail}"] if race.detail else []))
+
+
+def format_race_outcome(outcome: RaceOutcome, title: str = "race detection",
+                        max_races: Optional[int] = 8) -> str:
+    """Full report of a race-detection outcome.
+
+    At most ``max_races`` races are listed in full (``None`` for all); the
+    counts per detector always cover everything."""
+    lines = [
+        f"== {title} ==",
+        f"result: {'RACE-FREE' if outcome.ok else 'RACES FOUND'}",
+        f"detectors: {', '.join(outcome.detectors)}",
+        f"log records processed: {outcome.actions_processed}",
+        f"locations tracked: {outcome.locations_tracked}",
+    ]
+    for detector in outcome.detectors:
+        lines.append(f"{detector} races: {len(outcome.by_detector(detector))}")
+    shown = outcome.races if max_races is None else outcome.races[:max_races]
+    for race in shown:
+        lines.append(format_race(race))
+    if len(shown) < len(outcome.races):
+        lines.append(f"... ({len(outcome.races) - len(shown)} more race(s))")
+    return "\n".join(lines)
+
+
+def render_race_excerpt(
+    log: Log,
+    race: Race,
+    context: int = 4,
+    lane_width: int = 30,
+) -> str:
+    """Render the racing pair as a two-lane excerpt of the log.
+
+    ``context`` rows of each involved thread's actions are kept on either
+    side of the pair; everything else is elided.  The racing accesses are
+    marked with ``*``.
+    """
+    tids = sorted({race.prior.tid, race.access.tid})
+    columns = {tid: index for index, tid in enumerate(tids)}
+    marked = {race.prior.seq, race.access.seq}
+    lo, hi = min(marked), max(marked)
+
+    # rows: (seq, tid, text) for actions of the involved threads
+    rows: List[tuple] = []
+    for seq, action in enumerate(log):
+        tid = getattr(action, "tid", None)
+        if tid not in columns:
+            continue
+        text = _describe(action)
+        if text is None:
+            continue
+        rows.append((seq, tid, text))
+
+    first = next((i for i, row in enumerate(rows) if row[0] >= lo), 0)
+    last = next(
+        (i for i, row in enumerate(rows) if row[0] >= hi), len(rows) - 1
+    )
+    start = max(0, first - context)
+    stop = min(len(rows), last + context + 1)
+
+    header = "seq    | " + " | ".join(
+        f"thread {tid}".ljust(lane_width) for tid in tids
+    )
+    lines = [
+        f"{race.kind} race on {race.loc!r} [{race.detector}] "
+        f"(* marks the racing accesses)",
+        header,
+        "-" * len(header),
+    ]
+    if start > 0:
+        lines.append(f"... ({start} earlier row(s) elided)")
+    for seq, tid, text in rows[start:stop]:
+        mark = "*" if seq in marked else " "
+        cells = [" " * lane_width] * len(tids)
+        cells[columns[tid]] = text[:lane_width].ljust(lane_width)
+        lines.append(f"{seq:<5d}{mark} | " + " | ".join(cells))
+    if stop < len(rows):
+        lines.append(f"... ({len(rows) - stop} later row(s) elided)")
+    return "\n".join(lines)
+
+
+def render_first_race(log: Log, outcome: RaceOutcome,
+                      context: int = 4) -> Optional[str]:
+    """Excerpt for the first reported race, or None when race-free."""
+    if outcome.ok:
+        return None
+    return render_race_excerpt(log, outcome.races[0], context=context)

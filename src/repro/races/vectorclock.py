@@ -1,0 +1,84 @@
+"""Vector clocks and epochs (the FastTrack representation).
+
+A :class:`VectorClock` maps thread ids to logical clocks; absent entries are
+zero.  An :class:`Epoch` ``c@t`` names one component -- FastTrack's insight
+is that a location's last write (and usually its last read) is totally
+ordered with everything else, so a single epoch replaces a full clock on the
+hot path; the read side falls back to a full clock only after genuinely
+concurrent reads (read-share promotion, handled in
+:mod:`repro.races.happens_before`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, NamedTuple, Optional
+
+
+class Epoch(NamedTuple):
+    """One (thread, clock) component: the FastTrack ``c@t``."""
+
+    tid: int
+    clock: int
+
+    def __str__(self) -> str:
+        return f"{self.clock}@t{self.tid}"
+
+
+class VectorClock:
+    """A mutable thread-id -> clock map with pointwise join/compare."""
+
+    __slots__ = ("_clocks",)
+
+    def __init__(self, clocks: Optional[Dict[int, int]] = None):
+        self._clocks: Dict[int, int] = dict(clocks) if clocks else {}
+
+    def get(self, tid: int) -> int:
+        return self._clocks.get(tid, 0)
+
+    def set(self, tid: int, clock: int) -> None:
+        self._clocks[tid] = clock
+
+    def tick(self, tid: int) -> int:
+        """Advance ``tid``'s own component; returns the new clock."""
+        value = self._clocks.get(tid, 0) + 1
+        self._clocks[tid] = value
+        return value
+
+    def join(self, other: "VectorClock") -> None:
+        """Pointwise maximum, in place (``self := self ⊔ other``)."""
+        for tid, clock in other._clocks.items():
+            if clock > self._clocks.get(tid, 0):
+                self._clocks[tid] = clock
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._clocks)
+
+    def epoch(self, tid: int) -> Epoch:
+        return Epoch(tid, self._clocks.get(tid, 0))
+
+    def covers_epoch(self, epoch: Epoch) -> bool:
+        """``epoch`` happens-before (or equals) this clock's view."""
+        return epoch.clock <= self._clocks.get(epoch.tid, 0)
+
+    def covers(self, other: "VectorClock") -> bool:
+        """``other <= self`` pointwise."""
+        return all(
+            clock <= self._clocks.get(tid, 0)
+            for tid, clock in other._clocks.items()
+        )
+
+    def items(self) -> Iterator:
+        return iter(self._clocks.items())
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        mine = {t: c for t, c in self._clocks.items() if c}
+        theirs = {t: c for t, c in other._clocks.items() if c}
+        return mine == theirs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(
+            f"t{tid}:{clock}" for tid, clock in sorted(self._clocks.items())
+        )
+        return f"<VC {inner}>"

@@ -9,20 +9,24 @@ programs:
 
    $ python -m repro.tools.cli programs
    $ python -m repro.tools.cli run --program multiset-vector --buggy \\
-         --seed 7 --save run.vyrdlog
+         --seed 7 --races --save run.vyrdlog
    $ python -m repro.tools.cli check run.vyrdlog --program multiset-vector \\
          --mode view
+   $ python -m repro.tools.cli races run.vyrdlog --detector hb
    $ python -m repro.tools.cli trace run.vyrdlog --max-rows 40
    $ python -m repro.tools.cli witness run.vyrdlog
 
 ``check`` rebuilds the program's spec/view/invariants from the registry and
-replays the saved log offline; ``trace``/``witness`` render Fig. 3/6-style
-diagrams from any saved log.
+replays the saved log offline; ``races`` runs the dynamic race detectors
+over any saved log recorded with synchronization events (``run --races``
+records them); ``trace``/``witness`` render Fig. 3/6-style diagrams from
+any saved log.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -61,6 +65,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--atomicity", action="store_true",
                             help="also run the Atomizer-style atomicity "
                                  "baseline (logs lock/read events)")
+    run_parser.add_argument("--races", nargs="?", const="both",
+                            choices=("hb", "lockset", "both"),
+                            help="also run dynamic race detection (logs "
+                                 "sync/read events); optional value selects "
+                                 "the detector (default: both)")
     run_parser.add_argument("--save", metavar="PATH",
                             help="write the log to PATH for later checking")
 
@@ -71,6 +80,22 @@ def _build_parser() -> argparse.ArgumentParser:
     check_parser.add_argument("--all", action="store_true",
                               help="collect all violations, not just the first")
     check_parser.add_argument("--json", action="store_true",
+                              help="emit the outcome as JSON")
+
+    races_parser = sub.add_parser(
+        "races", help="run dynamic race detection on a saved log"
+    )
+    races_parser.add_argument("log", help="log file written by `run --races --save`")
+    races_parser.add_argument("--detector", choices=("hb", "lockset", "both"),
+                              default="both")
+    races_parser.add_argument("--atomic-prefix", action="append", default=[],
+                              metavar="PREFIX",
+                              help="treat locations starting with PREFIX as "
+                                   "atomic (volatile/cache-mediated); e.g. "
+                                   "'blt.' for blinktree logs (repeatable)")
+    races_parser.add_argument("--context", type=int, default=4,
+                              help="rows of context in the race excerpt")
+    races_parser.add_argument("--json", action="store_true",
                               help="emit the outcome as JSON")
 
     trace_parser = sub.add_parser("trace", help="render a log as thread lanes")
@@ -105,6 +130,7 @@ def _cmd_run(args) -> int:
         online=args.online,
         log_locks=args.atomicity,
         log_reads=args.atomicity,
+        races=args.races,
     )
     outcome = (
         result.online_outcome if args.online else result.vyrd.check_offline()
@@ -120,10 +146,20 @@ def _cmd_run(args) -> int:
 
         atomicity = check_atomicity(result.log)
         print(f"atomicity baseline: {atomicity.summary()}")
+    races_ok = True
+    if args.races:
+        from ..races import format_race_outcome, render_first_race
+
+        races = result.race_outcome
+        races_ok = races.ok
+        print(format_race_outcome(races, title=f"race detection ({args.races})"))
+        excerpt = render_first_race(result.log, races)
+        if excerpt is not None:
+            print(excerpt)
     if args.save:
         save_log(result.log, args.save)
         print(f"log written to {args.save}")
-    return 0 if outcome.ok else 1
+    return 0 if outcome.ok and races_ok else 1
 
 
 def _checker_for(program_name: str, mode: str, stop_at_first: bool) -> RefinementChecker:
@@ -138,6 +174,17 @@ def _checker_for(program_name: str, mode: str, stop_at_first: bool) -> Refinemen
     )
 
 
+def _emit_json(payload, log) -> None:
+    """Shared ``--json`` plumbing: attach well-formedness and print.
+
+    The payload always carries ``well_formed`` plus the individual problem
+    strings, so scripts never have to re-run validation."""
+    problems = validate_well_formed(log)
+    payload["well_formed"] = not problems
+    payload["well_formedness_problems"] = problems
+    print(json.dumps(payload, indent=2))
+
+
 def _cmd_check(args) -> int:
     log = load_log(args.log)
     problems = validate_well_formed(log)
@@ -149,13 +196,29 @@ def _cmd_check(args) -> int:
     checker.feed(log)
     outcome = checker.finish()
     if args.json:
-        import json
-
-        payload = outcome.to_dict()
-        payload["well_formed"] = not problems
-        print(json.dumps(payload, indent=2))
+        _emit_json(outcome.to_dict(), log)
     else:
         print(format_outcome(outcome, title=f"{args.mode} refinement of {args.log}"))
+    return 0 if outcome.ok else 1
+
+
+def _cmd_races(args) -> int:
+    from ..races import check_races, format_race_outcome, render_first_race
+
+    log = load_log(args.log)
+    outcome = check_races(log, detectors=args.detector,
+                          atomic_locs=tuple(args.atomic_prefix))
+    if args.json:
+        _emit_json(outcome.to_dict(), log)
+    else:
+        print(
+            format_race_outcome(
+                outcome, title=f"race detection ({args.detector}) of {args.log}"
+            )
+        )
+        excerpt = render_first_race(log, outcome, context=args.context)
+        if excerpt is not None:
+            print(excerpt)
     return 0 if outcome.ok else 1
 
 
@@ -175,6 +238,7 @@ _COMMANDS = {
     "programs": _cmd_programs,
     "run": _cmd_run,
     "check": _cmd_check,
+    "races": _cmd_races,
     "trace": _cmd_trace,
     "witness": _cmd_witness,
 }

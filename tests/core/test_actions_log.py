@@ -3,15 +3,20 @@
 import io
 
 from repro.core import (
+    AcquireAction,
     BeginCommitBlockAction,
     CallAction,
     CommitAction,
     EndCommitBlockAction,
+    JoinAction,
     Log,
     LogReader,
     LogWriter,
+    ReadAction,
+    ReleaseAction,
     ReturnAction,
     Signature,
+    SpawnAction,
     WriteAction,
     load_log,
     save_log,
@@ -52,6 +57,73 @@ def test_file_round_trip(tmp_path):
     save_log(log, path)
     restored = load_log(path)
     assert list(restored) == list(log)
+
+
+def _sync_log():
+    """A log exercising every synchronization-event record kind."""
+    return Log([
+        SpawnAction(0, None, 2),
+        CallAction(2, 0, "insert", (3,)),
+        AcquireAction(2, 0, "A[0]"),
+        ReadAction(2, 0, "A[0].elt"),
+        WriteAction(2, 0, "A[0].elt", None, 3),
+        ReleaseAction(2, 0, "A[0]"),
+        AcquireAction(2, 0, "rw", "r"),
+        ReleaseAction(2, 0, "rw", "r"),
+        CommitAction(2, 0),
+        ReturnAction(2, 0, "insert", "success"),
+        JoinAction(0, None, 2),
+    ])
+
+
+def test_sync_records_file_round_trip(tmp_path):
+    log = _sync_log()
+    path = tmp_path / "sync.vyrdlog"
+    save_log(log, path)
+    restored = load_log(path)
+    assert list(restored) == list(log)
+
+
+def test_acquire_release_round_trip_fields(tmp_path):
+    log = Log([
+        AcquireAction(4, 9, "tree.n3", "w"),
+        ReleaseAction(4, 9, "tree.n3", "w"),
+        AcquireAction(5, None, "guard"),
+        ReleaseAction(5, None, "guard"),
+    ])
+    path = tmp_path / "locks.vyrdlog"
+    save_log(log, path)
+    acquire, release, plain_acquire, plain_release = load_log(path)
+    assert (acquire.tid, acquire.op_id, acquire.lock, acquire.mode) == (
+        4, 9, "tree.n3", "w"
+    )
+    assert (release.tid, release.op_id, release.lock, release.mode) == (
+        4, 9, "tree.n3", "w"
+    )
+    assert plain_acquire.mode == "x" and plain_release.mode == "x"
+    assert plain_acquire.op_id is None
+
+
+def test_read_round_trip_fields(tmp_path):
+    log = Log([ReadAction(7, 11, "cache.entry[2]"), ReadAction(0, None, "d")])
+    path = tmp_path / "reads.vyrdlog"
+    save_log(log, path)
+    read, internal = load_log(path)
+    assert (read.tid, read.op_id, read.loc) == (7, 11, "cache.entry[2]")
+    assert (internal.tid, internal.op_id, internal.loc) == (0, None, "d")
+
+
+def test_spawn_join_round_trip_fields(tmp_path):
+    log = Log([SpawnAction(1, 3, 6), JoinAction(1, 3, 6)])
+    path = tmp_path / "forks.vyrdlog"
+    save_log(log, path)
+    spawn, join = load_log(path)
+    assert (spawn.tid, spawn.op_id, spawn.child_tid) == (1, 3, 6)
+    assert (join.tid, join.op_id, join.child_tid) == (1, 3, 6)
+
+
+def test_sync_records_are_well_formed_passthrough():
+    assert validate_well_formed(_sync_log()) == []
 
 
 def test_stream_round_trip_in_memory():

@@ -35,9 +35,21 @@ def test_logging_overhead_ordering():
         "cache", num_threads=4, calls_per_thread=25, seeds=range(2)
     )
     assert result.program_alone > 0
-    # view-level logging records strictly more than io-level logging
-    assert result.view_logging >= result.io_logging >= 0
+    # overhead fields are clamped non-negative by construction; totals
+    # therefore dominate the bare program time
+    assert result.io_logging >= 0 and result.view_logging >= 0
     assert result.io_total >= result.program_alone
+    assert result.view_total >= result.program_alone
+    # the work ordering is asserted on record counts rather than CPU-time
+    # deltas, which jitter far beyond the gap on a loaded machine
+    by_level = {
+        level: run_program(
+            "cache", False, 4, 25, 0, log_level=level
+        ).log
+        for level in ("none", "io", "view")
+    }
+    assert len(by_level["none"]) == 0
+    assert len(by_level["view"]) > len(by_level["io"]) > 0
 
 
 def test_breakdown_ordering():

@@ -1,0 +1,169 @@
+"""The vector-clock happens-before detector on hand-built logs."""
+
+from repro.core.actions import (
+    AcquireAction,
+    JoinAction,
+    ReadAction,
+    ReleaseAction,
+    SpawnAction,
+    WriteAction,
+)
+from repro.core.log import Log
+from repro.races import HB_DETECTOR, check_races
+from repro.races.happens_before import HappensBeforeDetector
+
+
+def _hb(actions, **kwargs):
+    return check_races(Log(actions), detectors="hb", **kwargs)
+
+
+def test_unordered_writes_race():
+    outcome = _hb([
+        WriteAction(0, 0, "x", None, 1),
+        WriteAction(1, 1, "x", None, 2),
+    ])
+    assert len(outcome.races) == 1
+    race = outcome.races[0]
+    assert race.detector == HB_DETECTOR
+    assert race.kind == "write-write"
+    assert race.loc == "x"
+    assert (race.prior.tid, race.prior.seq) == (0, 0)
+    assert (race.access.tid, race.access.seq) == (1, 1)
+
+
+def test_release_acquire_orders_accesses():
+    outcome = _hb([
+        AcquireAction(0, 0, "l"),
+        WriteAction(0, 0, "x", None, 1),
+        ReleaseAction(0, 0, "l"),
+        AcquireAction(1, 1, "l"),
+        WriteAction(1, 1, "x", None, 2),
+        ReleaseAction(1, 1, "l"),
+    ])
+    assert outcome.ok
+
+
+def test_write_before_release_is_ordered_too():
+    # the edge covers everything the releaser did before releasing,
+    # not only the critical section body
+    outcome = _hb([
+        WriteAction(0, 0, "x", None, 1),
+        AcquireAction(0, 0, "l"),
+        ReleaseAction(0, 0, "l"),
+        AcquireAction(1, 1, "l"),
+        WriteAction(1, 1, "x", None, 2),
+    ])
+    assert outcome.ok
+
+
+def test_unordered_write_read_race():
+    outcome = _hb([
+        WriteAction(0, 0, "x", None, 1),
+        ReadAction(1, 1, "x"),
+    ])
+    assert len(outcome.races) == 1
+    assert outcome.races[0].kind == "write-read"
+
+
+def test_concurrent_reads_do_not_race_but_later_write_does():
+    outcome = _hb([
+        ReadAction(0, 0, "x"),
+        ReadAction(1, 1, "x"),   # read-share promotion, no race yet
+        ReadAction(2, 2, "x"),
+        WriteAction(2, 2, "x", None, 1),  # races with the other readers
+    ])
+    assert len(outcome.races) == 1
+    race = outcome.races[0]
+    assert race.kind == "read-write"
+    assert race.access.tid == 2
+    assert race.prior.tid in (0, 1)
+
+
+def test_spawn_edge_orders_parent_before_child():
+    ordered = _hb([
+        WriteAction(0, None, "x", None, 1),
+        SpawnAction(0, None, 5),
+        WriteAction(5, None, "x", None, 2),
+    ])
+    assert ordered.ok
+    unordered = _hb([
+        WriteAction(0, None, "x", None, 1),
+        WriteAction(5, None, "x", None, 2),
+    ])
+    assert not unordered.ok
+
+
+def test_join_edge_orders_child_before_joiner():
+    outcome = _hb([
+        SpawnAction(0, None, 5),
+        WriteAction(5, None, "x", None, 1),
+        JoinAction(0, None, 5),
+        WriteAction(0, None, "x", None, 2),
+    ])
+    assert outcome.ok
+
+
+def test_spawn_does_not_order_child_before_parent():
+    outcome = _hb([
+        SpawnAction(0, None, 5),
+        WriteAction(5, None, "x", None, 1),
+        WriteAction(0, None, "x", None, 2),  # no join: still concurrent
+    ])
+    assert not outcome.ok
+
+
+def test_one_race_reported_per_location():
+    outcome = _hb([
+        WriteAction(0, 0, "x", None, 1),
+        WriteAction(1, 1, "x", None, 2),
+        WriteAction(0, 2, "x", None, 3),
+        WriteAction(2, 3, "y", None, 1),
+        WriteAction(1, 4, "y", None, 2),
+    ])
+    assert len(outcome.races) == 2
+    assert outcome.racy_locs == {"x", "y"}
+
+
+def test_atomic_locations_synchronize_instead_of_racing():
+    # t0 publishes via the atomic cell "a"; t1 consumes it before touching x
+    actions = [
+        WriteAction(0, None, "x", None, 1),
+        WriteAction(0, None, "blt.a", None, 1),   # atomic release
+        ReadAction(1, None, "blt.a"),             # atomic acquire
+        WriteAction(1, None, "x", None, 2),
+    ]
+    with_atomics = _hb(actions, atomic_locs=("blt.",))
+    assert with_atomics.ok
+    # without the declaration both pairs race
+    without = _hb(actions)
+    assert without.racy_locs == {"x", "blt.a"}
+
+
+def test_atomic_locations_are_exempt_from_reporting():
+    outcome = _hb([
+        WriteAction(0, None, "blt.n0", None, 1),
+        WriteAction(1, None, "blt.n0", None, 2),
+    ], atomic_locs=("blt.",))
+    assert outcome.ok
+
+
+def test_report_all_reports_every_racing_pair():
+    detector = HappensBeforeDetector(report_all=True)
+    races = [
+        detector.feed(0, WriteAction(0, 0, "x", None, 1)),
+        detector.feed(1, WriteAction(1, 1, "x", None, 2)),
+        detector.feed(2, WriteAction(2, 2, "x", None, 3)),
+    ]
+    assert races[0] is None
+    assert races[1] is not None and races[2] is not None
+
+
+def test_sites_carry_held_locksets():
+    outcome = _hb([
+        AcquireAction(0, 0, "l"),
+        WriteAction(0, 0, "x", None, 1),
+        WriteAction(1, 1, "x", None, 2),
+    ])
+    race = outcome.races[0]
+    assert race.prior.locks == frozenset({"l"})
+    assert race.access.locks == frozenset()

@@ -1,0 +1,57 @@
+"""Vector clock and epoch primitives of the happens-before detector."""
+
+from repro.races.vectorclock import Epoch, VectorClock
+
+
+def test_default_components_are_zero():
+    vc = VectorClock()
+    assert vc.get(0) == 0
+    assert vc.get(99) == 0
+
+
+def test_tick_advances_own_component_only():
+    vc = VectorClock({1: 3})
+    vc.tick(1)
+    assert vc.get(1) == 4
+    vc.tick(2)
+    assert vc.get(2) == 1
+    assert vc.get(1) == 4
+
+
+def test_join_is_componentwise_max():
+    a = VectorClock({0: 2, 1: 5})
+    b = VectorClock({1: 3, 2: 7})
+    a.join(b)
+    assert (a.get(0), a.get(1), a.get(2)) == (2, 5, 7)
+    # the argument is unchanged
+    assert (b.get(0), b.get(1), b.get(2)) == (0, 3, 7)
+
+
+def test_copy_is_independent():
+    a = VectorClock({0: 1})
+    b = a.copy()
+    b.tick(0)
+    assert a.get(0) == 1
+    assert b.get(0) == 2
+
+
+def test_epoch_and_covers_epoch():
+    vc = VectorClock({3: 4})
+    epoch = vc.epoch(3)
+    assert epoch == Epoch(3, 4)
+    assert vc.covers_epoch(epoch)
+    assert vc.covers_epoch(Epoch(3, 2))
+    assert not vc.covers_epoch(Epoch(3, 5))
+    assert not vc.covers_epoch(Epoch(9, 1))  # other thread, unseen
+
+
+def test_covers_full_clock():
+    big = VectorClock({0: 3, 1: 2})
+    small = VectorClock({0: 1, 1: 2})
+    assert big.covers(small)
+    assert not small.covers(big)
+
+
+def test_equality_ignores_zero_entries():
+    assert VectorClock({0: 1, 5: 0}) == VectorClock({0: 1})
+    assert VectorClock({0: 1}) != VectorClock({0: 2})
