@@ -1,0 +1,127 @@
+"""Parallel exploration scaling: runs/sec and speedup vs. worker count.
+
+Sweeps ``parallel_swarm`` over a jobs grid (default 1, 2, 4, 8) on one
+workload-registry program and writes a machine-readable
+``BENCH_parallel_scaling.json`` at the repo root: per-job-count wall-clock,
+runs/sec, speedup vs. the serial (jobs=1) baseline, and a campaign-signature
+equality check proving every parallel sweep produced outcomes identical to
+serial.  The recorded ``cpu_count`` contextualizes the speedup column --
+on a single-CPU host the engine cannot beat serial no matter how it shards.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py --smoke  # CI
+
+``--smoke`` shrinks the sweep to jobs {1, 2} with a tiny campaign so CI can
+exercise the whole engine (pool dispatch, merge, equality check) in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro.concurrency.parallel import parallel_swarm
+from repro.harness import ProgramSpec
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_parallel_scaling.json")
+
+
+def run_sweep(
+    program: str,
+    runs: int,
+    jobs_list,
+    threads: int,
+    calls: int,
+    workload_seed: int = 0,
+) -> dict:
+    spec = ProgramSpec(
+        program,
+        num_threads=threads,
+        calls_per_thread=calls,
+        workload_seed=workload_seed,
+    )
+    rows = []
+    serial_signature = None
+    serial_seconds = None
+    for jobs in jobs_list:
+        start = time.perf_counter()
+        result = parallel_swarm(spec, num_runs=runs, jobs=jobs)
+        seconds = time.perf_counter() - start
+        signature = result.signature()
+        if serial_signature is None:
+            serial_signature = signature
+            serial_seconds = seconds
+        rows.append({
+            "jobs": jobs,
+            "seconds": round(seconds, 3),
+            "runs_per_sec": round(runs / seconds, 2) if seconds > 0 else None,
+            "speedup_vs_serial": (
+                round(serial_seconds / seconds, 2) if seconds > 0 else None
+            ),
+            "outcomes_equal_serial": signature == serial_signature,
+            "num_failures": len(result.failures),
+        })
+    return {
+        "benchmark": "parallel_scaling",
+        "program": program,
+        "runs": runs,
+        "threads": threads,
+        "calls_per_thread": calls,
+        "workload_seed": workload_seed,
+        "cpu_count": os.cpu_count(),
+        "all_outcomes_equal_serial": all(r["outcomes_equal_serial"] for r in rows),
+        "rows": rows,
+    }
+
+
+def render(report: dict) -> str:
+    lines = [
+        f"parallel swarm scaling: {report['program']} "
+        f"({report['threads']} threads x {report['calls_per_thread']} calls, "
+        f"{report['runs']} runs, {report['cpu_count']} CPU(s))",
+        f"{'jobs':>5}  {'seconds':>8}  {'runs/sec':>9}  {'speedup':>8}  outcomes==serial",
+    ]
+    for row in report["rows"]:
+        lines.append(
+            f"{row['jobs']:>5}  {row['seconds']:>8.3f}  {row['runs_per_sec']:>9}"
+            f"  {row['speedup_vs_serial']:>7}x  {row['outcomes_equal_serial']}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--program", default="multiset-vector")
+    parser.add_argument("--runs", type=int, default=500)
+    parser.add_argument("--jobs", type=int, nargs="+", default=[1, 2, 4, 8])
+    parser.add_argument("--threads", type=int, default=3)
+    parser.add_argument("--calls", type=int, default=10)
+    parser.add_argument("--workload-seed", type=int, default=0)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI sweep: jobs {1, 2}, 40 runs")
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.jobs = [1, 2]
+        args.runs = min(args.runs, 40)
+        args.threads = 2
+        args.calls = 4
+    report = run_sweep(
+        args.program, args.runs, args.jobs, args.threads, args.calls,
+        args.workload_seed,
+    )
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(render(report))
+    print(f"report written to {args.out}")
+    return 0 if report["all_outcomes_equal_serial"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

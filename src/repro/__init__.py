@@ -39,6 +39,7 @@ See ``examples/quickstart.py``; the short version::
 """
 
 from .concurrency import (
+    ExplorationResult,
     Kernel,
     Lock,
     PCTScheduler,
@@ -48,6 +49,10 @@ from .concurrency import (
     SharedArray,
     SharedCell,
     ThreadCtx,
+    explore_exhaustive,
+    explore_swarm,
+    parallel_exhaustive,
+    parallel_swarm,
     run_threads,
     with_lock,
 )
@@ -83,6 +88,7 @@ __all__ = [
     "AtomizedSpec",
     "CheckOutcome",
     "ContributionView",
+    "ExplorationResult",
     "FunctionView",
     "Invariant",
     "Kernel",
@@ -107,8 +113,12 @@ __all__ = [
     "VyrdTracer",
     "check_log",
     "check_races",
+    "explore_exhaustive",
+    "explore_swarm",
     "format_outcome",
     "mutator",
+    "parallel_exhaustive",
+    "parallel_swarm",
     "observer",
     "operation",
     "render_trace",

@@ -10,7 +10,8 @@ schedulers.  Public surface:
 * :class:`Lock`, :class:`RWLock`
 * Schedulers: :class:`RandomScheduler`, :class:`RoundRobinScheduler`,
   :class:`PCTScheduler`, :class:`ReplayScheduler`
-* Exploration: :func:`explore_exhaustive`, :func:`explore_swarm`
+* Exploration: :func:`explore_exhaustive`, :func:`explore_swarm`, plus the
+  multi-process engines :func:`parallel_exhaustive`, :func:`parallel_swarm`
 """
 
 from .errors import (
@@ -22,6 +23,13 @@ from .errors import (
     StepLimitExceeded,
 )
 from .explore import ExplorationResult, RunRecord, explore_exhaustive, explore_swarm
+from .parallel import (
+    RefinementViolation,
+    RemoteError,
+    parallel_exhaustive,
+    parallel_swarm,
+    resolve_program,
+)
 from .kernel import (
     Kernel,
     NullTracer,
@@ -60,6 +68,8 @@ __all__ = [
     "ReplayScheduler",
     "RoundRobinScheduler",
     "RWLock",
+    "RefinementViolation",
+    "RemoteError",
     "RunRecord",
     "Scheduler",
     "SharedArray",
@@ -74,6 +84,9 @@ __all__ = [
     "Tracer",
     "explore_exhaustive",
     "explore_swarm",
+    "parallel_exhaustive",
+    "parallel_swarm",
+    "resolve_program",
     "run_threads",
     "with_lock",
 ]

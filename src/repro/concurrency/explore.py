@@ -47,6 +47,12 @@ class ExplorationResult:
 
     runs: List[RunRecord] = field(default_factory=list)
     exhausted: bool = False  # exhaustive mode: True if the space was covered
+    # Campaign accounting (swarm mode): how many runs were asked for, and how
+    # many of those never ran (stop_on_failure cut the campaign short, or a
+    # parallel driver cancelled outstanding work).  ``requested`` is None for
+    # exhaustive campaigns, whose budget is a cap rather than a target.
+    requested: Optional[int] = None
+    skipped: int = 0
 
     @property
     def num_runs(self) -> int:
@@ -66,6 +72,50 @@ class ExplorationResult:
     def outcomes(self) -> set:
         """Distinct outcome values across successful runs."""
         return {r.outcome for r in self.runs if not r.failed}
+
+    def signature(self) -> dict:
+        """Canonical digest of the campaign, for serial/parallel comparison.
+
+        Errors are reduced to ``(type name, message)`` so that a failure
+        revived from a worker process (whose exception object is a
+        :class:`~repro.concurrency.parallel.RemoteError` surrogate) compares
+        equal to the in-process original; schedules are normalized to tuples.
+        Two campaigns that explored the same schedules to the same outcomes
+        have equal signatures regardless of which engine produced them.
+        """
+        runs = []
+        for record in self.runs:
+            schedule = record.schedule
+            if isinstance(schedule, list):
+                schedule = tuple(schedule)
+            if record.failed:
+                error = record.error
+                name = getattr(error, "remote_type", type(error).__name__)
+                runs.append((schedule, None, (name, str(error))))
+            else:
+                runs.append((schedule, record.outcome, None))
+        return {"runs": runs, "exhausted": self.exhausted}
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary (CLI ``explore --json``)."""
+        return {
+            "num_runs": self.num_runs,
+            "requested": self.requested,
+            "skipped": self.skipped,
+            "exhausted": self.exhausted,
+            "num_failures": len(self.failures),
+            "outcomes": sorted(repr(o) for o in self.outcomes()),
+            "failures": [
+                {
+                    "schedule": r.schedule,
+                    "error_type": getattr(
+                        r.error, "remote_type", type(r.error).__name__
+                    ),
+                    "error": str(r.error),
+                }
+                for r in self.failures
+            ],
+        }
 
 
 class _AlwaysFirst(Scheduler):
@@ -126,7 +176,7 @@ def explore_swarm(
 ) -> ExplorationResult:
     """Run ``program`` under ``num_runs`` differently seeded random schedules."""
     make = scheduler_factory or (lambda seed: RandomScheduler(seed))
-    result = ExplorationResult()
+    result = ExplorationResult(requested=num_runs)
     for i in range(num_runs):
         seed = base_seed + i
         record = RunRecord(schedule=seed)
@@ -137,4 +187,5 @@ def explore_swarm(
         result.runs.append(record)
         if record.failed and stop_on_failure:
             break
+    result.skipped = num_runs - len(result.runs)
     return result

@@ -1,0 +1,349 @@
+"""Multi-process schedule exploration: parallel swarm + frontier-sharded DFS.
+
+The serial drivers in :mod:`repro.concurrency.explore` check one schedule at
+a time, so campaign wall-clock scales 1:1 with run count.  Every run on the
+deterministic substrate is independently reproducible from a seed or a
+decision vector, which makes exploration embarrassingly parallel; this
+module fans both drivers out across a process pool:
+
+* :func:`parallel_swarm` -- shards the seed range into chunks dispatched to
+  worker processes.  Chunk results are consumed in submission (ascending
+  seed) order, so ``stop_on_failure`` reproduces the serial semantics
+  exactly: the campaign ends at the lowest failing seed and outstanding
+  chunks are cancelled, with the number of never-run seeds recorded on
+  :attr:`ExplorationResult.skipped`.
+* :func:`parallel_exhaustive` -- partitions the schedule tree by
+  decision-vector prefix.  A shared frontier (owned by the coordinating
+  process) holds unexplored prefixes; workers claim batches, run each prefix
+  through the existing :class:`ReplayScheduler` + always-first enumeration,
+  and return the *sibling prefixes* their runs discovered, which go back on
+  the frontier.  Work-sharing at prefix granularity means no worker idles
+  while the tree is uneven.
+
+**Frontier protocol.**  A task for prefix ``P`` performs exactly one run:
+replay ``P``, then take alternative 0 at every later decision point.  Its
+trace is therefore ``P + [0, 0, ...]``.  For every depth ``d >= len(P)``
+with ``n`` alternatives, the prefixes ``trace[:d] + [alt]`` for
+``alt in 1..n-1`` are pushed onto the frontier.  Every generated prefix ends
+in a non-zero decision, and every schedule's decision vector has a unique
+such generating prefix (truncate after its last non-zero decision; the
+all-zero schedule is the root's own run) -- so each schedule in the tree is
+executed exactly once, with no coordination between workers.
+
+**Program specs.**  Closures do not pickle, so parallel exploration takes a
+*program source*: either a picklable callable ``program(scheduler) ->
+outcome`` (a module-level function or :func:`functools.partial` thereof) or
+any object with a ``resolve_program()`` method -- see
+:class:`repro.harness.ProgramSpec`, which names a workload-registry program
+plus its configuration and is resolved to a fresh kernel inside each worker.
+Outcomes must be picklable; worker-side exceptions are shipped back as
+``(type name, message)`` pairs and revived as :class:`RemoteError`.
+
+**Canonical merge order.**  Swarm results are merged in ascending seed
+order, exhaustive results in lexicographic decision-vector order -- exactly
+the orders the serial drivers produce.  Parallel output is therefore
+bit-identical to serial (compare with
+:meth:`ExplorationResult.signature`), which is what makes the engine
+trustworthy and testable; the determinism suite in
+``tests/concurrency/test_parallel.py`` holds it to that.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from .explore import (
+    ExplorationResult,
+    RunRecord,
+    _AlwaysFirst,
+    explore_exhaustive,
+    explore_swarm,
+)
+from .schedulers import RandomScheduler, ReplayScheduler, Scheduler
+
+
+class RemoteError(Exception):
+    """Surrogate for an exception raised inside a worker process.
+
+    Arbitrary exceptions (kernel errors holding simulated threads, refinement
+    failures holding checker state) are not reliably picklable, so workers
+    ship failures home as ``(type name, message, details)`` and the
+    coordinator revives them as this class.  ``remote_type`` preserves the
+    original exception's type name for campaign-signature comparison against
+    in-process runs.
+    """
+
+    def __init__(self, remote_type: str, message: str, details=None):
+        super().__init__(message)
+        self.remote_type = remote_type
+        self.details = details
+
+    def __reduce__(self):
+        return (RemoteError, (self.remote_type, str(self), self.details))
+
+
+class RefinementViolation(Exception):
+    """Picklable failure raised by spec-driven programs on a refinement miss.
+
+    Carries the outcome summary as the message and, when available, the
+    outcome's ``to_dict()`` form in ``details`` so violation reports survive
+    the trip back from a worker process.
+    """
+
+    def __init__(self, message: str, details: Optional[dict] = None):
+        super().__init__(message)
+        self.details = details
+
+    def __reduce__(self):
+        return (RefinementViolation, (str(self), self.details))
+
+
+def resolve_program(source) -> Callable[[Scheduler], Any]:
+    """Turn a program source into the ``program(scheduler)`` callable.
+
+    Accepts any object with a ``resolve_program()`` method (e.g.
+    :class:`repro.harness.ProgramSpec`) or a callable used as-is.  For
+    multi-process exploration the *source* must be picklable; resolution
+    happens inside each worker, so the resolved callable itself may close
+    over fresh per-process state.
+    """
+    resolver = getattr(source, "resolve_program", None)
+    if resolver is not None:
+        return resolver()
+    if callable(source):
+        return source
+    raise TypeError(
+        f"not an explorable program: {source!r} (expected a callable or an "
+        f"object with a resolve_program() method)"
+    )
+
+
+def _resolve_jobs(jobs: Optional[int]) -> int:
+    if jobs is None or jobs <= 0:
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except AttributeError:  # pragma: no cover - non-Linux fallback
+            return max(1, os.cpu_count() or 1)
+    return jobs
+
+
+def _mp_context(name: Optional[str] = None):
+    """Prefer ``fork`` (cheap workers that inherit loaded modules)."""
+    if name is not None:
+        return multiprocessing.get_context(name)
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def _wire_error(exc: BaseException) -> Tuple[str, str, Optional[dict]]:
+    details = getattr(exc, "details", None)
+    if not isinstance(details, dict):
+        details = None
+    return (type(exc).__name__, str(exc), details)
+
+
+def _revive_error(wire) -> Optional[RemoteError]:
+    if wire is None:
+        return None
+    return RemoteError(*wire)
+
+
+# ---------------------------------------------------------------------------
+# Parallel swarm
+# ---------------------------------------------------------------------------
+
+
+def _swarm_chunk(source, seeds, stop_on_failure, scheduler_factory):
+    """Worker: run one chunk of seeds, returning picklable wire records."""
+    program = resolve_program(source)
+    make = scheduler_factory or RandomScheduler
+    records = []
+    for seed in seeds:
+        outcome = error = None
+        try:
+            outcome = program(make(seed))
+        except Exception as exc:
+            error = _wire_error(exc)
+        records.append((seed, outcome, error))
+        if error is not None and stop_on_failure:
+            break
+    return records
+
+
+def parallel_swarm(
+    program,
+    num_runs: int = 100,
+    base_seed: int = 0,
+    stop_on_failure: bool = False,
+    jobs: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    scheduler_factory: Optional[Callable[[int], Scheduler]] = None,
+    mp_context: Optional[str] = None,
+) -> ExplorationResult:
+    """Multi-process :func:`explore_swarm`: shard the seed range over a pool.
+
+    ``program`` is a program *source* (see :func:`resolve_program`); it and
+    ``scheduler_factory`` (if given) must be picklable.  ``jobs=None`` uses
+    every available CPU; ``jobs<=1`` runs serially in-process.  Results come
+    back in ascending seed order, identical to the serial driver's.
+    """
+    jobs = _resolve_jobs(jobs)
+    if jobs <= 1:
+        return explore_swarm(
+            resolve_program(program),
+            num_runs=num_runs,
+            base_seed=base_seed,
+            stop_on_failure=stop_on_failure,
+            scheduler_factory=scheduler_factory,
+        )
+    seeds = [base_seed + i for i in range(num_runs)]
+    if chunk_size is None:
+        # ~4 chunks per worker balances load against per-task dispatch cost.
+        chunk_size = max(1, -(-num_runs // (jobs * 4)))
+    result = ExplorationResult(requested=num_runs)
+    stopped = False
+    executor = ProcessPoolExecutor(max_workers=jobs, mp_context=_mp_context(mp_context))
+    try:
+        futures = [
+            executor.submit(
+                _swarm_chunk,
+                program,
+                seeds[i : i + chunk_size],
+                stop_on_failure,
+                scheduler_factory,
+            )
+            for i in range(0, num_runs, chunk_size)
+        ]
+        # Consume in submission order: chunks are contiguous ascending seed
+        # ranges, so the merged record list is already canonically sorted and
+        # the first failure seen is the lowest failing seed -- exactly the
+        # run the serial driver would have stopped at.
+        for future in futures:
+            if stopped:
+                future.cancel()
+                continue
+            for seed, outcome, error in future.result():
+                record = RunRecord(
+                    schedule=seed, outcome=outcome, error=_revive_error(error)
+                )
+                result.runs.append(record)
+                if record.failed and stop_on_failure:
+                    stopped = True
+                    break
+    finally:
+        executor.shutdown(wait=True, cancel_futures=True)
+    result.skipped = num_runs - len(result.runs)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Parallel exhaustive DFS
+# ---------------------------------------------------------------------------
+
+
+def _exhaustive_batch(source, prefixes):
+    """Worker: expand a batch of claimed prefixes (one run each).
+
+    Returns ``(records, discovered)`` where each record is
+    ``(decision_vector, outcome, wire_error)`` and ``discovered`` lists the
+    sibling prefixes found below each prefix (see the frontier protocol in
+    the module docstring).
+    """
+    program = resolve_program(source)
+    records = []
+    discovered: List[List[int]] = []
+    for prefix in prefixes:
+        scheduler = ReplayScheduler(decisions=list(prefix), fallback=_AlwaysFirst())
+        outcome = error = None
+        try:
+            outcome = program(scheduler)
+        except Exception as exc:
+            error = _wire_error(exc)
+        trace = scheduler.trace
+        indices = [index for index, _ in trace]
+        records.append((indices, outcome, error))
+        for depth in range(len(prefix), len(trace)):
+            chosen, num_choices = trace[depth]
+            for alt in range(chosen + 1, num_choices):
+                discovered.append(indices[:depth] + [alt])
+    return records, discovered
+
+
+def parallel_exhaustive(
+    program,
+    max_runs: int = 10_000,
+    stop_on_failure: bool = False,
+    jobs: Optional[int] = None,
+    chunk_size: int = 16,
+    mp_context: Optional[str] = None,
+) -> ExplorationResult:
+    """Multi-process :func:`explore_exhaustive` via frontier sharding.
+
+    Covers exactly the schedules the serial DFS covers; with a budget large
+    enough to exhaust the space, the merged result (sorted lexicographically
+    by decision vector) is identical to the serial one.  Under a binding
+    ``max_runs`` budget the two engines visit *different* subsets of the
+    tree (DFS order vs. frontier order), so budget-limited results are only
+    set-comparable to themselves.  ``stop_on_failure`` stops dispatching new
+    work once any failure is observed, drains in-flight batches, and
+    truncates the canonical ordering after its first failure.
+    """
+    jobs = _resolve_jobs(jobs)
+    if jobs <= 1:
+        return explore_exhaustive(
+            resolve_program(program),
+            max_runs=max_runs,
+            stop_on_failure=stop_on_failure,
+        )
+    frontier: deque = deque([[]])
+    runs: List[RunRecord] = []
+    pending = set()
+    dispatched = 0
+    failure_seen = False
+    executor = ProcessPoolExecutor(max_workers=jobs, mp_context=_mp_context(mp_context))
+    try:
+        while True:
+            while (
+                frontier
+                and not (stop_on_failure and failure_seen)
+                and len(pending) < jobs * 2
+                and dispatched < max_runs
+            ):
+                batch = []
+                while frontier and len(batch) < chunk_size and dispatched < max_runs:
+                    batch.append(frontier.popleft())
+                    dispatched += 1
+                pending.add(executor.submit(_exhaustive_batch, program, batch))
+            if not pending:
+                break
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                records, discovered = future.result()
+                for schedule, outcome, error in records:
+                    record = RunRecord(
+                        schedule=schedule,
+                        outcome=outcome,
+                        error=_revive_error(error),
+                    )
+                    runs.append(record)
+                    if record.failed:
+                        failure_seen = True
+                frontier.extend(discovered)
+    finally:
+        executor.shutdown(wait=True, cancel_futures=True)
+    budget_hit = dispatched >= max_runs and bool(frontier)
+    runs.sort(key=lambda record: tuple(record.schedule))
+    result = ExplorationResult(runs=runs)
+    if stop_on_failure and failure_seen:
+        for position, record in enumerate(runs):
+            if record.failed:
+                del runs[position + 1 :]
+                break
+        result.exhausted = False
+    else:
+        result.exhausted = not frontier and not budget_hit
+    return result

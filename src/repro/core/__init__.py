@@ -36,6 +36,7 @@ from .actions import (
 from .exhaustive import (
     ExhaustiveVerification,
     ScheduleViolation,
+    check_program_all_schedules,
     replay_schedule,
     verify_all_schedules,
 )
@@ -47,7 +48,7 @@ from .instrument import (
 )
 from .interleaving import Execution, WitnessInterleaving, build_witness, respects_program_order
 from .invariants import Invariant
-from .log import Log, LogReader, LogWriter, load_log, save_log, validate_well_formed
+from .log import Log, LogReader, LogView, LogWriter, load_log, save_log, validate_well_formed
 from .observer import ObserverTracker, ObserverWindow
 from .refinement import (
     CheckOutcome,
@@ -101,6 +102,7 @@ __all__ = [
     "JoinAction",
     "Log",
     "LogReader",
+    "LogView",
     "LogWriter",
     "ObserverTracker",
     "ObserverWindow",
@@ -137,6 +139,7 @@ __all__ = [
     "prefix_unit",
     "render_trace",
     "render_witness",
+    "check_program_all_schedules",
     "replay_schedule",
     "respects_program_order",
     "save_log",

@@ -38,10 +38,16 @@ from .verifier import Vyrd
 
 @dataclass
 class ScheduleViolation:
-    """One schedule whose run failed refinement (or crashed)."""
+    """One schedule whose run failed refinement (or crashed).
+
+    ``outcome`` is the failing :class:`CheckOutcome` (in-process checking)
+    or its ``to_dict()`` form when the violation crossed a worker-process
+    boundary (:func:`check_program_all_schedules` with ``jobs > 1``); None
+    if the run itself crashed before checking.
+    """
 
     schedule: List[int]          # ReplayScheduler decision vector
-    outcome: Optional[CheckOutcome]  # None if the run itself crashed
+    outcome: Optional[object]
     error: Optional[BaseException] = None
 
 
@@ -107,6 +113,43 @@ def verify_all_schedules(
             result.violations.append(
                 ScheduleViolation(record.schedule, None, record.error)
             )
+    return result
+
+
+def check_program_all_schedules(
+    program,
+    max_runs: int = 10_000,
+    stop_at_first: bool = False,
+    jobs: Optional[int] = 1,
+) -> ExhaustiveVerification:
+    """Bounded exhaustive checking of a *picklable* program, optionally
+    fanned out over worker processes.
+
+    ``program`` is a program source for
+    :func:`repro.concurrency.parallel.parallel_exhaustive`: a
+    :class:`repro.harness.ProgramSpec` (registry workload + config, with the
+    refinement check built in) or any picklable ``program(scheduler)``
+    callable that raises on a violation.  Unlike
+    :func:`verify_all_schedules`, whose ``make_run`` closure pins it to one
+    process, this path shards the schedule tree across ``jobs`` workers;
+    failure details that crossed a process boundary surface as
+    ``ScheduleViolation.outcome`` dicts (see :class:`ScheduleViolation`).
+    """
+    from ..concurrency.parallel import parallel_exhaustive
+
+    explored = parallel_exhaustive(
+        program, max_runs=max_runs, stop_on_failure=stop_at_first, jobs=jobs
+    )
+    result = ExhaustiveVerification(
+        schedules_run=explored.num_runs, exhausted=explored.exhausted
+    )
+    for record in explored.failures:
+        error = record.error
+        details = getattr(error, "details", None)
+        if details is not None:
+            result.violations.append(ScheduleViolation(record.schedule, details))
+        else:
+            result.violations.append(ScheduleViolation(record.schedule, None, error))
     return result
 
 

@@ -8,7 +8,8 @@ provides:
 * :class:`Log` -- the in-memory append-only sequence.  Implementation
   threads append through the tracer; the verifier reads by index, so an
   online verifier simply keeps a cursor into the same object (the "tail kept
-  in memory").
+  in memory").  Tail reads (:meth:`Log.since`) return a :class:`LogView`, a
+  copy-free bounded window over the shared storage.
 * :class:`LogWriter` / :class:`LogReader` -- streaming pickle serialization
   to a file, standing in for the paper's .NET binary object serialization
   (section 6.1): records round-trip as they were saved at runtime.
@@ -21,6 +22,7 @@ provides:
 from __future__ import annotations
 
 import pickle
+from collections.abc import Sequence
 from typing import IO, Iterable, Iterator, List, Optional
 
 from .actions import (
@@ -68,19 +70,85 @@ class Log:
     def __iter__(self) -> Iterator[Action]:
         return iter(self._records)
 
-    def since(self, cursor: int) -> List[Action]:
-        """Records appended at or after ``cursor`` (online verifier tail read)."""
-        return self._records[cursor:]
+    def since(self, cursor: int) -> "LogView":
+        """Records appended at or after ``cursor`` (online verifier tail read).
+
+        Returns a :class:`LogView` -- an index-bounded window over the
+        underlying storage, not a copy.  The online verifier polls the tail
+        on every scheduling slot it gets; copying the tail list each time
+        made long-log online checking quadratic in log length.  The view is
+        a snapshot: records appended after the call fall outside its bounds.
+        """
+        return LogView(self._records, cursor, len(self._records))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Log {len(self._records)} records>"
 
 
+class LogView(Sequence):
+    """A cheap, bounded window over a log's record storage (no copying).
+
+    Behaves like a read-only list of the records in ``[start, stop)``:
+    iteration, indexing (including negative indices and slices) and equality
+    against any sequence all work, but construction is O(1) regardless of
+    window size.  ``stop`` is fixed at creation, so the view is a stable
+    snapshot even while the underlying log keeps growing; online checkers
+    advance their cursor to :attr:`stop` after consuming a view.
+    """
+
+    __slots__ = ("_records", "start", "stop")
+
+    def __init__(self, records: List[Action], start: int, stop: int):
+        length = len(records)
+        self.start = min(max(0, start), length)
+        self.stop = min(max(self.start, stop), length)
+        self._records = records
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [
+                self._records[self.start + i]
+                for i in range(*index.indices(len(self)))
+            ]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError("LogView index out of range")
+        return self._records[self.start + index]
+
+    def __iter__(self) -> Iterator[Action]:
+        records = self._records
+        for i in range(self.start, self.stop):
+            yield records[i]
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, (list, tuple, LogView)):
+            return NotImplemented
+        if len(self) != len(other):
+            return False
+        return all(a == b for a, b in zip(self, other))
+
+    __hash__ = None  # mutable underlying storage
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LogView [{self.start}:{self.stop}]>"
+
+
 class LogWriter:
-    """Stream actions to a binary file, one pickled record at a time.
+    """Stream actions to a binary file, one framed pickle record at a time.
 
     Can wrap an open binary file object or a path.  Use as a context manager
     or call :meth:`close` explicitly.
+
+    One :class:`pickle.Pickler` is kept for the whole stream -- building the
+    pickling machinery per record dominated save time on long logs.  The
+    memo is cleared between records, so each record is a self-contained
+    pickle frame: the file is a plain concatenation of independent pickles,
+    byte-compatible with per-record ``pickle.dump`` output, and any record
+    boundary can be read with a fresh :class:`pickle.Unpickler`.
     """
 
     def __init__(self, target):
@@ -90,9 +158,13 @@ class LogWriter:
         else:
             self._file = open(target, "wb")
             self._owns = True
+        self._pickler = pickle.Pickler(
+            self._file, protocol=pickle.HIGHEST_PROTOCOL
+        )
 
     def write(self, action: Action) -> None:
-        pickle.dump(action, self._file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._pickler.dump(action)
+        self._pickler.clear_memo()
 
     def write_all(self, actions: Iterable[Action]) -> None:
         for action in actions:
@@ -110,7 +182,21 @@ class LogWriter:
 
 
 class LogReader:
-    """Iterate actions back out of a file written by :class:`LogWriter`."""
+    """Iterate actions back out of a file written by :class:`LogWriter`.
+
+    Files written record-at-a-time with plain ``pickle.dump`` load
+    identically: the stream is a concatenation of self-contained pickle
+    frames, each starting with its own memo index 0 (the writer clears its
+    memo between records).
+
+    A stream-persistent :class:`pickle.Unpickler` cannot be used here: the
+    C unpickler's MEMOIZE counter keeps counting across ``load()`` calls and
+    ignores ``memo`` reassignment, so GET opcodes in the second frame (whose
+    indices restart at zero) would resolve against the first frame's
+    entries -- silent payload corruption, or ``Memo value not found``.  One
+    unpickler per record is the only correct reader for restarting-memo
+    frames, and the allocation is cheap next to the decode itself.
+    """
 
     def __init__(self, target):
         if hasattr(target, "read"):
@@ -121,9 +207,11 @@ class LogReader:
             self._owns = True
 
     def __iter__(self) -> Iterator[Action]:
+        make_unpickler = pickle.Unpickler
+        file = self._file
         while True:
             try:
-                yield pickle.load(self._file)
+                yield make_unpickler(file).load()
             except EOFError:
                 return
 

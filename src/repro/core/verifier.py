@@ -221,8 +221,11 @@ class OnlineVerifier:
     def _consume(self) -> None:
         log = self.session.log
         if self.cursor < len(log):
+            # `since` returns a copy-free bounded view; advance the cursor to
+            # the view's end, not len(log), so records appended while the
+            # checkers run are picked up by the next poll.
             fresh = log.since(self.cursor)
-            self.cursor = len(log)
+            self.cursor = fresh.stop
             if not self.checker.stopped:
                 self.checker.feed(fresh)
             if self.race_checker is not None and not self.race_checker.stopped:

@@ -3,6 +3,9 @@
 * :data:`PROGRAMS` -- one :class:`Program` per evaluated system (the rows of
   Table 1, plus the Scan file system).
 * :func:`run_program` -- run one seeded workload and obtain its VYRD log.
+* :class:`ProgramSpec` / :func:`explore_program` -- picklable workload
+  descriptions and the exploration-campaign driver (serial or
+  multi-process via :mod:`repro.concurrency.parallel`).
 * :func:`detection_experiment` (Table 1),
   :func:`logging_overhead_experiment` (Table 2),
   :func:`breakdown_experiment` (Table 3).
@@ -13,9 +16,11 @@ from .runner import (
     BreakdownResult,
     DetectionResult,
     LoggingOverheadResult,
+    ProgramSpec,
     RunResult,
     breakdown_experiment,
     detection_experiment,
+    explore_program,
     logging_overhead_experiment,
     run_program,
 )
@@ -28,11 +33,13 @@ __all__ = [
     "LoggingOverheadResult",
     "PROGRAMS",
     "Program",
+    "ProgramSpec",
     "RunResult",
     "ShrinkingPool",
     "Timer",
     "breakdown_experiment",
     "detection_experiment",
+    "explore_program",
     "fmt",
     "logging_overhead_experiment",
     "mean",

@@ -21,6 +21,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
 from ..concurrency import Kernel
+from ..concurrency.explore import ExplorationResult
+from ..concurrency.parallel import (
+    RefinementViolation,
+    parallel_exhaustive,
+    parallel_swarm,
+)
 from ..core import CheckOutcome, Vyrd
 from .metrics import mean
 from .workload import PROGRAMS, BuiltProgram, Program
@@ -113,6 +119,102 @@ def run_program(
     return RunResult(
         program, built, vyrd, kernel, run_cpu, online_outcome, race_outcome
     )
+
+
+# ---------------------------------------------------------------------------
+# Exploration campaigns over registry workloads
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """A picklable description of one workload-registry program run.
+
+    Closures do not cross process boundaries, so the multi-process explorers
+    (:mod:`repro.concurrency.parallel`) take this spec instead: the registry
+    *name* plus the configuration needed to rebuild the workload.  Each
+    worker resolves it to a fresh kernel + data structure via
+    :meth:`resolve_program`, runs the workload under the explorer-supplied
+    scheduler, and checks refinement offline.
+
+    ``workload_seed`` fixes the operation mix (which methods each thread
+    calls, with which arguments); only the *schedule* varies between runs --
+    the paper's "large numbers of repetitions of the same experiment".
+    """
+
+    program: str
+    buggy: bool = False
+    num_threads: int = 2
+    calls_per_thread: int = 4
+    workload_seed: int = 0
+    mode: str = "view"
+    max_steps: int = 20_000_000
+
+    def resolve_program(self):
+        """Build the ``program(scheduler) -> outcome`` callable (in-worker)."""
+        spec = self
+
+        def program(scheduler):
+            result = run_program(
+                spec.program,
+                buggy=spec.buggy,
+                num_threads=spec.num_threads,
+                calls_per_thread=spec.calls_per_thread,
+                seed=spec.workload_seed,
+                mode=spec.mode,
+                max_steps=spec.max_steps,
+                scheduler_factory=lambda _seed: scheduler,
+            )
+            outcome = result.vyrd.check_offline()
+            if not outcome.ok:
+                raise RefinementViolation(outcome.summary(), details=outcome.to_dict())
+            return ("ok", len(result.log))
+
+        return program
+
+
+def explore_program(
+    program: Union[str, Program],
+    mode: str = "swarm",
+    jobs: Optional[int] = 1,
+    num_runs: int = 100,
+    base_seed: int = 0,
+    max_runs: int = 10_000,
+    stop_on_failure: bool = False,
+    buggy: bool = False,
+    num_threads: int = 2,
+    calls_per_thread: int = 4,
+    workload_seed: int = 0,
+    check_mode: str = "view",
+) -> ExplorationResult:
+    """Run an exploration campaign over one registry program.
+
+    ``mode="swarm"`` runs ``num_runs`` seeded random schedules
+    (``base_seed`` onward); ``mode="exhaustive"`` enumerates the schedule
+    tree up to ``max_runs``.  ``jobs`` fans the campaign out across worker
+    processes (``None`` / ``0`` = all CPUs, ``1`` = serial in-process).
+    """
+    spec = ProgramSpec(
+        _resolve(program).name,
+        buggy=buggy,
+        num_threads=num_threads,
+        calls_per_thread=calls_per_thread,
+        workload_seed=workload_seed,
+        mode=check_mode,
+    )
+    if mode == "swarm":
+        return parallel_swarm(
+            spec,
+            num_runs=num_runs,
+            base_seed=base_seed,
+            stop_on_failure=stop_on_failure,
+            jobs=jobs,
+        )
+    if mode == "exhaustive":
+        return parallel_exhaustive(
+            spec, max_runs=max_runs, stop_on_failure=stop_on_failure, jobs=jobs
+        )
+    raise ValueError(f"unknown exploration mode {mode!r} (swarm or exhaustive)")
 
 
 # ---------------------------------------------------------------------------

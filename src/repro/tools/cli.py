@@ -10,13 +10,18 @@ programs:
    $ python -m repro.tools.cli programs
    $ python -m repro.tools.cli run --program multiset-vector --buggy \\
          --seed 7 --races --save run.vyrdlog
+   $ python -m repro.tools.cli explore --program multiset-vector --buggy \\
+         --mode swarm --jobs 4 --seeds 500 --json
    $ python -m repro.tools.cli check run.vyrdlog --program multiset-vector \\
          --mode view
    $ python -m repro.tools.cli races run.vyrdlog --detector hb
    $ python -m repro.tools.cli trace run.vyrdlog --max-rows 40
    $ python -m repro.tools.cli witness run.vyrdlog
 
-``check`` rebuilds the program's spec/view/invariants from the registry and
+``explore`` runs a whole campaign -- seeded random schedules (swarm) or
+bounded exhaustive enumeration -- optionally fanned out across worker
+processes (:mod:`repro.concurrency.parallel`); ``check`` rebuilds the
+program's spec/view/invariants from the registry and
 replays the saved log offline; ``races`` runs the dynamic race detectors
 over any saved log recorded with synchronization events (``run --races``
 records them); ``trace``/``witness`` render Fig. 3/6-style diagrams from
@@ -28,6 +33,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional
 
 from ..core import (
@@ -39,7 +45,7 @@ from ..core import (
     save_log,
     validate_well_formed,
 )
-from ..harness import PROGRAMS, run_program
+from ..harness import PROGRAMS, explore_program, run_program
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -72,6 +78,39 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "the detector (default: both)")
     run_parser.add_argument("--save", metavar="PATH",
                             help="write the log to PATH for later checking")
+
+    explore_parser = sub.add_parser(
+        "explore",
+        help="run an exploration campaign (many schedules, optionally "
+             "across worker processes)",
+    )
+    explore_parser.add_argument("--program", required=True, choices=sorted(PROGRAMS))
+    explore_parser.add_argument("--mode", choices=("swarm", "exhaustive"),
+                                default="swarm",
+                                help="seeded random schedules (swarm) or "
+                                     "bounded exhaustive enumeration")
+    explore_parser.add_argument("--jobs", type=int, default=1,
+                                help="worker processes (0 = all CPUs, "
+                                     "1 = serial in-process)")
+    explore_parser.add_argument("--seeds", type=int, default=100,
+                                help="swarm: number of seeded runs")
+    explore_parser.add_argument("--base-seed", type=int, default=0,
+                                help="swarm: first scheduler seed")
+    explore_parser.add_argument("--max-runs", type=int, default=1000,
+                                help="exhaustive: schedule budget")
+    explore_parser.add_argument("--buggy", action="store_true",
+                                help="enable the program's seeded bug")
+    explore_parser.add_argument("--threads", type=int, default=2)
+    explore_parser.add_argument("--calls", type=int, default=4,
+                                help="method calls per thread")
+    explore_parser.add_argument("--workload-seed", type=int, default=0,
+                                help="fixes the operation mix; only the "
+                                     "schedule varies across runs")
+    explore_parser.add_argument("--stop-on-failure", action="store_true",
+                                help="end the campaign at the first failing "
+                                     "schedule (skipped runs are reported)")
+    explore_parser.add_argument("--json", action="store_true",
+                                help="emit the campaign summary as JSON")
 
     check_parser = sub.add_parser("check", help="check a saved log offline")
     check_parser.add_argument("log", help="log file written by `run --save`")
@@ -162,6 +201,63 @@ def _cmd_run(args) -> int:
     return 0 if outcome.ok and races_ok else 1
 
 
+def _cmd_explore(args) -> int:
+    start = time.perf_counter()
+    result = explore_program(
+        args.program,
+        mode=args.mode,
+        jobs=args.jobs,
+        num_runs=args.seeds,
+        base_seed=args.base_seed,
+        max_runs=args.max_runs,
+        stop_on_failure=args.stop_on_failure,
+        buggy=args.buggy,
+        num_threads=args.threads,
+        calls_per_thread=args.calls,
+        workload_seed=args.workload_seed,
+    )
+    elapsed = time.perf_counter() - start
+    payload = result.to_dict()
+    payload.update({
+        "program": args.program,
+        "mode": args.mode,
+        "jobs": args.jobs,
+        "seconds": round(elapsed, 3),
+        "runs_per_sec": (
+            round(result.num_runs / elapsed, 2) if elapsed > 0 else None
+        ),
+    })
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        variant = "buggy" if args.buggy else "correct"
+        coverage = ""
+        if args.mode == "exhaustive":
+            coverage = (
+                " (schedule space exhausted)" if result.exhausted
+                else " (budget reached)"
+            )
+        print(
+            f"explored {args.program} ({variant}, {args.mode}, jobs={args.jobs}): "
+            f"{result.num_runs} runs in {elapsed:.2f}s "
+            f"[{payload['runs_per_sec']} runs/s]{coverage}"
+        )
+        if result.skipped:
+            print(
+                f"campaign stopped early: {result.skipped} of "
+                f"{result.requested} requested runs skipped"
+            )
+        print(f"distinct outcomes: {len(result.outcomes())}")
+        failures = result.failures
+        if failures:
+            first = failures[0]
+            print(f"{len(failures)} failing schedule(s); first: "
+                  f"schedule={first.schedule!r}: {first.error}")
+        else:
+            print("no failing schedules")
+    return 0 if not result.failures else 1
+
+
 def _checker_for(program_name: str, mode: str, stop_at_first: bool) -> RefinementChecker:
     built = PROGRAMS[program_name].build(False, 1)
     return RefinementChecker(
@@ -237,6 +333,7 @@ def _cmd_witness(args) -> int:
 _COMMANDS = {
     "programs": _cmd_programs,
     "run": _cmd_run,
+    "explore": _cmd_explore,
     "check": _cmd_check,
     "races": _cmd_races,
     "trace": _cmd_trace,

@@ -97,3 +97,23 @@ def test_swarm_stop_on_failure():
     failure = result.first_failure
     assert failure is not None
     assert result.runs[-1] is failure
+
+
+def test_swarm_records_requested_and_skipped_counts():
+    def program(scheduler):
+        if _racy_program(scheduler) == 1:
+            raise RuntimeError("found it")
+
+    partial = explore_swarm(program, num_runs=100, stop_on_failure=True)
+    assert partial.requested == 100
+    assert partial.skipped == 100 - partial.num_runs
+    assert partial.skipped > 0
+
+    full = explore_swarm(_racy_program, num_runs=10)
+    assert full.requested == 10 and full.skipped == 0
+
+    payload = partial.to_dict()
+    assert payload["requested"] == 100
+    assert payload["skipped"] == partial.skipped
+    assert payload["num_failures"] == 1
+    assert payload["failures"][0]["error_type"] == "RuntimeError"

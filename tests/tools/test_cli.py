@@ -219,3 +219,49 @@ def test_races_subcommand_atomic_prefix(tmp_path, capsys):
     capsys.readouterr()
     assert main(["races", log_path, "--atomic-prefix", "blt."]) == 0
     assert "RACE-FREE" in capsys.readouterr().out
+
+
+def test_explore_swarm_json(capsys):
+    import json
+
+    code = main([
+        "explore", "--program", "bounded-queue", "--mode", "swarm",
+        "--seeds", "4", "--jobs", "1", "--threads", "2", "--calls", "3",
+        "--json",
+    ])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["num_runs"] == 4
+    assert payload["requested"] == 4 and payload["skipped"] == 0
+    assert payload["num_failures"] == 0
+    assert payload["mode"] == "swarm" and payload["jobs"] == 1
+    assert payload["runs_per_sec"] > 0
+    assert payload["outcomes"]
+
+
+def test_explore_stop_on_failure_reports_skipped(capsys):
+    import json
+
+    # seeds 0..19 include a bug-triggering schedule (see the `run` test above)
+    code = main([
+        "explore", "--program", "multiset-vector", "--buggy",
+        "--seeds", "20", "--threads", "4", "--calls", "30",
+        "--stop-on-failure", "--json",
+    ])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["num_failures"] == 1
+    assert payload["failures"][0]["error_type"] == "RefinementViolation"
+    assert payload["requested"] == 20
+    assert payload["skipped"] == 20 - payload["num_runs"]
+
+
+def test_explore_exhaustive_budget_human_output(capsys):
+    code = main([
+        "explore", "--program", "multiset-vector", "--mode", "exhaustive",
+        "--max-runs", "3", "--threads", "2", "--calls", "2",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "budget reached" in out
+    assert "3 runs" in out
