@@ -1,0 +1,183 @@
+"""Fault soak: repeated seeded fault campaigns with recovery accounting.
+
+Runs ``N`` complete fault-injection campaigns (:mod:`repro.faults`), each
+with a fresh plan drawn from its soak index: worker crashes and hangs
+against the multi-process explorer, torn/bit-flipped saved logs against
+:func:`repro.core.log.recover_log`, latency injection against the kernel
+tracer.  Writes a machine-readable ``BENCH_fault_soak.json`` at the repo
+root: per-campaign signature verdicts, incidents survived (retries, pool
+rebuilds, watchdog kills), salvage accounting for every corruption, and
+the faulted/baseline overhead ratio.
+
+The exit code is the robustness gate: nonzero if *any* campaign diverged
+from its fault-free serial baseline or any corruption failed to salvage the
+longest valid prefix.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fault_soak.py
+    PYTHONPATH=src python benchmarks/bench_fault_soak.py --smoke  # CI
+
+``--smoke`` shrinks the soak to 2 campaigns with a tight watchdog so CI can
+exercise the whole pipeline (injection, kill, retry, salvage, equality
+check) in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro.faults import run_fault_campaign
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_fault_soak.json")
+
+
+def run_soak(
+    program: str,
+    campaigns: int,
+    base_seed: int,
+    jobs: int,
+    runs: int,
+    threads: int,
+    calls: int,
+    timeout: float,
+    retries: int,
+) -> dict:
+    rows = []
+    for index in range(campaigns):
+        seed = base_seed + index
+        start = time.perf_counter()
+        report = run_fault_campaign(
+            program=program,
+            seed=seed,
+            jobs=jobs,
+            num_runs=runs,
+            num_threads=threads,
+            calls_per_thread=calls,
+            timeout=timeout,
+            max_retries=retries,
+        )
+        seconds = time.perf_counter() - start
+        recoveries = report.recoveries
+        rows.append({
+            "seed": seed,
+            "ok": report.ok,
+            "signatures_match": report.signatures_match,
+            "recovery_ok": report.recovery_ok,
+            "tracer_log_identical": report.tracer_log_identical,
+            "seconds": round(seconds, 3),
+            "overhead": (
+                round(report.overhead, 3)
+                if report.overhead is not None else None
+            ),
+            "incidents": report.incident_counts,
+            "recoveries": [
+                {
+                    "kind": entry["fault"].get("kind"),
+                    "salvaged": entry["salvaged_records"],
+                    "total": entry["total_records"],
+                    "error_offset": entry["error_offset"],
+                    "ok": entry["ok"],
+                }
+                for entry in recoveries
+            ],
+        })
+    incident_totals: dict = {}
+    for row in rows:
+        for kind, count in row["incidents"].items():
+            incident_totals[kind] = incident_totals.get(kind, 0) + count
+    overheads = [r["overhead"] for r in rows if r["overhead"] is not None]
+    return {
+        "benchmark": "fault_soak",
+        "program": program,
+        "campaigns": campaigns,
+        "base_seed": base_seed,
+        "jobs": jobs,
+        "runs_per_campaign": runs,
+        "threads": threads,
+        "calls_per_thread": calls,
+        "watchdog_timeout": timeout,
+        "max_retries": retries,
+        "cpu_count": os.cpu_count(),
+        "all_ok": all(r["ok"] for r in rows),
+        "campaigns_diverged": sum(1 for r in rows if not r["signatures_match"]),
+        "recoveries_failed": sum(
+            1 for r in rows for entry in r["recoveries"] if not entry["ok"]
+        ),
+        "incident_totals": incident_totals,
+        "mean_overhead": (
+            round(sum(overheads) / len(overheads), 3) if overheads else None
+        ),
+        "rows": rows,
+    }
+
+
+def render(report: dict) -> str:
+    lines = [
+        f"fault soak: {report['program']} x{report['campaigns']} campaigns "
+        f"({report['runs_per_campaign']} schedules each, jobs="
+        f"{report['jobs']}, watchdog {report['watchdog_timeout']}s)",
+        f"{'seed':>5}  {'ok':>5}  {'seconds':>8}  {'overhead':>8}  "
+        f"incidents / recoveries",
+    ]
+    for row in report["rows"]:
+        incidents = ",".join(
+            f"{k}={v}" for k, v in sorted(row["incidents"].items())
+        ) or "none"
+        salvage = ",".join(
+            f"{r['kind']}:{r['salvaged']}/{r['total']}"
+            for r in row["recoveries"]
+        )
+        lines.append(
+            f"{row['seed']:>5}  {str(row['ok']):>5}  {row['seconds']:>8.3f}  "
+            f"{str(row['overhead']):>8}  {incidents} / {salvage}"
+        )
+    totals = ", ".join(
+        f"{k}={v}" for k, v in sorted(report["incident_totals"].items())
+    ) or "none"
+    lines.append(
+        f"totals: incidents {totals}; {report['campaigns_diverged']} "
+        f"diverged, {report['recoveries_failed']} failed recoveries, mean "
+        f"overhead {report['mean_overhead']}x"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--program", default="multiset-vector")
+    parser.add_argument("--campaigns", type=int, default=8)
+    parser.add_argument("--base-seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--runs", type=int, default=12,
+                        help="schedules explored per campaign")
+    parser.add_argument("--threads", type=int, default=2)
+    parser.add_argument("--calls", type=int, default=3)
+    parser.add_argument("--timeout", type=float, default=5.0,
+                        help="per-task watchdog deadline (seconds)")
+    parser.add_argument("--retries", type=int, default=2)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI soak: 2 campaigns, tight watchdog")
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.campaigns = 2
+        args.timeout = 2.0
+    report = run_soak(
+        args.program, args.campaigns, args.base_seed, args.jobs, args.runs,
+        args.threads, args.calls, args.timeout, args.retries,
+    )
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(render(report))
+    print(f"report written to {args.out}")
+    return 0 if report["all_ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

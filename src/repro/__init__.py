@@ -21,6 +21,11 @@ Packages
     Dynamic race detection (vector-clock happens-before and Eraser
     lockset) over the same log; :mod:`repro.atomicity` is the reduction
     baseline sharing its lockset engine.
+:mod:`repro.faults`
+    Seeded fault injection (worker crashes/hangs, torn and bit-flipped
+    logs, slow I/O) plus the campaign driver proving the pipeline recovers
+    with serial-identical results (imported lazily -- it pulls in the
+    harness).
 
 Quickstart
 ----------

@@ -24,12 +24,14 @@ from .errors import (
 )
 from .explore import ExplorationResult, RunRecord, explore_exhaustive, explore_swarm
 from .parallel import (
+    ExplorationTimeout,
     RefinementViolation,
     RemoteError,
     parallel_exhaustive,
     parallel_swarm,
     resolve_program,
 )
+from .resilient import ResilientPool, RetryPolicy, TaskFailure
 from .kernel import (
     Kernel,
     NullTracer,
@@ -57,6 +59,7 @@ __all__ = [
     "Condition",
     "DeadlockError",
     "ExplorationResult",
+    "ExplorationTimeout",
     "Kernel",
     "KernelStopped",
     "Lock",
@@ -70,8 +73,11 @@ __all__ = [
     "RWLock",
     "RefinementViolation",
     "RemoteError",
+    "ResilientPool",
+    "RetryPolicy",
     "RunRecord",
     "Scheduler",
+    "TaskFailure",
     "SharedArray",
     "SharedCell",
     "SimThread",

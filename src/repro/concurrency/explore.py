@@ -53,6 +53,12 @@ class ExplorationResult:
     # exhaustive campaigns, whose budget is a cap rather than a target.
     requested: Optional[int] = None
     skipped: int = 0
+    # Infrastructure incidents survived while producing the result: retries,
+    # worker crashes, pool rebuilds, hang kills (dicts, see
+    # concurrency.resilient).  Deliberately excluded from signature() -- a
+    # campaign that recovered from faults must compare equal to one that
+    # never saw any.
+    interruptions: List[dict] = field(default_factory=list)
 
     @property
     def num_runs(self) -> int:
@@ -104,6 +110,7 @@ class ExplorationResult:
             "skipped": self.skipped,
             "exhausted": self.exhausted,
             "num_failures": len(self.failures),
+            "interruptions": list(self.interruptions),
             "outcomes": sorted(repr(o) for o in self.outcomes()),
             "failures": [
                 {

@@ -46,14 +46,34 @@ bit-identical to serial (compare with
 :meth:`ExplorationResult.signature`), which is what makes the engine
 trustworthy and testable; the determinism suite in
 ``tests/concurrency/test_parallel.py`` holds it to that.
+
+**Fault tolerance.**  Both drivers dispatch through
+:class:`~repro.concurrency.resilient.ResilientPool`: chunks get per-task
+wall-clock deadlines (``timeout=``), bounded retries with exponential
+backoff and seeded jitter (``max_retries=``/``backoff_base=``), and the
+pool survives worker deaths (``BrokenProcessPool``) by salvaging finished
+futures, rebuilding the executor and re-dispatching only the lost chunks.
+Because every run is a pure function of its seed / decision vector, a
+retried chunk reproduces byte-identical records, so recovery never
+reorders or duplicates canonical-order merge slots: a campaign that
+survived faults has the same :meth:`~ExplorationResult.signature` as one
+that never saw any, with the incident trail attached as
+:attr:`ExplorationResult.interruptions`.  A schedule that is *genuinely*
+stuck (still hung after isolation and retries) is converted into a
+diagnosable :class:`ExplorationTimeout` run record carrying the seed or
+decision-vector prefix needed to replay it.  ``faults=`` accepts a
+:class:`repro.faults.FaultPlan`, whose worker-targeted crash/hang/slow
+injections are resolved per dispatched task -- the deterministic test
+harness for all of the above.
 """
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
 import os
 from collections import deque
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from .explore import (
@@ -63,6 +83,7 @@ from .explore import (
     explore_exhaustive,
     explore_swarm,
 )
+from .resilient import ResilientPool, RetryPolicy, TaskFailure
 from .schedulers import RandomScheduler, ReplayScheduler, Scheduler
 
 
@@ -100,6 +121,34 @@ class RefinementViolation(Exception):
 
     def __reduce__(self):
         return (RefinementViolation, (str(self), self.details))
+
+
+class ExplorationTimeout(Exception):
+    """A schedule never completed: hung past the watchdog and every retry.
+
+    The explorers convert a terminally stuck task into a failed
+    :class:`~repro.concurrency.explore.RunRecord` carrying this error
+    instead of wedging the campaign.  ``schedule`` is the replay handle --
+    the swarm seed or the exhaustive decision-vector prefix -- so the hang
+    can be reproduced in isolation (e.g. with a debugger attached).
+    """
+
+    def __init__(self, schedule, kind: str = "timeout", attempts: int = 0,
+                 detail: str = ""):
+        self.schedule = schedule
+        self.kind = kind
+        self.attempts = attempts
+        self.detail = detail
+        super().__init__(
+            f"schedule {schedule!r} abandoned ({kind} after "
+            f"{attempts} attempt(s)){': ' + detail if detail else ''}"
+        )
+
+    def __reduce__(self):
+        return (
+            ExplorationTimeout,
+            (self.schedule, self.kind, self.attempts, self.detail),
+        )
 
 
 def resolve_program(source) -> Callable[[Scheduler], Any]:
@@ -146,10 +195,34 @@ def _wire_error(exc: BaseException) -> Tuple[str, str, Optional[dict]]:
     return (type(exc).__name__, str(exc), details)
 
 
-def _revive_error(wire) -> Optional[RemoteError]:
+def _revive_error(wire):
     if wire is None:
         return None
+    if isinstance(wire, BaseException):
+        return wire  # synthesized coordinator-side (e.g. ExplorationTimeout)
     return RemoteError(*wire)
+
+
+def _retry_policy(timeout, max_retries, backoff_base, seed) -> RetryPolicy:
+    return RetryPolicy(
+        max_retries=max_retries,
+        timeout=timeout,
+        backoff_base=backoff_base,
+        seed=seed,
+    )
+
+
+def _fault_decorator(faults):
+    """Adapt a :class:`repro.faults.FaultPlan` to the pool's decorate hook.
+
+    Duck-typed so this module needs no import of :mod:`repro.faults`: any
+    object with ``task_faults(serial, attempt) -> picklable | None`` works.
+    The returned payload travels to the worker, which applies it at task
+    start (crash / hang / slow-down).
+    """
+    if faults is None:
+        return None
+    return lambda payload, serial, attempt: faults.task_faults(serial, attempt)
 
 
 # ---------------------------------------------------------------------------
@@ -157,8 +230,15 @@ def _revive_error(wire) -> Optional[RemoteError]:
 # ---------------------------------------------------------------------------
 
 
-def _swarm_chunk(source, seeds, stop_on_failure, scheduler_factory):
-    """Worker: run one chunk of seeds, returning picklable wire records."""
+def _swarm_chunk(source, stop_on_failure, scheduler_factory, seeds, inject=None):
+    """Worker: run one chunk of seeds, returning picklable wire records.
+
+    ``inject`` is the fault-injection hook resolved for this dispatch (see
+    :func:`_fault_decorator`); applied before any real work so a planned
+    crash/hang takes the whole chunk down, exactly like a real worker death.
+    """
+    if inject is not None:
+        inject.apply()
     program = resolve_program(source)
     make = scheduler_factory or RandomScheduler
     records = []
@@ -174,6 +254,24 @@ def _swarm_chunk(source, seeds, stop_on_failure, scheduler_factory):
     return records
 
 
+def _split_seed_chunk(seeds) -> Optional[List[List[int]]]:
+    return [[seed] for seed in seeds] if len(seeds) > 1 else None
+
+
+def _concat_chunks(parts: List[list]) -> list:
+    return [record for part in parts for record in part]
+
+
+def _swarm_give_up(seeds, failure: TaskFailure) -> list:
+    return [
+        (seed, None, ExplorationTimeout(
+            seed, kind=failure.kind, attempts=failure.attempts,
+            detail=failure.message,
+        ))
+        for seed in seeds
+    ]
+
+
 def parallel_swarm(
     program,
     num_runs: int = 100,
@@ -183,6 +281,10 @@ def parallel_swarm(
     chunk_size: Optional[int] = None,
     scheduler_factory: Optional[Callable[[int], Scheduler]] = None,
     mp_context: Optional[str] = None,
+    timeout: Optional[float] = None,
+    max_retries: int = 2,
+    backoff_base: float = 0.05,
+    faults=None,
 ) -> ExplorationResult:
     """Multi-process :func:`explore_swarm`: shard the seed range over a pool.
 
@@ -190,6 +292,11 @@ def parallel_swarm(
     ``scheduler_factory`` (if given) must be picklable.  ``jobs=None`` uses
     every available CPU; ``jobs<=1`` runs serially in-process.  Results come
     back in ascending seed order, identical to the serial driver's.
+
+    ``timeout``/``max_retries``/``backoff_base`` configure the fault-
+    tolerance layer (see the module docstring); ``faults`` injects a
+    :class:`repro.faults.FaultPlan` for deterministic failure testing.
+    Recovered incidents are reported on the result's ``interruptions``.
     """
     jobs = _resolve_jobs(jobs)
     if jobs <= 1:
@@ -204,29 +311,38 @@ def parallel_swarm(
     if chunk_size is None:
         # ~4 chunks per worker balances load against per-task dispatch cost.
         chunk_size = max(1, -(-num_runs // (jobs * 4)))
+    chunks = [seeds[i : i + chunk_size] for i in range(0, num_runs, chunk_size)]
     result = ExplorationResult(requested=num_runs)
+    context = _mp_context(mp_context)
+    pool = ResilientPool(
+        functools.partial(_swarm_chunk, program, stop_on_failure, scheduler_factory),
+        make_executor=lambda: ProcessPoolExecutor(
+            max_workers=jobs, mp_context=context
+        ),
+        policy=_retry_policy(timeout, max_retries, backoff_base, base_seed),
+        split=_split_seed_chunk,
+        combine=_concat_chunks,
+        give_up=_swarm_give_up,
+        decorate=_fault_decorator(faults),
+    )
     stopped = False
-    executor = ProcessPoolExecutor(max_workers=jobs, mp_context=_mp_context(mp_context))
     try:
-        futures = [
-            executor.submit(
-                _swarm_chunk,
-                program,
-                seeds[i : i + chunk_size],
-                stop_on_failure,
-                scheduler_factory,
-            )
-            for i in range(0, num_runs, chunk_size)
-        ]
+        for chunk in chunks:
+            pool.submit(chunk)
         # Consume in submission order: chunks are contiguous ascending seed
         # ranges, so the merged record list is already canonically sorted and
         # the first failure seen is the lowest failing seed -- exactly the
-        # run the serial driver would have stopped at.
-        for future in futures:
+        # run the serial driver would have stopped at.  Retried chunks land
+        # in their original slot (the pool keys results by submission
+        # ordinal), so recovery cannot perturb the order.
+        buffered = {}
+        for key in range(len(chunks)):
             if stopped:
-                future.cancel()
-                continue
-            for seed, outcome, error in future.result():
+                break
+            while key not in buffered:
+                done_key, records = pool.next_completed()
+                buffered[done_key] = records
+            for seed, outcome, error in buffered.pop(key):
                 record = RunRecord(
                     schedule=seed, outcome=outcome, error=_revive_error(error)
                 )
@@ -234,8 +350,16 @@ def parallel_swarm(
                 if record.failed and stop_on_failure:
                     stopped = True
                     break
+    except (BrokenExecutor, OSError) as exc:
+        # Unrecoverable infrastructure collapse (executor cannot even be
+        # rebuilt): keep every merged outcome and attach the failure rather
+        # than losing the campaign.
+        result.interruptions.append(
+            {"kind": "fatal", "detail": repr(exc), "task": None}
+        )
     finally:
-        executor.shutdown(wait=True, cancel_futures=True)
+        pool.shutdown()
+    result.interruptions.extend(pool.events)
     result.skipped = num_runs - len(result.runs)
     return result
 
@@ -245,7 +369,7 @@ def parallel_swarm(
 # ---------------------------------------------------------------------------
 
 
-def _exhaustive_batch(source, prefixes):
+def _exhaustive_batch(source, prefixes, inject=None):
     """Worker: expand a batch of claimed prefixes (one run each).
 
     Returns ``(records, discovered)`` where each record is
@@ -253,6 +377,8 @@ def _exhaustive_batch(source, prefixes):
     sibling prefixes found below each prefix (see the frontier protocol in
     the module docstring).
     """
+    if inject is not None:
+        inject.apply()
     program = resolve_program(source)
     records = []
     discovered: List[List[int]] = []
@@ -273,6 +399,29 @@ def _exhaustive_batch(source, prefixes):
     return records, discovered
 
 
+def _split_prefix_batch(prefixes) -> Optional[List[list]]:
+    return [[prefix] for prefix in prefixes] if len(prefixes) > 1 else None
+
+
+def _combine_batches(parts: List[tuple]) -> tuple:
+    records = [record for part in parts for record in part[0]]
+    discovered = [prefix for part in parts for prefix in part[1]]
+    return records, discovered
+
+
+def _exhaustive_give_up(prefixes, failure: TaskFailure) -> tuple:
+    records = [
+        (list(prefix), None, ExplorationTimeout(
+            list(prefix), kind=failure.kind, attempts=failure.attempts,
+            detail=failure.message,
+        ))
+        for prefix in prefixes
+    ]
+    # The subtree below an abandoned prefix is unexplored: no siblings to
+    # report, and the driver marks the campaign non-exhausted.
+    return records, []
+
+
 def parallel_exhaustive(
     program,
     max_runs: int = 10_000,
@@ -280,6 +429,10 @@ def parallel_exhaustive(
     jobs: Optional[int] = None,
     chunk_size: int = 16,
     mp_context: Optional[str] = None,
+    timeout: Optional[float] = None,
+    max_retries: int = 2,
+    backoff_base: float = 0.05,
+    faults=None,
 ) -> ExplorationResult:
     """Multi-process :func:`explore_exhaustive` via frontier sharding.
 
@@ -291,6 +444,12 @@ def parallel_exhaustive(
     set-comparable to themselves.  ``stop_on_failure`` stops dispatching new
     work once any failure is observed, drains in-flight batches, and
     truncates the canonical ordering after its first failure.
+
+    ``timeout``/``max_retries``/``backoff_base``/``faults`` configure the
+    fault-tolerance layer exactly as for :func:`parallel_swarm`.  A prefix
+    that stays hung through isolation and retries becomes a failed record
+    with an :class:`ExplorationTimeout` error, and the campaign is marked
+    non-exhausted (its subtree was never enumerated).
     """
     jobs = _resolve_jobs(jobs)
     if jobs <= 1:
@@ -301,43 +460,58 @@ def parallel_exhaustive(
         )
     frontier: deque = deque([[]])
     runs: List[RunRecord] = []
-    pending = set()
     dispatched = 0
     failure_seen = False
-    executor = ProcessPoolExecutor(max_workers=jobs, mp_context=_mp_context(mp_context))
+    abandoned = False
+    context = _mp_context(mp_context)
+    pool = ResilientPool(
+        functools.partial(_exhaustive_batch, program),
+        make_executor=lambda: ProcessPoolExecutor(
+            max_workers=jobs, mp_context=context
+        ),
+        policy=_retry_policy(timeout, max_retries, backoff_base, max_runs),
+        split=_split_prefix_batch,
+        combine=_combine_batches,
+        give_up=_exhaustive_give_up,
+        decorate=_fault_decorator(faults),
+    )
+    interruptions: List[dict] = []
     try:
         while True:
             while (
                 frontier
                 and not (stop_on_failure and failure_seen)
-                and len(pending) < jobs * 2
+                and pool.in_flight < jobs * 2
                 and dispatched < max_runs
             ):
                 batch = []
                 while frontier and len(batch) < chunk_size and dispatched < max_runs:
                     batch.append(frontier.popleft())
                     dispatched += 1
-                pending.add(executor.submit(_exhaustive_batch, program, batch))
-            if not pending:
+                pool.submit(batch)
+            if not pool.has_pending:
                 break
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                records, discovered = future.result()
-                for schedule, outcome, error in records:
-                    record = RunRecord(
-                        schedule=schedule,
-                        outcome=outcome,
-                        error=_revive_error(error),
-                    )
-                    runs.append(record)
-                    if record.failed:
-                        failure_seen = True
-                frontier.extend(discovered)
+            _key, (records, discovered) = pool.next_completed()
+            for schedule, outcome, error in records:
+                revived = _revive_error(error)
+                record = RunRecord(
+                    schedule=schedule, outcome=outcome, error=revived
+                )
+                runs.append(record)
+                if record.failed:
+                    failure_seen = True
+                if isinstance(revived, ExplorationTimeout):
+                    abandoned = True
+            frontier.extend(discovered)
+    except (BrokenExecutor, OSError) as exc:
+        interruptions.append({"kind": "fatal", "detail": repr(exc), "task": None})
+        abandoned = True
     finally:
-        executor.shutdown(wait=True, cancel_futures=True)
+        pool.shutdown()
     budget_hit = dispatched >= max_runs and bool(frontier)
     runs.sort(key=lambda record: tuple(record.schedule))
     result = ExplorationResult(runs=runs)
+    result.interruptions = interruptions + pool.events
     if stop_on_failure and failure_seen:
         for position, record in enumerate(runs):
             if record.failed:
@@ -345,5 +519,5 @@ def parallel_exhaustive(
                 break
         result.exhausted = False
     else:
-        result.exhausted = not frontier and not budget_hit
+        result.exhausted = not frontier and not budget_hit and not abandoned
     return result

@@ -48,7 +48,18 @@ from .instrument import (
 )
 from .interleaving import Execution, WitnessInterleaving, build_witness, respects_program_order
 from .invariants import Invariant
-from .log import Log, LogReader, LogView, LogWriter, load_log, save_log, validate_well_formed
+from .log import (
+    Log,
+    LogFormatError,
+    LogReader,
+    LogView,
+    LogWriter,
+    RecoveredLog,
+    load_log,
+    recover_log,
+    save_log,
+    validate_well_formed,
+)
 from .observer import ObserverTracker, ObserverWindow
 from .refinement import (
     CheckOutcome,
@@ -101,9 +112,11 @@ __all__ = [
     "Invariant",
     "JoinAction",
     "Log",
+    "LogFormatError",
     "LogReader",
     "LogView",
     "LogWriter",
+    "RecoveredLog",
     "ObserverTracker",
     "ObserverWindow",
     "OnlineVerifier",
@@ -136,6 +149,7 @@ __all__ = [
     "mutator",
     "observer",
     "operation",
+    "recover_log",
     "prefix_unit",
     "render_trace",
     "render_witness",

@@ -12,7 +12,15 @@ provides:
   copy-free bounded window over the shared storage.
 * :class:`LogWriter` / :class:`LogReader` -- streaming pickle serialization
   to a file, standing in for the paper's .NET binary object serialization
-  (section 6.1): records round-trip as they were saved at runtime.
+  (section 6.1): records round-trip as they were saved at runtime.  The
+  default on-disk format is *crash-safe*: a magic header followed by
+  length-prefixed frames carrying a per-record CRC32, so a torn or
+  bit-flipped tail is detectable record-by-record instead of poisoning the
+  whole stream.
+* :exc:`LogFormatError` / :func:`recover_log` -- typed corruption reporting
+  (byte offset, record index, cause) and best-effort salvage: long
+  instrumented runs die mid-write (killed workers, full disks), and the
+  valid prefix of their log is still a checkable trace.
 * :func:`validate_well_formed` -- the well-formedness conditions of paper
   section 3.2 (per-thread call/return nesting discipline) plus the
   instrumentation obligations of section 4.1 (exactly one commit action per
@@ -21,8 +29,12 @@ provides:
 
 from __future__ import annotations
 
+import io
 import pickle
+import struct
+import zlib
 from collections.abc import Sequence
+from dataclasses import dataclass
 from typing import IO, Iterable, Iterator, List, Optional
 
 from .actions import (
@@ -137,34 +149,100 @@ class LogView(Sequence):
         return f"<LogView [{self.start}:{self.stop}]>"
 
 
+#: Magic prefix of the crash-safe framed log format (format version 1).
+LOG_MAGIC = b"VYRDLOG1"
+
+#: Per-record frame header: little-endian payload length + CRC32 of payload.
+_FRAME_HEADER = struct.Struct("<II")
+
+
+class LogFormatError(Exception):
+    """A saved log stream is truncated or corrupted.
+
+    Raised by :class:`LogReader` / :func:`load_log` instead of the raw
+    :exc:`pickle.UnpicklingError` (or a silent short read) the underlying
+    decode produces.  Carries enough context to diagnose and to re-read the
+    salvageable prefix with :func:`recover_log`:
+
+    Attributes
+    ----------
+    offset:
+        Byte offset of the first bad frame (the position where the record
+        *starts*, not where decoding noticed the damage).
+    record_index:
+        Index of the first unreadable record; records ``[0, record_index)``
+        decoded cleanly.
+    cause:
+        Short description of what was wrong ("truncated frame header",
+        "CRC mismatch", ...); the original exception, when there was one,
+        is chained as ``__cause__``.
+    """
+
+    def __init__(self, cause: str, offset: int, record_index: int):
+        self.cause = cause
+        self.offset = offset
+        self.record_index = record_index
+        super().__init__(
+            f"corrupt log stream at byte {offset} (record {record_index}): {cause}"
+        )
+
+
 class LogWriter:
     """Stream actions to a binary file, one framed pickle record at a time.
 
     Can wrap an open binary file object or a path.  Use as a context manager
     or call :meth:`close` explicitly.
 
+    The default format is *crash-safe*: the stream opens with
+    :data:`LOG_MAGIC` and every record is a length-prefixed frame carrying a
+    CRC32 of its pickled payload, so a reader can tell a clean end-of-log
+    from a torn tail and :func:`recover_log` can salvage everything before
+    the first bad byte.  ``framed=False`` writes the legacy format -- a bare
+    concatenation of pickles, byte-compatible with per-record
+    ``pickle.dump`` output.
+
     One :class:`pickle.Pickler` is kept for the whole stream -- building the
     pickling machinery per record dominated save time on long logs.  The
     memo is cleared between records, so each record is a self-contained
-    pickle frame: the file is a plain concatenation of independent pickles,
-    byte-compatible with per-record ``pickle.dump`` output, and any record
-    boundary can be read with a fresh :class:`pickle.Unpickler`.
+    pickle that any frame boundary can decode with a fresh
+    :class:`pickle.Unpickler`.
     """
 
-    def __init__(self, target):
+    def __init__(self, target, framed: bool = True):
         if hasattr(target, "write"):
             self._file: IO[bytes] = target
             self._owns = False
         else:
             self._file = open(target, "wb")
             self._owns = True
-        self._pickler = pickle.Pickler(
-            self._file, protocol=pickle.HIGHEST_PROTOCOL
-        )
+        self._framed = framed
+        if framed:
+            self._file.write(LOG_MAGIC)
+            self._buffer = io.BytesIO()
+            self._pickler = pickle.Pickler(
+                self._buffer, protocol=pickle.HIGHEST_PROTOCOL
+            )
+        else:
+            self._pickler = pickle.Pickler(
+                self._file, protocol=pickle.HIGHEST_PROTOCOL
+            )
 
     def write(self, action: Action) -> None:
+        if not self._framed:
+            self._pickler.dump(action)
+            self._pickler.clear_memo()
+            return
+        buffer = self._buffer
+        buffer.seek(0)
+        buffer.truncate()
         self._pickler.dump(action)
         self._pickler.clear_memo()
+        payload = buffer.getvalue()
+        # Header and payload go out in one write: an interrupted append then
+        # tears at most the final frame, which recover_log drops cleanly.
+        self._file.write(
+            _FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        )
 
     def write_all(self, actions: Iterable[Action]) -> None:
         for action in actions:
@@ -184,10 +262,15 @@ class LogWriter:
 class LogReader:
     """Iterate actions back out of a file written by :class:`LogWriter`.
 
-    Files written record-at-a-time with plain ``pickle.dump`` load
-    identically: the stream is a concatenation of self-contained pickle
-    frames, each starting with its own memo index 0 (the writer clears its
-    memo between records).
+    The format is auto-detected from the :data:`LOG_MAGIC` prefix: framed
+    streams are decoded frame-by-frame with CRC validation; anything else is
+    treated as the legacy format (a concatenation of self-contained pickles,
+    e.g. files written record-at-a-time with plain ``pickle.dump``).
+
+    Truncated or corrupted streams raise :exc:`LogFormatError` with the byte
+    offset and index of the first bad record -- never a bare
+    :exc:`pickle.UnpicklingError`, and never a silent early stop.  Use
+    :func:`recover_log` to read the valid prefix of a damaged file instead.
 
     A stream-persistent :class:`pickle.Unpickler` cannot be used here: the
     C unpickler's MEMOIZE counter keeps counting across ``load()`` calls and
@@ -205,15 +288,77 @@ class LogReader:
         else:
             self._file = open(target, "rb")
             self._owns = True
+        start = self._file.tell()
+        head = self._file.read(len(LOG_MAGIC))
+        self._framed = head == LOG_MAGIC
+        if not self._framed:
+            self._file.seek(start)
+        self._size = self._file.seek(0, io.SEEK_END)
+        self._file.seek(start + (len(LOG_MAGIC) if self._framed else 0))
 
     def __iter__(self) -> Iterator[Action]:
-        make_unpickler = pickle.Unpickler
+        for action, _end in self._records():
+            yield action
+
+    def _records(self) -> Iterator[tuple]:
+        """Yield ``(action, end_offset)`` pairs; raise :exc:`LogFormatError`
+        at the first bad frame."""
+        if self._framed:
+            yield from self._framed_records()
+        else:
+            yield from self._legacy_records()
+
+    def _framed_records(self) -> Iterator[tuple]:
         file = self._file
+        index = 0
         while True:
-            try:
-                yield make_unpickler(file).load()
-            except EOFError:
+            offset = file.tell()
+            header = file.read(_FRAME_HEADER.size)
+            if not header:
                 return
+            if len(header) < _FRAME_HEADER.size:
+                raise LogFormatError("truncated frame header", offset, index)
+            length, crc = _FRAME_HEADER.unpack(header)
+            payload = file.read(length)
+            if len(payload) < length:
+                raise LogFormatError(
+                    f"truncated frame payload ({len(payload)} of {length} bytes)",
+                    offset, index,
+                )
+            if zlib.crc32(payload) != crc:
+                raise LogFormatError("CRC mismatch", offset, index)
+            try:
+                action = pickle.loads(payload)
+            except Exception as exc:
+                error = LogFormatError(
+                    f"undecodable record payload: {exc}", offset, index
+                )
+                error.__cause__ = exc
+                raise error
+            yield action, file.tell()
+            index += 1
+
+    def _legacy_records(self) -> Iterator[tuple]:
+        file = self._file
+        index = 0
+        while True:
+            offset = file.tell()
+            try:
+                action = pickle.Unpickler(file).load()
+            except EOFError as exc:
+                if offset >= self._size:
+                    return  # clean end of stream
+                error = LogFormatError("truncated pickle record", offset, index)
+                error.__cause__ = exc
+                raise error
+            except Exception as exc:
+                error = LogFormatError(
+                    f"undecodable pickle record: {exc}", offset, index
+                )
+                error.__cause__ = exc
+                raise error
+            yield action, file.tell()
+            index += 1
 
     def read_log(self) -> Log:
         """Materialize the whole file as an in-memory :class:`Log`."""
@@ -230,14 +375,81 @@ class LogReader:
         self.close()
 
 
-def save_log(log: Log, path) -> None:
+@dataclass
+class RecoveredLog:
+    """Result of a best-effort :func:`recover_log` salvage.
+
+    ``log`` holds the longest valid record prefix.  When the stream was
+    damaged, ``error_offset``/``error_record``/``cause`` describe the first
+    bad frame exactly as the :exc:`LogFormatError` from a strict read would;
+    a clean stream leaves them ``None``.
+    """
+
+    log: Log
+    valid_bytes: int
+    total_bytes: int
+    error_offset: Optional[int] = None
+    error_record: Optional[int] = None
+    cause: Optional[str] = None
+
+    @property
+    def complete(self) -> bool:
+        return self.error_offset is None
+
+    @property
+    def records(self) -> int:
+        return len(self.log)
+
+    def to_dict(self) -> dict:
+        return {
+            "records": self.records,
+            "valid_bytes": self.valid_bytes,
+            "total_bytes": self.total_bytes,
+            "complete": self.complete,
+            "error_offset": self.error_offset,
+            "error_record": self.error_record,
+            "cause": self.cause,
+        }
+
+
+def recover_log(path) -> RecoveredLog:
+    """Salvage the longest valid record prefix of a (possibly damaged) log.
+
+    Never raises on corruption: reads records until the first bad frame,
+    then reports where and why decoding stopped.  Works on both the framed
+    and the legacy format.  A framed log whose magic header itself is
+    damaged salvages zero records (nothing after an unidentifiable header
+    can be trusted).
+    """
+    with LogReader(path) as reader:
+        actions: List[Action] = []
+        valid_bytes = reader._file.tell()  # after the magic, if any
+        try:
+            for action, end in reader._records():
+                actions.append(action)
+                valid_bytes = end
+        except LogFormatError as error:
+            return RecoveredLog(
+                Log(actions), valid_bytes, reader._size,
+                error_offset=error.offset,
+                error_record=error.record_index,
+                cause=error.cause,
+            )
+        return RecoveredLog(Log(actions), valid_bytes, reader._size)
+
+
+def save_log(log: Log, path, framed: bool = True) -> None:
     """Write ``log`` to ``path`` (convenience wrapper around LogWriter)."""
-    with LogWriter(path) as writer:
+    with LogWriter(path, framed=framed) as writer:
         writer.write_all(log)
 
 
 def load_log(path) -> Log:
-    """Read a log previously written with :func:`save_log`."""
+    """Read a log previously written with :func:`save_log`.
+
+    Raises :exc:`LogFormatError` if the stream is truncated or corrupted;
+    use :func:`recover_log` to salvage the valid prefix instead.
+    """
     with LogReader(path) as reader:
         return reader.read_log()
 

@@ -1,0 +1,50 @@
+"""Deterministic fault injection + recovery verification (robustness layer).
+
+The verification pipeline is only trustworthy if it stays correct when the
+infrastructure under it misbehaves: worker processes die mid-chunk, stuck
+schedules hang a pool, log files get torn or silently corrupted on disk.
+This package provides the *attack side* of that claim -- seeded, replayable
+:class:`FaultPlan`\\ s injected at three seams (worker tasks, saved log
+bytes, the kernel tracer) -- and the campaign driver that proves the
+*defense side* holds: fault-surviving exploration produces **bit-identical**
+signatures to fault-free serial runs, and log recovery always salvages the
+longest valid record prefix with a diagnosable offset.
+
+* :mod:`repro.faults.plan` -- :class:`Fault`, :class:`TaskFaults`,
+  :class:`FaultPlan` (seeded generation, per-dispatch resolution)
+* :mod:`repro.faults.inject` -- :func:`tear`, :func:`bitflip`,
+  :func:`apply_log_faults`, :class:`LatencyTracer`
+* :mod:`repro.faults.campaign` -- :func:`run_fault_campaign`,
+  :class:`FaultCampaignReport`
+"""
+
+from .campaign import FaultCampaignReport, run_fault_campaign
+from .inject import LatencyTracer, apply_log_faults, bitflip, resolve_offset, tear
+from .plan import (
+    BITFLIP_LOG,
+    CRASH,
+    HANG,
+    SLOW_IO,
+    TORN_LOG,
+    Fault,
+    FaultPlan,
+    TaskFaults,
+)
+
+__all__ = [
+    "BITFLIP_LOG",
+    "CRASH",
+    "Fault",
+    "FaultCampaignReport",
+    "FaultPlan",
+    "HANG",
+    "LatencyTracer",
+    "SLOW_IO",
+    "TORN_LOG",
+    "TaskFaults",
+    "apply_log_faults",
+    "bitflip",
+    "resolve_offset",
+    "run_fault_campaign",
+    "tear",
+]

@@ -1,0 +1,267 @@
+"""End-to-end fault campaigns: inject faults, recover, prove serial identity.
+
+A campaign is the tentpole acceptance test of the fault-tolerance layer,
+packaged as a library call (the CLI ``faults`` subcommand and the
+``bench_fault_soak`` benchmark are thin wrappers over it):
+
+1. **Baseline** -- run a serial, fault-free swarm exploration of the target
+   workload and digest its canonical :meth:`ExplorationResult.signature`.
+2. **Faulted run** -- repeat the same campaign through the multi-process
+   engine with a seeded :class:`~repro.faults.plan.FaultPlan` injecting
+   worker crashes and hangs.  The run must *survive* (retries, pool
+   rebuilds, watchdog kills) and its signature must be **bit-identical** to
+   the baseline -- recovery is only correct if it is invisible in the
+   result.
+3. **Log corruption round** -- produce a pristine framed log, damage copies
+   of it per the plan's torn/bit-flip faults, and check that
+   :func:`~repro.core.log.recover_log` salvages exactly a prefix of the
+   pristine records and reports the corruption offset.
+4. **Latency round** (when the plan carries ``slow_io`` faults) -- re-run
+   the workload under a :class:`~repro.faults.inject.LatencyTracer` and
+   check the produced log is action-for-action identical: injected I/O
+   latency must never perturb the deterministic schedule.
+
+:class:`FaultCampaignReport.ok` is the conjunction of all gates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..concurrency.parallel import parallel_swarm
+from ..core.log import load_log, recover_log, save_log
+from ..harness.runner import ProgramSpec, run_program
+from .inject import apply_log_faults
+from .plan import FaultPlan
+
+
+def _digest(signature: dict) -> str:
+    return hashlib.sha256(repr(signature).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class FaultCampaignReport:
+    """Everything a soak loop or CI gate needs to judge one campaign."""
+
+    program: str
+    seed: int
+    jobs: int
+    num_runs: int
+    plan: dict = field(default_factory=dict)
+    baseline_signature: str = ""
+    faulted_signature: str = ""
+    signatures_match: bool = False
+    baseline_seconds: float = 0.0
+    faulted_seconds: float = 0.0
+    num_failures: int = 0
+    interruptions: List[dict] = field(default_factory=list)
+    recoveries: List[dict] = field(default_factory=list)
+    recovery_ok: bool = True
+    tracer_log_identical: Optional[bool] = None  # None: no slow_io planned
+
+    @property
+    def overhead(self) -> Optional[float]:
+        """Faulted/baseline wall-clock ratio (None when baseline was ~0)."""
+        if self.baseline_seconds <= 1e-9:
+            return None
+        return self.faulted_seconds / self.baseline_seconds
+
+    @property
+    def incident_counts(self) -> dict:
+        counts: dict = {}
+        for event in self.interruptions:
+            kind = event.get("kind", "?")
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.signatures_match
+            and self.recovery_ok
+            and self.tracer_log_identical is not False
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "program": self.program,
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "num_runs": self.num_runs,
+            "plan": self.plan,
+            "baseline_signature": self.baseline_signature,
+            "faulted_signature": self.faulted_signature,
+            "signatures_match": self.signatures_match,
+            "baseline_seconds": round(self.baseline_seconds, 4),
+            "faulted_seconds": round(self.faulted_seconds, 4),
+            "overhead": (
+                round(self.overhead, 3) if self.overhead is not None else None
+            ),
+            "num_failures": self.num_failures,
+            "incidents": self.incident_counts,
+            "interruptions": list(self.interruptions),
+            "recoveries": list(self.recoveries),
+            "recovery_ok": self.recovery_ok,
+            "tracer_log_identical": self.tracer_log_identical,
+        }
+
+
+def _expected_chunks(num_runs: int, jobs: int) -> int:
+    """Mirror parallel_swarm's default chunking to size fault-plan targeting."""
+    chunk_size = max(1, -(-num_runs // (jobs * 4)))
+    return -(-num_runs // chunk_size)
+
+
+def _corruption_round(
+    program: str,
+    plan: FaultPlan,
+    workload_seed: int,
+    num_threads: int,
+    calls_per_thread: int,
+) -> tuple:
+    """Damage copies of a pristine framed log; verify exact-prefix salvage."""
+    recoveries: List[dict] = []
+    ok = True
+    run = run_program(
+        program,
+        num_threads=num_threads,
+        calls_per_thread=calls_per_thread,
+        seed=workload_seed,
+    )
+    workdir = tempfile.mkdtemp(prefix="vyrd-faults-")
+    try:
+        pristine_path = os.path.join(workdir, "pristine.vlog")
+        save_log(run.log, pristine_path)
+        pristine = [repr(action) for action in load_log(pristine_path)]
+        for index, fault in enumerate(plan.log_faults):
+            victim = os.path.join(workdir, f"victim-{index}.vlog")
+            shutil.copyfile(pristine_path, victim)
+            applied = apply_log_faults(
+                victim, FaultPlan(seed=plan.seed, faults=(fault,))
+            )
+            recovered = recover_log(victim)
+            salvaged = [repr(action) for action in recovered.log]
+            prefix_exact = salvaged == pristine[: len(salvaged)]
+            # A damaged file must either still be complete (a tear that
+            # landed exactly on the final frame boundary) or report where
+            # parsing stopped.
+            reported = recovered.complete or recovered.error_offset is not None
+            entry = {
+                "fault": applied[0] if applied else {"kind": fault.kind},
+                "salvaged_records": len(salvaged),
+                "total_records": len(pristine),
+                "prefix_exact": prefix_exact,
+                "complete": recovered.complete,
+                "valid_bytes": recovered.valid_bytes,
+                "total_bytes": recovered.total_bytes,
+                "error_offset": recovered.error_offset,
+                "cause": recovered.cause,
+            }
+            entry["ok"] = prefix_exact and reported
+            ok = ok and entry["ok"]
+            recoveries.append(entry)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return recoveries, ok, run
+
+
+def _latency_round(
+    program: str,
+    plan: FaultPlan,
+    workload_seed: int,
+    num_threads: int,
+    calls_per_thread: int,
+    pristine_run,
+) -> Optional[bool]:
+    """Re-run under LatencyTracer; the log must be action-identical."""
+    if not plan.tracer_faults:
+        return None
+    slowed = run_program(
+        program,
+        num_threads=num_threads,
+        calls_per_thread=calls_per_thread,
+        seed=workload_seed,
+        faults=plan,
+    )
+    before = [repr(action) for action in pristine_run.log]
+    after = [repr(action) for action in slowed.log]
+    return before == after
+
+
+def run_fault_campaign(
+    program: str = "multiset-vector",
+    seed: int = 0,
+    plan: Optional[FaultPlan] = None,
+    jobs: int = 2,
+    num_runs: int = 12,
+    num_threads: int = 2,
+    calls_per_thread: int = 3,
+    workload_seed: int = 0,
+    timeout: float = 5.0,
+    max_retries: int = 2,
+    backoff_base: float = 0.02,
+    buggy: bool = False,
+    slow_ios: int = 1,
+) -> FaultCampaignReport:
+    """Run one complete fault campaign (see the module docstring).
+
+    ``plan=None`` generates a default mix from ``seed``: one worker crash,
+    one worker hang (longer than ``timeout``, so the watchdog -- not the
+    sleep -- ends it), one torn log, one bit-flipped log and ``slow_ios``
+    latency faults, targeted at the chunk serials the swarm will actually
+    dispatch.  Pass an explicit plan to replay a specific failure.
+    """
+    if plan is None:
+        plan = FaultPlan.generate(
+            seed,
+            tasks=_expected_chunks(num_runs, jobs),
+            hang_seconds=max(timeout * 6, 30.0),
+            slow_ios=slow_ios,
+        )
+    report = FaultCampaignReport(
+        program=program, seed=seed, jobs=jobs, num_runs=num_runs,
+        plan=plan.describe(),
+    )
+    spec = ProgramSpec(
+        program,
+        buggy=buggy,
+        num_threads=num_threads,
+        calls_per_thread=calls_per_thread,
+        workload_seed=workload_seed,
+    )
+    start = time.monotonic()
+    baseline = parallel_swarm(spec, num_runs=num_runs, jobs=1)
+    report.baseline_seconds = time.monotonic() - start
+    start = time.monotonic()
+    faulted = parallel_swarm(
+        spec,
+        num_runs=num_runs,
+        jobs=jobs,
+        faults=plan,
+        timeout=timeout,
+        max_retries=max_retries,
+        backoff_base=backoff_base,
+    )
+    report.faulted_seconds = time.monotonic() - start
+    report.baseline_signature = _digest(baseline.signature())
+    report.faulted_signature = _digest(faulted.signature())
+    report.signatures_match = (
+        report.baseline_signature == report.faulted_signature
+    )
+    report.num_failures = len(faulted.failures)
+    report.interruptions = list(faulted.interruptions)
+    report.recoveries, report.recovery_ok, pristine_run = _corruption_round(
+        program, plan, workload_seed, num_threads, calls_per_thread
+    )
+    report.tracer_log_identical = _latency_round(
+        program, plan, workload_seed, num_threads, calls_per_thread,
+        pristine_run,
+    )
+    return report

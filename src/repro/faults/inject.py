@@ -1,0 +1,150 @@
+"""Fault injectors: log-file corruption and tracer-seam latency.
+
+These are the *mechanisms* behind a :class:`~repro.faults.plan.FaultPlan`:
+:func:`tear` and :func:`bitflip` damage a saved log file in place,
+:func:`apply_log_faults` resolves a plan's fractional offsets against a real
+file, and :class:`LatencyTracer` wraps a kernel tracer to simulate a slow
+log device.  All of them are deterministic given the plan: the same plan
+applied to the same bytes damages the same offsets.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import List, Optional
+
+from ..concurrency.kernel import Tracer
+from .plan import BITFLIP_LOG, TORN_LOG, Fault, FaultPlan
+
+
+def tear(path: str, offset: int) -> int:
+    """Truncate the file at ``offset`` (a torn write / lost tail).
+
+    Returns the number of bytes discarded.  ``offset`` past the end is a
+    no-op, matching a tear that happened to land after the last flush.
+    """
+    size = os.path.getsize(path)
+    offset = max(0, min(offset, size))
+    with open(path, "r+b") as handle:
+        handle.truncate(offset)
+    return size - offset
+
+
+def bitflip(path: str, offset: int, bit: int = 0) -> int:
+    """Flip one bit of the byte at ``offset`` in place.
+
+    Returns the offset actually flipped (clamped into the file), modelling
+    silent media corruption under an otherwise intact file.
+    """
+    size = os.path.getsize(path)
+    if size == 0:
+        return 0
+    offset = max(0, min(offset, size - 1))
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)[0]
+        handle.seek(offset)
+        handle.write(bytes([byte ^ (1 << (bit % 8))]))
+    return offset
+
+
+def resolve_offset(fault: Fault, size: int) -> int:
+    """Turn a fault's fractional position into a concrete byte offset.
+
+    Offsets are kept strictly inside the payload region (past any leading
+    byte, before the final byte) whenever the file is big enough, so a
+    planned corruption always damages *something* rather than degenerating
+    to an empty tear at offset 0 or past-the-end.
+    """
+    if size <= 2:
+        return 0
+    return 1 + int(fault.frac * (size - 2))
+
+
+def apply_log_faults(path: str, plan: FaultPlan) -> List[dict]:
+    """Damage ``path`` according to the plan's log faults, in plan order.
+
+    Returns one record per applied fault (kind, resolved offset, and the
+    discarded byte count for tears) so callers can cross-check recovery
+    reports against ground truth.
+    """
+    applied = []
+    for fault in plan.log_faults:
+        size = os.path.getsize(path)
+        offset = resolve_offset(fault, size)
+        if fault.kind == TORN_LOG:
+            lost = tear(path, offset)
+            applied.append({"kind": TORN_LOG, "offset": offset, "lost": lost})
+        elif fault.kind == BITFLIP_LOG:
+            flipped = bitflip(path, offset, fault.bit)
+            applied.append({"kind": BITFLIP_LOG, "offset": flipped,
+                            "bit": fault.bit % 8})
+    return applied
+
+
+class LatencyTracer(Tracer):
+    """Delegating tracer that adds wall-clock latency on a fixed cadence.
+
+    Simulates a slow log device: every ``every``-th traced event sleeps for
+    ``seconds`` before delegating.  The kernel consults only its scheduler
+    for interleaving decisions, so the injected latency stretches wall-clock
+    time without perturbing the schedule -- runs under a ``LatencyTracer``
+    produce bit-identical logs to unfaulted runs (asserted in the fault
+    campaign).
+    """
+
+    def __init__(self, inner: Tracer, plan: FaultPlan):
+        self.inner = inner
+        self.events = 0
+        self.stalls = 0
+        faults = plan.tracer_faults
+        fault: Optional[Fault] = faults[0] if faults else None
+        self._every = max(1, fault.every) if fault else 0
+        self._seconds = fault.seconds if fault else 0.0
+
+    def _tick(self) -> None:
+        self.events += 1
+        if self._every and self.events % self._every == 0:
+            self.stalls += 1
+            time.sleep(self._seconds)
+
+    def on_write(self, tid, cell, old, new):
+        self._tick()
+        self.inner.on_write(tid, cell, old, new)
+
+    def on_read(self, tid, cell):
+        self._tick()
+        self.inner.on_read(tid, cell)
+
+    def on_acquire(self, tid, lock, mode="x"):
+        self._tick()
+        self.inner.on_acquire(tid, lock, mode)
+
+    def on_release(self, tid, lock, mode="x"):
+        self._tick()
+        self.inner.on_release(tid, lock, mode)
+
+    def on_commit(self, tid):
+        self._tick()
+        self.inner.on_commit(tid)
+
+    def on_begin_commit_block(self, tid):
+        self._tick()
+        self.inner.on_begin_commit_block(tid)
+
+    def on_end_commit_block(self, tid):
+        self._tick()
+        self.inner.on_end_commit_block(tid)
+
+    def on_replay(self, tid, tag, payload):
+        self._tick()
+        self.inner.on_replay(tid, tag, payload)
+
+    def on_spawn(self, parent_tid, child_tid):
+        self._tick()
+        self.inner.on_spawn(parent_tid, child_tid)
+
+    def on_join(self, tid, child_tid):
+        self._tick()
+        self.inner.on_join(tid, child_tid)

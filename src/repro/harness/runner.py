@@ -69,6 +69,7 @@ def run_program(
     log_locks: bool = False,
     log_reads: bool = False,
     races=None,
+    faults=None,
 ) -> RunResult:
     """Build, run and (optionally online-) verify one program instance.
 
@@ -78,7 +79,10 @@ def run_program(
     the events the :mod:`repro.atomicity` baseline needs.  ``races``
     (``"hb"``/``"lockset"``/``"both"``) runs the :mod:`repro.races`
     detectors over the same log -- incrementally when ``online=True``,
-    offline otherwise -- and fills ``RunResult.race_outcome``."""
+    offline otherwise -- and fills ``RunResult.race_outcome``.  ``faults``
+    (a :class:`repro.faults.FaultPlan` with ``slow_io`` faults) wraps the
+    tracer in a :class:`repro.faults.LatencyTracer`, simulating a slow log
+    device; the schedule -- and hence the log -- is unaffected."""
     program = _resolve(program)
     built = program.build(buggy, num_threads)
     vyrd = Vyrd(
@@ -94,8 +98,13 @@ def run_program(
         atomic_locs=program.atomic_locs,
     )
     scheduler = scheduler_factory(seed) if scheduler_factory is not None else None
+    tracer = vyrd.tracer
+    if faults is not None and getattr(faults, "tracer_faults", ()):
+        from ..faults import LatencyTracer  # late import: faults -> harness
+
+        tracer = LatencyTracer(tracer, faults)
     kernel = Kernel(
-        scheduler=scheduler, seed=seed, tracer=vyrd.tracer, max_steps=max_steps
+        scheduler=scheduler, seed=seed, tracer=tracer, max_steps=max_steps
     )
     vds = vyrd.wrap(built.impl)
     verifier = vyrd.start_online(kernel) if online else None

@@ -14,6 +14,10 @@ programs:
          --mode swarm --jobs 4 --seeds 500 --json
    $ python -m repro.tools.cli check run.vyrdlog --program multiset-vector \\
          --mode view
+   $ python -m repro.tools.cli check torn.vyrdlog --program multiset-vector \\
+         --recover
+   $ python -m repro.tools.cli faults --program multiset-vector --seed 7 \\
+         --jobs 2 --json
    $ python -m repro.tools.cli races run.vyrdlog --detector hb
    $ python -m repro.tools.cli trace run.vyrdlog --max-rows 40
    $ python -m repro.tools.cli witness run.vyrdlog
@@ -22,7 +26,9 @@ programs:
 bounded exhaustive enumeration -- optionally fanned out across worker
 processes (:mod:`repro.concurrency.parallel`); ``check`` rebuilds the
 program's spec/view/invariants from the registry and
-replays the saved log offline; ``races`` runs the dynamic race detectors
+replays the saved log offline (``--recover`` salvages damaged logs first);
+``faults`` runs a seeded fault-injection campaign
+(:mod:`repro.faults`) and verifies recovery; ``races`` runs the dynamic race detectors
 over any saved log recorded with synchronization events (``run --races``
 records them); ``trace``/``witness`` render Fig. 3/6-style diagrams from
 any saved log.
@@ -36,10 +42,13 @@ import sys
 import time
 from typing import List, Optional
 
+from ..concurrency.errors import SimulationError
 from ..core import (
+    LogFormatError,
     RefinementChecker,
     format_outcome,
     load_log,
+    recover_log,
     render_trace,
     render_witness,
     save_log,
@@ -78,6 +87,11 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "the detector (default: both)")
     run_parser.add_argument("--save", metavar="PATH",
                             help="write the log to PATH for later checking")
+    run_parser.add_argument("--max-steps", type=int, default=20_000_000,
+                            help="kernel step budget (exceeding it is "
+                                 "reported as a run problem, exit code 2)")
+    run_parser.add_argument("--json", action="store_true",
+                            help="emit the run summary as JSON")
 
     explore_parser = sub.add_parser(
         "explore",
@@ -118,8 +132,41 @@ def _build_parser() -> argparse.ArgumentParser:
     check_parser.add_argument("--mode", choices=("io", "view"), default="view")
     check_parser.add_argument("--all", action="store_true",
                               help="collect all violations, not just the first")
+    check_parser.add_argument("--recover", action="store_true",
+                              help="salvage the longest valid prefix of a "
+                                   "truncated/corrupt log and check that; "
+                                   "without this flag a damaged log is a "
+                                   "hard error (exit code 2)")
     check_parser.add_argument("--json", action="store_true",
                               help="emit the outcome as JSON")
+
+    faults_parser = sub.add_parser(
+        "faults",
+        help="run a deterministic fault-injection campaign and verify "
+             "recovery (crashes/hangs survive with serial-identical "
+             "results; corrupt logs salvage exactly)",
+    )
+    faults_parser.add_argument("--program", default="multiset-vector",
+                               choices=sorted(PROGRAMS))
+    faults_parser.add_argument("--seed", type=int, default=0,
+                               help="fault-plan generation seed")
+    faults_parser.add_argument("--plan", metavar="PATH",
+                               help="JSON fault plan (as emitted under "
+                                    "'plan' in --json output) to replay "
+                                    "instead of generating one from --seed")
+    faults_parser.add_argument("--jobs", type=int, default=2,
+                               help="worker processes for the faulted run")
+    faults_parser.add_argument("--seeds", type=int, default=12,
+                               help="schedules explored per campaign")
+    faults_parser.add_argument("--threads", type=int, default=2)
+    faults_parser.add_argument("--calls", type=int, default=3,
+                               help="method calls per thread")
+    faults_parser.add_argument("--timeout", type=float, default=5.0,
+                               help="per-task watchdog deadline (seconds)")
+    faults_parser.add_argument("--retries", type=int, default=2,
+                               help="retry budget per task")
+    faults_parser.add_argument("--json", action="store_true",
+                               help="emit the campaign report as JSON")
 
     races_parser = sub.add_parser(
         "races", help="run dynamic race detection on a saved log"
@@ -159,22 +206,63 @@ def _cmd_programs(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    result = run_program(
-        args.program,
-        buggy=args.buggy,
-        num_threads=args.threads,
-        calls_per_thread=args.calls,
-        seed=args.seed,
-        mode=args.mode,
-        online=args.online,
-        log_locks=args.atomicity,
-        log_reads=args.atomicity,
-        races=args.races,
-    )
+    try:
+        result = run_program(
+            args.program,
+            buggy=args.buggy,
+            num_threads=args.threads,
+            calls_per_thread=args.calls,
+            seed=args.seed,
+            mode=args.mode,
+            online=args.online,
+            max_steps=args.max_steps,
+            log_locks=args.atomicity,
+            log_reads=args.atomicity,
+            races=args.races,
+        )
+    except SimulationError as exc:
+        # The workload itself misbehaved (deadlock, runaway schedule, thread
+        # crash): report the problem as data, not a stack trace.  Exit code 2
+        # separates "the run could not complete" from "the run completed and
+        # verification failed" (1).
+        problem = f"{type(exc).__name__}: {exc}"
+        if args.json:
+            print(json.dumps({
+                "ok": False,
+                "program": args.program,
+                "seed": args.seed,
+                "problem": problem,
+                "error_type": type(exc).__name__,
+            }, indent=2))
+        else:
+            print(f"run failed: {problem}", file=sys.stderr)
+        return 2
     outcome = (
         result.online_outcome if args.online else result.vyrd.check_offline()
     )
     variant = "buggy" if args.buggy else "correct"
+    races_ok = True
+    if args.races:
+        races_ok = result.race_outcome.ok
+    if args.json:
+        payload = {
+            "ok": bool(outcome.ok and races_ok),
+            "program": args.program,
+            "variant": variant,
+            "seed": args.seed,
+            "threads": args.threads,
+            "calls": args.calls,
+            "mode": args.mode,
+            "records": len(result.log),
+            "refinement": outcome.to_dict(),
+        }
+        if args.races:
+            payload["races"] = result.race_outcome.to_dict()
+        if args.save:
+            save_log(result.log, args.save)
+            payload["saved"] = args.save
+        _emit_json(payload, result.log)
+        return 0 if payload["ok"] else 1
     print(
         f"ran {args.program} ({variant}), {args.threads} threads x "
         f"{args.calls} calls, seed {args.seed}: {len(result.log)} log records"
@@ -185,12 +273,10 @@ def _cmd_run(args) -> int:
 
         atomicity = check_atomicity(result.log)
         print(f"atomicity baseline: {atomicity.summary()}")
-    races_ok = True
     if args.races:
         from ..races import format_race_outcome, render_first_race
 
         races = result.race_outcome
-        races_ok = races.ok
         print(format_race_outcome(races, title=f"race detection ({args.races})"))
         excerpt = render_first_race(result.log, races)
         if excerpt is not None:
@@ -282,7 +368,34 @@ def _emit_json(payload, log) -> None:
 
 
 def _cmd_check(args) -> int:
-    log = load_log(args.log)
+    recovery = None
+    if args.recover:
+        recovered = recover_log(args.log)
+        log = recovered.log
+        recovery = recovered.to_dict()
+        if not recovered.complete and not args.json:
+            print(
+                f"warning: log damaged at byte {recovered.error_offset} "
+                f"({recovered.cause}); checking the salvaged prefix of "
+                f"{recovered.records} record(s)"
+            )
+    else:
+        try:
+            log = load_log(args.log)
+        except LogFormatError as exc:
+            if args.json:
+                print(json.dumps({
+                    "ok": False,
+                    "problem": str(exc),
+                    "error_type": "LogFormatError",
+                    "offset": exc.offset,
+                    "record_index": exc.record_index,
+                }, indent=2))
+            else:
+                print(f"cannot read log: {exc}", file=sys.stderr)
+                print("hint: re-run with --recover to check the salvageable "
+                      "prefix", file=sys.stderr)
+            return 2
     problems = validate_well_formed(log)
     if problems and not args.json:
         print(f"warning: log is not well-formed ({len(problems)} problem(s)):")
@@ -292,7 +405,10 @@ def _cmd_check(args) -> int:
     checker.feed(log)
     outcome = checker.finish()
     if args.json:
-        _emit_json(outcome.to_dict(), log)
+        payload = outcome.to_dict()
+        if recovery is not None:
+            payload["recovery"] = recovery
+        _emit_json(payload, log)
     else:
         print(format_outcome(outcome, title=f"{args.mode} refinement of {args.log}"))
     return 0 if outcome.ok else 1
@@ -318,6 +434,85 @@ def _cmd_races(args) -> int:
     return 0 if outcome.ok else 1
 
 
+def _cmd_faults(args) -> int:
+    from ..faults import Fault, FaultPlan, run_fault_campaign
+
+    plan = None
+    if args.plan:
+        with open(args.plan, "r", encoding="utf-8") as handle:
+            spec = json.load(handle)
+        plan = FaultPlan(
+            seed=spec.get("seed", args.seed),
+            faults=tuple(
+                Fault(
+                    kind=entry["kind"],
+                    task=entry.get("task"),
+                    frac=entry.get("frac", 0.0),
+                    bit=entry.get("bit", 0),
+                    seconds=entry.get("seconds", 0.0),
+                    every=entry.get("every", 1),
+                )
+                for entry in spec["faults"]
+            ),
+        )
+    start = time.perf_counter()
+    report = run_fault_campaign(
+        program=args.program,
+        seed=args.seed,
+        plan=plan,
+        jobs=args.jobs,
+        num_runs=args.seeds,
+        num_threads=args.threads,
+        calls_per_thread=args.calls,
+        timeout=args.timeout,
+        max_retries=args.retries,
+    )
+    elapsed = time.perf_counter() - start
+    if args.json:
+        payload = report.to_dict()
+        payload["seconds"] = round(elapsed, 3)
+        print(json.dumps(payload, indent=2))
+        return 0 if report.ok else 1
+    verdict = "survived" if report.signatures_match else "DIVERGED"
+    print(
+        f"fault campaign on {args.program} (plan seed {report.seed}, "
+        f"{report.num_runs} schedules, jobs={report.jobs}): {verdict} in "
+        f"{elapsed:.2f}s"
+    )
+    counts = report.plan
+    print(
+        f"  injected: {counts['crashes']} crash(es), {counts['hangs']} "
+        f"hang(s), {counts['torn_logs']} torn log(s), {counts['bitflips']} "
+        f"bit flip(s), {counts['slow_ios']} slow-io"
+    )
+    incidents = report.incident_counts
+    survived = ", ".join(f"{k}={v}" for k, v in sorted(incidents.items()))
+    print(f"  incidents survived: {survived or 'none'}")
+    print(
+        f"  signature: baseline {report.baseline_signature[:16]}... "
+        f"{'==' if report.signatures_match else '!='} faulted "
+        f"{report.faulted_signature[:16]}..."
+    )
+    for entry in report.recoveries:
+        fault = entry["fault"]
+        state = "ok" if entry["ok"] else "FAILED"
+        print(
+            f"  recovery [{state}] {fault['kind']} @ byte "
+            f"{fault.get('offset')}: salvaged {entry['salvaged_records']}/"
+            f"{entry['total_records']} records"
+            + (
+                f", error reported at byte {entry['error_offset']} "
+                f"({entry['cause']})"
+                if entry["error_offset"] is not None else ""
+            )
+        )
+    if report.tracer_log_identical is not None:
+        state = "identical" if report.tracer_log_identical else "DIVERGED"
+        print(f"  slow-io log: {state}")
+    print(f"  verdict: {'OK' if report.ok else 'FAILED'}")
+    return 0 if report.ok else 1
+
+
 def _cmd_trace(args) -> int:
     log = load_log(args.log)
     print(render_trace(log, include_writes=args.writes, max_rows=args.max_rows))
@@ -335,6 +530,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "explore": _cmd_explore,
     "check": _cmd_check,
+    "faults": _cmd_faults,
     "races": _cmd_races,
     "trace": _cmd_trace,
     "witness": _cmd_witness,

@@ -9,6 +9,17 @@ import pytest
 from repro import Kernel, Vyrd
 
 
+def pytest_configure(config):
+    # Per-test wall-clock ceiling: a wedged kernel, a hung worker process or
+    # a deadlocked pool must fail the suite, not stall it.  Applied only when
+    # pytest-timeout is installed (it is in CI; locally it is optional) and
+    # not explicitly overridden on the command line or in the ini file.
+    if config.pluginmanager.hasplugin("timeout"):
+        if getattr(config.option, "timeout", None) is None:
+            config.option.timeout = 120
+            config.option.timeout_method = "thread"
+
+
 def run_session(
     impl,
     spec_factory,

@@ -178,11 +178,13 @@ def test_stream_round_trip_in_memory():
 def test_framed_records_are_independently_loadable(tmp_path):
     """The stream pickler's memo is cleared per record, so every record is a
     self-contained pickle frame: a fresh Unpickler at any record boundary
-    must succeed, even with payload objects repeated across records."""
+    must succeed, even with payload objects repeated across records.
+    (``framed=False`` is the legacy bare-pickle format; the default framed
+    format wraps each of these same pickles in a length+CRC header.)"""
     payload = ("shared-payload", 7)
     log = Log(CallAction(0, i, "m", (payload,)) for i in range(6))
     path = tmp_path / "framed.vyrdlog"
-    save_log(log, path)
+    save_log(log, path, framed=False)
     restored = []
     with open(path, "rb") as handle:
         while True:

@@ -1,0 +1,129 @@
+"""The end-to-end fault campaign and its CLI/benchmark surfaces."""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.faults import FaultPlan, run_fault_campaign
+from repro.tools.cli import main
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fault campaigns need fork-start workers",
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_fault_campaign(
+        seed=7, jobs=2, num_runs=12, timeout=1.5, backoff_base=0.01
+    )
+
+
+def test_campaign_survives_and_matches_serial(report):
+    assert report.signatures_match
+    assert report.baseline_signature == report.faulted_signature
+    assert report.interruptions  # the plan's crash/hang actually fired
+
+
+def test_campaign_salvages_every_corruption(report):
+    assert report.recovery_ok
+    assert len(report.recoveries) == 2  # one tear + one bitflip planned
+    for entry in report.recoveries:
+        assert entry["ok"]
+        assert entry["prefix_exact"]
+        # damaged streams report where parsing stopped
+        if not entry["complete"]:
+            assert entry["error_offset"] is not None
+            assert entry["cause"]
+
+
+def test_campaign_latency_injection_is_schedule_invariant(report):
+    assert report.tracer_log_identical is True
+
+
+def test_campaign_report_round_trips_to_json(report):
+    assert report.ok
+    payload = json.loads(json.dumps(report.to_dict()))
+    assert payload["ok"] is True
+    assert payload["signatures_match"] is True
+    assert payload["plan"]["seed"] == 7
+    assert payload["incidents"]
+    assert payload["overhead"] is None or payload["overhead"] > 0
+
+
+def test_explicit_plan_replays(report):
+    # rebuilding the plan from the report's JSON reproduces the campaign
+    from repro.faults import Fault
+
+    plan = FaultPlan(
+        seed=report.plan["seed"],
+        faults=tuple(
+            Fault(kind=f["kind"], task=f["task"], frac=f["frac"],
+                  bit=f["bit"], seconds=f["seconds"], every=f["every"])
+            for f in report.plan["faults"]
+        ),
+    )
+    replay = run_fault_campaign(
+        seed=7, plan=plan, jobs=2, num_runs=12, timeout=1.5,
+        backoff_base=0.01,
+    )
+    assert replay.ok
+    assert replay.baseline_signature == report.baseline_signature
+
+
+def test_cli_faults_json(capsys):
+    code = main([
+        "faults", "--seed", "7", "--jobs", "2", "--seeds", "12",
+        "--timeout", "1.5", "--json",
+    ])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["ok"] is True
+    assert payload["signatures_match"] is True
+    assert payload["recovery_ok"] is True
+    assert payload["seconds"] > 0
+
+
+def test_cli_faults_human_output_and_plan_replay(tmp_path, capsys):
+    code = main([
+        "faults", "--seed", "3", "--jobs", "2", "--seeds", "12",
+        "--timeout", "1.5", "--json",
+    ])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    plan_path = tmp_path / "plan.json"
+    plan_path.write_text(json.dumps(payload["plan"]))
+    code = main([
+        "faults", "--seed", "3", "--plan", str(plan_path), "--jobs", "2",
+        "--seeds", "12", "--timeout", "1.5",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "survived" in out
+    assert "verdict: OK" in out
+    assert "recovery [ok]" in out
+
+
+def test_bench_fault_soak_smoke(tmp_path, capsys):
+    import importlib.util
+    import os
+
+    bench_path = os.path.join(
+        os.path.dirname(__file__), "..", "..", "benchmarks",
+        "bench_fault_soak.py",
+    )
+    spec = importlib.util.spec_from_file_location("bench_fault_soak", bench_path)
+    bench_fault_soak = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(bench_fault_soak)
+
+    out_path = tmp_path / "BENCH_fault_soak.json"
+    code = bench_fault_soak.main(["--smoke", "--out", str(out_path)])
+    assert code == 0
+    report = json.loads(out_path.read_text())
+    assert report["benchmark"] == "fault_soak"
+    assert report["all_ok"] is True
+    assert report["campaigns_diverged"] == 0
+    assert report["recoveries_failed"] == 0
+    assert len(report["rows"]) == 2

@@ -1,0 +1,130 @@
+"""FaultPlan generation, resolution and the raw log injectors."""
+
+import pickle
+import random
+
+import pytest
+
+from repro.core import load_log, recover_log, save_log
+from repro.faults import (
+    BITFLIP_LOG,
+    CRASH,
+    HANG,
+    SLOW_IO,
+    TORN_LOG,
+    Fault,
+    FaultPlan,
+    TaskFaults,
+    apply_log_faults,
+    bitflip,
+    resolve_offset,
+    tear,
+)
+from repro.harness import run_program
+
+
+def test_generate_is_deterministic():
+    one = FaultPlan.generate(42, tasks=8, slow_ios=1)
+    two = FaultPlan.generate(42, tasks=8, slow_ios=1)
+    assert one == two
+    assert FaultPlan.generate(43, tasks=8, slow_ios=1) != one
+
+
+def test_generate_mix_matches_request():
+    plan = FaultPlan.generate(5, tasks=10, crashes=2, hangs=1, torn=3,
+                              bitflips=2, slow_ios=1)
+    counts = plan.describe()
+    assert counts["crashes"] == 2
+    assert counts["hangs"] == 1
+    assert counts["torn_logs"] == 3
+    assert counts["bitflips"] == 2
+    assert counts["slow_ios"] == 1
+    # crash/hang targets are distinct task serials inside the horizon
+    targets = [f.task for f in plan.worker_faults]
+    assert len(set(targets)) == len(targets) == 3
+    assert all(0 <= t < 10 for t in targets)
+    # log fault positions are fractions
+    assert all(0.0 <= f.frac < 1.0 for f in plan.log_faults)
+
+
+def test_task_faults_target_first_attempt_only():
+    plan = FaultPlan(seed=0, faults=(Fault(CRASH, task=3),
+                                     Fault(HANG, task=5, seconds=9.0)))
+    assert plan.task_faults(3, attempt=0).fault.kind == CRASH
+    assert plan.task_faults(5, attempt=0).fault.kind == HANG
+    # retries always run clean (transient-fault model)
+    assert plan.task_faults(3, attempt=1) is None
+    assert plan.task_faults(5, attempt=2) is None
+    # untargeted serials get nothing
+    assert plan.task_faults(0, attempt=0) is None
+
+
+def test_plan_and_task_faults_pickle_round_trip():
+    plan = FaultPlan.generate(7, slow_ios=1)
+    assert pickle.loads(pickle.dumps(plan)) == plan
+    resolved = TaskFaults(Fault(HANG, task=1, seconds=2.0))
+    clone = pickle.loads(pickle.dumps(resolved))
+    assert clone == resolved
+
+
+def test_hang_apply_sleeps_briefly():
+    # apply() of a short hang returns (and a no-fault apply is free)
+    TaskFaults(Fault(HANG, task=0, seconds=0.0)).apply()
+    TaskFaults(None).apply()
+
+
+def test_resolve_offset_stays_inside_payload():
+    fault = Fault(TORN_LOG, frac=0.0)
+    assert resolve_offset(fault, 0) == 0
+    assert resolve_offset(fault, 2) == 0
+    for frac in (0.0, 0.25, 0.999):
+        for size in (3, 10, 1000):
+            offset = resolve_offset(Fault(TORN_LOG, frac=frac), size)
+            assert 1 <= offset <= size - 1
+
+
+def test_tear_and_bitflip_modify_the_file(tmp_path):
+    path = tmp_path / "victim.bin"
+    path.write_bytes(bytes(range(100)))
+    lost = tear(str(path), 60)
+    assert lost == 40
+    assert path.read_bytes() == bytes(range(60))
+    flipped_at = bitflip(str(path), 10, bit=3)
+    assert flipped_at == 10
+    data = path.read_bytes()
+    assert data[10] == 10 ^ 0b1000
+    assert len(data) == 60
+    # flip it back -> original prefix restored
+    bitflip(str(path), 10, bit=3)
+    assert path.read_bytes() == bytes(range(60))
+
+
+def test_apply_log_faults_damages_a_real_log(tmp_path):
+    run = run_program("multiset-vector", num_threads=2, calls_per_thread=3)
+    path = str(tmp_path / "run.vlog")
+    save_log(run.log, path)
+    pristine = [repr(a) for a in load_log(path)]
+    plan = FaultPlan(seed=0, faults=(Fault(TORN_LOG, frac=0.5),))
+    applied = apply_log_faults(path, plan)
+    assert applied and applied[0]["kind"] == TORN_LOG
+    assert applied[0]["lost"] > 0
+    recovered = recover_log(path)
+    assert not recovered.complete
+    salvaged = [repr(a) for a in recovered.log]
+    assert salvaged == pristine[: len(salvaged)]
+    assert len(salvaged) < len(pristine)
+
+
+def test_crash_fault_exits_the_process(tmp_path):
+    # os._exit must not run in the test process: exercise it in a child.
+    import multiprocessing
+
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+    )
+    proc = ctx.Process(
+        target=TaskFaults(Fault(CRASH, task=0)).apply
+    )
+    proc.start()
+    proc.join(30)
+    assert proc.exitcode == 13

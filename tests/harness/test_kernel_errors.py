@@ -1,0 +1,119 @@
+"""Kernel-level run problems surfaced through the harness and the CLI.
+
+Satellite coverage for the robustness layer: a workload that deadlocks or
+blows the step budget must surface as a *typed, diagnosable* error --
+:class:`DeadlockError` / :class:`StepLimitExceeded` through
+``harness.run_program``, and exit code 2 with a problem string (or JSON
+payload) through ``vyrd run`` -- never a hang or a bare stack dump.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.concurrency import DeadlockError, StepLimitExceeded
+from repro.concurrency.primitives import Lock
+from repro.harness import run_program
+from repro.harness.workload import PROGRAMS, Program
+from repro.tools.cli import main
+
+
+def _deadlock_program() -> Program:
+    """A registry-shaped program whose workers wedge deterministically.
+
+    The first worker to run acquires the shared lock and finishes *without
+    releasing it*; every later worker blocks on acquire forever.  With two
+    or more threads this deadlocks under every schedule.
+    """
+    base = PROGRAMS["multiset-vector"]
+
+    def build(buggy, num_threads):
+        built = base.build(buggy, num_threads)
+        lock = Lock("dl.lock")
+
+        def make_worker(vds, rng, index, calls):
+            def body(ctx):
+                yield lock.acquire()
+
+            return body
+
+        return dataclasses.replace(
+            built, make_worker=make_worker, daemons=()
+        )
+
+    return Program(
+        name="deadlock-demo",
+        bug="intentional deadlock (test fixture)",
+        build=build,
+    )
+
+
+@pytest.fixture
+def deadlock_registered():
+    program = _deadlock_program()
+    PROGRAMS[program.name] = program
+    try:
+        yield program
+    finally:
+        del PROGRAMS[program.name]
+
+
+def test_run_program_raises_deadlock_error(deadlock_registered):
+    with pytest.raises(DeadlockError) as excinfo:
+        run_program("deadlock-demo", num_threads=2, calls_per_thread=1)
+    assert "deadlock" in str(excinfo.value).lower()
+
+
+def test_run_program_raises_step_limit():
+    with pytest.raises(StepLimitExceeded) as excinfo:
+        run_program("multiset-vector", num_threads=2, calls_per_thread=2,
+                    max_steps=50)
+    assert "50" in str(excinfo.value)
+
+
+def test_cli_run_deadlock_exits_2(deadlock_registered, capsys):
+    code = main([
+        "run", "--program", "deadlock-demo", "--threads", "2", "--calls", "1",
+    ])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "run failed" in captured.err
+    assert "DeadlockError" in captured.err
+
+
+def test_cli_run_deadlock_json(deadlock_registered, capsys):
+    code = main([
+        "run", "--program", "deadlock-demo", "--threads", "2", "--calls", "1",
+        "--json",
+    ])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 2
+    assert payload["ok"] is False
+    assert payload["error_type"] == "DeadlockError"
+    assert payload["problem"]
+
+
+def test_cli_run_step_limit_json(capsys):
+    code = main([
+        "run", "--program", "multiset-vector", "--threads", "2",
+        "--calls", "2", "--max-steps", "50", "--json",
+    ])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 2
+    assert payload["ok"] is False
+    assert payload["error_type"] == "StepLimitExceeded"
+    assert "step limit" in payload["problem"]
+
+
+def test_cli_run_json_success_payload(capsys):
+    code = main([
+        "run", "--program", "multiset-vector", "--threads", "2",
+        "--calls", "3", "--json",
+    ])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["ok"] is True
+    assert payload["records"] > 0
+    assert payload["refinement"]["ok"] is True
+    assert payload["well_formed"] is True

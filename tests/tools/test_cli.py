@@ -221,6 +221,58 @@ def test_races_subcommand_atomic_prefix(tmp_path, capsys):
     assert "RACE-FREE" in capsys.readouterr().out
 
 
+def test_check_damaged_log_strict_vs_recover(tmp_path, capsys):
+    import json
+
+    log_path = str(tmp_path / "run.vyrdlog")
+    main([
+        "run", "--program", "multiset-vector", "--threads", "2",
+        "--calls", "5", "--seed", "3", "--save", log_path,
+    ])
+    capsys.readouterr()
+    # tear the tail off: strict check refuses with a typed diagnosis...
+    data = open(log_path, "rb").read()
+    with open(log_path, "wb") as handle:
+        handle.write(data[: int(len(data) * 0.6)])
+    assert main(["check", log_path, "--program", "multiset-vector"]) == 2
+    err = capsys.readouterr().err
+    assert "corrupt log stream at byte" in err
+    assert "--recover" in err
+    # ...the JSON form carries the offset as data...
+    assert main(["check", log_path, "--program", "multiset-vector",
+                 "--json"]) == 2
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert payload["error_type"] == "LogFormatError"
+    assert isinstance(payload["offset"], int)
+    # ...and --recover checks the salvaged prefix instead
+    code = main(["check", log_path, "--program", "multiset-vector",
+                 "--recover", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["ok"] is True
+    assert payload["recovery"]["complete"] is False
+    assert payload["recovery"]["records"] > 0
+    assert payload["recovery"]["error_offset"] is not None
+
+
+def test_check_recover_on_intact_log_reports_complete(tmp_path, capsys):
+    import json
+
+    log_path = str(tmp_path / "run.vyrdlog")
+    main([
+        "run", "--program", "multiset-tree", "--threads", "2",
+        "--calls", "5", "--seed", "1", "--save", log_path,
+    ])
+    capsys.readouterr()
+    code = main(["check", log_path, "--program", "multiset-tree",
+                 "--recover", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["recovery"]["complete"] is True
+    assert payload["recovery"]["error_offset"] is None
+
+
 def test_explore_swarm_json(capsys):
     import json
 
