@@ -17,7 +17,6 @@ numbers.
 from __future__ import annotations
 
 import os
-from typing import Iterable, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
 

@@ -16,7 +16,7 @@ import pytest
 
 from repro import Kernel, Vyrd
 from repro.atomicity import check_atomicity
-from repro.harness import PROGRAMS, render_table
+from repro.harness import render_table
 from repro.harness.runner import _resolve
 
 from _common import emit

@@ -14,8 +14,6 @@ the Fig. 3-style lane diagram plus the witness interleaving, and verifies
 the trace refines the multiset spec.
 """
 
-import pytest
-
 from repro import Kernel, Vyrd, render_trace, render_witness
 from repro.core import build_witness
 from repro.multiset import MultisetSpec, VectorMultiset, multiset_view

@@ -10,8 +10,6 @@ This benchmark hunts the overwrite schedule, renders the violation trace,
 and checks both detection routes (view at the commit; observer at the
 lookup)."""
 
-import pytest
-
 from repro import Kernel, ViolationKind, Vyrd, format_outcome, render_trace
 from repro.multiset import MultisetSpec, VectorMultiset, multiset_view
 

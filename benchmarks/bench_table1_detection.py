@@ -16,7 +16,7 @@ Shape claims reproduced here (see EXPERIMENTS.md for measured values):
 
 import pytest
 
-from repro.harness import PROGRAMS, detection_experiment, render_table
+from repro.harness import detection_experiment, render_table
 
 from _common import emit, fmt_mean
 

@@ -52,7 +52,7 @@ from __future__ import annotations
 
 import bisect
 import itertools
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..concurrency import KernelStopped, Lock, SharedCell, ThreadCtx
 from ..core import FunctionView, operation

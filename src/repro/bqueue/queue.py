@@ -21,7 +21,6 @@ sees the lost element immediately.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..concurrency import Condition, Lock, SharedCell, ThreadCtx
 from ..core import FunctionView, operation

@@ -41,14 +41,13 @@ Example
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Callable, Iterable, List, Optional
 
 from .errors import (
     DeadlockError,
     KernelStopped,
-    LockError,
     SimThreadError,
     StepLimitExceeded,
 )

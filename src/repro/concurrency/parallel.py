@@ -74,7 +74,7 @@ import multiprocessing
 import os
 from collections import deque
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 from .explore import (
     ExplorationResult,

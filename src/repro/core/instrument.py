@@ -35,6 +35,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
+from ..concurrency.errors import SimulationError
 from ..concurrency.kernel import Tracer
 from .actions import (
     AcquireAction,
@@ -72,9 +73,34 @@ class OpFrame:
     commits: int = 0
 
 
-class InstrumentationError(Exception):
+class InstrumentationError(SimulationError):
     """The implementation misused the instrumentation API (e.g. nested
-    public operations on one thread)."""
+    public operations on one thread).
+
+    Carries the offending ``method``, ``tid`` and ``op_id`` when known, so
+    harness and CLI reports can name the operation instead of surfacing a
+    bare message; the context is also appended to ``str(exc)``.  Deriving
+    from :class:`~repro.concurrency.errors.SimulationError` lets callers
+    that already separate "the run could not complete" from "verification
+    failed" (e.g. ``repro run --json``) treat instrumentation misuse the
+    same way they treat a :class:`DeadlockError`.
+    """
+
+    def __init__(self, message: str, *, method: Optional[str] = None,
+                 tid: Optional[int] = None, op_id: Optional[int] = None):
+        self.method = method
+        self.tid = tid
+        self.op_id = op_id
+        context = ", ".join(
+            part
+            for part in (
+                f"method={method!r}" if method is not None else None,
+                f"tid={tid}" if tid is not None else None,
+                f"op={op_id}" if op_id is not None else None,
+            )
+            if part is not None
+        )
+        super().__init__(f"{message} [{context}]" if context else message)
 
 
 class VyrdTracer(Tracer):
@@ -106,10 +132,12 @@ class VyrdTracer(Tracer):
 
     def begin_op(self, tid: int, method: str, args: tuple) -> OpFrame:
         if tid in self._current:
+            open_frame = self._current[tid]
             raise InstrumentationError(
                 f"thread {tid} invoked {method!r} while "
-                f"{self._current[tid].method!r} is still executing; public "
-                "operations must not nest (call the raw generator instead)"
+                f"{open_frame.method!r} is still executing; public "
+                "operations must not nest (call the raw generator instead)",
+                method=open_frame.method, tid=tid, op_id=open_frame.op_id,
             )
         frame = OpFrame(next(self._op_ids), method, args)
         self._current[tid] = frame
@@ -121,7 +149,8 @@ class VyrdTracer(Tracer):
         current = self._current.pop(tid, None)
         if current is not frame:
             raise InstrumentationError(
-                f"mismatched end_op for {frame.method!r} on thread {tid}"
+                f"mismatched end_op for {frame.method!r} on thread {tid}",
+                method=frame.method, tid=tid, op_id=frame.op_id,
             )
         if self.level != "none":
             self.log.append(ReturnAction(tid, frame.op_id, frame.method, result))

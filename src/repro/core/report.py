@@ -10,7 +10,7 @@ benchmarks.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import List, Optional
 
 from .actions import (
     AcquireAction,

@@ -18,7 +18,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import List, Optional, Union
 
 from ..concurrency import Kernel
 from ..concurrency.explore import ExplorationResult
@@ -49,6 +49,7 @@ class RunResult:
     run_cpu: float
     online_outcome: Optional[CheckOutcome] = None
     race_outcome: Optional[object] = None  # RaceOutcome when races enabled
+    lint_findings: tuple = ()  # LintFindings when the lint pre-flight ran
 
     @property
     def log(self):
@@ -70,6 +71,7 @@ def run_program(
     log_reads: bool = False,
     races=None,
     faults=None,
+    lint: Optional[str] = None,
 ) -> RunResult:
     """Build, run and (optionally online-) verify one program instance.
 
@@ -82,9 +84,27 @@ def run_program(
     offline otherwise -- and fills ``RunResult.race_outcome``.  ``faults``
     (a :class:`repro.faults.FaultPlan` with ``slow_io`` faults) wraps the
     tracer in a :class:`repro.faults.LatencyTracer`, simulating a slow log
-    device; the schedule -- and hence the log -- is unaffected."""
+    device; the schedule -- and hence the log -- is unaffected.  ``lint``
+    (``"warn"``/``"error"``) statically checks the implementation's
+    instrumentation annotations *before* the run (:mod:`repro.lint`) and
+    raises :class:`repro.lint.LintError` when any finding at or above that
+    severity survives suppression; all findings land in
+    ``RunResult.lint_findings``."""
     program = _resolve(program)
     built = program.build(buggy, num_threads)
+    lint_findings: tuple = ()
+    if lint is not None:
+        from ..lint import LintError, lint_class, severity_at_least
+
+        if lint not in ("warn", "error"):
+            raise ValueError(f"lint must be 'warn' or 'error', not {lint!r}")
+        lint_findings = tuple(lint_class(built.impl))
+        gating = [
+            finding for finding in lint_findings
+            if severity_at_least(finding.severity, lint)
+        ]
+        if gating:
+            raise LintError(gating)
     vyrd = Vyrd(
         spec_factory=built.spec_factory,
         mode=mode,
@@ -126,7 +146,8 @@ def run_program(
             else vyrd.check_races()
         )
     return RunResult(
-        program, built, vyrd, kernel, run_cpu, online_outcome, race_outcome
+        program, built, vyrd, kernel, run_cpu, online_outcome, race_outcome,
+        lint_findings,
     )
 
 

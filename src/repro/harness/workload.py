@@ -25,8 +25,8 @@ observer checking would otherwise flag the *correct* implementation.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
 
 from ..bqueue import BoundedQueue, QueueSpec, queue_view
 from ..boxwood import (
@@ -39,7 +39,6 @@ from ..boxwood import (
     cache_invariants,
     cache_view,
 )
-from ..core import Invariant
 from ..javalib import (
     JavaVector,
     StringBufferSpec,

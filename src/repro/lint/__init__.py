@@ -1,0 +1,43 @@
+"""Static instrumentation analysis (`repro.lint`).
+
+VYRD is only as sound as the annotations the implementation carries
+(paper section 4.2): commit actions, commit blocks and traced shared
+cells.  This package checks those obligations *before the program ever
+runs* -- an AST/CFG analysis over every ``@operation`` generator -- and
+reports violations as typed, located :class:`LintFinding` diagnostics.
+
+See ARCHITECTURE.md section 9 for the rule catalog, the CFG construction
+and the static/dynamic boundary.
+"""
+
+from .analyzer import (
+    LintError,
+    lint_class,
+    lint_class_source,
+    lint_program,
+    lint_registry,
+)
+from .model import (
+    ALL_RULE_IDS,
+    ERROR,
+    RULES,
+    WARN,
+    LintFinding,
+    Rule,
+    severity_at_least,
+)
+
+__all__ = [
+    "ALL_RULE_IDS",
+    "ERROR",
+    "LintError",
+    "LintFinding",
+    "RULES",
+    "Rule",
+    "WARN",
+    "lint_class",
+    "lint_class_source",
+    "lint_program",
+    "lint_registry",
+    "severity_at_least",
+]

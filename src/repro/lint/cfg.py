@@ -1,0 +1,228 @@
+"""Per-method control-flow graphs over the raw function AST.
+
+Every rule pass in :mod:`repro.lint.rules` is path-sensitive in the same
+way -- "does some path from entry to an exit cross / avoid / unbalance
+these statements?" -- so they all share one CFG per analyzed method,
+built once by :func:`build_cfg` and handed to each pass.
+
+The graph is deliberately statement-grained (one node per AST statement
+plus synthetic entry / handler / finally nodes) rather than basic-block
+grained: methods on the simulated-concurrency substrate are small, and
+statement granularity keeps finding locations exact.
+
+Modeled control flow
+--------------------
+``if`` / ``for`` / ``while`` (with ``break`` / ``continue`` / ``else``),
+``with``, ``return``, ``try`` / ``except`` / ``finally`` and explicit
+``raise``.  Inside a ``try`` body every statement may branch to every
+handler (the standard conservative approximation); an explicit ``raise``
+with no enclosing handler routes through the nearest enclosing ``finally``
+before leaving the method.  *Implicit* exceptions (a yield resumed with
+``KernelStopped``, an IndexError, ...) are not modeled -- that boundary is
+documented in ARCHITECTURE.md section 9 and is exactly what the runtime
+well-formedness validator still covers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+
+class Node:
+    """One CFG node: an AST statement or a synthetic control point."""
+
+    __slots__ = ("index", "stmt", "kind")
+
+    def __init__(self, index: int, stmt: Optional[ast.AST], kind: str):
+        self.index = index
+        self.stmt = stmt
+        self.kind = kind  # "entry" | "stmt" | "handler" | "finally"
+
+    @property
+    def line(self) -> int:
+        return getattr(self.stmt, "lineno", 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = type(self.stmt).__name__ if self.stmt is not None else self.kind
+        return f"<Node {self.index} {label}>"
+
+
+class CFG:
+    """The control-flow graph of one function body."""
+
+    def __init__(self, fn: ast.FunctionDef):
+        self.fn = fn
+        self.nodes: List[Node] = []
+        self.succ: Dict[Node, Set[Node]] = {}
+        self.pred: Dict[Node, Set[Node]] = {}
+        # (node, kind) pairs where kind is "return", "fall-off" or "raise";
+        # the method-exit state of a path is the state *after* the node.
+        self.exits: List[Tuple[Node, str]] = []
+        self.entry = self._new(None, "entry")
+
+    def _new(self, stmt: Optional[ast.AST], kind: str) -> Node:
+        node = Node(len(self.nodes), stmt, kind)
+        self.nodes.append(node)
+        self.succ[node] = set()
+        self.pred[node] = set()
+        return node
+
+    def _link(self, src: Node, dst: Node) -> None:
+        self.succ[src].add(dst)
+        self.pred[dst].add(src)
+
+    # -- dataflow ----------------------------------------------------------
+
+    def forward(
+        self,
+        init: FrozenSet,
+        transfer: Callable[[Node, FrozenSet], FrozenSet],
+    ) -> Dict[Node, FrozenSet]:
+        """Run a forward union-merge dataflow; returns out-states per node.
+
+        ``transfer(node, in_state)`` maps the merged in-state to the node's
+        out-state; the entry node's out-state is ``init``.
+        """
+        out: Dict[Node, FrozenSet] = {node: frozenset() for node in self.nodes}
+        out[self.entry] = init
+        worklist = [n for n in self.succ[self.entry]]
+        while worklist:
+            node = worklist.pop()
+            merged: FrozenSet = frozenset().union(
+                *(out[p] for p in self.pred[node])
+            )
+            new = transfer(node, merged)
+            if new != out[node]:
+                out[node] = new
+                worklist.extend(self.succ[node])
+        return out
+
+    def in_state(self, node: Node, out: Dict[Node, FrozenSet]) -> FrozenSet:
+        return frozenset().union(*(out[p] for p in self.pred[node]))
+
+
+class _Builder:
+    def __init__(self, fn: ast.FunctionDef):
+        self.cfg = CFG(fn)
+        # (loop-header node, break-node collector) innermost last
+        self.loops: List[Tuple[Node, List[Node]]] = []
+        # nearest enclosing exception targets (handler / finally entry nodes)
+        self.exc_targets: List[List[Node]] = []
+
+    def build(self) -> CFG:
+        frontier = self._body(self.cfg.fn.body, [self.cfg.entry])
+        for node in frontier:
+            self.cfg.exits.append((node, "fall-off"))
+        return self.cfg
+
+    # -- helpers -----------------------------------------------------------
+
+    def _stmt(self, stmt: ast.AST, frontier: List[Node], kind: str = "stmt") -> Node:
+        node = self.cfg._new(stmt, kind)
+        for src in frontier:
+            self.cfg._link(src, node)
+        if self.exc_targets:
+            for target in self.exc_targets[-1]:
+                self.cfg._link(node, target)
+        return node
+
+    def _body(self, stmts: List[ast.stmt], frontier: List[Node]) -> List[Node]:
+        for stmt in stmts:
+            frontier = self._dispatch(stmt, frontier)
+        return frontier
+
+    def _dispatch(self, stmt: ast.stmt, frontier: List[Node]) -> List[Node]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frontier)
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            return self._loop(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            node = self._stmt(stmt, frontier)
+            return self._body(stmt.body, [node])
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frontier)
+        if isinstance(stmt, ast.Return):
+            node = self._stmt(stmt, frontier)
+            self.cfg.exits.append((node, "return"))
+            return []
+        if isinstance(stmt, ast.Raise):
+            node = self._stmt(stmt, frontier)
+            if not self.exc_targets:
+                self.cfg.exits.append((node, "raise"))
+            return []
+        if isinstance(stmt, ast.Break):
+            node = self._stmt(stmt, frontier)
+            if self.loops:
+                self.loops[-1][1].append(node)
+            return []
+        if isinstance(stmt, ast.Continue):
+            node = self._stmt(stmt, frontier)
+            if self.loops:
+                self.cfg._link(node, self.loops[-1][0])
+            return []
+        return [self._stmt(stmt, frontier)]
+
+    def _if(self, stmt: ast.If, frontier: List[Node]) -> List[Node]:
+        test = self._stmt(stmt, frontier)
+        then_end = self._body(stmt.body, [test])
+        if stmt.orelse:
+            else_end = self._body(stmt.orelse, [test])
+        else:
+            else_end = [test]
+        return then_end + else_end
+
+    @staticmethod
+    def _always_true(stmt: ast.AST) -> bool:
+        test = getattr(stmt, "test", None)
+        return isinstance(test, ast.Constant) and bool(test.value)
+
+    def _loop(self, stmt: ast.stmt, frontier: List[Node]) -> List[Node]:
+        header = self._stmt(stmt, frontier)
+        breaks: List[Node] = []
+        self.loops.append((header, breaks))
+        body_end = self._body(stmt.body, [header])
+        self.loops.pop()
+        for node in body_end:
+            self.cfg._link(node, header)
+        if isinstance(stmt, ast.While) and self._always_true(stmt):
+            after: List[Node] = []  # `while True` only exits via break
+        elif stmt.orelse:
+            after = self._body(stmt.orelse, [header])
+        else:
+            after = [header]
+        return after + breaks
+
+    def _try(self, stmt: ast.Try, frontier: List[Node]) -> List[Node]:
+        handler_entries = [
+            self.cfg._new(handler, "handler") for handler in stmt.handlers
+        ]
+        finally_entry = (
+            self.cfg._new(stmt, "finally") if stmt.finalbody else None
+        )
+        # while in the body, raising reaches the handlers (or, with no
+        # handlers, the finally before leaving the method)
+        if handler_entries:
+            self.exc_targets.append(handler_entries)
+        elif finally_entry is not None:
+            self.exc_targets.append([finally_entry])
+        else:
+            self.exc_targets.append([])
+        body_end = self._body(stmt.body, frontier)
+        if stmt.orelse:
+            body_end = self._body(stmt.orelse, body_end)
+        self.exc_targets.pop()
+        handler_ends: List[Node] = []
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            handler_ends.extend(self._body(handler.body, [entry]))
+        frontier = body_end + handler_ends
+        if finally_entry is not None:
+            for node in frontier:
+                self.cfg._link(node, finally_entry)
+            frontier = self._body(stmt.finalbody, [finally_entry])
+        return frontier
+
+
+def build_cfg(fn: ast.FunctionDef) -> CFG:
+    """Build the statement-grained CFG of one function definition."""
+    return _Builder(fn).build()

@@ -1,0 +1,115 @@
+"""Typed diagnostics for the static instrumentation analyzer.
+
+VYRD's guarantees are conditional on the programmer's annotations (paper
+section 4.2): every mutator logs exactly one commit action per executed
+path, commit blocks are well nested, and every shared access flows through
+the traced kernel syscalls.  Each way an implementation can break that
+contract is catalogued here as one rule; the analyzer in
+:mod:`repro.lint.analyzer` reports violations as :class:`LintFinding`
+values so the CLI, the harness pre-flight and the tests all consume the
+same typed shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+WARN = "warn"
+ERROR = "error"
+
+SEVERITIES = (WARN, ERROR)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One checkable annotation obligation."""
+
+    rule_id: str
+    severity: str
+    title: str
+    summary: str
+
+
+RULES = {
+    "VY001": Rule(
+        "VY001",
+        ERROR,
+        "missing-yield",
+        "a kernel-syscall call (cell read/write, lock acquire/release, "
+        "ctx.commit/join/...) is not driven by yield / yield from, so it "
+        "builds a syscall object (or a dormant generator) and discards it",
+    ),
+    "VY002": Rule(
+        "VY002",
+        ERROR,
+        "commit-reachability",
+        "a mutator method has a path from entry to return that crosses no "
+        "commit point, so executions along it never appear in the witness "
+        "interleaving",
+    ),
+    "VY003": Rule(
+        "VY003",
+        WARN,
+        "multi-commit-path",
+        "a path through a mutator crosses more than one commit point "
+        "without opening a commit block, so one execution logs several "
+        "commit actions",
+    ),
+    "VY004": Rule(
+        "VY004",
+        ERROR,
+        "commit-block-balance",
+        "begin/end commit-block brackets are not well nested or a path "
+        "(including explicit raise edges) leaves the method with a block "
+        "still open",
+    ),
+    "VY005": Rule(
+        "VY005",
+        WARN,
+        "unlogged-shared-write",
+        "state reachable from self is assigned directly inside an "
+        "operation, bypassing the traced cell.write() syscall",
+    ),
+    "VY006": Rule(
+        "VY006",
+        ERROR,
+        "observer-commits",
+        "a method declared observer contains a commit point; observers "
+        "must not log commit actions (paper section 4.3)",
+    ),
+}
+
+ALL_RULE_IDS = tuple(sorted(RULES))
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One located diagnostic produced by a rule pass."""
+
+    rule_id: str
+    severity: str
+    method: str
+    file: str
+    line: int
+    message: str
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "method": self.method,
+            "file": self.file,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.file}:{self.line}: {self.rule_id} [{self.severity}] "
+            f"{self.method}: {self.message}"
+        )
+
+
+def severity_at_least(severity: str, threshold: str) -> bool:
+    """True when ``severity`` is at or above ``threshold`` (warn < error)."""
+    return SEVERITIES.index(severity) >= SEVERITIES.index(threshold)

@@ -38,7 +38,7 @@ from typing import Dict, Optional
 
 from ..concurrency import KernelStopped, Lock, SharedCell, ThreadCtx
 from ..core import FunctionView, operation
-from .spec import FAILURE, SUCCESS
+from .spec import SUCCESS
 
 
 class _Node:
@@ -74,6 +74,8 @@ class TreeMultiset:
         the view is unaffected until the link commit.
         """
         node = _Node(next(self._ids), key)
+        # vyrd: ignore[VY005] -- allocator table; the node is unreachable
+        # from any traced cell until the link write commits
         self._nodes[node.nid] = node
         yield node.key.write(key)
         yield node.count.write(1)

@@ -40,7 +40,7 @@ alongside the compression thread.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from ..concurrency import KernelStopped, Lock, SharedCell, ThreadCtx
 from ..core import ContributionView, operation, prefix_unit

@@ -16,7 +16,7 @@ contents unchanged.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from ..concurrency import KernelStopped, Lock, SharedCell, ThreadCtx
 from .blockdev import BlockDevice

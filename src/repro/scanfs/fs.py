@@ -25,7 +25,6 @@ from typing import Dict, Optional, Tuple
 
 from ..concurrency import Lock, SharedCell, ThreadCtx
 from ..core import FunctionView, operation
-from .blockdev import BlockDevice
 from .cache import CLEAN, DIRTY, BlockCache
 
 

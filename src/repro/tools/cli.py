@@ -8,6 +8,7 @@ programs:
 .. code-block:: console
 
    $ python -m repro.tools.cli programs
+   $ python -m repro.tools.cli lint --json --fail-on error
    $ python -m repro.tools.cli run --program multiset-vector --buggy \\
          --seed 7 --races --save run.vyrdlog
    $ python -m repro.tools.cli explore --program multiset-vector --buggy \\
@@ -22,6 +23,8 @@ programs:
    $ python -m repro.tools.cli trace run.vyrdlog --max-rows 40
    $ python -m repro.tools.cli witness run.vyrdlog
 
+``lint`` statically checks every registry implementation's
+instrumentation annotations (:mod:`repro.lint`) before anything runs;
 ``explore`` runs a whole campaign -- seeded random schedules (swarm) or
 bounded exhaustive enumeration -- optionally fanned out across worker
 processes (:mod:`repro.concurrency.parallel`); ``check`` rebuilds the
@@ -42,7 +45,7 @@ import sys
 import time
 from typing import List, Optional
 
-from ..concurrency.errors import SimulationError
+from ..concurrency.errors import SimThreadError, SimulationError
 from ..core import (
     LogFormatError,
     RefinementChecker,
@@ -66,6 +69,25 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("programs", help="list the built-in benchmark programs")
 
+    lint_parser = sub.add_parser(
+        "lint",
+        help="statically check instrumentation annotations (commit "
+             "placement, yield discipline, shared-write tracing) before "
+             "anything runs",
+    )
+    lint_parser.add_argument("--program", action="append",
+                             choices=sorted(PROGRAMS), metavar="NAME",
+                             help="program(s) to lint (repeatable; default: "
+                                  "every registry program)")
+    lint_parser.add_argument("--rule", action="append", metavar="VY00x",
+                             help="only report these rule ids (repeatable)")
+    lint_parser.add_argument("--fail-on", choices=("warn", "error"),
+                             default="warn",
+                             help="lowest severity that makes the command "
+                                  "exit 2 (default: warn)")
+    lint_parser.add_argument("--json", action="store_true",
+                             help="emit the findings as JSON")
+
     run_parser = sub.add_parser("run", help="run a workload and check it")
     run_parser.add_argument("--program", required=True, choices=sorted(PROGRAMS))
     run_parser.add_argument("--buggy", action="store_true",
@@ -87,6 +109,12 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "the detector (default: both)")
     run_parser.add_argument("--save", metavar="PATH",
                             help="write the log to PATH for later checking")
+    run_parser.add_argument("--lint", nargs="?", const="error",
+                            choices=("warn", "error"),
+                            help="statically lint the implementation's "
+                                 "instrumentation before running; findings "
+                                 "at or above this severity abort the run "
+                                 "(default threshold: error)")
     run_parser.add_argument("--max-steps", type=int, default=20_000_000,
                             help="kernel step budget (exceeding it is "
                                  "reported as a run problem, exit code 2)")
@@ -205,6 +233,64 @@ def _cmd_programs(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from ..lint import ALL_RULE_IDS, lint_program, severity_at_least
+
+    names = args.program if args.program else sorted(PROGRAMS)
+    rules = None
+    if args.rule:
+        rules = {rule.strip().upper() for rule in args.rule}
+        unknown = rules - set(ALL_RULE_IDS)
+        if unknown:
+            print(
+                f"unknown rule id(s): {', '.join(sorted(unknown))} "
+                f"(known: {', '.join(ALL_RULE_IDS)})",
+                file=sys.stderr,
+            )
+            return 2
+    reports = {name: lint_program(name) for name in names}
+    if rules is not None:
+        reports = {
+            name: [f for f in findings if f.rule_id in rules]
+            for name, findings in reports.items()
+        }
+    gating = [
+        finding
+        for findings in reports.values()
+        for finding in findings
+        if severity_at_least(finding.severity, args.fail_on)
+    ]
+    total = sum(len(findings) for findings in reports.values())
+    if args.json:
+        print(json.dumps({
+            "ok": not gating,
+            "fail_on": args.fail_on,
+            "programs": {
+                name: [f.to_dict() for f in findings]
+                for name, findings in reports.items()
+            },
+            "findings": total,
+            "gating_findings": len(gating),
+        }, indent=2))
+        return 2 if gating else 0
+    for name in names:
+        findings = reports[name]
+        if not findings:
+            print(f"{name}: clean")
+            continue
+        print(f"{name}: {len(findings)} finding(s)")
+        for finding in findings:
+            print(f"  {finding.render()}")
+    if gating:
+        print(
+            f"lint failed: {len(gating)} finding(s) at or above "
+            f"'{args.fail_on}'",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
 def _cmd_run(args) -> int:
     try:
         result = run_program(
@@ -219,21 +305,40 @@ def _cmd_run(args) -> int:
             log_locks=args.atomicity,
             log_reads=args.atomicity,
             races=args.races,
+            lint=args.lint,
         )
     except SimulationError as exc:
         # The workload itself misbehaved (deadlock, runaway schedule, thread
-        # crash): report the problem as data, not a stack trace.  Exit code 2
-        # separates "the run could not complete" from "the run completed and
-        # verification failed" (1).
-        problem = f"{type(exc).__name__}: {exc}"
+        # crash, instrumentation misuse): report the problem as data, not a
+        # stack trace.  Exit code 2 separates "the run could not complete"
+        # from "the run completed and verification failed" (1).
+        from ..core.instrument import InstrumentationError
+
+        # A mid-operation InstrumentationError surfaces wrapped in the
+        # SimThreadError of the thread it killed; unwrap so the report names
+        # the offending method/thread/operation rather than the thread crash.
+        cause = exc
+        if isinstance(exc, SimThreadError) and isinstance(
+            exc.__cause__, InstrumentationError
+        ):
+            cause = exc.__cause__
+        problem = f"{type(cause).__name__}: {cause}"
         if args.json:
-            print(json.dumps({
+            payload = {
                 "ok": False,
                 "program": args.program,
                 "seed": args.seed,
                 "problem": problem,
-                "error_type": type(exc).__name__,
-            }, indent=2))
+                "error_type": type(cause).__name__,
+            }
+            if isinstance(cause, InstrumentationError):
+                payload["method"] = cause.method
+                payload["tid"] = cause.tid
+                payload["op_id"] = cause.op_id
+            findings = getattr(cause, "findings", None)
+            if findings is not None:
+                payload["lint_findings"] = [f.to_dict() for f in findings]
+            print(json.dumps(payload, indent=2))
         else:
             print(f"run failed: {problem}", file=sys.stderr)
         return 2
@@ -527,6 +632,7 @@ def _cmd_witness(args) -> int:
 
 _COMMANDS = {
     "programs": _cmd_programs,
+    "lint": _cmd_lint,
     "run": _cmd_run,
     "explore": _cmd_explore,
     "check": _cmd_check,

@@ -1,12 +1,10 @@
 """Scheduler policies: determinism, coverage, replay."""
 
 from repro.concurrency import (
-    Kernel,
     PCTScheduler,
     RandomScheduler,
     ReplayScheduler,
     RoundRobinScheduler,
-    SharedCell,
     run_threads,
 )
 

@@ -4,17 +4,9 @@ import pytest
 
 from repro.concurrency import Kernel, SharedCell
 from repro.core import (
-    BeginCommitBlockAction,
-    CallAction,
-    CommitAction,
-    EndCommitBlockAction,
     InstrumentationError,
     InstrumentedDataStructure,
-    Log,
-    ReplayAction,
-    ReturnAction,
     VyrdTracer,
-    WriteAction,
     operation,
 )
 

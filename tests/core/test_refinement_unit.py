@@ -1,9 +1,5 @@
 """Checker semantics on handcrafted logs (no simulator involved)."""
 
-from collections import Counter
-
-import pytest
-
 from repro.core import (
     AnyOf,
     BeginCommitBlockAction,
@@ -24,7 +20,6 @@ from repro.core import (
     check_log,
     mutator,
     observer,
-    prefix_unit,
 )
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import ABSENT, ReplayState
+from repro.core import ReplayState
 
 
 def test_writes_build_state():

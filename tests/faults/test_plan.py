@@ -1,16 +1,11 @@
 """FaultPlan generation, resolution and the raw log injectors."""
 
 import pickle
-import random
-
-import pytest
 
 from repro.core import load_log, recover_log, save_log
 from repro.faults import (
-    BITFLIP_LOG,
     CRASH,
     HANG,
-    SLOW_IO,
     TORN_LOG,
     Fault,
     FaultPlan,

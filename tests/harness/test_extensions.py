@@ -1,11 +1,8 @@
 """Harness extensions: scheduler injection, atomicity logging, PCT daemons."""
 
-import random
-
 from repro.atomicity import check_atomicity
 from repro.concurrency import Kernel, PCTScheduler, RoundRobinScheduler
 from repro.core import verify_all_schedules
-from repro.core.actions import AcquireAction, ReadAction
 from repro.harness import run_program
 
 

@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro import Kernel, Vyrd
-from repro.core import ReplayAction, WriteAction
+from repro.core import WriteAction
 from repro.javalib import (
     StringBufferSpec,
     StringBufferSystem,

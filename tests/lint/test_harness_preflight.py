@@ -1,0 +1,62 @@
+"""The harness-side lint pre-flight: ``run_program(lint=...)``."""
+
+import pytest
+
+from repro.concurrency import SharedCell
+from repro.concurrency.errors import SimulationError
+from repro.core import operation
+from repro.harness.runner import run_program
+from repro.harness.workload import BuiltProgram, Program
+from repro.lint import LintError
+
+
+class _BrokenImpl:
+    """The commit write is not yielded: VY001 + VY002."""
+
+    def __init__(self):
+        self.cell = SharedCell("b.cell", 0)
+
+    @operation
+    def put(self, ctx, x):
+        self.cell.write(x, commit=True)
+        yield ctx.checkpoint()
+        return True
+
+    VYRD_METHODS = {"put": "mutator"}
+
+
+def _broken_program():
+    def build(buggy, num_threads):
+        return BuiltProgram(
+            impl=_BrokenImpl(),
+            spec_factory=None,
+            view_factory=None,
+            make_worker=None,
+        )
+
+    return Program(name="broken-lint", bug="unyielded commit write", build=build)
+
+
+def test_preflight_clean_program_records_empty_findings():
+    result = run_program(
+        "multiset-tree", num_threads=2, calls_per_thread=4, seed=1, lint="warn"
+    )
+    assert result.lint_findings == ()
+
+
+def test_preflight_rejects_unknown_threshold():
+    with pytest.raises(ValueError):
+        run_program("multiset-tree", num_threads=1, calls_per_thread=1,
+                    lint="strict")
+
+
+def test_preflight_blocks_broken_impl_before_the_run():
+    with pytest.raises(LintError) as info:
+        run_program(_broken_program(), num_threads=1, calls_per_thread=1,
+                    lint="error")
+    findings = info.value.findings
+    assert {f.rule_id for f in findings} == {"VY001", "VY002"}
+    assert all(f.method == "put" for f in findings)
+    # pre-existing exit-2 plumbing (run --json) catches it as a run problem
+    assert isinstance(info.value, SimulationError)
+    assert "VY001" in str(info.value)

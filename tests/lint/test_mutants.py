@@ -1,0 +1,107 @@
+"""Mutation tests: break the vector multiset's instrumentation, one
+annotation at a time, and assert the right rule fires.
+
+Each mutant is derived textually from the *real*
+:class:`~repro.multiset.vector_multiset.VectorMultiset` source, so these
+tests double as a regression net for the analyzer's handling of idiomatic
+implementation code (helpers, loops, commit blocks, failure paths).
+"""
+
+import inspect
+import textwrap
+
+from repro.lint import lint_class_source
+from repro.multiset.vector_multiset import VectorMultiset
+
+SOURCE = textwrap.dedent(inspect.getsource(VectorMultiset))
+
+
+def lint(source):
+    return lint_class_source(source, classname="VectorMultiset")
+
+
+def mutate(old, new):
+    assert old in SOURCE, f"mutation anchor not found: {old!r}"
+    mutated = SOURCE.replace(old, new, 1)
+    assert mutated != SOURCE
+    return mutated
+
+
+def test_unmutated_source_is_clean():
+    assert lint(SOURCE) == []
+
+
+def test_stripped_yield_fires_vy001():
+    # insert's commit write loses its yield: the syscall never reaches the
+    # kernel (VY001) and the success path loses its commit point (VY002)
+    mutant = mutate(
+        "yield slot.valid.write(True, commit=True)",
+        "slot.valid.write(True, commit=True)",
+    )
+    findings = lint(mutant)
+    assert {f.rule_id for f in findings} == {"VY001", "VY002"}
+    assert {f.method for f in findings} == {"insert"}
+
+
+def test_deleted_failure_commit_fires_vy002():
+    # delete's scan-found-nothing path no longer commits
+    mutant = mutate(
+        "        yield ctx.commit()  # failure path\n",
+        "",
+    )
+    findings = lint(mutant)
+    assert [f.rule_id for f in findings] == ["VY002"]
+    assert findings[0].method == "delete"
+
+
+def test_extra_commit_fires_vy003():
+    # insert's success path already committed on the valid-bit write
+    mutant = mutate(
+        "        yield slot.lock.release()\n        return SUCCESS",
+        "        yield slot.lock.release()\n"
+        "        yield ctx.commit()\n"
+        "        return SUCCESS",
+    )
+    findings = lint(mutant)
+    assert [f.rule_id for f in findings] == ["VY003"]
+    assert findings[0].method == "insert"
+    assert findings[0].severity == "warn"
+
+
+def test_removed_end_commit_block_fires_vy004():
+    # insert_pair's Fig. 4 commit block is never closed (which also strips
+    # the success path's commit action)
+    mutant = mutate(
+        "        yield ctx.end_commit_block(commit=True)"
+        "  # line 13: the commit action\n",
+        "",
+    )
+    findings = lint(mutant)
+    rules = {f.rule_id for f in findings}
+    assert "VY004" in rules
+    assert {f.method for f in findings} == {"insert_pair"}
+
+
+def test_direct_slot_write_fires_vy005():
+    mutant = mutate(
+        "        slot = self.slots[i]\n        yield slot.lock.acquire()",
+        "        slot = self.slots[i]\n"
+        "        slot.reserved = True\n"
+        "        yield slot.lock.acquire()",
+    )
+    findings = lint(mutant)
+    assert [f.rule_id for f in findings] == ["VY005"]
+    assert findings[0].method == "insert"
+    assert "slot.reserved" in findings[0].message
+
+
+def test_commit_in_lookup_fires_vy006():
+    # lookup is declared an observer in VYRD_METHODS
+    mutant = mutate(
+        "                return True\n        return False",
+        "                yield ctx.commit()\n"
+        "                return True\n        return False",
+    )
+    findings = lint(mutant)
+    assert [f.rule_id for f in findings] == ["VY006"]
+    assert findings[0].method == "lookup"

@@ -1,0 +1,31 @@
+"""Golden test: every bundled registry program lints clean.
+
+This is the analyzer's anchor to reality -- the eight Table 1
+implementations are correct instrumentation by construction (their logs
+pass refinement checking across the rest of the suite), so any finding
+here is an analyzer false positive, and any *silent* regression in their
+annotations would surface as a diff against this zero baseline.
+"""
+
+import pytest
+
+from repro.harness.workload import PROGRAMS
+from repro.lint import lint_class, lint_program, lint_registry
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_program_lints_clean(name):
+    assert lint_program(name) == []
+
+
+def test_registry_helper_covers_every_program():
+    reports = lint_registry()
+    assert set(reports) == set(PROGRAMS)
+    assert all(findings == [] for findings in reports.values())
+
+
+def test_lint_class_accepts_class_and_instance():
+    from repro.multiset.vector_multiset import VectorMultiset
+
+    assert lint_class(VectorMultiset) == []
+    assert lint_class(VectorMultiset(size=4)) == []

@@ -1,0 +1,447 @@
+"""Per-rule unit tests for the static instrumentation analyzer.
+
+Each test feeds :func:`repro.lint.lint_class_source` a small synthetic
+implementation class and asserts the precise rule, method and behaviour.
+The classes are parsed, never executed, so the ``@operation`` decorator and
+the cells need no imports.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.lint import RULES, LintFinding, lint_class_source, severity_at_least
+
+
+def lint(source):
+    return lint_class_source(textwrap.dedent(source), classname="Thing")
+
+
+CLEAN = """
+class Thing:
+    @operation
+    def put(self, ctx, x):
+        yield self.cell.lock.acquire()
+        yield self.cell.write(x, commit=True)
+        yield self.cell.lock.release()
+        return True
+
+    @operation
+    def get(self, ctx):
+        value = yield self.cell.read()
+        return value
+
+    VYRD_METHODS = {"put": "mutator", "get": "observer"}
+"""
+
+
+def test_clean_class_is_silent():
+    assert lint(CLEAN) == []
+
+
+# -- VY001 missing-yield ----------------------------------------------------
+
+
+def test_vy001_unyielded_cell_read():
+    findings = lint("""
+    class Thing:
+        @operation
+        def put(self, ctx, x):
+            value = self.cell.read()
+            yield self.cell.write(x, commit=True)
+            return value
+    """)
+    assert [f.rule_id for f in findings] == ["VY001"]
+    assert findings[0].method == "put"
+    assert "self.cell.read(...)" in findings[0].message
+
+
+def test_vy001_unyielded_ctx_commit():
+    findings = lint("""
+    class Thing:
+        @operation
+        def put(self, ctx, x):
+            yield self.cell.write(x, commit=True)
+            ctx.commit()
+            return True
+    """)
+    assert [f.rule_id for f in findings] == ["VY001"]
+    assert "ctx.commit(...)" in findings[0].message
+
+
+def test_vy001_tracks_taint_through_locals():
+    findings = lint("""
+    class Thing:
+        @operation
+        def put(self, ctx, x):
+            slot = self.slots[0]
+            slot.lock.acquire()
+            yield self.cell.write(x, commit=True)
+            return True
+    """)
+    assert [f.rule_id for f in findings] == ["VY001"]
+    assert "slot.lock.acquire(...)" in findings[0].message
+
+
+def test_vy001_untainted_receiver_is_fine():
+    findings = lint("""
+    class Thing:
+        @operation
+        def put(self, ctx, x):
+            handle = open("x")
+            data = handle.read()
+            yield self.cell.write(data, commit=True)
+            return True
+    """)
+    assert findings == []
+
+
+# -- VY002 commit-reachability ----------------------------------------------
+
+
+def test_vy002_uncommitted_return_path():
+    findings = lint("""
+    class Thing:
+        @operation
+        def put(self, ctx, x):
+            free = yield self.cell.read()
+            if free:
+                yield self.cell.write(x, commit=True)
+                return True
+            return False
+    """)
+    assert [f.rule_id for f in findings] == ["VY002"]
+    assert findings[0].method == "put"
+
+
+def test_vy002_exception_edges_are_exempt():
+    # an aborted operation never logs a return, so a raising path needs
+    # no commit point
+    findings = lint("""
+    class Thing:
+        @operation
+        def put(self, ctx, x):
+            free = yield self.cell.read()
+            if not free:
+                raise ValueError(x)
+            yield self.cell.write(x, commit=True)
+            return True
+    """)
+    assert findings == []
+
+
+def test_vy002_satisfied_by_always_committing_helper():
+    findings = lint("""
+    class Thing:
+        @operation
+        def put(self, ctx, x):
+            yield from self._commit_write(ctx, x)
+            return True
+
+        def _commit_write(self, ctx, x):
+            yield self.cell.write(x, commit=True)
+    """)
+    assert findings == []
+
+
+def test_vy002_not_applied_to_helpers():
+    findings = lint("""
+    class Thing:
+        @operation
+        def put(self, ctx, x):
+            yield from self._reserve(ctx, x)
+            yield self.cell.write(x, commit=True)
+            return True
+
+        def _reserve(self, ctx, x):
+            yield self.cell.write(x)
+            return True
+    """)
+    assert findings == []
+
+
+# -- VY003 multi-commit-path ------------------------------------------------
+
+
+def test_vy003_double_commit_on_one_path():
+    findings = lint("""
+    class Thing:
+        @operation
+        def put(self, ctx, x):
+            yield self.cell.write(x, commit=True)
+            yield ctx.commit()
+            return True
+    """)
+    assert [f.rule_id for f in findings] == ["VY003"]
+    assert findings[0].severity == "warn"
+
+
+def test_vy003_suppressed_inside_commit_blocks():
+    # internal commits inside an open commit block are the documented
+    # pattern for compression moves
+    findings = lint("""
+    class Thing:
+        @operation
+        def move(self, ctx, x):
+            yield ctx.begin_commit_block()
+            yield self.cell.write(x)
+            yield ctx.commit()
+            yield ctx.end_commit_block(commit=True)
+            return True
+    """)
+    assert [f.rule_id for f in findings] == []
+
+
+def test_vy003_branches_commit_once_each_is_fine():
+    findings = lint("""
+    class Thing:
+        @operation
+        def put(self, ctx, x):
+            free = yield self.cell.read()
+            if free:
+                yield self.cell.write(x, commit=True)
+                return True
+            yield ctx.commit()
+            return False
+    """)
+    assert findings == []
+
+
+# -- VY004 commit-block balance ---------------------------------------------
+
+
+def test_vy004_block_open_at_return():
+    findings = lint("""
+    class Thing:
+        @operation
+        def put(self, ctx, x):
+            yield ctx.begin_commit_block()
+            yield self.cell.write(x)
+            if x:
+                yield ctx.end_commit_block(commit=True)
+                return True
+            yield ctx.commit()
+            return False
+    """)
+    rules = {f.rule_id for f in findings}
+    assert "VY004" in rules
+    assert any("return path" in f.message for f in findings)
+
+
+def test_vy004_block_open_at_exception_edge():
+    findings = lint("""
+    class Thing:
+        @operation
+        def put(self, ctx, x):
+            yield ctx.begin_commit_block()
+            yield self.cell.write(x)
+            raise RuntimeError(x)
+    """)
+    assert {f.rule_id for f in findings} == {"VY004"}
+    assert any("exception edge" in f.message for f in findings)
+
+
+def test_vy004_try_finally_closes_on_all_paths():
+    findings = lint("""
+    class Thing:
+        @operation
+        def put(self, ctx, x):
+            yield ctx.begin_commit_block()
+            try:
+                yield self.cell.write(x)
+            finally:
+                yield ctx.end_commit_block(commit=True)
+            return True
+    """)
+    assert findings == []
+
+
+def test_vy004_end_without_begin():
+    findings = lint("""
+    class Thing:
+        @operation
+        def put(self, ctx, x):
+            yield self.cell.write(x)
+            yield ctx.end_commit_block(commit=True)
+            return True
+    """)
+    assert {f.rule_id for f in findings} == {"VY004"}
+    assert any("without a matching" in f.message for f in findings)
+
+
+def test_vy004_nested_blocks():
+    findings = lint("""
+    class Thing:
+        @operation
+        def put(self, ctx, x):
+            yield ctx.begin_commit_block()
+            yield ctx.begin_commit_block()
+            yield self.cell.write(x)
+            yield ctx.end_commit_block(commit=True)
+            yield ctx.end_commit_block(commit=True)
+            return True
+    """)
+    assert any(
+        f.rule_id == "VY004" and "must not nest" in f.message for f in findings
+    )
+
+
+# -- VY005 unlogged-shared-write --------------------------------------------
+
+
+def test_vy005_direct_attribute_write_via_taint():
+    findings = lint("""
+    class Thing:
+        @operation
+        def put(self, ctx, x):
+            slot = self.slots[0]
+            slot.value = x
+            yield self.cell.write(x, commit=True)
+            return True
+    """)
+    assert [f.rule_id for f in findings] == ["VY005"]
+    assert "slot.value" in findings[0].message
+    assert findings[0].severity == "warn"
+
+
+def test_vy005_subscript_write_on_self():
+    findings = lint("""
+    class Thing:
+        @operation
+        def put(self, ctx, x):
+            self.table[x] = x
+            yield self.cell.write(x, commit=True)
+            return True
+    """)
+    assert [f.rule_id for f in findings] == ["VY005"]
+
+
+def test_vy005_local_container_write_is_fine():
+    findings = lint("""
+    class Thing:
+        @operation
+        def put(self, ctx, x):
+            scratch = [0]
+            scratch[0] = x
+            yield self.cell.write(x, commit=True)
+            return True
+    """)
+    assert findings == []
+
+
+# -- VY006 observer-commits -------------------------------------------------
+
+
+def test_vy006_observer_with_ctx_commit():
+    findings = lint("""
+    class Thing:
+        @operation
+        def get(self, ctx):
+            value = yield self.cell.read()
+            yield ctx.commit()
+            return value
+
+        VYRD_METHODS = {"get": "observer"}
+    """)
+    assert [f.rule_id for f in findings] == ["VY006"]
+    assert findings[0].method == "get"
+
+
+def test_vy006_observer_with_commit_kwarg():
+    findings = lint("""
+    class Thing:
+        @operation
+        def get(self, ctx):
+            value = yield self.cell.read()
+            yield self.cell.write(value, commit=True)
+            return value
+
+        VYRD_METHODS = {"get": "observer"}
+    """)
+    assert [f.rule_id for f in findings] == ["VY006"]
+
+
+# -- suppressions ------------------------------------------------------------
+
+
+def test_inline_suppression_silences_the_rule():
+    findings = lint("""
+    class Thing:
+        @operation
+        def put(self, ctx, x):
+            self.table[x] = x  # vyrd: ignore[VY005] -- checker-invisible
+            yield self.cell.write(x, commit=True)
+            return True
+    """)
+    assert findings == []
+
+
+def test_standalone_comment_suppresses_next_line():
+    findings = lint("""
+    class Thing:
+        @operation
+        def put(self, ctx, x):
+            # vyrd: ignore[VY005] -- allocator bookkeeping, see DESIGN.md
+            self.table[x] = x
+            yield self.cell.write(x, commit=True)
+            return True
+    """)
+    assert findings == []
+
+
+def test_bare_suppression_silences_every_rule():
+    findings = lint("""
+    class Thing:
+        @operation
+        def put(self, ctx, x):
+            self.table[x] = x  # vyrd: ignore
+            yield self.cell.write(x, commit=True)
+            return True
+    """)
+    assert findings == []
+
+
+def test_suppression_for_a_different_rule_does_not_apply():
+    findings = lint("""
+    class Thing:
+        @operation
+        def put(self, ctx, x):
+            self.table[x] = x  # vyrd: ignore[VY001]
+            yield self.cell.write(x, commit=True)
+            return True
+    """)
+    assert [f.rule_id for f in findings] == ["VY005"]
+
+
+# -- model plumbing ----------------------------------------------------------
+
+
+def test_findings_carry_rule_severity_and_render():
+    findings = lint("""
+    class Thing:
+        @operation
+        def put(self, ctx, x):
+            value = self.cell.read()
+            yield self.cell.write(x, commit=True)
+            return value
+    """)
+    (finding,) = findings
+    assert isinstance(finding, LintFinding)
+    assert finding.severity == RULES[finding.rule_id].severity
+    payload = finding.to_dict()
+    assert payload["rule"] == "VY001"
+    assert payload["method"] == "put"
+    assert isinstance(payload["line"], int)
+    rendered = finding.render()
+    assert "VY001" in rendered and "put" in rendered
+
+
+def test_severity_ordering():
+    assert severity_at_least("error", "warn")
+    assert severity_at_least("warn", "warn")
+    assert not severity_at_least("warn", "error")
+
+
+def test_missing_class_is_an_error():
+    with pytest.raises(ValueError):
+        lint_class_source("x = 1", classname="Nope")

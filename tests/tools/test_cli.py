@@ -317,3 +317,169 @@ def test_explore_exhaustive_budget_human_output(capsys):
     assert code == 0
     assert "budget reached" in out
     assert "3 runs" in out
+
+
+# -- the lint subcommand and the run --lint pre-flight -----------------------
+
+
+def test_lint_every_registry_program_is_clean(capsys):
+    from repro.harness.workload import PROGRAMS
+
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    for name in PROGRAMS:
+        assert f"{name}: clean" in out
+
+
+def test_lint_json_schema(capsys):
+    import json
+
+    from repro.harness.workload import PROGRAMS
+
+    code = main(["lint", "--json", "--fail-on", "error"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["ok"] is True
+    assert payload["fail_on"] == "error"
+    assert set(payload["programs"]) == set(PROGRAMS)
+    assert payload["findings"] == 0
+    assert payload["gating_findings"] == 0
+
+
+def test_lint_program_and_rule_filters(capsys):
+    import json
+
+    code = main([
+        "lint", "--program", "multiset-tree", "--rule", "vy005",
+        "--rule", "VY001", "--json",
+    ])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert list(payload["programs"]) == ["multiset-tree"]
+
+
+def test_lint_unknown_rule_exits_two(capsys):
+    assert main(["lint", "--rule", "VY999"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown rule id" in err and "VY999" in err
+
+
+def _broken_lint_program():
+    """A registry entry whose implementation fails static lint.
+
+    The class lives in this test module so ``inspect`` can retrieve its
+    source; the commit write is not yielded (VY001), which also strips the
+    only commit point (VY002).
+    """
+    from repro.concurrency import SharedCell
+    from repro.core import operation
+    from repro.harness.workload import BuiltProgram, Program
+
+    class BrokenLintImpl:
+        def __init__(self):
+            self.cell = SharedCell("b.cell", 0)
+
+        @operation
+        def put(self, ctx, x):
+            self.cell.write(x, commit=True)
+            yield ctx.checkpoint()
+            return True
+
+        VYRD_METHODS = {"put": "mutator"}
+
+    def build(buggy, num_threads):
+        return BuiltProgram(
+            impl=BrokenLintImpl(),
+            spec_factory=None,
+            view_factory=None,
+            make_worker=None,
+        )
+
+    return Program(name="broken-lint", bug="unyielded commit write",
+                   build=build)
+
+
+def test_run_lint_preflight_passes_clean_program(capsys):
+    code = main([
+        "run", "--program", "stringbuffer", "--threads", "2",
+        "--calls", "5", "--seed", "1", "--lint", "error",
+    ])
+    assert code == 0
+    assert "PASS" in capsys.readouterr().out
+
+
+def test_run_lint_preflight_blocks_broken_program(monkeypatch, capsys):
+    import json
+
+    from repro.harness.workload import PROGRAMS
+
+    monkeypatch.setitem(PROGRAMS, "broken-lint", _broken_lint_program())
+    code = main([
+        "run", "--program", "broken-lint", "--lint", "--json",
+    ])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 2
+    assert payload["ok"] is False
+    assert payload["error_type"] == "LintError"
+    rules = {finding["rule"] for finding in payload["lint_findings"]}
+    assert rules == {"VY001", "VY002"}
+
+
+def _nested_ops_program():
+    """A worker that abandons an op frame mid-operation, then starts a
+    second public operation on the same thread: begin_op raises
+    ``InstrumentationError`` inside the simulated thread."""
+    from repro.harness.workload import PROGRAMS, Program
+
+    real = PROGRAMS["multiset-vector"]
+
+    def build(buggy, num_threads):
+        built = real.build(buggy, num_threads)
+
+        def make_worker(vds, rng, index, calls):
+            def body(ctx):
+                next(vds.insert(ctx, 1))       # open the frame, abandon it
+                yield from vds.insert(ctx, 2)  # nested begin_op -> error
+
+            return body
+
+        built.make_worker = make_worker
+        built.daemons = ()
+        return built
+
+    return Program(name="nested-ops", bug="abandoned op frame", build=build)
+
+
+def test_run_json_surfaces_instrumentation_error(monkeypatch, capsys):
+    import json
+
+    from repro.harness.workload import PROGRAMS
+
+    monkeypatch.setitem(PROGRAMS, "nested-ops", _nested_ops_program())
+    code = main([
+        "run", "--program", "nested-ops", "--threads", "1", "--calls", "1",
+        "--json",
+    ])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 2
+    assert payload["ok"] is False
+    # the SimThreadError wrapper is unwrapped to the typed cause...
+    assert payload["error_type"] == "InstrumentationError"
+    # ...which names the offending operation, thread and op id
+    assert payload["method"] == "insert"
+    assert isinstance(payload["tid"], int)
+    assert isinstance(payload["op_id"], int)
+    assert "insert" in payload["problem"]
+
+
+def test_run_human_output_names_instrumentation_context(monkeypatch, capsys):
+    from repro.harness.workload import PROGRAMS
+
+    monkeypatch.setitem(PROGRAMS, "nested-ops", _nested_ops_program())
+    code = main([
+        "run", "--program", "nested-ops", "--threads", "1", "--calls", "1",
+    ])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "InstrumentationError" in err
+    assert "method='insert'" in err and "tid=" in err and "op=" in err
