@@ -59,6 +59,14 @@ class ExplorationResult:
     # campaign that recovered from faults must compare equal to one that
     # never saw any.
     interruptions: List[dict] = field(default_factory=list)
+    # Merged observability counters/histograms (repro.obs snapshot shape)
+    # when the campaign ran with metrics enabled; None otherwise.  Only the
+    # deterministic part of the recorders crosses process boundaries, so a
+    # full campaign produces the same metrics under any job count -- but,
+    # like interruptions, excluded from signature(): a stop_on_failure
+    # campaign may have speculatively executed (and measured) runs a serial
+    # one never started.
+    metrics: Optional[dict] = None
 
     @property
     def num_runs(self) -> int:
@@ -112,6 +120,7 @@ class ExplorationResult:
             "num_failures": len(self.failures),
             "interruptions": list(self.interruptions),
             "outcomes": sorted(repr(o) for o in self.outcomes()),
+            "metrics": self.metrics,
             "failures": [
                 {
                     "schedule": r.schedule,
@@ -123,6 +132,19 @@ class ExplorationResult:
                 for r in self.failures
             ],
         }
+
+
+def _program_metrics(program) -> Optional[dict]:
+    """Deterministic snapshot of a resolved program's recorder, if any.
+
+    :meth:`repro.harness.ProgramSpec.resolve_program` attaches the
+    accumulating :class:`repro.obs.MetricsRecorder` as ``obs_recorder``;
+    plain callables without one yield ``None``.
+    """
+    recorder = getattr(program, "obs_recorder", None)
+    if recorder is None:
+        return None
+    return recorder.counters_snapshot()
 
 
 class _AlwaysFirst(Scheduler):
@@ -158,7 +180,7 @@ def explore_exhaustive(
         result.runs.append(record)
         record.schedule = [index for index, _ in scheduler.trace]
         if record.failed and stop_on_failure:
-            return result
+            break
         # Back up to the deepest choice point with an untried alternative.
         trace = scheduler.trace
         next_prefix = None
@@ -169,8 +191,9 @@ def explore_exhaustive(
                 break
         if next_prefix is None:
             result.exhausted = True
-            return result
+            break
         prefix = next_prefix
+    result.metrics = _program_metrics(program)
     return result
 
 
@@ -195,4 +218,5 @@ def explore_swarm(
         if record.failed and stop_on_failure:
             break
     result.skipped = num_runs - len(result.runs)
+    result.metrics = _program_metrics(program)
     return result

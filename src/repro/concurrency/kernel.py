@@ -45,6 +45,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Callable, Iterable, List, Optional
 
+from ..obs import NULL_RECORDER, Recorder
 from .errors import (
     DeadlockError,
     KernelStopped,
@@ -391,6 +392,10 @@ class Kernel:
     max_steps:
         Upper bound on scheduling steps before :class:`StepLimitExceeded`
         is raised (guards against livelock).
+    obs:
+        Observability recorder (:mod:`repro.obs`).  The kernel binds its
+        step counter as the recorder's trace clock, so every span recorded
+        anywhere in the pipeline is keyed to this kernel's step-time.
     """
 
     def __init__(
@@ -399,10 +404,14 @@ class Kernel:
         seed: int = 0,
         tracer: Optional[Tracer] = None,
         max_steps: Optional[int] = None,
+        obs: Optional[Recorder] = None,
     ):
         self.scheduler: Scheduler = scheduler if scheduler is not None else RandomScheduler(seed)
         self.tracer: Tracer = tracer if tracer is not None else NullTracer()
         self.max_steps = max_steps
+        self.obs: Recorder = obs if obs is not None else NULL_RECORDER
+        if self.obs.enabled:
+            self.obs.bind_step_clock(lambda: self.steps)
         self.threads: List[SimThread] = []
         self.steps = 0
         self._tid_counter = itertools.count(0)
@@ -462,23 +471,38 @@ class Kernel:
         if self._running:
             raise RuntimeError("kernel.run() is not reentrant")
         self._running = True
+        obs = self.obs
         try:
-            while self._app_threads_pending():
-                runnable = self._runnable()
-                if not runnable:
-                    blocked = [
-                        (t.name, t.waiting_reason or "?")
-                        for t in self.threads
-                        if t.status is Status.BLOCKED and not t.daemon
-                    ]
-                    raise DeadlockError(blocked)
-                if self.max_steps is not None and self.steps >= self.max_steps:
-                    raise StepLimitExceeded(self.max_steps)
-                thread = self.scheduler.pick(runnable, self.steps)
-                self._step(thread)
-            self._shutdown_daemons()
+            with obs.span("kernel.run", cat="kernel"):
+                while self._app_threads_pending():
+                    runnable = self._runnable()
+                    if not runnable:
+                        blocked = [
+                            (t.name, t.waiting_reason or "?")
+                            for t in self.threads
+                            if t.status is Status.BLOCKED and not t.daemon
+                        ]
+                        raise DeadlockError(blocked)
+                    if self.max_steps is not None and self.steps >= self.max_steps:
+                        raise StepLimitExceeded(self.max_steps)
+                    thread = self.scheduler.pick(runnable, self.steps)
+                    if obs.enabled:
+                        self._observed_step(thread)
+                    else:
+                        self._step(thread)
+                self._shutdown_daemons()
         finally:
             self._running = False
+
+    def _observed_step(self, thread: SimThread) -> None:
+        """One scheduling step with per-thread counters and a step span."""
+        obs = self.obs
+        obs.count("kernel.steps")
+        obs.count(f"kernel.steps.t{thread.tid}")
+        with obs.span(
+            "kernel.step", cat="kernel", tid=thread.tid, thread=thread.name
+        ):
+            self._step(thread)
 
     def _shutdown_daemons(self) -> None:
         """Throw :class:`KernelStopped` into still-live daemon threads."""

@@ -76,10 +76,12 @@ from collections import deque
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Any, Callable, List, Optional, Tuple
 
+from ..obs import merge_snapshots
 from .explore import (
     ExplorationResult,
     RunRecord,
     _AlwaysFirst,
+    _program_metrics,
     explore_exhaustive,
     explore_swarm,
 )
@@ -203,6 +205,22 @@ def _revive_error(wire):
     return RemoteError(*wire)
 
 
+def _fold_pool_counters(metrics: Optional[dict], events: List[dict]) -> Optional[dict]:
+    """Count pool incidents (retries, rebuilds, hang kills) into ``metrics``.
+
+    ``pool.*`` counters reflect infrastructure luck, not the program under
+    test: a fault-free campaign has none, so the deterministic
+    serial==parallel metrics guarantee is untouched.
+    """
+    if metrics is None or not events:
+        return metrics
+    counters = metrics["counters"]
+    for event in events:
+        name = "pool.events." + str(event.get("kind", "unknown"))
+        counters[name] = counters.get(name, 0) + 1
+    return metrics
+
+
 def _retry_policy(timeout, max_retries, backoff_base, seed) -> RetryPolicy:
     return RetryPolicy(
         max_retries=max_retries,
@@ -231,7 +249,11 @@ def _fault_decorator(faults):
 
 
 def _swarm_chunk(source, stop_on_failure, scheduler_factory, seeds, inject=None):
-    """Worker: run one chunk of seeds, returning picklable wire records.
+    """Worker: run one chunk of seeds, returning picklable wire results.
+
+    The wire shape is ``(records, metrics_snapshot)``: the per-seed records
+    plus the chunk recorder's deterministic counter snapshot (``None`` when
+    the program source does not carry metrics).
 
     ``inject`` is the fault-injection hook resolved for this dispatch (see
     :func:`_fault_decorator`); applied before any real work so a planned
@@ -251,25 +273,26 @@ def _swarm_chunk(source, stop_on_failure, scheduler_factory, seeds, inject=None)
         records.append((seed, outcome, error))
         if error is not None and stop_on_failure:
             break
-    return records
+    return records, _program_metrics(program)
 
 
 def _split_seed_chunk(seeds) -> Optional[List[List[int]]]:
     return [[seed] for seed in seeds] if len(seeds) > 1 else None
 
 
-def _concat_chunks(parts: List[list]) -> list:
-    return [record for part in parts for record in part]
+def _concat_chunks(parts: List[tuple]) -> tuple:
+    records = [record for part in parts for record in part[0]]
+    return records, merge_snapshots(part[1] for part in parts)
 
 
-def _swarm_give_up(seeds, failure: TaskFailure) -> list:
+def _swarm_give_up(seeds, failure: TaskFailure) -> tuple:
     return [
         (seed, None, ExplorationTimeout(
             seed, kind=failure.kind, attempts=failure.attempts,
             detail=failure.message,
         ))
         for seed in seeds
-    ]
+    ], None
 
 
 def parallel_swarm(
@@ -326,6 +349,7 @@ def parallel_swarm(
         decorate=_fault_decorator(faults),
     )
     stopped = False
+    snapshots: List[Optional[dict]] = []
     try:
         for chunk in chunks:
             pool.submit(chunk)
@@ -340,8 +364,9 @@ def parallel_swarm(
             if stopped:
                 break
             while key not in buffered:
-                done_key, records = pool.next_completed()
+                done_key, (records, snapshot) = pool.next_completed()
                 buffered[done_key] = records
+                snapshots.append(snapshot)
             for seed, outcome, error in buffered.pop(key):
                 record = RunRecord(
                     schedule=seed, outcome=outcome, error=_revive_error(error)
@@ -361,6 +386,7 @@ def parallel_swarm(
         pool.shutdown()
     result.interruptions.extend(pool.events)
     result.skipped = num_runs - len(result.runs)
+    result.metrics = _fold_pool_counters(merge_snapshots(snapshots), pool.events)
     return result
 
 
@@ -372,10 +398,11 @@ def parallel_swarm(
 def _exhaustive_batch(source, prefixes, inject=None):
     """Worker: expand a batch of claimed prefixes (one run each).
 
-    Returns ``(records, discovered)`` where each record is
-    ``(decision_vector, outcome, wire_error)`` and ``discovered`` lists the
+    Returns ``(records, discovered, metrics_snapshot)`` where each record is
+    ``(decision_vector, outcome, wire_error)``, ``discovered`` lists the
     sibling prefixes found below each prefix (see the frontier protocol in
-    the module docstring).
+    the module docstring), and ``metrics_snapshot`` is the chunk recorder's
+    deterministic counter snapshot (``None`` without metrics).
     """
     if inject is not None:
         inject.apply()
@@ -396,7 +423,7 @@ def _exhaustive_batch(source, prefixes, inject=None):
             chosen, num_choices = trace[depth]
             for alt in range(chosen + 1, num_choices):
                 discovered.append(indices[:depth] + [alt])
-    return records, discovered
+    return records, discovered, _program_metrics(program)
 
 
 def _split_prefix_batch(prefixes) -> Optional[List[list]]:
@@ -406,7 +433,7 @@ def _split_prefix_batch(prefixes) -> Optional[List[list]]:
 def _combine_batches(parts: List[tuple]) -> tuple:
     records = [record for part in parts for record in part[0]]
     discovered = [prefix for part in parts for prefix in part[1]]
-    return records, discovered
+    return records, discovered, merge_snapshots(part[2] for part in parts)
 
 
 def _exhaustive_give_up(prefixes, failure: TaskFailure) -> tuple:
@@ -419,7 +446,7 @@ def _exhaustive_give_up(prefixes, failure: TaskFailure) -> tuple:
     ]
     # The subtree below an abandoned prefix is unexplored: no siblings to
     # report, and the driver marks the campaign non-exhausted.
-    return records, []
+    return records, [], None
 
 
 def parallel_exhaustive(
@@ -476,6 +503,7 @@ def parallel_exhaustive(
         decorate=_fault_decorator(faults),
     )
     interruptions: List[dict] = []
+    snapshots: List[Optional[dict]] = []
     try:
         while True:
             while (
@@ -491,7 +519,8 @@ def parallel_exhaustive(
                 pool.submit(batch)
             if not pool.has_pending:
                 break
-            _key, (records, discovered) = pool.next_completed()
+            _key, (records, discovered, snapshot) = pool.next_completed()
+            snapshots.append(snapshot)
             for schedule, outcome, error in records:
                 revived = _revive_error(error)
                 record = RunRecord(
@@ -512,6 +541,7 @@ def parallel_exhaustive(
     runs.sort(key=lambda record: tuple(record.schedule))
     result = ExplorationResult(runs=runs)
     result.interruptions = interruptions + pool.events
+    result.metrics = _fold_pool_counters(merge_snapshots(snapshots), pool.events)
     if stop_on_failure and failure_seen:
         for position, record in enumerate(runs):
             if record.failed:

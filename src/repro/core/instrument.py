@@ -37,6 +37,7 @@ from typing import Any, Dict, Optional
 
 from ..concurrency.errors import SimulationError
 from ..concurrency.kernel import Tracer
+from ..obs import NULL_RECORDER, Recorder
 from .actions import (
     AcquireAction,
     BeginCommitBlockAction,
@@ -113,7 +114,8 @@ class VyrdTracer(Tracer):
     LEVELS = ("none", IO_LEVEL, VIEW_LEVEL)
 
     def __init__(self, log: Optional[Log] = None, level: str = VIEW_LEVEL,
-                 log_locks: bool = False, log_reads: bool = False):
+                 log_locks: bool = False, log_reads: bool = False,
+                 obs: Optional[Recorder] = None):
         """``log_locks``/``log_reads`` additionally record synchronization
         events (lock grant/release, thread spawn/join) and shared-read
         events.  Refinement checking never reads them; they feed the
@@ -125,8 +127,21 @@ class VyrdTracer(Tracer):
         self.level = level
         self.log_locks = log_locks and level != "none"
         self.log_reads = log_reads and level != "none"
+        self.obs: Recorder = obs if obs is not None else NULL_RECORDER
         self._op_ids = itertools.count(0)
         self._current: Dict[int, OpFrame] = {}  # tid -> open frame
+
+    def _append(self, action) -> None:
+        """Append to the log, counting actions by type when observed."""
+        self.log.append(action)
+        obs = self.obs
+        if obs.enabled:
+            obs.count("log.actions")
+            obs.count("log.actions." + type(action).__name__)
+            obs.instant(
+                "tracer.append", cat="log", tid=action.tid,
+                action=type(action).__name__,
+            )
 
     # -- operation bracketing (called by InstrumentedDataStructure) -----------
 
@@ -142,7 +157,7 @@ class VyrdTracer(Tracer):
         frame = OpFrame(next(self._op_ids), method, args)
         self._current[tid] = frame
         if self.level != "none":
-            self.log.append(CallAction(tid, frame.op_id, method, args))
+            self._append(CallAction(tid, frame.op_id, method, args))
         return frame
 
     def end_op(self, tid: int, frame: OpFrame, result: Any) -> None:
@@ -153,7 +168,7 @@ class VyrdTracer(Tracer):
                 method=frame.method, tid=tid, op_id=frame.op_id,
             )
         if self.level != "none":
-            self.log.append(ReturnAction(tid, frame.op_id, frame.method, result))
+            self._append(ReturnAction(tid, frame.op_id, frame.method, result))
 
     def current_op_id(self, tid: int) -> Optional[int]:
         frame = self._current.get(tid)
@@ -163,35 +178,35 @@ class VyrdTracer(Tracer):
 
     def on_write(self, tid: int, cell, old, new) -> None:
         if self.level == VIEW_LEVEL:
-            self.log.append(
+            self._append(
                 WriteAction(tid, self.current_op_id(tid), cell.name, old, new)
             )
 
     def on_read(self, tid: int, cell) -> None:
         if self.log_reads:
-            self.log.append(ReadAction(tid, self.current_op_id(tid), cell.name))
+            self._append(ReadAction(tid, self.current_op_id(tid), cell.name))
 
     def on_acquire(self, tid: int, lock, mode: str = "x") -> None:
         if self.log_locks:
-            self.log.append(
+            self._append(
                 AcquireAction(tid, self.current_op_id(tid), lock.name, mode)
             )
 
     def on_release(self, tid: int, lock, mode: str = "x") -> None:
         if self.log_locks:
-            self.log.append(
+            self._append(
                 ReleaseAction(tid, self.current_op_id(tid), lock.name, mode)
             )
 
     def on_spawn(self, parent_tid: int, child_tid: int) -> None:
         if self.log_locks:
-            self.log.append(
+            self._append(
                 SpawnAction(parent_tid, self.current_op_id(parent_tid), child_tid)
             )
 
     def on_join(self, tid: int, child_tid: int) -> None:
         if self.log_locks:
-            self.log.append(JoinAction(tid, self.current_op_id(tid), child_tid))
+            self._append(JoinAction(tid, self.current_op_id(tid), child_tid))
 
     def on_commit(self, tid: int) -> None:
         if self.level == "none":
@@ -199,19 +214,19 @@ class VyrdTracer(Tracer):
         frame = self._current.get(tid)
         if frame is not None:
             frame.commits += 1
-        self.log.append(CommitAction(tid, frame.op_id if frame else None))
+        self._append(CommitAction(tid, frame.op_id if frame else None))
 
     def on_begin_commit_block(self, tid: int) -> None:
         if self.level == VIEW_LEVEL:
-            self.log.append(BeginCommitBlockAction(tid, self.current_op_id(tid)))
+            self._append(BeginCommitBlockAction(tid, self.current_op_id(tid)))
 
     def on_end_commit_block(self, tid: int) -> None:
         if self.level == VIEW_LEVEL:
-            self.log.append(EndCommitBlockAction(tid, self.current_op_id(tid)))
+            self._append(EndCommitBlockAction(tid, self.current_op_id(tid)))
 
     def on_replay(self, tid: int, tag: str, payload: Any) -> None:
         if self.level == VIEW_LEVEL:
-            self.log.append(ReplayAction(tid, self.current_op_id(tid), tag, payload))
+            self._append(ReplayAction(tid, self.current_op_id(tid), tag, payload))
 
 
 class _BoundOperation:

@@ -412,7 +412,7 @@ class RecoveredLog:
         }
 
 
-def recover_log(path) -> RecoveredLog:
+def recover_log(path, obs=None) -> RecoveredLog:
     """Salvage the longest valid record prefix of a (possibly damaged) log.
 
     Never raises on corruption: reads records until the first bad frame,
@@ -420,7 +420,21 @@ def recover_log(path) -> RecoveredLog:
     and the legacy format.  A framed log whose magic header itself is
     damaged salvages zero records (nothing after an unidentifiable header
     can be trusted).
+
+    ``obs`` (a :class:`repro.obs.Recorder`) records a ``log.recover`` span
+    and counters for salvaged/lost bytes.
     """
+    if obs is not None and obs.enabled:
+        with obs.span("log.recover", cat="log"):
+            recovered = _recover_log(path)
+        obs.count("recovery.records", recovered.records)
+        obs.count("recovery.lost_bytes",
+                  recovered.total_bytes - recovered.valid_bytes)
+        return recovered
+    return _recover_log(path)
+
+
+def _recover_log(path) -> RecoveredLog:
     with LogReader(path) as reader:
         actions: List[Action] = []
         valid_bytes = reader._file.tell()  # after the magic, if any

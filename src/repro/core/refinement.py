@@ -57,6 +57,7 @@ from .actions import (
     Signature,
     WriteAction,
 )
+from ..obs import NULL_RECORDER, Recorder
 from .invariants import Invariant
 from .log import Log
 from .observer import ObserverTracker
@@ -232,6 +233,7 @@ class RefinementChecker:
         stop_at_first: bool = True,
         final_full_check: bool = True,
         view_at: str = "commit",
+        obs: Optional[Recorder] = None,
     ):
         if mode not in (IO_MODE, VIEW_MODE):
             raise ValueError(f"unknown mode {mode!r}")
@@ -246,6 +248,7 @@ class RefinementChecker:
         self.stop_at_first = stop_at_first
         self.final_full_check = final_full_check
         self.view_at = view_at
+        self.obs: Recorder = obs if obs is not None else NULL_RECORDER
         self._track_state = mode == VIEW_MODE or bool(self.invariants)
         self.replay = ReplayState(replay_registry) if self._track_state else None
 
@@ -264,6 +267,14 @@ class RefinementChecker:
     def feed(self, actions: Iterable[Action]) -> None:
         """Append new log records (any prefix extension) and process what can
         be processed."""
+        obs = self.obs
+        if obs.enabled:
+            with obs.span("checker.feed", cat="checker"):
+                self._ingest(actions)
+        else:
+            self._ingest(actions)
+
+    def _ingest(self, actions: Iterable[Action]) -> None:
         for action in actions:
             seq = self._next_seq
             self._next_seq += 1
@@ -318,11 +329,24 @@ class RefinementChecker:
         elif isinstance(action, WriteAction):
             if self._track_state:
                 self.replay.apply_write(action.tid, action.loc, action.old, action.new)
+                if self.obs.enabled:
+                    self.obs.count("replay.writes")
                 if self.impl_view is not None:
                     self.impl_view.on_write(action.loc)
         elif isinstance(action, ReplayAction):
             if self._track_state:
-                written = self.replay.apply_replay(action.tid, action.tag, action.payload)
+                if self.obs.enabled:
+                    with self.obs.span(
+                        "checker.replay", cat="checker", tid=action.tid,
+                        tag=action.tag,
+                    ):
+                        written = self.replay.apply_replay(
+                            action.tid, action.tag, action.payload
+                        )
+                else:
+                    written = self.replay.apply_replay(
+                        action.tid, action.tag, action.payload
+                    )
                 if self.impl_view is not None:
                     for loc in written:
                         self.impl_view.on_write(loc)
@@ -396,8 +420,16 @@ class RefinementChecker:
             return
         result = self._returns[record.op_id].result
         signature = Signature(record.tid, record.method, record.args, result)
+        obs = self.obs
         try:
-            self.spec.run_mutator(record.method, record.args, result)
+            if obs.enabled:
+                with obs.span(
+                    "checker.witness_commit", cat="checker", tid=record.tid,
+                    method=record.method,
+                ):
+                    self.spec.run_mutator(record.method, record.args, result)
+            else:
+                self.spec.run_mutator(record.method, record.args, result)
         except SpecReject as reject:
             self._violate(
                 ViolationKind.IO,
@@ -409,7 +441,14 @@ class RefinementChecker:
             )
             return
         self.outcome.commits_executed += 1
-        self._observers.on_commit()
+        if obs.enabled:
+            obs.count("checker.commits_checked")
+            with obs.span(
+                "checker.observer_reeval", cat="checker", tid=record.tid
+            ):
+                self._observers.on_commit()
+        else:
+            self._observers.on_commit()
         self._check_views_and_invariants(seq, action.tid, signature)
 
     def _check_views_and_invariants(
@@ -422,12 +461,23 @@ class RefinementChecker:
             # commit-atomicity baseline: *all* state checks (view and
             # invariants) wait for a quiescent point
             return
+        obs = self.obs
         state = self.replay.effective(tid)
+        if obs.enabled:
+            obs.count("replay.overlays")
+            obs.observe("replay.overlay_locs", state.overlay_size)
         if self.mode == VIEW_MODE and (
             self.view_at == "commit" or where != "commit action"
         ):
             extra_dirty = self.replay.open_block_locs(excluding_tid=tid)
-            view_impl = self.impl_view.refresh(state, extra_dirty)
+            if obs.enabled:
+                with obs.span("checker.view_refresh", cat="checker", tid=tid):
+                    view_impl = self.impl_view.refresh(state, extra_dirty)
+                recomputed = getattr(self.impl_view, "last_recomputed", None)
+                if recomputed is not None:
+                    obs.observe("view.units_recomputed", recomputed)
+            else:
+                view_impl = self.impl_view.refresh(state, extra_dirty)
             view_spec = self.spec.view()
             if view_impl != view_spec:
                 self._violate(
@@ -462,6 +512,8 @@ class RefinementChecker:
         signature = Signature(record.tid, record.method, record.args, action.result)
         if record.kind == OBSERVER:
             window = self._observers.close(action.op_id, action.result)
+            if self.obs.enabled:
+                self.obs.observe("observer.window_size", len(window.answers))
             if not window.accepts(action.result):
                 self._violate(
                     ViolationKind.OBSERVER,

@@ -75,6 +75,11 @@ class EffectiveState(Mapping):
     def __len__(self) -> int:
         return sum(1 for _ in self)
 
+    @property
+    def overlay_size(self) -> int:
+        """Number of locations the t-tilde rollback overlay shadows."""
+        return len(self._overlay)
+
     def items_with_prefix(self, prefix: str) -> Iterator[Tuple[str, Any]]:
         """All ``(loc, value)`` pairs whose name starts with ``prefix``."""
         for loc in self:

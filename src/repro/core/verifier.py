@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, Optional
 
 from ..concurrency.kernel import Kernel, SimThread
+from ..obs import NULL_RECORDER, Recorder
 from .instrument import (
     IO_LEVEL,
     VIEW_LEVEL,
@@ -72,6 +73,10 @@ class Vyrd:
         Location-name prefixes that are atomic by construction (volatile /
         internally synchronized storage); the race detectors treat their
         accesses as synchronization, not as candidate races.
+    obs:
+        Observability recorder (:mod:`repro.obs`); flows into the tracer and
+        every checker this session creates.  Pass the same recorder to the
+        :class:`Kernel` so spans are keyed to its step clock.
     """
 
     def __init__(
@@ -86,6 +91,7 @@ class Vyrd:
         log_reads: bool = False,
         races=None,
         atomic_locs: Iterable[str] = (),
+        obs: Optional[Recorder] = None,
     ):
         if mode == VIEW_MODE and impl_view_factory is None:
             raise ValueError("view mode requires impl_view_factory")
@@ -106,9 +112,11 @@ class Vyrd:
         level = log_level if log_level is not None else (
             VIEW_LEVEL if needs_state else IO_LEVEL
         )
+        self.obs: Recorder = obs if obs is not None else NULL_RECORDER
         self.log = Log()
         self.tracer = VyrdTracer(
-            self.log, level=level, log_locks=log_locks, log_reads=log_reads
+            self.log, level=level, log_locks=log_locks, log_reads=log_reads,
+            obs=self.obs,
         )
 
     # -- instrumentation -------------------------------------------------------
@@ -128,6 +136,7 @@ class Vyrd:
             invariants=self.invariants,
             replay_registry=self.replay_registry,
             stop_at_first=stop_at_first,
+            obs=self.obs,
         )
 
     def check_offline(self, stop_at_first: bool = True) -> CheckOutcome:
@@ -179,6 +188,7 @@ class Vyrd:
             replay_registry=self.replay_registry,
             stop_at_first=stop_at_first,
             view_at=view_at,
+            obs=self.obs,
         )
         checker.feed(self.log)
         return checker.finish()
@@ -220,16 +230,28 @@ class OnlineVerifier:
 
     def _consume(self) -> None:
         log = self.session.log
+        obs = self.session.obs
+        if obs.enabled:
+            obs.count("verifier.polls")
         if self.cursor < len(log):
             # `since` returns a copy-free bounded view; advance the cursor to
             # the view's end, not len(log), so records appended while the
             # checkers run are picked up by the next poll.
             fresh = log.since(self.cursor)
             self.cursor = fresh.stop
-            if not self.checker.stopped:
-                self.checker.feed(fresh)
-            if self.race_checker is not None and not self.race_checker.stopped:
-                self.race_checker.feed(fresh)
+            if obs.enabled:
+                with obs.span(
+                    "verifier.consume", cat="verifier", actions=len(fresh)
+                ):
+                    self._feed_checkers(fresh)
+            else:
+                self._feed_checkers(fresh)
+
+    def _feed_checkers(self, fresh) -> None:
+        if not self.checker.stopped:
+            self.checker.feed(fresh)
+        if self.race_checker is not None and not self.race_checker.stopped:
+            self.race_checker.feed(fresh)
 
     def _done(self) -> bool:
         if not self.checker.stopped:
@@ -237,7 +259,11 @@ class OnlineVerifier:
         return self.race_checker is None or self.race_checker.stopped
 
     def _body(self, ctx):
-        while True:
+        # Park (finish the daemon generator) once every checker has stopped:
+        # a stopped checker ignores all further input, so each extra
+        # `yield ctx.checkpoint()` would only burn a scheduler slot and
+        # perturb application-thread interleavings for the rest of the run.
+        while not self._done():
             yield ctx.checkpoint()
             if not self._done():
                 self._consume()

@@ -130,6 +130,9 @@ class ContributionView(ImplView):
         self._by_key: Dict[Hashable, Dict[Hashable, Any]] = {}
         # materialized canonical value
         self._value: Dict[Hashable, Any] = {}
+        #: units recomputed by the most recent refresh (observability reads
+        #: this to histogram incremental-view work per commit)
+        self.last_recomputed: int = 0
 
     # -- dirtiness ------------------------------------------------------------
 
@@ -185,6 +188,7 @@ class ContributionView(ImplView):
         """
         extra_units = self._mark_locs(extra_dirty_locs)
         todo = self._dirty | extra_units
+        self.last_recomputed = len(todo)
         for unit in todo:
             self._remove_contribution(unit)
             contribution = self._contribute(state, unit)

@@ -209,6 +209,7 @@ def run_fault_campaign(
     backoff_base: float = 0.02,
     buggy: bool = False,
     slow_ios: int = 1,
+    obs=None,
 ) -> FaultCampaignReport:
     """Run one complete fault campaign (see the module docstring).
 
@@ -217,7 +218,15 @@ def run_fault_campaign(
     sleep -- ends it), one torn log, one bit-flipped log and ``slow_ios``
     latency faults, targeted at the chunk serials the swarm will actually
     dispatch.  Pass an explicit plan to replay a specific failure.
+
+    ``obs`` (a :class:`repro.obs.Recorder`) records one span per campaign
+    phase plus counters for incidents survived and records recovered --
+    campaign-level cost attribution; the per-run pipeline metrics stay in
+    the worker processes and are not collected here.
     """
+    from ..obs import NULL_RECORDER
+
+    obs = obs if obs is not None else NULL_RECORDER
     if plan is None:
         plan = FaultPlan.generate(
             seed,
@@ -237,18 +246,20 @@ def run_fault_campaign(
         workload_seed=workload_seed,
     )
     start = time.monotonic()
-    baseline = parallel_swarm(spec, num_runs=num_runs, jobs=1)
+    with obs.span("campaign.baseline", cat="faults"):
+        baseline = parallel_swarm(spec, num_runs=num_runs, jobs=1)
     report.baseline_seconds = time.monotonic() - start
     start = time.monotonic()
-    faulted = parallel_swarm(
-        spec,
-        num_runs=num_runs,
-        jobs=jobs,
-        faults=plan,
-        timeout=timeout,
-        max_retries=max_retries,
-        backoff_base=backoff_base,
-    )
+    with obs.span("campaign.faulted", cat="faults"):
+        faulted = parallel_swarm(
+            spec,
+            num_runs=num_runs,
+            jobs=jobs,
+            faults=plan,
+            timeout=timeout,
+            max_retries=max_retries,
+            backoff_base=backoff_base,
+        )
     report.faulted_seconds = time.monotonic() - start
     report.baseline_signature = _digest(baseline.signature())
     report.faulted_signature = _digest(faulted.signature())
@@ -257,11 +268,20 @@ def run_fault_campaign(
     )
     report.num_failures = len(faulted.failures)
     report.interruptions = list(faulted.interruptions)
-    report.recoveries, report.recovery_ok, pristine_run = _corruption_round(
-        program, plan, workload_seed, num_threads, calls_per_thread
-    )
-    report.tracer_log_identical = _latency_round(
-        program, plan, workload_seed, num_threads, calls_per_thread,
-        pristine_run,
-    )
+    with obs.span("campaign.corruption", cat="faults"):
+        report.recoveries, report.recovery_ok, pristine_run = _corruption_round(
+            program, plan, workload_seed, num_threads, calls_per_thread
+        )
+    with obs.span("campaign.latency", cat="faults"):
+        report.tracer_log_identical = _latency_round(
+            program, plan, workload_seed, num_threads, calls_per_thread,
+            pristine_run,
+        )
+    if obs.enabled:
+        for kind, count in report.incident_counts.items():
+            obs.count(f"pool.events.{kind}", count)
+        obs.count(
+            "recovery.salvaged_records",
+            sum(entry["salvaged_records"] for entry in report.recoveries),
+        )
     return report

@@ -11,7 +11,15 @@
   :func:`breakdown_experiment` (Table 3).
 """
 
-from .metrics import Timer, fmt, mean, render_table, time_call
+from .metrics import (
+    CpuTimer,
+    WallTimer,
+    fmt,
+    mean,
+    render_table,
+    time_call_cpu,
+    time_call_wall,
+)
 from .runner import (
     BreakdownResult,
     DetectionResult,
@@ -34,9 +42,10 @@ __all__ = [
     "PROGRAMS",
     "Program",
     "ProgramSpec",
+    "CpuTimer",
     "RunResult",
     "ShrinkingPool",
-    "Timer",
+    "WallTimer",
     "breakdown_experiment",
     "detection_experiment",
     "explore_program",
@@ -45,5 +54,6 @@ __all__ = [
     "mean",
     "render_table",
     "run_program",
-    "time_call",
+    "time_call_cpu",
+    "time_call_wall",
 ]

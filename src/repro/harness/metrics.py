@@ -1,4 +1,20 @@
-"""Measurement utilities and table formatting for the benchmark harness."""
+"""Measurement utilities and table formatting for the benchmark harness.
+
+Two clocks, named explicitly because they answer different questions:
+
+* **cpu** (``time.process_time``) -- CPU seconds consumed by *this* process.
+  The paper's tables report CPU time, and it is the right clock for
+  single-process checker-cost comparisons; it does not advance during
+  sleeps and never sees work done by worker processes.
+* **wall** (``time.perf_counter``) -- elapsed real time.  The right clock
+  for anything involving the multi-process explorers, fault-injection
+  latency, or end-to-end campaign cost.
+
+Pick the variant that matches what you are measuring; there is
+intentionally no clock-agnostic ``Timer``/``time_call`` any more (the old
+ones silently used the cpu clock, under-reporting every multi-process or
+sleeping workload).
+"""
 
 from __future__ import annotations
 
@@ -7,33 +23,58 @@ from contextlib import contextmanager
 from typing import Iterable, List, Optional, Sequence
 
 
-class Timer:
-    """Accumulating process-time timer (the paper reports CPU seconds)."""
+class _AccumulatingTimer:
+    """Accumulating timer; subclasses pick the clock."""
+
+    _clock = staticmethod(time.process_time)
 
     def __init__(self):
         self.elapsed = 0.0
 
     @contextmanager
     def measure(self):
-        start = time.process_time()
+        start = self._clock()
         try:
             yield self
         finally:
-            self.elapsed += time.process_time() - start
+            self.elapsed += self._clock() - start
 
 
-def time_call(fn, *args, **kwargs):
-    """Run ``fn`` and return ``(result, cpu_seconds)``."""
+class CpuTimer(_AccumulatingTimer):
+    """Accumulating CPU-time timer (this process only; sleeps excluded)."""
+
+    _clock = staticmethod(time.process_time)
+
+
+class WallTimer(_AccumulatingTimer):
+    """Accumulating wall-clock timer (covers worker processes and sleeps)."""
+
+    _clock = staticmethod(time.perf_counter)
+
+
+def time_call_cpu(fn, *args, **kwargs):
+    """Run ``fn`` and return ``(result, cpu_seconds)`` for this process."""
     start = time.process_time()
     result = fn(*args, **kwargs)
     return result, time.process_time() - start
 
 
-def mean(values: Iterable[float]) -> Optional[float]:
-    values = [v for v in values if v is not None]
-    if not values:
+def time_call_wall(fn, *args, **kwargs):
+    """Run ``fn`` and return ``(result, wall_seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def mean(values: Iterable[Optional[float]]) -> Optional[float]:
+    """Arithmetic mean, skipping ``None`` entries (absent measurements).
+
+    Returns ``None`` when no numeric values remain.
+    """
+    numeric = [v for v in values if v is not None]
+    if not numeric:
         return None
-    return sum(values) / len(values)
+    return sum(numeric) / len(numeric)
 
 
 def fmt(value, width: int = 10, digits: int = 3) -> str:
@@ -45,10 +86,33 @@ def fmt(value, width: int = 10, digits: int = 3) -> str:
     return str(value).rjust(width)
 
 
+def _is_numeric_cell(cell) -> bool:
+    return cell is None or (
+        isinstance(cell, (int, float)) and not isinstance(cell, bool)
+    )
+
+
 def render_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:
-    """Plain-text table in the style of the paper's Tables 1-3."""
+    """Plain-text table in the style of the paper's Tables 1-3.
+
+    Numeric columns (every original cell a number or ``None``, with at
+    least one number) are right-aligned; string columns stay left-aligned.
+    Pre-formatted string cells are used verbatim.
+    """
     rows = [list(r) for r in rows]
     widths = [len(h) for h in headers]
+    # A column is right-aligned iff nothing but numbers (or missing values)
+    # ever lands in it -- a single string cell makes it textual, and a
+    # column of only ``None`` placeholders has nothing to align as numbers.
+    saw_number = [False] * len(headers)
+    all_numeric = [True] * len(headers)
+    for row in rows:
+        for i, cell in enumerate(row):
+            if not _is_numeric_cell(cell):
+                all_numeric[i] = False
+            elif cell is not None:
+                saw_number[i] = True
+    numeric_col = [a and s for a, s in zip(all_numeric, saw_number)]
     rendered_rows: List[List[str]] = []
     for row in rows:
         rendered = [
@@ -64,6 +128,9 @@ def render_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -
     lines.append("-" * len(header_line))
     for rendered in rendered_rows:
         lines.append(
-            " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(rendered))
+            " | ".join(
+                cell.rjust(widths[i]) if numeric_col[i] else cell.ljust(widths[i])
+                for i, cell in enumerate(rendered)
+            )
         )
     return "\n".join(lines)

@@ -28,6 +28,7 @@ from ..concurrency.parallel import (
     parallel_swarm,
 )
 from ..core import CheckOutcome, Vyrd
+from ..obs import Recorder
 from .metrics import mean
 from .workload import PROGRAMS, BuiltProgram, Program
 
@@ -50,6 +51,7 @@ class RunResult:
     online_outcome: Optional[CheckOutcome] = None
     race_outcome: Optional[object] = None  # RaceOutcome when races enabled
     lint_findings: tuple = ()  # LintFindings when the lint pre-flight ran
+    obs: Optional[Recorder] = None  # the recorder run_program was given
 
     @property
     def log(self):
@@ -72,6 +74,7 @@ def run_program(
     races=None,
     faults=None,
     lint: Optional[str] = None,
+    obs: Optional[Recorder] = None,
 ) -> RunResult:
     """Build, run and (optionally online-) verify one program instance.
 
@@ -89,7 +92,11 @@ def run_program(
     instrumentation annotations *before* the run (:mod:`repro.lint`) and
     raises :class:`repro.lint.LintError` when any finding at or above that
     severity survives suppression; all findings land in
-    ``RunResult.lint_findings``."""
+    ``RunResult.lint_findings``.  ``obs`` (a
+    :class:`repro.obs.MetricsRecorder`) profiles the whole pipeline: it is
+    threaded through the session, the kernel (whose step counter becomes
+    the trace clock) and the harness phases, and comes back on
+    ``RunResult.obs``."""
     program = _resolve(program)
     built = program.build(buggy, num_threads)
     lint_findings: tuple = ()
@@ -116,6 +123,7 @@ def run_program(
         log_reads=log_reads,
         races=races,
         atomic_locs=program.atomic_locs,
+        obs=obs,
     )
     scheduler = scheduler_factory(seed) if scheduler_factory is not None else None
     tracer = vyrd.tracer
@@ -124,7 +132,8 @@ def run_program(
 
         tracer = LatencyTracer(tracer, faults)
     kernel = Kernel(
-        scheduler=scheduler, seed=seed, tracer=tracer, max_steps=max_steps
+        scheduler=scheduler, seed=seed, tracer=tracer, max_steps=max_steps,
+        obs=obs,
     )
     vds = vyrd.wrap(built.impl)
     verifier = vyrd.start_online(kernel) if online else None
@@ -138,16 +147,27 @@ def run_program(
     start = time.process_time()
     kernel.run()
     run_cpu = time.process_time() - start
-    online_outcome = verifier.finalize() if verifier is not None else None
-    race_outcome = None
-    if races:
-        race_outcome = (
-            verifier.finalize_races() if verifier is not None
-            else vyrd.check_races()
-        )
+    obs_rec = vyrd.obs
+    if obs_rec.enabled:
+        with obs_rec.span("harness.finalize", cat="harness"):
+            online_outcome = verifier.finalize() if verifier is not None else None
+            race_outcome = None
+            if races:
+                race_outcome = (
+                    verifier.finalize_races() if verifier is not None
+                    else vyrd.check_races()
+                )
+    else:
+        online_outcome = verifier.finalize() if verifier is not None else None
+        race_outcome = None
+        if races:
+            race_outcome = (
+                verifier.finalize_races() if verifier is not None
+                else vyrd.check_races()
+            )
     return RunResult(
         program, built, vyrd, kernel, run_cpu, online_outcome, race_outcome,
-        lint_findings,
+        lint_findings, obs,
     )
 
 
@@ -170,6 +190,13 @@ class ProgramSpec:
     ``workload_seed`` fixes the operation mix (which methods each thread
     calls, with which arguments); only the *schedule* varies between runs --
     the paper's "large numbers of repetitions of the same experiment".
+
+    ``metrics=True`` accumulates deterministic observability counters and
+    histograms (:mod:`repro.obs`) across every run the resolved program
+    executes; the explorers merge the per-worker snapshots into
+    ``ExplorationResult.metrics``.  Only the deterministic part crosses
+    process boundaries, so campaign metrics are identical however the work
+    was sharded (and identical to a serial run).
     """
 
     program: str
@@ -179,10 +206,21 @@ class ProgramSpec:
     workload_seed: int = 0
     mode: str = "view"
     max_steps: int = 20_000_000
+    metrics: bool = False
 
     def resolve_program(self):
-        """Build the ``program(scheduler) -> outcome`` callable (in-worker)."""
+        """Build the ``program(scheduler) -> outcome`` callable (in-worker).
+
+        When ``metrics`` is set, the callable carries the accumulating
+        recorder as ``program.obs_recorder`` (events off: only counters and
+        histograms, the mergeable deterministic part).
+        """
         spec = self
+        recorder = None
+        if spec.metrics:
+            from ..obs import MetricsRecorder
+
+            recorder = MetricsRecorder(max_events=0)
 
         def program(scheduler):
             result = run_program(
@@ -194,12 +232,14 @@ class ProgramSpec:
                 mode=spec.mode,
                 max_steps=spec.max_steps,
                 scheduler_factory=lambda _seed: scheduler,
+                obs=recorder,
             )
             outcome = result.vyrd.check_offline()
             if not outcome.ok:
                 raise RefinementViolation(outcome.summary(), details=outcome.to_dict())
             return ("ok", len(result.log))
 
+        program.obs_recorder = recorder
         return program
 
 
@@ -216,6 +256,7 @@ def explore_program(
     calls_per_thread: int = 4,
     workload_seed: int = 0,
     check_mode: str = "view",
+    metrics: bool = False,
 ) -> ExplorationResult:
     """Run an exploration campaign over one registry program.
 
@@ -223,6 +264,8 @@ def explore_program(
     (``base_seed`` onward); ``mode="exhaustive"`` enumerates the schedule
     tree up to ``max_runs``.  ``jobs`` fans the campaign out across worker
     processes (``None`` / ``0`` = all CPUs, ``1`` = serial in-process).
+    ``metrics=True`` merges per-worker observability counters into
+    ``ExplorationResult.metrics``.
     """
     spec = ProgramSpec(
         _resolve(program).name,
@@ -231,6 +274,7 @@ def explore_program(
         calls_per_thread=calls_per_thread,
         workload_seed=workload_seed,
         mode=check_mode,
+        metrics=metrics,
     )
     if mode == "swarm":
         return parallel_swarm(

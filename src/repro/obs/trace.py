@@ -1,0 +1,114 @@
+"""Chrome trace-event export of recorded spans (Perfetto-loadable).
+
+The export target is the Trace Event Format's *JSON array* flavor: a plain
+list of event objects, each carrying ``name``/``ph``/``pid``/``tid``/``ts``
+(plus ``dur`` for complete events), which ``chrome://tracing`` and Perfetto
+both load directly.  Timestamps are kernel-step-keyed (see
+:mod:`repro.obs.recorder`): one scheduler step is
+:data:`~repro.obs.recorder.TICKS_PER_STEP` ticks wide, so the timeline reads
+as "what happened at which step of the deterministic schedule", and each
+event's ``args.wall_us`` carries the real duration for cost attribution.
+
+The tail of the stream adds:
+
+* metadata (``ph: "M"``) naming the process and the recorded sim-threads;
+* one counter event (``ph: "C"``) per span name with its accumulated
+  wall-clock total, so phase totals are visible in the viewer without
+  summing slices.
+
+:func:`validate_trace_events` is the schema check CI and the test suite run
+over every produced file -- it enforces the loadable array-of-events shape
+rather than trusting the writer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from .recorder import TRACE_PID, MetricsRecorder
+
+_VALID_PHASES = {"X", "i", "I", "M", "C", "B", "E"}
+
+
+def trace_events(recorder: MetricsRecorder) -> List[dict]:
+    """The recorder's spans as a Chrome trace-event array."""
+    events: List[dict] = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": TRACE_PID,
+        "tid": 0,
+        "args": {"name": "vyrd"},
+    }]
+    tids = sorted({event.get("tid", 0) for event in recorder.events})
+    for tid in tids:
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": tid,
+            "args": {"name": f"sim-thread-{tid}"},
+        })
+    events.extend(recorder.events)
+    end_ts = max((event.get("ts", 0) for event in recorder.events), default=0)
+    for name, seconds in sorted(recorder.phase_wall.items()):
+        events.append({
+            "name": f"wall:{name}",
+            "ph": "C",
+            "pid": TRACE_PID,
+            "tid": 0,
+            "ts": end_ts,
+            "args": {"ms": round(seconds * 1e3, 3)},
+        })
+    return events
+
+
+def write_trace(recorder: MetricsRecorder, path) -> None:
+    """Dump the trace as a JSON array file loadable by Perfetto."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace_events(recorder), handle, indent=1)
+
+
+def validate_trace_events(events) -> List[str]:
+    """Schema-check a trace-event array; returns problems (empty = valid).
+
+    Enforces the loadable array-of-events shape: a JSON array of objects,
+    every event carrying ``name``/``ph``/``pid``/``tid``, timed events
+    carrying a numeric non-negative ``ts``, and complete ("X") events a
+    numeric non-negative ``dur``.
+    """
+    problems: List[str] = []
+    if not isinstance(events, list):
+        return [f"trace must be a JSON array of events, got {type(events).__name__}"]
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {index}: not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                problems.append(f"event {index}: missing {key!r}")
+        phase = event.get("ph")
+        if phase not in _VALID_PHASES:
+            problems.append(f"event {index}: unknown phase {phase!r}")
+        if phase in ("X", "i", "I", "C", "B", "E"):
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"event {index}: bad ts {ts!r}")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {index}: bad dur {dur!r}")
+        args = event.get("args")
+        if args is not None and not isinstance(args, dict):
+            problems.append(f"event {index}: args must be an object")
+    return problems
+
+
+def validate_trace_file(path) -> List[str]:
+    """Load ``path`` and schema-check it (see :func:`validate_trace_events`)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            events = json.load(handle)
+        except json.JSONDecodeError as exc:
+            return [f"not valid JSON: {exc}"]
+    return validate_trace_events(events)

@@ -19,6 +19,8 @@ programs:
          --recover
    $ python -m repro.tools.cli faults --program multiset-vector --seed 7 \\
          --jobs 2 --json
+   $ python -m repro.tools.cli profile blinktree --seed 3 \\
+         --trace-out blinktree.trace.json
    $ python -m repro.tools.cli races run.vyrdlog --detector hb
    $ python -m repro.tools.cli trace run.vyrdlog --max-rows 40
    $ python -m repro.tools.cli witness run.vyrdlog
@@ -34,7 +36,10 @@ replays the saved log offline (``--recover`` salvages damaged logs first);
 (:mod:`repro.faults`) and verifies recovery; ``races`` runs the dynamic race detectors
 over any saved log recorded with synchronization events (``run --races``
 records them); ``trace``/``witness`` render Fig. 3/6-style diagrams from
-any saved log.
+any saved log; ``profile`` runs one workload with the observability layer
+(:mod:`repro.obs`) fully on and prints where checker time went --
+``run``/``explore``/``faults`` accept ``--metrics``/``--trace-out`` for the
+same instrumentation on their own workflows.
 """
 
 from __future__ import annotations
@@ -43,6 +48,7 @@ import argparse
 import json
 import sys
 import time
+from contextlib import nullcontext
 from typing import List, Optional
 
 from ..concurrency.errors import SimThreadError, SimulationError
@@ -58,6 +64,51 @@ from ..core import (
     validate_well_formed,
 )
 from ..harness import PROGRAMS, explore_program, run_program
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared observability flags (``run``/``explore``/``faults``)."""
+    parser.add_argument("--metrics", action="store_true",
+                        help="record pipeline metrics (repro.obs) and report "
+                             "them (tables, or under 'metrics' with --json)")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="write a Chrome trace-event JSON of the "
+                             "recorded spans to PATH (implies --metrics)")
+
+
+def _obs_recorder(args):
+    """A ``MetricsRecorder`` when the command asked for one, else ``None``."""
+    if not (args.metrics or args.trace_out):
+        return None
+    from ..obs import MetricsRecorder
+
+    return MetricsRecorder()
+
+
+def _finish_obs(args, recorder, payload=None, title="pipeline profile") -> None:
+    """Shared tail of every observability-aware command: export and report.
+
+    Writes the trace file when requested, then either attaches the full
+    metrics dict to the JSON ``payload`` or prints the profiling tables.
+    """
+    if recorder is None:
+        return
+    if args.trace_out:
+        from ..obs import write_trace
+
+        write_trace(recorder, args.trace_out)
+    if payload is not None:
+        payload["metrics"] = recorder.to_dict()
+        if args.trace_out:
+            payload["trace"] = args.trace_out
+        return
+    if args.metrics:
+        from ..obs import format_metrics
+
+        print()
+        print(format_metrics(recorder, title=title))
+    if args.trace_out:
+        print(f"trace written to {args.trace_out}")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -118,6 +169,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--max-steps", type=int, default=20_000_000,
                             help="kernel step budget (exceeding it is "
                                  "reported as a run problem, exit code 2)")
+    _add_obs_arguments(run_parser)
     run_parser.add_argument("--json", action="store_true",
                             help="emit the run summary as JSON")
 
@@ -151,6 +203,7 @@ def _build_parser() -> argparse.ArgumentParser:
     explore_parser.add_argument("--stop-on-failure", action="store_true",
                                 help="end the campaign at the first failing "
                                      "schedule (skipped runs are reported)")
+    _add_obs_arguments(explore_parser)
     explore_parser.add_argument("--json", action="store_true",
                                 help="emit the campaign summary as JSON")
 
@@ -193,8 +246,33 @@ def _build_parser() -> argparse.ArgumentParser:
                                help="per-task watchdog deadline (seconds)")
     faults_parser.add_argument("--retries", type=int, default=2,
                                help="retry budget per task")
+    _add_obs_arguments(faults_parser)
     faults_parser.add_argument("--json", action="store_true",
                                help="emit the campaign report as JSON")
+
+    profile_parser = sub.add_parser(
+        "profile",
+        help="run one workload with full observability and report where "
+             "pipeline time went (phase wall-clock, action counts, "
+             "histograms); --trace-out exports a Perfetto-loadable trace",
+    )
+    profile_parser.add_argument("program", choices=sorted(PROGRAMS))
+    profile_parser.add_argument("--buggy", action="store_true",
+                                help="enable the program's seeded bug")
+    profile_parser.add_argument("--threads", type=int, default=4)
+    profile_parser.add_argument("--calls", type=int, default=40,
+                                help="method calls per thread")
+    profile_parser.add_argument("--seed", type=int, default=0)
+    profile_parser.add_argument("--mode", choices=("io", "view"),
+                                default="view")
+    profile_parser.add_argument("--online", action="store_true",
+                                help="profile the online verification thread "
+                                     "instead of the offline check")
+    profile_parser.add_argument("--trace-out", metavar="PATH",
+                                help="write the Chrome trace-event JSON "
+                                     "(chrome://tracing / Perfetto) to PATH")
+    profile_parser.add_argument("--json", action="store_true",
+                                help="emit the metrics as JSON")
 
     races_parser = sub.add_parser(
         "races", help="run dynamic race detection on a saved log"
@@ -292,6 +370,7 @@ def _cmd_lint(args) -> int:
 
 
 def _cmd_run(args) -> int:
+    recorder = _obs_recorder(args)
     try:
         result = run_program(
             args.program,
@@ -306,6 +385,7 @@ def _cmd_run(args) -> int:
             log_reads=args.atomicity,
             races=args.races,
             lint=args.lint,
+            obs=recorder,
         )
     except SimulationError as exc:
         # The workload itself misbehaved (deadlock, runaway schedule, thread
@@ -366,6 +446,7 @@ def _cmd_run(args) -> int:
         if args.save:
             save_log(result.log, args.save)
             payload["saved"] = args.save
+        _finish_obs(args, recorder, payload)
         _emit_json(payload, result.log)
         return 0 if payload["ok"] else 1
     print(
@@ -389,25 +470,37 @@ def _cmd_run(args) -> int:
     if args.save:
         save_log(result.log, args.save)
         print(f"log written to {args.save}")
+    _finish_obs(args, recorder, title=f"{args.program} run profile")
     return 0 if outcome.ok and races_ok else 1
 
 
 def _cmd_explore(args) -> int:
+    recorder = _obs_recorder(args)
     start = time.perf_counter()
-    result = explore_program(
-        args.program,
-        mode=args.mode,
-        jobs=args.jobs,
-        num_runs=args.seeds,
-        base_seed=args.base_seed,
-        max_runs=args.max_runs,
-        stop_on_failure=args.stop_on_failure,
-        buggy=args.buggy,
-        num_threads=args.threads,
-        calls_per_thread=args.calls,
-        workload_seed=args.workload_seed,
-    )
+    # The campaign's per-run metrics are deterministic counter snapshots
+    # merged across workers (ExplorationResult.metrics); the coordinator
+    # recorder contributes one campaign-level span for the trace and then
+    # folds the merged counters in so the report covers both.
+    with (recorder.span("explore.campaign", cat="explore", mode=args.mode,
+                        jobs=args.jobs)
+          if recorder is not None else nullcontext()):
+        result = explore_program(
+            args.program,
+            mode=args.mode,
+            jobs=args.jobs,
+            num_runs=args.seeds,
+            base_seed=args.base_seed,
+            max_runs=args.max_runs,
+            stop_on_failure=args.stop_on_failure,
+            buggy=args.buggy,
+            num_threads=args.threads,
+            calls_per_thread=args.calls,
+            workload_seed=args.workload_seed,
+            metrics=recorder is not None,
+        )
     elapsed = time.perf_counter() - start
+    if recorder is not None:
+        recorder.merge_counts(result.metrics)
     payload = result.to_dict()
     payload.update({
         "program": args.program,
@@ -419,6 +512,7 @@ def _cmd_explore(args) -> int:
         ),
     })
     if args.json:
+        _finish_obs(args, recorder, payload)
         print(json.dumps(payload, indent=2))
     else:
         variant = "buggy" if args.buggy else "correct"
@@ -446,6 +540,7 @@ def _cmd_explore(args) -> int:
                   f"schedule={first.schedule!r}: {first.error}")
         else:
             print("no failing schedules")
+        _finish_obs(args, recorder, title=f"{args.program} campaign profile")
     return 0 if not result.failures else 1
 
 
@@ -560,6 +655,7 @@ def _cmd_faults(args) -> int:
                 for entry in spec["faults"]
             ),
         )
+    recorder = _obs_recorder(args)
     start = time.perf_counter()
     report = run_fault_campaign(
         program=args.program,
@@ -571,11 +667,13 @@ def _cmd_faults(args) -> int:
         calls_per_thread=args.calls,
         timeout=args.timeout,
         max_retries=args.retries,
+        obs=recorder,
     )
     elapsed = time.perf_counter() - start
     if args.json:
         payload = report.to_dict()
         payload["seconds"] = round(elapsed, 3)
+        _finish_obs(args, recorder, payload)
         print(json.dumps(payload, indent=2))
         return 0 if report.ok else 1
     verdict = "survived" if report.signatures_match else "DIVERGED"
@@ -615,7 +713,60 @@ def _cmd_faults(args) -> int:
         state = "identical" if report.tracer_log_identical else "DIVERGED"
         print(f"  slow-io log: {state}")
     print(f"  verdict: {'OK' if report.ok else 'FAILED'}")
+    _finish_obs(args, recorder, title=f"{args.program} fault-campaign profile")
     return 0 if report.ok else 1
+
+
+def _cmd_profile(args) -> int:
+    from ..obs import MetricsRecorder, format_metrics, write_trace
+
+    recorder = MetricsRecorder()
+    result = run_program(
+        args.program,
+        buggy=args.buggy,
+        num_threads=args.threads,
+        calls_per_thread=args.calls,
+        seed=args.seed,
+        mode=args.mode,
+        online=args.online,
+        obs=recorder,
+    )
+    outcome = (
+        result.online_outcome if args.online else result.vyrd.check_offline()
+    )
+    if args.trace_out:
+        write_trace(recorder, args.trace_out)
+    if args.json:
+        payload = {
+            "ok": outcome.ok,
+            "program": args.program,
+            "variant": "buggy" if args.buggy else "correct",
+            "seed": args.seed,
+            "threads": args.threads,
+            "calls": args.calls,
+            "mode": args.mode,
+            "online": args.online,
+            "records": len(result.log),
+            "refinement": outcome.to_dict(),
+            "metrics": recorder.to_dict(),
+        }
+        if args.trace_out:
+            payload["trace"] = args.trace_out
+        print(json.dumps(payload, indent=2))
+        return 0 if outcome.ok else 1
+    check = "online" if args.online else "offline"
+    print(
+        f"profiled {args.program} "
+        f"({'buggy' if args.buggy else 'correct'}, {check} {args.mode} "
+        f"check), {args.threads} threads x {args.calls} calls, seed "
+        f"{args.seed}: {len(result.log)} log records, "
+        f"{'no violation' if outcome.ok else 'VIOLATION'}"
+    )
+    print()
+    print(format_metrics(recorder, title=f"{args.program} profile"))
+    if args.trace_out:
+        print(f"trace written to {args.trace_out}")
+    return 0 if outcome.ok else 1
 
 
 def _cmd_trace(args) -> int:
@@ -637,6 +788,7 @@ _COMMANDS = {
     "explore": _cmd_explore,
     "check": _cmd_check,
     "faults": _cmd_faults,
+    "profile": _cmd_profile,
     "races": _cmd_races,
     "trace": _cmd_trace,
     "witness": _cmd_witness,

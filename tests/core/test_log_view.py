@@ -1,0 +1,132 @@
+"""LogView edge semantics: foreign equality, stale snapshots, cursor walks."""
+
+from repro.core.actions import CallAction
+from repro.core.log import Log, LogView
+
+
+def _log(n):
+    log = Log()
+    for i in range(n):
+        log.append(CallAction(tid=0, op_id=i, method="m", args=(i,)))
+    return log
+
+
+# -- __eq__: NotImplemented fallback vs foreign sequences ---------------------
+
+
+def test_eq_returns_notimplemented_for_foreign_types():
+    view = _log(3).since(0)
+    assert view.__eq__(42) is NotImplemented
+    assert view.__eq__("abc") is NotImplemented
+    assert view.__eq__({0: "a"}) is NotImplemented
+    # a generator is a sequence-of-sorts but not list/tuple/LogView
+    assert view.__eq__(iter([])) is NotImplemented
+
+
+def test_foreign_comparison_falls_back_to_identity_not_crash():
+    view = _log(2).since(0)
+    # Python turns the NotImplemented pair into plain non-equality
+    assert (view == object()) is False
+    assert (view != object()) is True
+    assert (view == "ab") is False
+
+
+def test_eq_against_list_tuple_and_view():
+    log = _log(3)
+    view = log.since(1)
+    as_list = [log[1], log[2]]
+    assert view == as_list
+    assert view == tuple(as_list)
+    assert view == log.since(1)
+    assert not view == as_list[:1]          # length mismatch
+    assert not view == [log[0], log[2]]     # element mismatch
+    assert view != [log[0], log[2]]
+
+
+def test_views_are_unhashable():
+    import pytest
+
+    with pytest.raises(TypeError):
+        hash(_log(1).since(0))
+
+
+# -- stale views while the log grows ------------------------------------------
+
+
+def test_stale_view_is_a_fixed_snapshot_after_growth():
+    log = _log(3)
+    view = log.since(1)
+    assert len(view) == 2
+    log.append(CallAction(tid=1, op_id=99, method="late", args=()))
+    # bounds were fixed at creation: the late append is invisible
+    assert len(view) == 2
+    assert view.stop == 3
+    assert list(view) == [log[1], log[2]]
+    assert view[-1] is log[2]
+
+
+def test_slicing_a_stale_view_never_leaks_new_records():
+    log = _log(4)
+    view = log.since(2)
+    for i in range(5):
+        log.append(CallAction(tid=1, op_id=100 + i, method="late", args=()))
+    assert view[:] == [log[2], log[3]]
+    assert view[0:99] == [log[2], log[3]]   # slice clamped to the window
+    assert view[::-1] == [log[3], log[2]]
+    assert view[5:] == []
+    # negative indexing stays window-relative
+    assert view[-2] is log[2]
+
+
+def test_out_of_range_index_raises_even_though_storage_grew():
+    import pytest
+
+    log = _log(2)
+    view = log.since(0)
+    log.append(CallAction(tid=0, op_id=9, method="late", args=()))
+    with pytest.raises(IndexError):
+        view[2]
+    with pytest.raises(IndexError):
+        view[-3]
+
+
+# -- cursor advancement under interleaved appends -----------------------------
+
+
+def test_cursor_advance_to_view_stop_sees_every_record_once():
+    log = Log()
+    seen = []
+    cursor = 0
+    total = 10
+    pending = [
+        CallAction(tid=0, op_id=i, method="m", args=(i,)) for i in range(total)
+    ]
+    # interleave: after consuming each view, two more records arrive
+    log.append(pending.pop(0))
+    while cursor < len(log) or pending:
+        view = log.since(cursor)
+        seen.extend(view)
+        cursor = view.stop  # the documented protocol: advance to stop...
+        for _ in range(2):
+            if pending:
+                log.append(pending.pop(0))
+    assert [a.op_id for a in seen] == list(range(total))
+
+
+def test_advancing_to_len_log_instead_would_skip_records():
+    # The view is a snapshot: records appended between `since` and the
+    # cursor update fall outside it, so `cursor = len(log)` loses them.
+    log = _log(2)
+    view = log.since(0)
+    log.append(CallAction(tid=0, op_id=7, method="late", args=()))
+    assert view.stop == 2 < len(log)
+    assert len(log.since(view.stop)) == 1  # stop-based cursor catches it
+
+
+def test_since_beyond_end_is_empty_and_stable():
+    log = _log(2)
+    view = log.since(5)
+    assert len(view) == 0
+    assert list(view) == []
+    assert view == []
+    assert view.start == view.stop == 2

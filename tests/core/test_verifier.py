@@ -103,6 +103,72 @@ def test_online_finalize_idempotent():
     assert verifier.finalize() is verifier.finalize()
 
 
+class _VerifierSlotCounter:
+    """Scheduler wrapper counting verifier-thread picks after its checkers
+    stopped -- each such pick is a wasted slot the parked daemon must not
+    take (regression: the verifier used to spin on checkpoint() forever)."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.verifier = None
+        self.slots_after_stop = 0
+
+    def pick(self, runnable, step):
+        thread = self.inner.pick(runnable, step)
+        if (
+            thread.name == "vyrd-verifier"
+            and self.verifier is not None
+            and self.verifier._done()
+        ):
+            self.slots_after_stop += 1
+        return thread
+
+    def __getattr__(self, name):  # initial_priority etc.
+        return getattr(self.inner, name)
+
+
+def test_online_verifier_parks_after_stop():
+    from repro.concurrency.schedulers import RandomScheduler
+
+    parked_somewhere = False
+    for seed in range(40):
+        vyrd = _session()
+        scheduler = _VerifierSlotCounter(RandomScheduler(seed))
+        kernel = Kernel(scheduler=scheduler, tracer=vyrd.tracer)
+        ds = VectorMultiset(size=8, buggy_findslot=True)
+        vds = vyrd.wrap(ds)
+
+        def worker(ctx, values):
+            for v in values:
+                yield from vds.insert_pair(ctx, v, v + 100)
+                yield from vds.lookup(ctx, v)
+
+        kernel.spawn(worker, [1, 2])
+        kernel.spawn(worker, [3, 4])
+        verifier = vyrd.start_online(kernel)
+        scheduler.verifier = verifier
+        kernel.run()
+        # Once both checkers stop, the daemon generator must finish: zero
+        # scheduler slots burned on it for the rest of the run.
+        assert scheduler.slots_after_stop == 0
+        if verifier.detected:
+            # ...and the parked thread really is finished, not just idle.
+            assert verifier.thread.finished
+            parked_somewhere = True
+    assert parked_somewhere, "no seed detected the bug online"
+
+
+def test_online_verifier_keeps_polling_while_unstopped():
+    vyrd = _session()
+    kernel = _spawn_workload(vyrd)
+    verifier = vyrd.start_online(kernel)
+    kernel.run()
+    # a clean run never stops the checker, so the daemon stays live
+    # throughout and the final tail is consumed by finalize()
+    assert not verifier.checker.stopped
+    assert verifier.finalize().ok
+
+
 def test_io_mode_session_produces_smaller_log():
     view_session = _session("view")
     _spawn_workload(view_session).run()

@@ -1,0 +1,205 @@
+"""Recorder unit semantics: counters, histograms, spans, caps, merging."""
+
+from repro.obs import (
+    NULL_RECORDER,
+    Histogram,
+    MetricsRecorder,
+    NullRecorder,
+    Recorder,
+    TICKS_PER_STEP,
+    merge_snapshots,
+)
+
+
+# -- the null recorder (the default everything wires to) ----------------------
+
+
+def test_null_recorder_is_disabled_and_inert():
+    recorder = NullRecorder()
+    assert recorder.enabled is False
+    recorder.count("x")
+    recorder.observe("y", 1.0)
+    recorder.instant("z")
+    recorder.bind_step_clock(lambda: 0)
+    with recorder.span("phase"):
+        pass
+    # the shared no-op span is reused, not allocated per call
+    assert recorder.span("a") is recorder.span("b")
+
+
+def test_shared_null_instance_is_a_recorder():
+    assert isinstance(NULL_RECORDER, Recorder)
+    assert NULL_RECORDER.enabled is False
+
+
+def test_null_span_does_not_swallow_exceptions():
+    try:
+        with NULL_RECORDER.span("phase"):
+            raise ValueError("boom")
+    except ValueError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("exception swallowed by null span")
+
+
+# -- counters and histograms --------------------------------------------------
+
+
+def test_counters_accumulate():
+    recorder = MetricsRecorder()
+    recorder.count("a")
+    recorder.count("a", 4)
+    recorder.count("b", 2)
+    assert recorder.counters == {"a": 5, "b": 2}
+
+
+def test_histogram_streaming_summary():
+    histogram = Histogram()
+    assert histogram.mean is None
+    for value in (3.0, 1.0, 2.0):
+        histogram.observe(value)
+    assert histogram.count == 3
+    assert histogram.min == 1.0 and histogram.max == 3.0
+    assert histogram.mean == 2.0
+    data = histogram.to_dict()
+    assert data == {"count": 3, "total": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0}
+
+
+def test_histogram_merge_folds_extremes_and_counts():
+    left = Histogram()
+    left.observe(5.0)
+    right = Histogram()
+    right.observe(1.0)
+    right.observe(9.0)
+    left.merge(right.to_dict())
+    assert left.count == 3
+    assert left.min == 1.0 and left.max == 9.0
+    assert left.total == 15.0
+    # merging an empty snapshot is a no-op
+    left.merge(Histogram().to_dict())
+    assert left.count == 3 and left.min == 1.0
+
+
+def test_observe_builds_histograms_by_name():
+    recorder = MetricsRecorder()
+    recorder.observe("sizes", 2)
+    recorder.observe("sizes", 4)
+    assert recorder.histograms["sizes"].mean == 3
+
+
+# -- spans and the step-keyed clock -------------------------------------------
+
+
+def test_span_accumulates_wall_and_counts():
+    recorder = MetricsRecorder()
+    with recorder.span("phase", cat="test"):
+        pass
+    with recorder.span("phase", cat="test"):
+        pass
+    assert recorder.counters["span.phase"] == 2
+    assert recorder.phase_wall["phase"] >= 0.0
+    assert len(recorder.events) == 2
+    event = recorder.events[0]
+    assert event["ph"] == "X" and event["name"] == "phase"
+    assert "wall_us" in event["args"]
+
+
+def test_span_timestamps_follow_the_bound_step_clock():
+    recorder = MetricsRecorder()
+    step = [7]
+    recorder.bind_step_clock(lambda: step[0])
+    with recorder.span("phase"):
+        step[0] = 9
+    event = recorder.events[0]
+    assert event["ts"] == 7 * TICKS_PER_STEP
+    assert event["dur"] == 2 * TICKS_PER_STEP
+
+
+def test_events_within_one_step_are_sequenced():
+    recorder = MetricsRecorder()
+    recorder.bind_step_clock(lambda: 3)
+    recorder.instant("a")
+    recorder.instant("b")
+    ts_a, ts_b = (event["ts"] for event in recorder.events)
+    assert ts_a < ts_b
+    # both stay within the step's tick window
+    assert ts_b < 4 * TICKS_PER_STEP
+
+
+def test_max_events_cap_drops_events_but_not_aggregates():
+    recorder = MetricsRecorder(max_events=2)
+    for _ in range(5):
+        recorder.instant("tick")
+    assert len(recorder.events) == 2
+    assert recorder.dropped_events == 3
+    # the per-span counter keeps counting past the cap
+    assert recorder.counters["span.tick"] == 5
+
+
+def test_max_events_zero_keeps_counters_only():
+    recorder = MetricsRecorder(max_events=0)
+    with recorder.span("phase"):
+        pass
+    recorder.instant("i")
+    assert recorder.events == []
+    assert recorder.dropped_events == 2
+    assert recorder.counters["span.phase"] == 1
+    assert recorder.phase_wall["phase"] >= 0.0
+
+
+# -- snapshots and cross-process merging --------------------------------------
+
+
+def test_counters_snapshot_excludes_wall_clock():
+    recorder = MetricsRecorder()
+    recorder.count("a")
+    recorder.observe("h", 1.0)
+    with recorder.span("phase"):
+        pass
+    snapshot = recorder.counters_snapshot()
+    assert set(snapshot) == {"counters", "histograms"}
+    assert snapshot["counters"]["a"] == 1
+    assert snapshot["histograms"]["h"]["count"] == 1
+
+
+def test_merge_counts_folds_a_snapshot_in():
+    worker = MetricsRecorder()
+    worker.count("a", 2)
+    worker.observe("h", 5.0)
+    coordinator = MetricsRecorder()
+    coordinator.count("a", 1)
+    coordinator.merge_counts(worker.counters_snapshot())
+    coordinator.merge_counts(None)  # tolerated: worker without metrics
+    assert coordinator.counters["a"] == 3
+    assert coordinator.histograms["h"].count == 1
+
+
+def test_merge_snapshots_is_order_insensitive_and_none_safe():
+    a = MetricsRecorder()
+    a.count("x", 1)
+    a.observe("h", 1.0)
+    b = MetricsRecorder()
+    b.count("x", 2)
+    b.observe("h", 3.0)
+    forward = merge_snapshots([a.counters_snapshot(), None, b.counters_snapshot()])
+    backward = merge_snapshots([b.counters_snapshot(), a.counters_snapshot()])
+    assert forward == backward
+    assert forward["counters"]["x"] == 3
+    assert merge_snapshots([None, None]) is None
+    assert merge_snapshots([]) is None
+
+
+def test_to_dict_is_json_ready_and_sorted():
+    import json
+
+    recorder = MetricsRecorder()
+    recorder.count("b")
+    recorder.count("a")
+    recorder.observe("h", 2.5)
+    with recorder.span("phase"):
+        pass
+    data = recorder.to_dict()
+    json.dumps(data)  # must serialize
+    assert list(data["counters"]) == sorted(data["counters"])
+    assert data["trace_events"] == 1
+    assert data["dropped_events"] == 0

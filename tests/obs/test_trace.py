@@ -1,0 +1,72 @@
+"""Chrome trace-event export: schema validity is enforced, not assumed."""
+
+import json
+
+from repro.obs import (
+    MetricsRecorder,
+    trace_events,
+    validate_trace_events,
+    validate_trace_file,
+    write_trace,
+)
+
+
+def _recorder_with_activity():
+    recorder = MetricsRecorder()
+    step = [0]
+    recorder.bind_step_clock(lambda: step[0])
+    with recorder.span("kernel.step", cat="kernel", tid=1):
+        step[0] = 2
+    recorder.instant("tracer.append", cat="log", tid=2, action="CallAction")
+    return recorder
+
+
+def test_trace_events_validate_clean():
+    events = trace_events(_recorder_with_activity())
+    assert validate_trace_events(events) == []
+
+
+def test_trace_includes_metadata_threads_and_wall_counters():
+    events = trace_events(_recorder_with_activity())
+    phases = [event["ph"] for event in events]
+    assert "M" in phases and "X" in phases and "C" in phases
+    names = [event["name"] for event in events]
+    assert "process_name" in names
+    # one thread_name metadata record per sim-thread that emitted events
+    assert "thread_name" in names
+    assert any(name.startswith("wall:") for name in names)
+
+
+def test_write_trace_round_trips_through_file_validation(tmp_path):
+    path = tmp_path / "run.trace.json"
+    write_trace(_recorder_with_activity(), path)
+    assert validate_trace_file(path) == []
+    # and the file is the plain JSON-array flavor viewers load directly
+    events = json.loads(path.read_text())
+    assert isinstance(events, list) and events
+
+
+def test_validator_rejects_non_array():
+    problems = validate_trace_events({"traceEvents": []})
+    assert problems and "array" in problems[0]
+
+
+def test_validator_flags_malformed_events():
+    problems = validate_trace_events([
+        "not an object",
+        {"ph": "X", "pid": 1, "tid": 0, "ts": 0, "dur": 1},   # missing name
+        {"name": "e", "ph": "?", "pid": 1, "tid": 0},         # unknown phase
+        {"name": "e", "ph": "X", "pid": 1, "tid": 0,
+         "ts": -5, "dur": 1},                                  # negative ts
+        {"name": "e", "ph": "X", "pid": 1, "tid": 0, "ts": 0},  # missing dur
+        {"name": "e", "ph": "i", "pid": 1, "tid": 0, "ts": 0,
+         "args": "nope"},                                      # args not dict
+    ])
+    assert len(problems) == 6
+
+
+def test_validate_trace_file_reports_bad_json(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    problems = validate_trace_file(path)
+    assert problems and "not valid JSON" in problems[0]

@@ -425,6 +425,156 @@ def test_run_lint_preflight_blocks_broken_program(monkeypatch, capsys):
     assert rules == {"VY001", "VY002"}
 
 
+# -- observability: the profile subcommand and --metrics/--trace-out ----------
+
+
+def test_profile_human_output_reports_phases(capsys):
+    code = main([
+        "profile", "multiset-vector", "--threads", "2", "--calls", "4",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "profiled multiset-vector" in out and "no violation" in out
+    assert "wall-clock by phase" in out
+    assert "kernel.run" in out and "checker.feed" in out
+    assert "log.actions" in out  # counters table
+    assert "view.units_recomputed" in out  # distributions table
+
+
+def test_profile_json_round_trips_the_same_metrics(capsys):
+    import json
+
+    from repro.harness import run_program
+    from repro.obs import MetricsRecorder
+
+    code = main([
+        "profile", "multiset-vector", "--threads", "2", "--calls", "4",
+        "--seed", "5", "--json",
+    ])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["ok"] is True
+    assert payload["refinement"]["ok"] is True
+    # the deterministic part of the metrics equals an identical in-process
+    # run: the CLI adds nothing and loses nothing
+    recorder = MetricsRecorder()
+    result = run_program(
+        "multiset-vector", num_threads=2, calls_per_thread=4, seed=5,
+        obs=recorder,
+    )
+    result.vyrd.check_offline()
+    snapshot = recorder.counters_snapshot()
+    assert payload["metrics"]["counters"] == snapshot["counters"]
+    assert payload["metrics"]["histograms"] == snapshot["histograms"]
+    assert payload["records"] == len(result.log)
+
+
+def test_profile_trace_out_is_loadable(tmp_path, capsys):
+    from repro.obs import validate_trace_file
+
+    trace_path = str(tmp_path / "prof.trace.json")
+    code = main([
+        "profile", "multiset-vector", "--threads", "2", "--calls", "4",
+        "--trace-out", trace_path,
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert f"trace written to {trace_path}" in out
+    assert validate_trace_file(trace_path) == []
+
+
+def test_profile_online_buggy_exits_one(capsys):
+    # any detecting seed works; search like the other buggy-run tests
+    for seed in range(20):
+        code = main([
+            "profile", "multiset-vector", "--buggy", "--threads", "4",
+            "--calls", "30", "--seed", str(seed), "--online",
+        ])
+        out = capsys.readouterr().out
+        if code == 1:
+            assert "VIOLATION" in out
+            assert "verifier.consume" in out  # online spans attributed
+            return
+    pytest.fail("no seed triggered the bug under profile --online")
+
+
+def test_run_metrics_flag_json_and_trace(tmp_path, capsys):
+    import json
+
+    from repro.obs import validate_trace_file
+
+    trace_path = str(tmp_path / "run.trace.json")
+    code = main([
+        "run", "--program", "multiset-vector", "--threads", "2",
+        "--calls", "4", "--metrics", "--trace-out", trace_path, "--json",
+    ])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["trace"] == trace_path
+    assert payload["metrics"]["counters"]["log.actions"] == payload["records"]
+    assert validate_trace_file(trace_path) == []
+
+
+def test_run_metrics_flag_human_output(capsys):
+    code = main([
+        "run", "--program", "multiset-vector", "--threads", "2",
+        "--calls", "4", "--metrics",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "run profile: wall-clock by phase" in out
+    assert "kernel.steps" in out
+
+
+def test_run_without_metrics_has_no_metrics_key(capsys):
+    import json
+
+    code = main([
+        "run", "--program", "multiset-vector", "--threads", "2",
+        "--calls", "4", "--json",
+    ])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert "metrics" not in payload
+
+
+def test_explore_metrics_json_merges_worker_counters(capsys):
+    import json
+
+    code = main([
+        "explore", "--program", "multiset-vector", "--seeds", "4",
+        "--jobs", "2", "--threads", "2", "--calls", "3", "--metrics",
+        "--json",
+    ])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    counters = payload["metrics"]["counters"]
+    assert counters["kernel.steps"] > 0
+    assert counters["span.explore.campaign"] == 1
+    # per-run counters crossed the process boundary and merged
+    assert counters["log.actions"] > 0
+
+
+def test_faults_metrics_records_campaign_phases(tmp_path, capsys):
+    import json
+
+    from repro.obs import validate_trace_file
+
+    trace_path = str(tmp_path / "faults.trace.json")
+    code = main([
+        "faults", "--program", "multiset-vector", "--seeds", "4",
+        "--jobs", "2", "--threads", "2", "--calls", "2", "--metrics",
+        "--trace-out", trace_path, "--json",
+    ])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    walls = payload["metrics"]["phase_wall_ms"]
+    for phase in ("campaign.baseline", "campaign.faulted",
+                  "campaign.corruption", "campaign.latency"):
+        assert phase in walls
+    assert validate_trace_file(trace_path) == []
+
+
 def _nested_ops_program():
     """A worker that abandons an op frame mid-operation, then starts a
     second public operation on the same thread: begin_op raises
