@@ -1,0 +1,327 @@
+"""Streaming soak: a million records through the verification service.
+
+Drives ``>= 1M`` action records from ``>= 4`` forked producer processes
+through the :mod:`repro.serve` pipeline -- sharded hash-chained shard
+files, deterministic merge, online refinement checking, per-shard chain
+audit -- and writes a machine-readable ``BENCH_stream_soak.json`` at the
+repo root with the records/sec trajectory and resident-memory evidence.
+
+Sessions are submitted continuously (``--producers`` at a time) until the
+cumulative record count crosses ``--target-records``; each completed
+session contributes one trajectory sample and, unless ``--keep``, its
+shard files are deleted so disk stays bounded too.  A sampler thread
+tracks the daemon's RSS the whole time; the bounded-memory gate requires
+the late-phase mean to stay within 1.5x the early-phase mean (no
+per-record growth) on top of an absolute 1 GiB ceiling.
+
+The exit code is the soak gate: nonzero if any session's stream broke
+(incomplete merge, chain audit failure, daemon error), if memory grew
+unboundedly, or if the first session's canonical-order signature diverged
+from a single-process rerun.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_stream_soak.py
+    PYTHONPATH=src python benchmarks/bench_stream_soak.py --smoke  # CI
+
+``--smoke`` shrinks the soak to ~5k records from 2 producers so CI can
+exercise the full pipeline (fork, shard, merge, check, audit, cleanup)
+in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import shutil
+import sys
+import tempfile
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+
+from repro.core import log_signature
+from repro.harness import run_program
+from repro.serve import LocalDirectoryStore, ServeSession, session_checkers
+from repro.serve.producer import _producer_main
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_stream_soak.json")
+
+_PAGE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+def _rss_bytes() -> int:
+    try:
+        with open("/proc/self/statm", "r") as handle:
+            return int(handle.read().split()[1]) * _PAGE
+    except OSError:  # pragma: no cover - non-Linux fallback
+        import resource
+
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+class RssSampler(threading.Thread):
+    """Samples the daemon process's resident set until stopped."""
+
+    def __init__(self, interval: float = 0.25):
+        super().__init__(name="rss-sampler", daemon=True)
+        self.interval = interval
+        self.samples: list = []  # (elapsed_seconds, rss_bytes)
+        self._halt = threading.Event()
+        self._start_time = time.perf_counter()
+
+    def run(self) -> None:
+        while not self._halt.is_set():
+            self.samples.append(
+                (time.perf_counter() - self._start_time, _rss_bytes())
+            )
+            self._halt.wait(self.interval)
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=5.0)
+
+
+def _memory_evidence(samples) -> dict:
+    """Bounded-memory gate: late-phase RSS must not outgrow early-phase."""
+    if len(samples) < 4:
+        rss = [rss for _, rss in samples] or [_rss_bytes()]
+        peak = max(rss)
+        return {
+            "peak_rss_mb": round(peak / 2**20, 1),
+            "early_mean_mb": round(rss[0] / 2**20, 1),
+            "late_mean_mb": round(rss[-1] / 2**20, 1),
+            "growth_ratio": 1.0,
+            "bounded": peak < 2**30,
+        }
+    third = max(1, len(samples) // 3)
+    early = [rss for _, rss in samples[:third]]
+    late = [rss for _, rss in samples[-third:]]
+    early_mean = sum(early) / len(early)
+    late_mean = sum(late) / len(late)
+    peak = max(rss for _, rss in samples)
+    ratio = late_mean / early_mean if early_mean else 1.0
+    return {
+        "peak_rss_mb": round(peak / 2**20, 1),
+        "early_mean_mb": round(early_mean / 2**20, 1),
+        "late_mean_mb": round(late_mean / 2**20, 1),
+        "growth_ratio": round(ratio, 3),
+        "bounded": ratio <= 1.5 and peak < 2**30,
+    }
+
+
+def _thin(points, cap: int = 200):
+    if len(points) <= cap:
+        return points
+    step = len(points) / cap
+    return [points[int(i * step)] for i in range(cap)] + [points[-1]]
+
+
+def run_soak(args) -> dict:
+    root = args.root or tempfile.mkdtemp(prefix="vyrd-soak-")
+    store = LocalDirectoryStore(root)
+    ctx = multiprocessing.get_context("fork")
+    checker_factory, race_factory = session_checkers(args.program)
+    run_kwargs = {
+        "num_threads": args.threads,
+        "calls_per_thread": args.calls,
+        "mode": "view",
+    }
+
+    def one_session(seed: int) -> tuple:
+        name = f"run-{seed:05d}"
+        process = ctx.Process(
+            target=_producer_main,
+            args=(store.root, name, args.program, seed, args.shards,
+                  False, args.batch_records, run_kwargs),
+            name=f"producer-{name}",
+        )
+        session = ServeSession(
+            store, name, args.shards,
+            checker_factory=checker_factory,
+            race_checker_factory=race_factory,
+            queue_records=args.queue_records,
+            timeout=args.timeout,
+        )
+        process.start()
+        try:
+            result = session.run(process)
+        finally:
+            process.join(timeout=10.0)
+            if process.is_alive():  # pragma: no cover - wedged producer
+                process.terminate()
+                process.join()
+        return seed, result
+
+    sampler = RssSampler()
+    sampler.start()
+    start = time.perf_counter()
+    trajectory = []
+    sessions_ok = 0
+    sessions_failed = []
+    violations = 0
+    total_records = 0
+    first_signature = None
+    next_seed = args.base_seed
+    last_sample = (0.0, 0)  # (elapsed, records) for windowed rates
+
+    with ThreadPoolExecutor(max_workers=args.producers) as pool:
+        pending = set()
+        for _ in range(args.producers):
+            pending.add(pool.submit(one_session, next_seed))
+            next_seed += 1
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                seed, result = future.result()
+                total_records += result.records
+                if result.ok:
+                    sessions_ok += 1
+                else:
+                    sessions_failed.append({
+                        "session": result.session,
+                        "error": result.error,
+                        "chain_ok": result.chain_ok,
+                        "complete": result.complete,
+                    })
+                if result.outcome is not None and not result.outcome.ok:
+                    violations += 1
+                if seed == args.base_seed:
+                    first_signature = result.signature
+                elapsed = time.perf_counter() - start
+                window = elapsed - last_sample[0]
+                trajectory.append({
+                    "t": round(elapsed, 3),
+                    "sessions": sessions_ok + len(sessions_failed),
+                    "records": total_records,
+                    "records_per_sec": round(total_records / elapsed, 1),
+                    "window_records_per_sec": round(
+                        (total_records - last_sample[1]) / window, 1
+                    ) if window > 0 else None,
+                    "rss_mb": round(_rss_bytes() / 2**20, 1),
+                })
+                last_sample = (elapsed, total_records)
+                if not args.keep:
+                    shutil.rmtree(
+                        os.path.join(root, result.session),
+                        ignore_errors=True,
+                    )
+                if total_records < args.target_records:
+                    pending.add(pool.submit(one_session, next_seed))
+                    next_seed += 1
+    elapsed = time.perf_counter() - start
+    sampler.stop()
+    if not args.keep and args.root is None:
+        shutil.rmtree(root, ignore_errors=True)
+
+    # Determinism spot-check: the first session's merged canonical order
+    # must hash identically to a single-process run of the same seed.
+    solo = run_program(args.program, seed=args.base_seed, **run_kwargs)
+    direct_signature = log_signature(solo.log)
+    signature_match = first_signature == direct_signature
+
+    memory = _memory_evidence(sampler.samples)
+    ok = (
+        not sessions_failed
+        and total_records >= args.target_records
+        and memory["bounded"]
+        and signature_match
+    )
+    return {
+        "benchmark": "stream_soak",
+        "program": args.program,
+        "producers": args.producers,
+        "shards_per_session": args.shards,
+        "threads": args.threads,
+        "calls_per_thread": args.calls,
+        "queue_records": args.queue_records,
+        "batch_records": args.batch_records,
+        "target_records": args.target_records,
+        "cpu_count": os.cpu_count(),
+        "ok": ok,
+        "records": total_records,
+        "sessions": sessions_ok + len(sessions_failed),
+        "sessions_ok": sessions_ok,
+        "sessions_failed": sessions_failed,
+        "violations": violations,
+        "seconds": round(elapsed, 3),
+        "records_per_sec": round(total_records / elapsed, 1),
+        "signature_match": signature_match,
+        "first_session_signature": first_signature,
+        "direct_signature": direct_signature,
+        "memory": memory,
+        "rss_samples": [
+            {"t": round(t, 2), "rss_mb": round(rss / 2**20, 1)}
+            for t, rss in _thin(sampler.samples)
+        ],
+        "trajectory": _thin(trajectory),
+    }
+
+
+def render(report: dict) -> str:
+    memory = report["memory"]
+    lines = [
+        f"stream soak: {report['records']:,} records through "
+        f"{report['producers']} producers x {report['shards_per_session']} "
+        f"shards in {report['seconds']:.1f}s "
+        f"({report['records_per_sec']:,.0f} rec/s)",
+        f"  sessions: {report['sessions_ok']}/{report['sessions']} ok, "
+        f"{report['violations']} violation(s) detected",
+        f"  memory: peak {memory['peak_rss_mb']} MB, growth ratio "
+        f"{memory['growth_ratio']} "
+        f"({'bounded' if memory['bounded'] else 'UNBOUNDED'})",
+        f"  determinism: first-session signature "
+        f"{'matches' if report['signature_match'] else 'DIVERGED from'} "
+        f"single-process rerun",
+        f"  verdict: {'OK' if report['ok'] else 'FAILED'}",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--program", default="multiset-vector")
+    parser.add_argument("--producers", type=int, default=4,
+                        help="concurrent producer processes (>= 4 for the "
+                             "full soak)")
+    parser.add_argument("--target-records", type=int, default=1_000_000)
+    parser.add_argument("--base-seed", type=int, default=0)
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--calls", type=int, default=300,
+                        help="method calls per thread per session")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="shard files per session")
+    parser.add_argument("--queue-records", type=int, default=4096)
+    parser.add_argument("--batch-records", type=int, default=64)
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="per-session ingest deadline (seconds)")
+    parser.add_argument("--root", metavar="DIR",
+                        help="store directory (default: temp, deleted "
+                             "afterwards)")
+    parser.add_argument("--keep", action="store_true",
+                        help="keep shard files instead of deleting each "
+                             "session after verification")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="JSON report path (default: repo root)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized soak: ~5k records from 2 producers")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.producers = min(args.producers, 2)
+        args.target_records = min(args.target_records, 5_000)
+        args.threads = 3
+        args.calls = 150
+    report = run_soak(args)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=1)
+        handle.write("\n")
+    print(render(report))
+    print(f"report written to {args.out}")
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

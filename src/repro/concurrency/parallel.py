@@ -72,6 +72,7 @@ from __future__ import annotations
 import functools
 import multiprocessing
 import os
+import pickle
 from collections import deque
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Any, Callable, List, Optional, Tuple
@@ -171,6 +172,32 @@ def resolve_program(source) -> Callable[[Scheduler], Any]:
         f"not an explorable program: {source!r} (expected a callable or an "
         f"object with a resolve_program() method)"
     )
+
+
+class _OncePickledSource:
+    """Campaign-lifetime cache of the pickled program source.
+
+    :class:`ProcessPoolExecutor` pickles the worker partial -- program
+    source included -- for **every** dispatched task, so a campaign of N
+    chunks walked the spec's object graph N times.  This wrapper serializes
+    the source exactly once, up front, and replays the cached bytes into
+    each task pickle (``__reduce__`` hands pickle the precomputed payload);
+    workers transparently unpickle the original source object.  Also a
+    fail-fast: an unpicklable source now raises at campaign start, not
+    inside the pool.
+    """
+
+    __slots__ = ("source", "_payload")
+
+    def __init__(self, source):
+        self.source = source
+        self._payload = pickle.dumps(source, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def __reduce__(self):
+        return (pickle.loads, (self._payload,))
+
+    def resolve_program(self):
+        return resolve_program(self.source)
 
 
 def _resolve_jobs(jobs: Optional[int]) -> int:
@@ -330,6 +357,7 @@ def parallel_swarm(
             stop_on_failure=stop_on_failure,
             scheduler_factory=scheduler_factory,
         )
+    program = _OncePickledSource(program)
     seeds = [base_seed + i for i in range(num_runs)]
     if chunk_size is None:
         # ~4 chunks per worker balances load against per-task dispatch cost.
@@ -485,6 +513,7 @@ def parallel_exhaustive(
             max_runs=max_runs,
             stop_on_failure=stop_on_failure,
         )
+    program = _OncePickledSource(program)
     frontier: deque = deque([[]])
     runs: List[RunRecord] = []
     dispatched = 0

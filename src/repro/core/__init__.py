@@ -49,16 +49,21 @@ from .instrument import (
 from .interleaving import Execution, WitnessInterleaving, build_witness, respects_program_order
 from .invariants import Invariant
 from .log import (
+    ChainDecoder,
+    ChainReport,
     Log,
     LogFormatError,
     LogReader,
     LogView,
     LogWriter,
     RecoveredLog,
+    genesis_digest,
     load_log,
+    log_signature,
     recover_log,
     save_log,
     validate_well_formed,
+    verify_chain,
 )
 from .observer import ObserverTracker, ObserverWindow
 from .refinement import (

@@ -21,6 +21,21 @@ provides:
   (byte offset, record index, cause) and best-effort salvage: long
   instrumented runs die mid-write (killed workers, full disks), and the
   valid prefix of their log is still a checkable trace.
+* The *tamper-evident* chained format (``chained=True``, magic
+  ``VYRDLOG2``): every frame additionally carries its global sequence
+  number and the SHA-256 digest of the previous frame, genesis-seeded per
+  shard.  A CRC catches accidental bit rot; the hash chain catches
+  *deliberate* splice/reorder/rewrite tampering (threat T1 of the related
+  work's threat model) because a forged record cannot produce the digest
+  the next record already committed to.  :func:`verify_chain` walks a file
+  and reports the first break; :func:`recover_log` on a chained file
+  salvages exactly the longest *chain-valid* prefix.  Clean truncation at
+  a frame boundary is invisible to the chain itself -- pass the shard's
+  expected head digest (recorded out-of-band, e.g. in a shard manifest) to
+  :func:`verify_chain` to close that hole.
+* ``sync=True`` adds durability: :meth:`LogWriter.flush` then pushes
+  buffered frames through ``fsync``, so a record is never *acknowledged*
+  (flush returned) and then lost to a process crash.
 * :func:`validate_well_formed` -- the well-formedness conditions of paper
   section 3.2 (per-thread call/return nesting discipline) plus the
   instrumentation obligations of section 4.1 (exactly one commit action per
@@ -29,13 +44,15 @@ provides:
 
 from __future__ import annotations
 
+import hashlib
 import io
+import os
 import pickle
 import struct
 import zlib
 from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import IO, Iterable, Iterator, List, Optional
+from typing import IO, Iterable, Iterator, List, Optional, Tuple
 
 from .actions import (
     AcquireAction,
@@ -152,8 +169,137 @@ class LogView(Sequence):
 #: Magic prefix of the crash-safe framed log format (format version 1).
 LOG_MAGIC = b"VYRDLOG1"
 
+#: Magic prefix of the tamper-evident chained format (format version 2).
+LOG_MAGIC2 = b"VYRDLOG2"
+
 #: Per-record frame header: little-endian payload length + CRC32 of payload.
 _FRAME_HEADER = struct.Struct("<II")
+
+#: Chained frame header: global sequence number, payload length, payload
+#: CRC32.  Followed by the 32-byte SHA-256 digest of the previous frame and
+#: then the payload; a frame's own digest covers header + prev-digest +
+#: payload, so seq, framing and payload are all under the chain.
+_CHAIN_HEADER = struct.Struct("<QII")
+
+#: Chained-file prologue after the magic: the shard id seeding the genesis.
+_SHARD_PROLOGUE = struct.Struct("<Q")
+
+_DIGEST_SIZE = 32
+
+
+def genesis_digest(shard_id: int) -> bytes:
+    """The per-shard seed of the hash chain (digest "before" record 0).
+
+    Seeding with the shard id means a frame spliced in from *another* shard
+    breaks the chain even at position 0.
+    """
+    return hashlib.sha256(
+        LOG_MAGIC2 + b":genesis:" + _SHARD_PROLOGUE.pack(shard_id)
+    ).digest()
+
+
+class ChainDecoder:
+    """Incremental frame decoder/verifier for the chained format.
+
+    Feed it byte slices of a chained stream (everything *after* the
+    magic + shard-id prologue, in order) and it yields ``(seq, action)``
+    pairs for every complete, CRC-valid, chain-valid frame, buffering any
+    trailing partial frame until more bytes arrive.  This is the one parser
+    for ``VYRDLOG2`` frames: :class:`LogReader` drives it from a file,
+    :class:`repro.serve.shard.ShardTail` drives it from ranged store reads
+    while a producer is still appending.
+
+    The first bad frame does not raise mid-parse -- frames decoded earlier
+    in the same ``feed`` call are still returned (recovery must salvage
+    them) and the typed :exc:`LogFormatError` parks on :attr:`error`, after
+    which the decoder refuses further input.  ``offset``/``index`` inside
+    the error are absolute (``base_offset`` positions the decoder in the
+    file).
+    """
+
+    __slots__ = ("_prev", "_buffer", "offset", "index", "consumed", "error")
+
+    def __init__(self, shard_id: int = 0, base_offset: int = 0,
+                 prev_digest: Optional[bytes] = None):
+        self._prev = prev_digest if prev_digest is not None else genesis_digest(shard_id)
+        self._buffer = bytearray()
+        #: Absolute byte offset of the first unconsumed frame.
+        self.offset = base_offset
+        #: Index of the next record to decode.
+        self.index = 0
+        #: Absolute offset up to which the stream decoded cleanly.
+        self.consumed = base_offset
+        #: The first :exc:`LogFormatError`, once the stream went bad.
+        self.error: Optional["LogFormatError"] = None
+
+    @property
+    def head_digest(self) -> str:
+        """Hex digest of the last decoded frame (chain head so far)."""
+        return self._prev.hex()
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered that do not yet form a complete frame."""
+        return len(self._buffer)
+
+    def _fail(self, cause: str, cause_exc: Optional[BaseException] = None) -> None:
+        self.error = LogFormatError(cause, self.offset, self.index)
+        if cause_exc is not None:
+            self.error.__cause__ = cause_exc
+
+    def feed(self, data: bytes) -> List[Tuple[int, Action, int]]:
+        """Decode complete frames in ``buffered + data``.
+
+        Returns ``(seq, action, end_offset)`` triples up to (not including)
+        the first bad frame; check :attr:`error` after every call.
+        """
+        if self.error is not None:
+            return []
+        self._buffer.extend(data)
+        out: List[Tuple[int, Action, int]] = []
+        fixed = _CHAIN_HEADER.size + _DIGEST_SIZE
+        buffer = self._buffer
+        while True:
+            if len(buffer) < fixed:
+                break
+            seq, length, crc = _CHAIN_HEADER.unpack_from(buffer, 0)
+            if len(buffer) < fixed + length:
+                break
+            frame = bytes(buffer[: fixed + length])
+            prev = frame[_CHAIN_HEADER.size : fixed]
+            payload = frame[fixed:]
+            if prev != self._prev:
+                self._fail(
+                    "chain digest mismatch (spliced, reordered or rewritten "
+                    "record)"
+                )
+                break
+            if zlib.crc32(payload) != crc:
+                self._fail("CRC mismatch")
+                break
+            try:
+                action = pickle.loads(payload)
+            except Exception as exc:
+                self._fail(f"undecodable record payload: {exc}", exc)
+                break
+            self._prev = hashlib.sha256(frame).digest()
+            del buffer[: fixed + length]
+            self.offset += fixed + length
+            self.consumed = self.offset
+            self.index += 1
+            out.append((seq, action, self.consumed))
+        return out
+
+    def finish(self) -> None:
+        """Declare end-of-stream; raise the parked error or report a torn
+        tail (a buffered partial frame)."""
+        if self.error is not None:
+            raise self.error
+        if self._buffer:
+            raise LogFormatError(
+                f"truncated chained frame ({len(self._buffer)} trailing "
+                f"byte(s))", self.offset, self.index,
+            )
 
 
 class LogFormatError(Exception):
@@ -206,18 +352,38 @@ class LogWriter:
     memo is cleared between records, so each record is a self-contained
     pickle that any frame boundary can decode with a fresh
     :class:`pickle.Unpickler`.
+
+    ``chained=True`` writes the tamper-evident ``VYRDLOG2`` format: every
+    frame carries a global sequence number (``write(action, seq=...)``,
+    auto-incremented from ``start_seq`` when omitted) and the SHA-256 digest
+    of the previous frame, genesis-seeded from ``shard_id``.  ``sync=True``
+    makes :meth:`flush` an *acknowledgment point*: buffered frames are
+    flushed and ``fsync``-ed, so records written before a flush survive any
+    subsequent process crash.  Writes themselves stay buffered -- batch a
+    group of frames, then flush once -- which is how the streaming shard
+    writers amortize the fsync cost.
     """
 
-    def __init__(self, target, framed: bool = True):
+    def __init__(self, target, framed: bool = True, chained: bool = False,
+                 shard_id: int = 0, start_seq: int = 0, sync: bool = False):
         if hasattr(target, "write"):
             self._file: IO[bytes] = target
             self._owns = False
         else:
             self._file = open(target, "wb")
             self._owns = True
-        self._framed = framed
-        if framed:
+        self._framed = framed or chained
+        self._chained = chained
+        self._sync = sync
+        self.records_written = 0
+        if chained:
+            self.shard_id = shard_id
+            self._next_seq = start_seq
+            self._prev_digest = genesis_digest(shard_id)
+            self._file.write(LOG_MAGIC2 + _SHARD_PROLOGUE.pack(shard_id))
+        elif self._framed:
             self._file.write(LOG_MAGIC)
+        if self._framed:
             self._buffer = io.BytesIO()
             self._pickler = pickle.Pickler(
                 self._buffer, protocol=pickle.HIGHEST_PROTOCOL
@@ -227,28 +393,71 @@ class LogWriter:
                 self._file, protocol=pickle.HIGHEST_PROTOCOL
             )
 
-    def write(self, action: Action) -> None:
-        if not self._framed:
-            self._pickler.dump(action)
-            self._pickler.clear_memo()
-            return
+    @property
+    def head_digest(self) -> Optional[str]:
+        """Hex digest of the last chained frame written (None unchained).
+
+        Record it out-of-band (shard manifest) and hand it to
+        :func:`verify_chain` to make clean tail truncation detectable.
+        """
+        if not self._chained:
+            return None
+        return self._prev_digest.hex()
+
+    def _payload(self, action: Action) -> bytes:
         buffer = self._buffer
         buffer.seek(0)
         buffer.truncate()
         self._pickler.dump(action)
         self._pickler.clear_memo()
-        payload = buffer.getvalue()
-        # Header and payload go out in one write: an interrupted append then
-        # tears at most the final frame, which recover_log drops cleanly.
-        self._file.write(
-            _FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
-        )
+        return buffer.getvalue()
+
+    def write(self, action: Action, seq: Optional[int] = None) -> None:
+        if not self._framed:
+            self._pickler.dump(action)
+            self._pickler.clear_memo()
+            self.records_written += 1
+            return
+        payload = self._payload(action)
+        if self._chained:
+            if seq is None:
+                seq = self._next_seq
+            self._next_seq = seq + 1
+            frame = (
+                _CHAIN_HEADER.pack(seq, len(payload), zlib.crc32(payload))
+                + self._prev_digest
+                + payload
+            )
+            self._prev_digest = hashlib.sha256(frame).digest()
+            self._file.write(frame)
+        else:
+            # Header and payload go out in one write: an interrupted append
+            # then tears at most the final frame, which recover_log drops
+            # cleanly.
+            self._file.write(
+                _FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+            )
+        self.records_written += 1
 
     def write_all(self, actions: Iterable[Action]) -> None:
         for action in actions:
             self.write(action)
 
+    def flush(self) -> None:
+        """Push buffered frames to the OS -- and, with ``sync=True``, to the
+        device.  Once flush returns, every record written so far is
+        *acknowledged*: a crash of this process cannot lose it."""
+        self._file.flush()
+        if self._sync:
+            try:
+                fd = self._file.fileno()
+            except (AttributeError, OSError, io.UnsupportedOperation, ValueError):
+                return  # in-memory target (object-store stub): nothing to sync
+            os.fsync(fd)
+
     def close(self) -> None:
+        if not self._file.closed:
+            self.flush()
         if self._owns:
             self._file.close()
 
@@ -262,10 +471,13 @@ class LogWriter:
 class LogReader:
     """Iterate actions back out of a file written by :class:`LogWriter`.
 
-    The format is auto-detected from the :data:`LOG_MAGIC` prefix: framed
-    streams are decoded frame-by-frame with CRC validation; anything else is
-    treated as the legacy format (a concatenation of self-contained pickles,
-    e.g. files written record-at-a-time with plain ``pickle.dump``).
+    The format is auto-detected from the magic prefix: :data:`LOG_MAGIC2`
+    streams are decoded with CRC *and* hash-chain verification (a chain
+    break raises :exc:`LogFormatError` exactly like a CRC failure, so
+    recovery semantics extend to tampering); :data:`LOG_MAGIC` streams are
+    decoded frame-by-frame with CRC validation; anything else is treated as
+    the legacy format (a concatenation of self-contained pickles, e.g.
+    files written record-at-a-time with plain ``pickle.dump``).
 
     Truncated or corrupted streams raise :exc:`LogFormatError` with the byte
     offset and index of the first bad record -- never a bare
@@ -291,22 +503,80 @@ class LogReader:
         start = self._file.tell()
         head = self._file.read(len(LOG_MAGIC))
         self._framed = head == LOG_MAGIC
-        if not self._framed:
+        self._chained = head == LOG_MAGIC2
+        self.shard_id = 0
+        self._decoder: Optional[ChainDecoder] = None
+        data_start = start
+        if self._chained:
+            prologue = self._file.read(_SHARD_PROLOGUE.size)
+            if len(prologue) < _SHARD_PROLOGUE.size:
+                # an unidentifiable prologue poisons the whole chain
+                self._size = self._file.seek(0, io.SEEK_END)
+                if self._owns:
+                    self._file.close()
+                raise LogFormatError(
+                    "truncated shard prologue", start + len(LOG_MAGIC), 0
+                )
+            (self.shard_id,) = _SHARD_PROLOGUE.unpack(prologue)
+            data_start = start + len(LOG_MAGIC2) + _SHARD_PROLOGUE.size
+        elif self._framed:
+            data_start = start + len(LOG_MAGIC)
+        else:
             self._file.seek(start)
         self._size = self._file.seek(0, io.SEEK_END)
-        self._file.seek(start + (len(LOG_MAGIC) if self._framed else 0))
+        self._file.seek(data_start)
+        self._data_start = data_start
+
+    @property
+    def chained(self) -> bool:
+        return self._chained
+
+    @property
+    def head_digest(self) -> Optional[str]:
+        """Chain head after iteration (None for unchained formats)."""
+        if self._decoder is None:
+            return None
+        return self._decoder.head_digest
 
     def __iter__(self) -> Iterator[Action]:
         for action, _end in self._records():
             yield action
 
+    def iter_seq(self) -> Iterator[Tuple[int, Action]]:
+        """Yield ``(seq, action)`` from a chained stream (seq = index
+        otherwise, for format-independent callers)."""
+        if self._chained:
+            for (seq, action), _end in self._chained_records():
+                yield seq, action
+        else:
+            for index, action in enumerate(self):
+                yield index, action
+
     def _records(self) -> Iterator[tuple]:
         """Yield ``(action, end_offset)`` pairs; raise :exc:`LogFormatError`
         at the first bad frame."""
-        if self._framed:
+        if self._chained:
+            for (_seq, action), end in self._chained_records():
+                yield action, end
+        elif self._framed:
             yield from self._framed_records()
         else:
             yield from self._legacy_records()
+
+    def _chained_records(self) -> Iterator[tuple]:
+        self._decoder = decoder = ChainDecoder(
+            self.shard_id, base_offset=self._data_start
+        )
+        file = self._file
+        while True:
+            data = file.read(1 << 20)
+            for seq, action, end in decoder.feed(data):
+                yield (seq, action), end
+            if decoder.error is not None:
+                raise decoder.error
+            if not data:
+                decoder.finish()
+                return
 
     def _framed_records(self) -> Iterator[tuple]:
         file = self._file
@@ -382,7 +652,11 @@ class RecoveredLog:
     ``log`` holds the longest valid record prefix.  When the stream was
     damaged, ``error_offset``/``error_record``/``cause`` describe the first
     bad frame exactly as the :exc:`LogFormatError` from a strict read would;
-    a clean stream leaves them ``None``.
+    a clean stream leaves them ``None``.  For chained (``VYRDLOG2``) files
+    the prefix is the longest *chain-valid* one -- everything after a
+    splice/reorder/rewrite point is rejected even if its CRCs check out --
+    and ``head_digest`` is the chain head over the salvaged records (compare
+    against a manifest to detect clean tail truncation).
     """
 
     log: Log
@@ -391,6 +665,8 @@ class RecoveredLog:
     error_offset: Optional[int] = None
     error_record: Optional[int] = None
     cause: Optional[str] = None
+    chained: bool = False
+    head_digest: Optional[str] = None
 
     @property
     def complete(self) -> bool:
@@ -409,6 +685,8 @@ class RecoveredLog:
             "error_offset": self.error_offset,
             "error_record": self.error_record,
             "cause": self.cause,
+            "chained": self.chained,
+            "head_digest": self.head_digest,
         }
 
 
@@ -435,7 +713,18 @@ def recover_log(path, obs=None) -> RecoveredLog:
 
 
 def _recover_log(path) -> RecoveredLog:
-    with LogReader(path) as reader:
+    try:
+        reader = LogReader(path)
+    except LogFormatError as error:
+        # The chained prologue itself is unreadable: nothing after an
+        # unidentifiable header can be trusted, salvage zero records.
+        size = os.path.getsize(path) if not hasattr(path, "read") else 0
+        return RecoveredLog(
+            Log([]), 0, size, error_offset=error.offset,
+            error_record=error.record_index, cause=error.cause,
+            chained=True,
+        )
+    with reader:
         actions: List[Action] = []
         valid_bytes = reader._file.tell()  # after the magic, if any
         try:
@@ -448,13 +737,129 @@ def _recover_log(path) -> RecoveredLog:
                 error_offset=error.offset,
                 error_record=error.record_index,
                 cause=error.cause,
+                chained=reader.chained,
+                head_digest=reader.head_digest,
             )
-        return RecoveredLog(Log(actions), valid_bytes, reader._size)
+        return RecoveredLog(
+            Log(actions), valid_bytes, reader._size,
+            chained=reader.chained, head_digest=reader.head_digest,
+        )
 
 
-def save_log(log: Log, path, framed: bool = True) -> None:
+@dataclass
+class ChainReport:
+    """Result of :func:`verify_chain` on one log file.
+
+    ``tampered`` is True when the chain (or framing) broke mid-file, *or*
+    when an ``expected_head`` was supplied and the file's chain head does
+    not match it (the clean-truncation case the chain alone cannot see).
+    Unchained files report ``chained=False`` and never ``tampered`` -- they
+    carry no integrity claim to violate; callers that require one should
+    treat ``chained=False`` as a policy failure instead.
+    """
+
+    path: str
+    chained: bool
+    records: int
+    valid_bytes: int
+    total_bytes: int
+    shard_id: Optional[int] = None
+    head_digest: Optional[str] = None
+    error_offset: Optional[int] = None
+    error_record: Optional[int] = None
+    cause: Optional[str] = None
+    head_match: Optional[bool] = None  # None: no expected head supplied
+
+    @property
+    def tampered(self) -> bool:
+        return self.error_offset is not None or self.head_match is False
+
+    @property
+    def ok(self) -> bool:
+        return not self.tampered
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "ok": self.ok,
+            "tampered": self.tampered,
+            "chained": self.chained,
+            "records": self.records,
+            "valid_bytes": self.valid_bytes,
+            "total_bytes": self.total_bytes,
+            "shard_id": self.shard_id,
+            "head_digest": self.head_digest,
+            "error_offset": self.error_offset,
+            "error_record": self.error_record,
+            "cause": self.cause,
+            "head_match": self.head_match,
+        }
+
+
+def verify_chain(path, expected_head: Optional[str] = None) -> ChainReport:
+    """Walk a log file verifying its tamper-evident hash chain.
+
+    Never raises on corruption: decodes until the first bad frame and
+    reports its byte offset, record index and cause.  ``expected_head`` (a
+    hex digest recorded when the file was written, e.g. in a shard
+    manifest) additionally detects clean truncation at a frame boundary,
+    which removes tail records without breaking any surviving frame.
+    Unchained (``VYRDLOG1`` / legacy) files decode normally but report
+    ``chained=False``.
+    """
+    recovered = _recover_log(path)
+    report = ChainReport(
+        path=path if isinstance(path, str) else repr(path),
+        chained=recovered.chained,
+        records=recovered.records,
+        valid_bytes=recovered.valid_bytes,
+        total_bytes=recovered.total_bytes,
+        head_digest=recovered.head_digest,
+        error_offset=recovered.error_offset,
+        error_record=recovered.error_record,
+        cause=recovered.cause,
+    )
+    if recovered.chained and isinstance(path, str) and recovered.records >= 0:
+        try:
+            with open(path, "rb") as handle:
+                head = handle.read(len(LOG_MAGIC2) + _SHARD_PROLOGUE.size)
+            if head[: len(LOG_MAGIC2)] == LOG_MAGIC2 and len(head) == (
+                len(LOG_MAGIC2) + _SHARD_PROLOGUE.size
+            ):
+                (report.shard_id,) = _SHARD_PROLOGUE.unpack(
+                    head[len(LOG_MAGIC2):]
+                )
+        except OSError:  # pragma: no cover - racing deletion
+            pass
+    if expected_head is not None:
+        report.head_match = recovered.head_digest == expected_head
+    return report
+
+
+def log_signature(records: Iterable[Action]) -> str:
+    """Canonical SHA-256 signature of a record sequence.
+
+    Hashes each record's self-contained pickle in order, so two logs with
+    the same records in the same order have the same signature however they
+    were produced -- the byte-identity gate between a ``vyrd serve`` merged
+    history and the single-process single-log run of the same schedule.
+    """
+    digest = hashlib.sha256()
+    count = 0
+    for action in records:
+        payload = pickle.dumps(action, protocol=pickle.HIGHEST_PROTOCOL)
+        digest.update(struct.pack("<I", len(payload)))
+        digest.update(payload)
+        count += 1
+    digest.update(struct.pack("<Q", count))
+    return digest.hexdigest()
+
+
+def save_log(log: Log, path, framed: bool = True, chained: bool = False,
+             shard_id: int = 0, sync: bool = False) -> None:
     """Write ``log`` to ``path`` (convenience wrapper around LogWriter)."""
-    with LogWriter(path, framed=framed) as writer:
+    with LogWriter(path, framed=framed, chained=chained, shard_id=shard_id,
+                   sync=sync) as writer:
         writer.write_all(log)
 
 

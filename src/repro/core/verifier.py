@@ -77,6 +77,12 @@ class Vyrd:
         Observability recorder (:mod:`repro.obs`); flows into the tracer and
         every checker this session creates.  Pass the same recorder to the
         :class:`Kernel` so spans are keyed to its step clock.
+    log:
+        The session's action log; defaults to a fresh in-memory
+        :class:`Log`.  Subclasses (e.g. the streaming service's shard tee)
+        may be injected to mirror every append elsewhere -- the kernel's
+        logging clock still serializes appends, so the override needs no
+        locking of its own.
     """
 
     def __init__(
@@ -92,6 +98,7 @@ class Vyrd:
         races=None,
         atomic_locs: Iterable[str] = (),
         obs: Optional[Recorder] = None,
+        log: Optional[Log] = None,
     ):
         if mode == VIEW_MODE and impl_view_factory is None:
             raise ValueError("view mode requires impl_view_factory")
@@ -113,7 +120,7 @@ class Vyrd:
             VIEW_LEVEL if needs_state else IO_LEVEL
         )
         self.obs: Recorder = obs if obs is not None else NULL_RECORDER
-        self.log = Log()
+        self.log = log if log is not None else Log()
         self.tracer = VyrdTracer(
             self.log, level=level, log_locks=log_locks, log_reads=log_reads,
             obs=self.obs,

@@ -19,12 +19,20 @@ longest valid record prefix with a diagnosable offset.
 """
 
 from .campaign import FaultCampaignReport, run_fault_campaign
-from .inject import LatencyTracer, apply_log_faults, bitflip, resolve_offset, tear
+from .inject import (
+    LatencyTracer,
+    apply_log_faults,
+    bitflip,
+    resolve_offset,
+    splice_records,
+    tear,
+)
 from .plan import (
     BITFLIP_LOG,
     CRASH,
     HANG,
     SLOW_IO,
+    SPLICE_LOG,
     TORN_LOG,
     Fault,
     FaultPlan,
@@ -40,11 +48,13 @@ __all__ = [
     "HANG",
     "LatencyTracer",
     "SLOW_IO",
+    "SPLICE_LOG",
     "TORN_LOG",
     "TaskFaults",
     "apply_log_faults",
     "bitflip",
     "resolve_offset",
     "run_fault_campaign",
+    "splice_records",
     "tear",
 ]

@@ -15,8 +15,16 @@ packaged as a library call (the CLI ``faults`` subcommand and the
 3. **Log corruption round** -- produce a pristine framed log, damage copies
    of it per the plan's torn/bit-flip faults, and check that
    :func:`~repro.core.log.recover_log` salvages exactly a prefix of the
-   pristine records and reports the corruption offset.
-4. **Latency round** (when the plan carries ``slow_io`` faults) -- re-run
+   pristine records and reports the corruption offset.  (Record *splices*
+   are excluded here: plain CRC framing cannot see a reorder -- which is
+   exactly what the next round demonstrates the chain catching.)
+4. **Chain round** -- repeat the damage against a *chained* (``VYRDLOG2``)
+   copy of the same log, now including frame-splice tampering, and require
+   :func:`~repro.core.log.verify_chain` (anchored to the pristine head
+   digest) to detect **every** injected fault while
+   :func:`~repro.core.log.recover_log` still salvages an exact chain-valid
+   prefix -- the streaming service's tamper-evidence gate.
+5. **Latency round** (when the plan carries ``slow_io`` faults) -- re-run
    the workload under a :class:`~repro.faults.inject.LatencyTracer` and
    check the produced log is action-for-action identical: injected I/O
    latency must never perturb the deterministic schedule.
@@ -35,10 +43,10 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..concurrency.parallel import parallel_swarm
-from ..core.log import load_log, recover_log, save_log
+from ..core.log import load_log, recover_log, save_log, verify_chain
 from ..harness.runner import ProgramSpec, run_program
 from .inject import apply_log_faults
-from .plan import FaultPlan
+from .plan import SPLICE_LOG, FaultPlan
 
 
 def _digest(signature: dict) -> str:
@@ -63,6 +71,8 @@ class FaultCampaignReport:
     interruptions: List[dict] = field(default_factory=list)
     recoveries: List[dict] = field(default_factory=list)
     recovery_ok: bool = True
+    chain_checks: List[dict] = field(default_factory=list)
+    chain_ok: bool = True  # every injected tamper case detected on chained logs
     tracer_log_identical: Optional[bool] = None  # None: no slow_io planned
 
     @property
@@ -85,6 +95,7 @@ class FaultCampaignReport:
         return (
             self.signatures_match
             and self.recovery_ok
+            and self.chain_ok
             and self.tracer_log_identical is not False
         )
 
@@ -109,6 +120,8 @@ class FaultCampaignReport:
             "interruptions": list(self.interruptions),
             "recoveries": list(self.recoveries),
             "recovery_ok": self.recovery_ok,
+            "chain_checks": list(self.chain_checks),
+            "chain_ok": self.chain_ok,
             "tracer_log_identical": self.tracer_log_identical,
         }
 
@@ -141,6 +154,8 @@ def _corruption_round(
         save_log(run.log, pristine_path)
         pristine = [repr(action) for action in load_log(pristine_path)]
         for index, fault in enumerate(plan.log_faults):
+            if fault.kind == SPLICE_LOG:
+                continue  # undetectable on unchained framing; chain round
             victim = os.path.join(workdir, f"victim-{index}.vlog")
             shutil.copyfile(pristine_path, victim)
             applied = apply_log_faults(
@@ -170,6 +185,53 @@ def _corruption_round(
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
     return recoveries, ok, run
+
+
+def _chain_round(plan: FaultPlan, pristine_run) -> tuple:
+    """Damage chained copies per every log fault; require 100% detection.
+
+    The pristine run's log is saved in the tamper-evident ``VYRDLOG2``
+    format and its head digest recorded (the manifest anchor).  Every log
+    fault in the plan -- tears, bit-flips *and* record splices -- must then
+    be caught by :func:`verify_chain`, and :func:`recover_log` must salvage
+    exactly a chain-valid prefix of the pristine records.
+    """
+    checks: List[dict] = []
+    ok = True
+    workdir = tempfile.mkdtemp(prefix="vyrd-chain-")
+    try:
+        pristine_path = os.path.join(workdir, "pristine.vlog2")
+        save_log(pristine_run.log, pristine_path, chained=True)
+        pristine_report = verify_chain(pristine_path)
+        expected_head = pristine_report.head_digest
+        pristine = [repr(action) for action in load_log(pristine_path)]
+        for index, fault in enumerate(plan.log_faults):
+            victim = os.path.join(workdir, f"victim-{index}.vlog2")
+            shutil.copyfile(pristine_path, victim)
+            applied = apply_log_faults(
+                victim, FaultPlan(seed=plan.seed, faults=(fault,))
+            )
+            report = verify_chain(victim, expected_head=expected_head)
+            recovered = recover_log(victim)
+            salvaged = [repr(action) for action in recovered.log]
+            prefix_exact = salvaged == pristine[: len(salvaged)]
+            entry = {
+                "fault": applied[0] if applied else {"kind": fault.kind},
+                "detected": report.tampered,
+                "error_offset": report.error_offset,
+                "error_record": report.error_record,
+                "cause": report.cause,
+                "head_match": report.head_match,
+                "salvaged_records": len(salvaged),
+                "total_records": len(pristine),
+                "prefix_exact": prefix_exact,
+            }
+            entry["ok"] = report.tampered and prefix_exact
+            ok = ok and entry["ok"]
+            checks.append(entry)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return checks, ok
 
 
 def _latency_round(
@@ -272,6 +334,8 @@ def run_fault_campaign(
         report.recoveries, report.recovery_ok, pristine_run = _corruption_round(
             program, plan, workload_seed, num_threads, calls_per_thread
         )
+    with obs.span("campaign.chain", cat="faults"):
+        report.chain_checks, report.chain_ok = _chain_round(plan, pristine_run)
     with obs.span("campaign.latency", cat="faults"):
         report.tracer_log_identical = _latency_round(
             program, plan, workload_seed, num_threads, calls_per_thread,

@@ -15,7 +15,7 @@ import time
 from typing import List, Optional
 
 from ..concurrency.kernel import Tracer
-from .plan import BITFLIP_LOG, TORN_LOG, Fault, FaultPlan
+from .plan import BITFLIP_LOG, SPLICE_LOG, TORN_LOG, Fault, FaultPlan
 
 
 def tear(path: str, offset: int) -> int:
@@ -49,6 +49,82 @@ def bitflip(path: str, offset: int, bit: int = 0) -> int:
     return offset
 
 
+def _frame_spans(path: str):
+    """Byte spans of every frame in a framed log, format auto-detected.
+
+    Walks the length-prefixed frame headers only -- no CRC or chain checks,
+    no unpickling -- because the injector must be able to splice files it is
+    about to declare corrupt.  Returns ``(spans, data_start)`` where each
+    span is ``(start, end)``; ``([], 0)`` for unframed/legacy files (no
+    frame boundaries to splice at).
+    """
+    from ..core.log import (
+        _CHAIN_HEADER,
+        _DIGEST_SIZE,
+        _FRAME_HEADER,
+        _SHARD_PROLOGUE,
+        LOG_MAGIC,
+        LOG_MAGIC2,
+    )
+
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if data.startswith(LOG_MAGIC2):
+        start = len(LOG_MAGIC2) + _SHARD_PROLOGUE.size
+        fixed = _CHAIN_HEADER.size + _DIGEST_SIZE
+        header = _CHAIN_HEADER
+        length_at = 1  # (seq, length, crc)
+    elif data.startswith(LOG_MAGIC):
+        start = len(LOG_MAGIC)
+        fixed = _FRAME_HEADER.size
+        header = _FRAME_HEADER
+        length_at = 0  # (length, crc)
+    else:
+        return [], 0
+    spans = []
+    offset = start
+    while offset + fixed <= len(data):
+        fields = header.unpack_from(data, offset)
+        end = offset + fixed + fields[length_at]
+        if end > len(data):
+            break
+        spans.append((offset, end))
+        offset = end
+    return spans, start
+
+
+def splice_records(path: str, offset: int) -> dict:
+    """Swap the frame at ``offset`` with its successor, in place.
+
+    A frame-aware record splice: both frames stay individually intact
+    (lengths and CRCs verify), only their order changes -- the tampering a
+    plain CRC-framed log cannot detect and the hash chain exists to catch.
+    Returns the swapped record indices, or ``{"spliced": False}`` when the
+    file has fewer than two whole frames (nothing to reorder).
+    """
+    spans, _start = _frame_spans(path)
+    if len(spans) < 2:
+        return {"spliced": False}
+    index = 0
+    for i, (lo, hi) in enumerate(spans):
+        if lo <= offset < hi:
+            index = i
+            break
+    else:
+        index = len(spans) - 1
+    if index == len(spans) - 1:
+        index -= 1
+    (a_lo, a_hi), (b_lo, b_hi) = spans[index], spans[index + 1]
+    with open(path, "r+b") as handle:
+        data = bytearray(handle.read())
+        swapped = data[b_lo:b_hi] + data[a_lo:a_hi]
+        data[a_lo:b_hi] = swapped
+        handle.seek(0)
+        handle.write(data)
+    return {"spliced": True, "records": (index, index + 1),
+            "offsets": (a_lo, b_hi)}
+
+
 def resolve_offset(fault: Fault, size: int) -> int:
     """Turn a fault's fractional position into a concrete byte offset.
 
@@ -80,6 +156,11 @@ def apply_log_faults(path: str, plan: FaultPlan) -> List[dict]:
             flipped = bitflip(path, offset, fault.bit)
             applied.append({"kind": BITFLIP_LOG, "offset": flipped,
                             "bit": fault.bit % 8})
+        elif fault.kind == SPLICE_LOG:
+            spliced = splice_records(path, offset)
+            spliced["kind"] = SPLICE_LOG
+            spliced["offset"] = offset
+            applied.append(spliced)
     return applied
 
 

@@ -38,11 +38,12 @@ HANG = "hang"
 #: Log-file fault kinds.
 TORN_LOG = "torn_log"
 BITFLIP_LOG = "bitflip_log"
+SPLICE_LOG = "splice_log"
 #: Tracer-seam fault kind.
 SLOW_IO = "slow_io"
 
 _TASK_KINDS = (CRASH, HANG)
-_LOG_KINDS = (TORN_LOG, BITFLIP_LOG)
+_LOG_KINDS = (TORN_LOG, BITFLIP_LOG, SPLICE_LOG)
 
 
 @dataclass(frozen=True)
@@ -109,6 +110,7 @@ class FaultPlan:
         hangs: int = 1,
         torn: int = 1,
         bitflips: int = 1,
+        splices: int = 1,
         slow_ios: int = 0,
         hang_seconds: float = 30.0,
         slow_io_seconds: float = 0.0005,
@@ -133,6 +135,8 @@ class FaultPlan:
         for _ in range(bitflips):
             faults.append(Fault(BITFLIP_LOG, frac=rng.random(),
                                 bit=rng.randrange(8)))
+        for _ in range(splices):
+            faults.append(Fault(SPLICE_LOG, frac=rng.random()))
         for _ in range(slow_ios):
             faults.append(Fault(SLOW_IO, seconds=slow_io_seconds,
                                 every=rng.randrange(16, 64)))
@@ -174,6 +178,7 @@ class FaultPlan:
             "hangs": sum(1 for f in self.faults if f.kind == HANG),
             "torn_logs": sum(1 for f in self.faults if f.kind == TORN_LOG),
             "bitflips": sum(1 for f in self.faults if f.kind == BITFLIP_LOG),
+            "splices": sum(1 for f in self.faults if f.kind == SPLICE_LOG),
             "slow_ios": sum(1 for f in self.faults if f.kind == SLOW_IO),
             "faults": [
                 {

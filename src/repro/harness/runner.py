@@ -75,6 +75,7 @@ def run_program(
     faults=None,
     lint: Optional[str] = None,
     obs: Optional[Recorder] = None,
+    log=None,
 ) -> RunResult:
     """Build, run and (optionally online-) verify one program instance.
 
@@ -96,7 +97,10 @@ def run_program(
     :class:`repro.obs.MetricsRecorder`) profiles the whole pipeline: it is
     threaded through the session, the kernel (whose step counter becomes
     the trace clock) and the harness phases, and comes back on
-    ``RunResult.obs``."""
+    ``RunResult.obs``.  ``log`` (a :class:`repro.core.Log` or subclass)
+    replaces the session's in-memory log -- the streaming service passes a
+    shard tee here so every append is also spooled to durable shard
+    files."""
     program = _resolve(program)
     built = program.build(buggy, num_threads)
     lint_findings: tuple = ()
@@ -124,6 +128,7 @@ def run_program(
         races=races,
         atomic_locs=program.atomic_locs,
         obs=obs,
+        log=log,
     )
     scheduler = scheduler_factory(seed) if scheduler_factory is not None else None
     tracer = vyrd.tracer

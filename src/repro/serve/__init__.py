@@ -1,0 +1,63 @@
+"""`vyrd serve`: streaming verification with sharded, tamper-evident logs.
+
+The subsystem that moves VYRD's online checking out of the producing
+process: producers spool every logged action into per-thread, hash-chained
+shard files through a pluggable blob store, and a long-lived daemon tails
+the shards, merges them back into the canonical history by sequence number,
+and runs the refinement/race checkers continuously -- with bounded queues
+and a store-level pause flag applying backpressure when checkers lag.
+
+* :mod:`store` -- the :class:`LogStore` interface (local directory, S3-style
+  object-store stub).
+* :mod:`shard` -- chained shard writers, tailing readers, the producer tee.
+* :mod:`merge` -- the deterministic sequence-number merge.
+* :mod:`daemon` -- :class:`ServeSession`, :func:`serve_campaign`.
+* :mod:`producer` -- the producing side (subprocess entry point).
+"""
+
+from .daemon import (
+    BoundedQueue,
+    ServeReport,
+    ServeResult,
+    ServeSession,
+    serve_campaign,
+    session_checkers,
+)
+from .merge import MergeError, StreamMerger
+from .producer import produce_session
+from .shard import (
+    PROLOGUE_SIZE,
+    ShardSet,
+    ShardTail,
+    ShardWriter,
+    StoreThrottle,
+    TeeLog,
+    manifest_name,
+    pause_name,
+    shard_name,
+)
+from .store import LocalDirectoryStore, LogStore, ObjectStoreStub
+
+__all__ = [
+    "BoundedQueue",
+    "LocalDirectoryStore",
+    "LogStore",
+    "MergeError",
+    "ObjectStoreStub",
+    "PROLOGUE_SIZE",
+    "ServeReport",
+    "ServeResult",
+    "ServeSession",
+    "ShardSet",
+    "ShardTail",
+    "ShardWriter",
+    "StoreThrottle",
+    "StreamMerger",
+    "TeeLog",
+    "manifest_name",
+    "pause_name",
+    "produce_session",
+    "serve_campaign",
+    "session_checkers",
+    "shard_name",
+]

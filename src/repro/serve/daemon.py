@@ -1,0 +1,569 @@
+"""The `vyrd serve` daemon: continuous verification of streamed shards.
+
+One :class:`ServeSession` verifies one producing run.  Two daemon threads
+cooperate per session:
+
+* the **ingest** thread tails every shard blob (chain-verifying each frame
+  as it arrives), merges decoded frames back into canonical order by
+  sequence number (:class:`~repro.serve.merge.StreamMerger`), and hands
+  record batches to a bounded queue;
+* the **checker** thread drains the queue, appends to the canonical
+  in-memory history, and feeds the incremental refinement (and optional
+  race) checkers -- the paper's online verifier, decoupled from the
+  producing process entirely.
+
+Backpressure runs end to end: when the checker lags, the bounded queue
+fills and the ingest thread blocks on ``put``; crossing the high watermark
+additionally raises the session's PAUSE flag in the store, which the
+producer's :class:`~repro.serve.shard.TeeLog` polls and honors.  Clearing
+happens at the low watermark.  None of this can change the verdict or the
+history -- order is carried by the frames themselves -- it only changes
+*when* work happens, which is what the determinism gate checks.
+
+:func:`serve_campaign` is the long-lived service shape: producer
+subprocesses are forked per session and any number of sessions are verified
+concurrently, each with its own shard set under one store.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..core import CheckOutcome, RefinementChecker
+from ..core.actions import Action
+from ..core.log import ChainReport, log_signature, verify_chain
+from ..obs import NULL_RECORDER, Recorder
+from .merge import MergeError, StreamMerger
+from .shard import ShardTail, manifest_name, pause_name
+from .store import LogStore
+
+
+class BoundedQueue:
+    """A bounded record-batch queue; blocking ``put`` is the backpressure.
+
+    Capacity is measured in *records* (not batches) so the memory bound is
+    independent of batch size.  ``put_waits`` counts puts that blocked and
+    ``max_depth`` the high-water record count -- the evidence that
+    backpressure actually engaged in a lag test.
+    """
+
+    def __init__(self, max_records: int):
+        self._max = max(1, max_records)
+        self._batches: List[List[Action]] = []
+        self._records = 0
+        self._closed = False
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self.put_waits = 0
+        self.max_depth = 0
+
+    @property
+    def depth(self) -> int:
+        return self._records
+
+    @property
+    def max_records(self) -> int:
+        return self._max
+
+    def put(self, batch: List[Action]) -> None:
+        """Block until ``batch`` fits (the backpressure).
+
+        A batch larger than the whole bound is admitted once the queue is
+        empty -- waiting for it to *fit* would wait forever, and refusing
+        it would deadlock a misconfigured session rather than merely
+        overshooting the memory bound by one batch.
+        """
+        with self._not_full:
+            if self._records + len(batch) > self._max:
+                self.put_waits += 1
+                while (
+                    self._records + len(batch) > self._max
+                    and not (self._records == 0 and len(batch) > self._max)
+                    and not self._closed
+                ):
+                    self._not_full.wait(0.05)
+            if self._closed:
+                raise RuntimeError("queue closed")
+            self._batches.append(batch)
+            self._records += len(batch)
+            self.max_depth = max(self.max_depth, self._records)
+            self._not_empty.notify()
+
+    def get(self, timeout: float = 0.1) -> Optional[List[Action]]:
+        """Next batch, or None once the queue is closed and drained."""
+        with self._not_empty:
+            while not self._batches:
+                if self._closed:
+                    return None
+                self._not_empty.wait(timeout)
+            batch = self._batches.pop(0)
+            self._records -= len(batch)
+            self._not_full.notify()
+            return batch
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+
+def session_checkers(
+    program: str,
+    mode: str = "view",
+    races=None,
+    stop_at_first: bool = True,
+):
+    """Build (refinement, race) checker factories from the workload registry.
+
+    The daemon never executes the program; it only needs the program's
+    *specification* side -- spec factory, view factory, invariants, replay
+    registry, atomic locations -- which the registry rebuilds from the name
+    alone, exactly as the offline CLI checkers do.
+    """
+    from ..harness.workload import PROGRAMS  # late import: serve -> harness
+
+    entry = PROGRAMS[program]
+    built = entry.build(False, 1)
+
+    def make_checker() -> RefinementChecker:
+        return RefinementChecker(
+            built.spec_factory(),
+            mode=mode,
+            impl_view=built.view_factory() if mode == "view" else None,
+            invariants=built.invariants if mode == "view" else (),
+            replay_registry=built.replay_registry,
+            stop_at_first=stop_at_first,
+        )
+
+    make_races = None
+    if races:
+        from ..races import RaceChecker
+
+        def make_races():
+            return RaceChecker(
+                detectors=races, stop_at_first=False,
+                atomic_locs=entry.atomic_locs,
+            )
+
+    return make_checker, make_races
+
+
+@dataclass
+class ServeResult:
+    """Everything the daemon concluded about one streamed session."""
+
+    session: str
+    records: int = 0
+    signature: Optional[str] = None
+    outcome: Optional[CheckOutcome] = None
+    race_outcome: Optional[object] = None
+    complete: bool = False
+    error: Optional[str] = None
+    manifest: Optional[dict] = None
+    chain: List[ChainReport] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def chain_ok(self) -> bool:
+        return bool(self.chain) and all(report.ok for report in self.chain)
+
+    @property
+    def ok(self) -> bool:
+        """Stream-level health: complete, chain-clean, no daemon error.
+
+        The refinement *verdict* is deliberately separate -- a buggy program
+        detected by the checkers is the service working, not failing."""
+        return self.complete and self.error is None and self.chain_ok
+
+    def to_dict(self) -> dict:
+        return {
+            "session": self.session,
+            "ok": self.ok,
+            "records": self.records,
+            "signature": self.signature,
+            "verdict_ok": self.outcome.ok if self.outcome else None,
+            "races": (
+                len(self.race_outcome.races) if self.race_outcome else None
+            ),
+            "complete": self.complete,
+            "error": self.error,
+            "chain": [report.to_dict() for report in self.chain],
+            "stats": dict(self.stats),
+        }
+
+
+class ServeSession:
+    """Ingest, merge and verify one session's shard streams online.
+
+    Parameters
+    ----------
+    checker_factory / race_checker_factory:
+        Zero-arg builders of the incremental checkers (see
+        :func:`session_checkers`); either may be None to skip that check.
+    queue_records:
+        Bound of the ingest->checker queue; the memory cap and the
+        backpressure trigger.
+    pause_high / pause_low:
+        Queue depths (records) at which the store PAUSE flag is raised and
+        cleared; default 3/4 and 1/4 of ``queue_records``.
+    checker_delay:
+        Artificial per-batch checker stall (seconds) -- the test hook that
+        forces checker lag so backpressure determinism can be exercised.
+    timeout:
+        Wall-clock bound on the whole session; exceeded => incomplete.
+    """
+
+    def __init__(
+        self,
+        store: LogStore,
+        session: str,
+        num_shards: int,
+        *,
+        checker_factory: Optional[Callable[[], RefinementChecker]] = None,
+        race_checker_factory: Optional[Callable] = None,
+        queue_records: int = 4096,
+        batch_records: int = 256,
+        poll_interval: float = 0.002,
+        pause_high: Optional[int] = None,
+        pause_low: Optional[int] = None,
+        checker_delay: float = 0.0,
+        timeout: float = 120.0,
+        obs: Optional[Recorder] = None,
+    ):
+        self.store = store
+        self.session = session
+        self.num_shards = num_shards
+        self.checker_factory = checker_factory
+        self.race_checker_factory = race_checker_factory
+        self.queue = BoundedQueue(queue_records)
+        # An enqueue chunk larger than the queue bound could never fit and
+        # would wedge ingest until the session timeout; clamp, don't trust
+        # the caller to keep the two knobs consistent.
+        self.batch_records = max(1, min(batch_records, self.queue.max_records))
+        self.poll_interval = poll_interval
+        self.pause_high = (
+            pause_high if pause_high is not None else (queue_records * 3) // 4
+        )
+        self.pause_low = (
+            pause_low if pause_low is not None else queue_records // 4
+        )
+        self.checker_delay = checker_delay
+        self.timeout = timeout
+        self.obs = obs if obs is not None else NULL_RECORDER
+        # shared between the two daemon threads
+        self._canonical: List[Action] = []
+        self._ingested = 0
+        self._checked = 0
+        self._manifest: Optional[dict] = None
+        self._ingest_error: Optional[str] = None
+        self._checker_error: Optional[str] = None
+        self._paused = False
+        self._pauses = 0
+
+    # -- ingest side ---------------------------------------------------------
+
+    def _set_pause(self, up: bool) -> None:
+        if up and not self._paused:
+            self.store.set_flag(pause_name(self.session))
+            self._paused = True
+            self._pauses += 1
+        elif not up and self._paused:
+            self.store.clear_flag(pause_name(self.session))
+            self._paused = False
+
+    def _enqueue(self, records: List[Action]) -> None:
+        for start in range(0, len(records), self.batch_records):
+            batch = records[start : start + self.batch_records]
+            # Raise the pause flag *before* a put that would cross the high
+            # watermark, so the producer throttles while the daemon blocks.
+            if self.queue.depth + len(batch) >= self.pause_high:
+                self._set_pause(True)
+            self.queue.put(batch)
+            self._ingested += len(batch)
+
+    def _ingest(self, process=None) -> None:
+        tails = [
+            ShardTail(self.store, self.session, index)
+            for index in range(self.num_shards)
+        ]
+        merger = StreamMerger(self.num_shards)
+        deadline = time.monotonic() + self.timeout
+        grace_polls = 0
+        try:
+            while True:
+                progressed = 0
+                for tail in tails:
+                    items = tail.poll()
+                    if items:
+                        merger.push(tail.index, items)
+                        progressed += len(items)
+                    if tail.error is not None:
+                        self._ingest_error = (
+                            f"shard {tail.index}: {tail.error}"
+                        )
+                        return
+                ready = merger.pop_ready()
+                if ready:
+                    self._enqueue(ready)
+                # Clearing must not depend on new records arriving: a paused
+                # producer sends nothing, so the flag would wedge up forever
+                # if only _enqueue could lower it.
+                if self._paused and self.queue.depth <= self.pause_low:
+                    self._set_pause(False)
+                if self._manifest is None:
+                    self._manifest = self.store.get_json(
+                        manifest_name(self.session)
+                    )
+                if (
+                    self._manifest is not None
+                    and merger.next_seq >= int(self._manifest["records"])
+                ):
+                    return  # every produced record ingested
+                if time.monotonic() > deadline:
+                    self._ingest_error = (
+                        f"session timeout after {self.timeout}s "
+                        f"(merged {merger.next_seq}, "
+                        f"buffered {merger.buffered}, "
+                        f"waiting for seq {merger.gap()})"
+                    )
+                    return
+                if progressed == 0:
+                    if process is not None and not process.is_alive():
+                        # Producer is gone.  Give the store a few more polls
+                        # to surface already-written bytes, then conclude.
+                        grace_polls += 1
+                        if grace_polls > 5:
+                            if self._manifest is None:
+                                self._ingest_error = (
+                                    "producer exited without a manifest "
+                                    f"(merged {merger.next_seq} records)"
+                                )
+                            return
+                    time.sleep(self.poll_interval)
+                else:
+                    grace_polls = 0
+        except MergeError as exc:
+            self._ingest_error = f"merge: {exc}"
+        finally:
+            self._set_pause(False)
+            self.queue.close()
+
+    # -- checker side --------------------------------------------------------
+
+    def _check(self, checker, race_checker) -> None:
+        try:
+            while True:
+                batch = self.queue.get()
+                if batch is None:
+                    return
+                self._canonical.extend(batch)
+                if checker is not None:
+                    checker.feed(batch)
+                if race_checker is not None:
+                    race_checker.feed(batch)
+                self._checked += len(batch)
+                if self.checker_delay:
+                    time.sleep(self.checker_delay)
+        except Exception as exc:  # surfaced on the result, not swallowed
+            self._checker_error = f"checker: {exc!r}"
+
+    # -- the session -----------------------------------------------------------
+
+    def run(self, process=None) -> ServeResult:
+        """Drive ingest + checking to completion; ``process`` (optional) is
+        the producer handle used to detect an abandoned session."""
+        checker = self.checker_factory() if self.checker_factory else None
+        race_checker = (
+            self.race_checker_factory() if self.race_checker_factory else None
+        )
+        obs = self.obs
+        with obs.span("serve.session", cat="serve", session=self.session):
+            ingest = threading.Thread(
+                target=self._ingest, args=(process,),
+                name=f"serve-ingest-{self.session}", daemon=True,
+            )
+            check = threading.Thread(
+                target=self._check, args=(checker, race_checker),
+                name=f"serve-check-{self.session}", daemon=True,
+            )
+            ingest.start()
+            check.start()
+            ingest.join()
+            check.join()
+        result = ServeResult(session=self.session)
+        result.manifest = self._manifest
+        result.records = len(self._canonical)
+        result.signature = log_signature(self._canonical)
+        if checker is not None:
+            result.outcome = checker.finish()
+        if race_checker is not None:
+            result.race_outcome = race_checker.finish()
+        result.error = self._ingest_error or self._checker_error
+        result.complete = (
+            self._manifest is not None
+            and result.error is None
+            and result.records == int(self._manifest["records"])
+        )
+        if self._manifest is not None:
+            result.chain = self._audit_chains(self._manifest)
+        result.stats = {
+            "ingested": self._ingested,
+            "checked": self._checked,
+            "queue_put_waits": self.queue.put_waits,
+            "queue_max_depth": self.queue.max_depth,
+            "pause_raises": self._pauses,
+            "producer_throttle_waits": (
+                self._manifest.get("throttle_waits")
+                if self._manifest else None
+            ),
+        }
+        if obs.enabled:
+            obs.count("serve.records", result.records)
+            obs.count("serve.sessions", 1)
+            obs.count("serve.queue_put_waits", self.queue.put_waits)
+            obs.count("serve.pause_raises", self._pauses)
+        return result
+
+    def _audit_chains(self, manifest: dict) -> List[ChainReport]:
+        """Post-completion audit: re-walk every shard file's full chain
+        against the manifest's acknowledged head digests."""
+        reports = []
+        for entry in manifest.get("shards", ()):
+            name = entry["name"]
+            target = self.store.path(name) or self.store.open_read(name)
+            reports.append(
+                verify_chain(target, expected_head=entry.get("head_digest"))
+            )
+        return reports
+
+
+# ---------------------------------------------------------------------------
+# The service: many sessions, forked producers
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ServeReport:
+    """One `vyrd serve` campaign: every session's result."""
+
+    sessions: List[ServeResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.sessions) and all(s.ok for s in self.sessions)
+
+    @property
+    def records(self) -> int:
+        return sum(s.records for s in self.sessions)
+
+    @property
+    def violations(self) -> int:
+        return sum(
+            1 for s in self.sessions if s.outcome and not s.outcome.ok
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "records": self.records,
+            "violations": self.violations,
+            "sessions": [s.to_dict() for s in self.sessions],
+        }
+
+
+def serve_campaign(
+    program: str,
+    store,
+    *,
+    sessions: int = 1,
+    base_seed: int = 0,
+    num_shards: int = 2,
+    jobs: int = 2,
+    mode: str = "view",
+    races=None,
+    sync: bool = False,
+    batch_records: int = 64,
+    queue_records: int = 4096,
+    checker_delay: float = 0.0,
+    timeout: float = 120.0,
+    run_kwargs: Optional[dict] = None,
+    obs: Optional[Recorder] = None,
+) -> ServeReport:
+    """Serve ``sessions`` runs of one program, producers forked per session.
+
+    Each session gets seed ``base_seed + i`` (schedule diversity, the swarm
+    idiom) and a private shard namespace ``run-<seed>`` under ``store``;
+    ``jobs`` sessions are verified concurrently.  Requires a
+    :class:`~repro.serve.store.LocalDirectoryStore` (producers are separate
+    processes); use :class:`ServeSession` + :func:`produce_session` directly
+    for in-process serving against other stores.
+    """
+    import multiprocessing
+    from concurrent.futures import ThreadPoolExecutor
+
+    from .store import LocalDirectoryStore
+
+    if not isinstance(store, LocalDirectoryStore):
+        raise TypeError(
+            "serve_campaign forks producer subprocesses and needs a "
+            "LocalDirectoryStore; drive ServeSession directly for "
+            "in-process stores"
+        )
+    from .producer import _producer_main
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        ctx = multiprocessing.get_context()
+    checker_factory, race_factory = session_checkers(
+        program, mode=mode, races=races
+    )
+    kwargs = dict(run_kwargs or {})
+    kwargs.setdefault("mode", mode)
+    if races:
+        # The producer only needs to *log* the sync/read events the race
+        # detectors consume; the detectors themselves run in the daemon.
+        kwargs.setdefault("log_locks", True)
+        kwargs.setdefault("log_reads", True)
+
+    def one(seed: int) -> ServeResult:
+        name = f"run-{seed:05d}"
+        process = ctx.Process(
+            target=_producer_main,
+            args=(store.root, name, program, seed, num_shards, sync,
+                  batch_records, kwargs),
+            name=f"producer-{name}",
+        )
+        session = ServeSession(
+            store, name, num_shards,
+            checker_factory=checker_factory,
+            race_checker_factory=race_factory,
+            queue_records=queue_records,
+            checker_delay=checker_delay,
+            timeout=timeout,
+            obs=obs,
+        )
+        process.start()
+        try:
+            result = session.run(process)
+        finally:
+            process.join(timeout=10.0)
+            if process.is_alive():  # pragma: no cover - wedged producer
+                process.terminate()
+                process.join()
+        return result
+
+    report = ServeReport()
+    seeds = [base_seed + index for index in range(sessions)]
+    if jobs <= 1:
+        for seed in seeds:
+            report.sessions.append(one(seed))
+    else:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            report.sessions.extend(pool.map(one, seeds))
+    return report

@@ -1,0 +1,87 @@
+"""Deterministic k-way merge of sharded action streams.
+
+Shards partition one session's log by acting thread; every frame carries
+the record's global sequence number (its append index under the producing
+kernel's logging clock).  Merging is therefore not a heuristic interleaving
+problem: the canonical history is *the* sequence ``0, 1, 2, ...`` and the
+merger simply emits each record the moment its sequence number becomes the
+watermark.  Records arriving early (their shard ran ahead) buffer until the
+lagging shard catches up; the output order is a pure function of the frame
+contents, independent of poll timing, batch sizes or shard count -- the
+determinism gate the service is built on.
+
+The merger also doubles as a cross-shard integrity check: a duplicate or
+already-emitted sequence number (two shards claiming the same slot -- a
+splice the per-shard hash chains cannot see because each chain is
+internally consistent) raises :exc:`MergeError`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from ..core.actions import Action
+
+
+class MergeError(Exception):
+    """Shard streams are mutually inconsistent (duplicate/regressed seq)."""
+
+
+class StreamMerger:
+    """Buffer per-shard ``(seq, action)`` runs; emit the contiguous prefix."""
+
+    def __init__(self, num_shards: int):
+        self._queues: List[Deque[Tuple[int, Action]]] = [
+            deque() for _ in range(num_shards)
+        ]
+        self._last_pushed: List[Optional[int]] = [None] * num_shards
+        #: Next sequence number to emit (== records emitted so far).
+        self.next_seq = 0
+
+    def push(self, shard: int, items: List[Tuple[int, Action]]) -> None:
+        """Add freshly decoded frames from one shard (in file order)."""
+        queue = self._queues[shard]
+        last = self._last_pushed[shard]
+        for seq, action in items:
+            if last is not None and seq <= last:
+                raise MergeError(
+                    f"shard {shard} sequence regressed: {seq} after {last}"
+                )
+            last = seq
+            queue.append((seq, action))
+        self._last_pushed[shard] = last
+
+    def pop_ready(self) -> List[Action]:
+        """Emit every buffered record whose turn has come, in order."""
+        out: List[Action] = []
+        queues = self._queues
+        while True:
+            hit = None
+            for shard, queue in enumerate(queues):
+                if not queue:
+                    continue
+                head_seq = queue[0][0]
+                if head_seq == self.next_seq:
+                    hit = shard
+                    break
+                if head_seq < self.next_seq:
+                    raise MergeError(
+                        f"shard {shard} offers seq {head_seq} but "
+                        f"{self.next_seq} records were already merged "
+                        "(duplicate or cross-shard splice)"
+                    )
+            if hit is None:
+                return out
+            _seq, action = queues[hit].popleft()
+            out.append(action)
+            self.next_seq += 1
+
+    @property
+    def buffered(self) -> int:
+        """Records received but not yet emittable (waiting on a gap)."""
+        return sum(len(queue) for queue in self._queues)
+
+    def gap(self) -> Optional[int]:
+        """The sequence number the merge is stuck waiting for, if any."""
+        return self.next_seq if self.buffered else None

@@ -24,7 +24,17 @@ programs:
    $ python -m repro.tools.cli races run.vyrdlog --detector hb
    $ python -m repro.tools.cli trace run.vyrdlog --max-rows 40
    $ python -m repro.tools.cli witness run.vyrdlog
+   $ python -m repro.tools.cli serve --program multiset-vector --sessions 2 \\
+         --shards 2 --root /tmp/vyrd-serve --verify-direct --json
+   $ python -m repro.tools.cli verify-chain /tmp/vyrd-serve/run-00000
 
+``serve`` runs the streaming verification service (:mod:`repro.serve`):
+producer processes write sharded, hash-chained logs into a store while a
+daemon merges, checks and chain-audits them online (``--verify-direct``
+additionally gates every session's canonical-order signature against a
+single-process rerun); ``verify-chain`` walks the tamper-evident hash
+chain of saved shard files -- or a whole session directory against its
+manifest's recorded head digests -- and pinpoints the first bad byte;
 ``lint`` statically checks every registry implementation's
 instrumentation annotations (:mod:`repro.lint`) before anything runs;
 ``explore`` runs a whole campaign -- seeded random schedules (swarm) or
@@ -300,6 +310,77 @@ def _build_parser() -> argparse.ArgumentParser:
         "witness", help="show the commit-order witness interleaving"
     )
     witness_parser.add_argument("log")
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the streaming verification service: forked producers "
+             "write sharded hash-chained logs, the daemon merges them "
+             "deterministically, checks online and audits the chains",
+    )
+    serve_parser.add_argument("--program", required=True,
+                              choices=sorted(PROGRAMS))
+    serve_parser.add_argument("--sessions", type=int, default=1,
+                              help="producer sessions to serve (each gets "
+                                   "seed base-seed + i)")
+    serve_parser.add_argument("--base-seed", type=int, default=0)
+    serve_parser.add_argument("--shards", type=int, default=2,
+                              help="shard files per session")
+    serve_parser.add_argument("--jobs", type=int, default=2,
+                              help="sessions verified concurrently")
+    serve_parser.add_argument("--buggy", action="store_true",
+                              help="enable the program's seeded bug")
+    serve_parser.add_argument("--threads", type=int, default=3)
+    serve_parser.add_argument("--calls", type=int, default=10,
+                              help="method calls per thread")
+    serve_parser.add_argument("--mode", choices=("io", "view"),
+                              default="view")
+    serve_parser.add_argument("--races", nargs="?", const="both",
+                              choices=("hb", "lockset", "both"),
+                              help="also run daemon-side race detection "
+                                   "(producers log sync/read events)")
+    serve_parser.add_argument("--root", metavar="DIR",
+                              help="store directory for shard files "
+                                   "(default: a fresh temp directory)")
+    serve_parser.add_argument("--sync", action="store_true",
+                              help="fsync every acknowledged batch "
+                                   "(crash-durable shards)")
+    serve_parser.add_argument("--batch-records", type=int, default=64,
+                              help="producer flush granularity")
+    serve_parser.add_argument("--queue-records", type=int, default=4096,
+                              help="daemon queue bound; producers are "
+                                   "backpressured when checkers lag")
+    serve_parser.add_argument("--checker-delay", type=float, default=0.0,
+                              help="artificial per-batch checker stall "
+                                   "(seconds) to exercise backpressure")
+    serve_parser.add_argument("--timeout", type=float, default=120.0,
+                              help="per-session ingest deadline (seconds)")
+    serve_parser.add_argument("--verify-direct", action="store_true",
+                              help="gate every session's canonical-order "
+                                   "signature against a single-process "
+                                   "rerun of the same seed (exit 1 on any "
+                                   "mismatch)")
+    _add_obs_arguments(serve_parser)
+    serve_parser.add_argument("--json", action="store_true",
+                              help="emit the campaign report as JSON")
+
+    chain_parser = sub.add_parser(
+        "verify-chain",
+        help="verify the tamper-evident hash chain of saved shard logs; "
+             "a session directory is audited against its MANIFEST.json "
+             "head digests",
+    )
+    chain_parser.add_argument("paths", nargs="+", metavar="PATH",
+                              help="chained log file(s), or session "
+                                   "directories containing MANIFEST.json")
+    chain_parser.add_argument("--expected-head", metavar="HEXDIGEST",
+                              help="require this chain head (single file "
+                                   "only; catches clean tail truncation)")
+    chain_parser.add_argument("--require-chained", action="store_true",
+                              help="treat unchained (VYRDLOG1/legacy) "
+                                   "files as a failure instead of 'no "
+                                   "integrity claim'")
+    chain_parser.add_argument("--json", action="store_true",
+                              help="emit the reports as JSON")
 
     return parser
 
@@ -769,6 +850,207 @@ def _cmd_profile(args) -> int:
     return 0 if outcome.ok else 1
 
 
+def _cmd_serve(args) -> int:
+    import tempfile
+
+    from ..core import log_signature
+    from ..serve import LocalDirectoryStore, serve_campaign
+
+    recorder = _obs_recorder(args)
+    root = args.root or tempfile.mkdtemp(prefix="vyrd-serve-")
+    store = LocalDirectoryStore(root)
+    run_kwargs = {
+        "buggy": args.buggy,
+        "num_threads": args.threads,
+        "calls_per_thread": args.calls,
+        "mode": args.mode,
+    }
+    start = time.perf_counter()
+    report = serve_campaign(
+        args.program,
+        store,
+        sessions=args.sessions,
+        base_seed=args.base_seed,
+        num_shards=args.shards,
+        jobs=args.jobs,
+        mode=args.mode,
+        races=args.races,
+        sync=args.sync,
+        batch_records=args.batch_records,
+        queue_records=args.queue_records,
+        checker_delay=args.checker_delay,
+        timeout=args.timeout,
+        run_kwargs=run_kwargs,
+        obs=recorder,
+    )
+    elapsed = time.perf_counter() - start
+    mismatches = []
+    if args.verify_direct:
+        # The determinism gate: the daemon's merged canonical order must be
+        # byte-identical (by signature) to a single-process run, shard
+        # count and backpressure notwithstanding.
+        direct_kwargs = dict(run_kwargs)
+        if args.races:
+            direct_kwargs.setdefault("log_locks", True)
+            direct_kwargs.setdefault("log_reads", True)
+        for result in report.sessions:
+            seed = int(result.session.rsplit("-", 1)[1])
+            solo = run_program(args.program, seed=seed, **direct_kwargs)
+            expected = log_signature(solo.log)
+            if result.signature != expected:
+                mismatches.append({
+                    "session": result.session,
+                    "served": result.signature,
+                    "direct": expected,
+                })
+    ok = report.ok and not mismatches
+    if args.json:
+        payload = report.to_dict()
+        payload.update({
+            "ok": ok,
+            "program": args.program,
+            "root": root,
+            "shards": args.shards,
+            "seconds": round(elapsed, 3),
+            "records_per_sec": (
+                round(report.records / elapsed, 1) if elapsed > 0 else None
+            ),
+        })
+        if args.verify_direct:
+            payload["direct_signature_match"] = not mismatches
+            payload["mismatches"] = mismatches
+        _finish_obs(args, recorder, payload)
+        print(json.dumps(payload, indent=2))
+        return 0 if ok else 1
+    print(
+        f"served {args.program} ({'buggy' if args.buggy else 'correct'}): "
+        f"{args.sessions} session(s) x {args.shards} shard(s), "
+        f"{report.records} records in {elapsed:.2f}s -> {root}"
+    )
+    for result in report.sessions:
+        state = "ok" if result.ok else "FAILED"
+        verdict = (
+            "no violation" if result.outcome and result.outcome.ok
+            else "VIOLATION" if result.outcome else "unchecked"
+        )
+        chain = "chain ok" if result.chain_ok else "CHAIN BROKEN"
+        line = (
+            f"  [{state}] {result.session}: {result.records} records, "
+            f"{verdict}, {chain}"
+        )
+        stats = result.stats
+        if stats.get("pause_raises"):
+            line += f", backpressure x{stats['pause_raises']}"
+        if result.error:
+            line += f" ({result.error})"
+        print(line)
+    if args.verify_direct:
+        if mismatches:
+            for entry in mismatches:
+                print(
+                    f"  signature MISMATCH {entry['session']}: served "
+                    f"{entry['served'][:16]}... != direct "
+                    f"{entry['direct'][:16]}...",
+                    file=sys.stderr,
+                )
+        else:
+            print("  signatures identical to single-process reruns")
+    if report.violations:
+        print(f"  {report.violations} session(s) detected violations")
+    _finish_obs(args, recorder, title=f"{args.program} serve profile")
+    return 0 if ok else 1
+
+
+def _collect_chain_targets(paths):
+    """Expand CLI paths into ``(path, expected_head)`` pairs.
+
+    A directory must hold a session ``MANIFEST.json``; its shard files are
+    audited against the manifest's recorded head digests (names in the
+    manifest are store-relative, so shards resolve against the session
+    directory's parent).
+    """
+    import os
+
+    targets = []
+    for target in paths:
+        if os.path.isdir(target):
+            manifest_path = os.path.join(target, "MANIFEST.json")
+            if not os.path.exists(manifest_path):
+                raise FileNotFoundError(
+                    f"{target}: no MANIFEST.json (not a session directory)"
+                )
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+            root = os.path.dirname(os.path.abspath(target))
+            for entry in manifest["shards"]:
+                targets.append((
+                    os.path.join(root, entry["name"]), entry["head_digest"]
+                ))
+        else:
+            targets.append((target, None))
+    return targets
+
+
+def _cmd_verify_chain(args) -> int:
+    from ..core import verify_chain
+
+    if args.expected_head and len(args.paths) > 1:
+        print("--expected-head takes exactly one log file", file=sys.stderr)
+        return 2
+    try:
+        targets = _collect_chain_targets(args.paths)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.expected_head:
+        targets = [(path, args.expected_head) for path, _ in targets]
+    reports = [verify_chain(path, expected_head=head)
+               for path, head in targets]
+    failed = [
+        report for report in reports
+        if report.tampered or (args.require_chained and not report.chained)
+    ]
+    if args.json:
+        print(json.dumps({
+            "ok": not failed,
+            "files": len(reports),
+            "tampered": sum(1 for r in reports if r.tampered),
+            "reports": [r.to_dict() for r in reports],
+        }, indent=2))
+        return 1 if failed else 0
+    for report in reports:
+        if not report.chained:
+            state = "UNCHAINED" if args.require_chained else "unchained"
+            print(f"[{state}] {report.path}: {report.records} records "
+                  f"(no integrity claim)")
+            continue
+        if report.ok:
+            anchored = (
+                " (head matches manifest)" if report.head_match else ""
+            )
+            print(
+                f"[ok] {report.path}: {report.records} records, head "
+                f"{report.head_digest[:16]}...{anchored}"
+            )
+        elif report.error_offset is not None:
+            print(
+                f"[TAMPERED] {report.path}: chain breaks at byte "
+                f"{report.error_offset} (record {report.error_record}): "
+                f"{report.cause}; {report.records} records salvageable"
+            )
+        else:
+            print(
+                f"[TAMPERED] {report.path}: chain valid but head "
+                f"{report.head_digest[:16]}... does not match the "
+                f"recorded digest (tail truncated at a frame boundary?)"
+            )
+    if failed:
+        print(f"{len(failed)} of {len(reports)} file(s) failed "
+              f"verification", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_trace(args) -> int:
     log = load_log(args.log)
     print(render_trace(log, include_writes=args.writes, max_rows=args.max_rows))
@@ -792,6 +1074,8 @@ _COMMANDS = {
     "races": _cmd_races,
     "trace": _cmd_trace,
     "witness": _cmd_witness,
+    "serve": _cmd_serve,
+    "verify-chain": _cmd_verify_chain,
 }
 
 

@@ -1,0 +1,261 @@
+"""ServeSession / serve_campaign: the determinism, parity and failure gates.
+
+The load-bearing property: a session streamed through N shards, merged and
+checked by the daemon -- with or without backpressure engaged -- yields the
+*byte-identical* canonical-order signature and the same verdict as the
+single-process, single-log run of the same program and seed.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.log import log_signature
+from repro.harness.runner import run_program
+from repro.serve import (
+    LocalDirectoryStore,
+    ObjectStoreStub,
+    ServeSession,
+    manifest_name,
+    produce_session,
+    serve_campaign,
+    session_checkers,
+    shard_name,
+)
+
+PROG = "multiset-vector"
+WORKLOAD = dict(num_threads=3, calls_per_thread=10)
+
+
+def direct_reference(seed, **kw):
+    run = run_program(PROG, seed=seed, **{**WORKLOAD, **kw})
+    return log_signature(list(run.log)), run
+
+
+def serve_in_process(store, session_name, seed, num_shards=3, **session_kw):
+    produce_session(
+        store, session_name, PROG, seed=seed, num_shards=num_shards,
+        run_kwargs=WORKLOAD, throttle=False,
+    )
+    checker_factory, _ = session_checkers(PROG)
+    session = ServeSession(
+        store, session_name, num_shards,
+        checker_factory=checker_factory, **session_kw,
+    )
+    return session.run()
+
+
+def test_sharded_serve_matches_single_process_run():
+    ref_sig, ref = direct_reference(seed=3)
+    result = serve_in_process(ObjectStoreStub(), "s", seed=3)
+    assert result.ok and result.complete
+    assert result.signature == ref_sig
+    assert result.records == len(ref.log)
+    assert result.outcome.ok == ref.vyrd.check_offline().ok
+    assert result.chain_ok
+
+
+def test_shard_count_does_not_change_signature():
+    signatures = set()
+    for num_shards in (1, 2, 4):
+        result = serve_in_process(
+            ObjectStoreStub(), "s", seed=5, num_shards=num_shards
+        )
+        assert result.ok
+        signatures.add(result.signature)
+    assert len(signatures) == 1
+
+
+def test_live_backpressure_preserves_signature():
+    """Producer and daemon run concurrently; a tiny queue plus a slow
+    checker forces the pause flag up, throttling the producer mid-run --
+    and nothing about the history may change."""
+    ref_sig, _ = direct_reference(seed=3)
+    store = ObjectStoreStub()
+    manifests = {}
+
+    def produce():
+        manifests["m"] = produce_session(
+            store, "s", PROG, seed=3, num_shards=2, batch_records=4,
+            throttle=True, throttle_every=8, run_kwargs=WORKLOAD,
+        )
+
+    checker_factory, _ = session_checkers(PROG)
+    session = ServeSession(
+        store, "s", 2, checker_factory=checker_factory,
+        queue_records=16, batch_records=4, checker_delay=0.002,
+        timeout=60.0,
+    )
+    producer = threading.Thread(target=produce)
+    producer.start()
+    result = session.run()
+    producer.join()
+    assert result.ok, result.error
+    assert result.signature == ref_sig
+    assert result.stats["pause_raises"] >= 1
+    assert manifests["m"]["throttle_waits"] >= 1
+
+
+def test_campaign_forked_producers_match_reference(tmp_path):
+    ref_sig, _ = direct_reference(seed=3)
+    store = LocalDirectoryStore(str(tmp_path))
+    report = serve_campaign(
+        PROG, store, sessions=2, base_seed=3, num_shards=2, jobs=2,
+        run_kwargs=WORKLOAD,
+    )
+    assert report.ok
+    by_name = {s.session: s for s in report.sessions}
+    assert by_name["run-00003"].signature == ref_sig
+
+
+def test_campaign_detects_violation_like_direct_run(tmp_path):
+    workload = dict(buggy=True, num_threads=4, calls_per_thread=12)
+    direct = run_program(PROG, seed=7, **workload)
+    direct_outcome = direct.vyrd.check_offline()
+    store = LocalDirectoryStore(str(tmp_path))
+    report = serve_campaign(
+        PROG, store, sessions=1, base_seed=7, num_shards=2, jobs=1,
+        run_kwargs=workload,
+    )
+    session = report.sessions[0]
+    assert session.ok  # the *stream* is healthy...
+    assert session.outcome.ok == direct_outcome.ok  # ...the program is not
+    assert session.signature == log_signature(list(direct.log))
+
+
+def test_serve_race_detection_matches_direct(tmp_path):
+    workload = dict(buggy=True, num_threads=4, calls_per_thread=12)
+    direct = run_program(PROG, seed=7, races="both", **workload)
+    store = LocalDirectoryStore(str(tmp_path))
+    report = serve_campaign(
+        PROG, store, sessions=1, base_seed=7, num_shards=2, jobs=1,
+        races="both", run_kwargs=workload,
+    )
+    session = report.sessions[0]
+    assert session.race_outcome is not None
+    assert (
+        len(session.race_outcome.races) == len(direct.race_outcome.races)
+    )
+
+
+def test_tampered_shard_fails_the_session():
+    store = ObjectStoreStub()
+    produce_session(
+        store, "s", PROG, seed=3, num_shards=2, run_kwargs=WORKLOAD,
+        throttle=False,
+    )
+    name = shard_name("s", 0)
+    body = bytearray(store.get_bytes(name))
+    body[len(body) // 2] ^= 0x01
+    store.put_bytes(name, bytes(body))
+    checker_factory, _ = session_checkers(PROG)
+    session = ServeSession(
+        store, "s", 2, checker_factory=checker_factory, timeout=10.0
+    )
+    result = session.run()
+    assert not result.ok
+    assert result.error is not None and "shard 0" in result.error
+    assert not result.complete
+
+
+def test_clean_tail_truncation_is_detected():
+    """Removing whole frames from a shard tail breaks no chain link; the
+    daemon must still refuse: the merge stalls on the missing sequence
+    numbers and the audit flags the manifest-head mismatch."""
+    store = ObjectStoreStub()
+    produce_session(
+        store, "s", PROG, seed=3, num_shards=2, run_kwargs=WORKLOAD,
+        throttle=False,
+    )
+    from repro.core import ChainDecoder, verify_chain
+    from repro.serve import PROLOGUE_SIZE
+
+    name = shard_name("s", 1)
+    body = store.get_bytes(name)
+    decoder = ChainDecoder(shard_id=1, base_offset=PROLOGUE_SIZE)
+    ends = [end for _seq, _a, end in decoder.feed(body[PROLOGUE_SIZE:])]
+    assert decoder.error is None and len(ends) > 1
+    # cut at the frame boundary before the last record: chain-clean removal
+    store.put_bytes(name, body[: ends[-2]])
+    truncated = verify_chain(store.open_read(name))
+    checker_factory, _ = session_checkers(PROG)
+    session = ServeSession(
+        store, "s", 2, checker_factory=checker_factory, timeout=1.0
+    )
+    result = session.run()
+    assert truncated.ok  # chain alone cannot see it...
+    assert not result.ok  # ...the daemon can
+    assert "timeout" in (result.error or "")
+
+
+def test_producer_death_without_manifest_is_an_error():
+    store = ObjectStoreStub()
+    produce_session(
+        store, "s", PROG, seed=3, num_shards=2, run_kwargs=WORKLOAD,
+        throttle=False,
+    )
+    store.delete(manifest_name("s"))
+
+    class DeadProcess:
+        @staticmethod
+        def is_alive():
+            return False
+
+    checker_factory, _ = session_checkers(PROG)
+    session = ServeSession(
+        store, "s", 2, checker_factory=checker_factory, timeout=10.0
+    )
+    result = session.run(DeadProcess())
+    assert not result.ok
+    assert "without a manifest" in result.error
+    assert result.records > 0  # the salvaged prefix was still merged/checked
+
+
+def test_unknown_run_kwargs_rejected():
+    with pytest.raises(ValueError):
+        produce_session(
+            ObjectStoreStub(), "s", PROG, run_kwargs={"bogus": 1}
+        )
+
+
+def test_producer_batch_larger_than_queue_bound_cannot_wedge():
+    """A producer flush batch bigger than the whole queue bound must still
+    stream through (clamped chunking + oversized-put admission), not block
+    ingest until the session timeout."""
+    ref_sig, _ = direct_reference(seed=2)
+    store = ObjectStoreStub()
+    produce_session(
+        store, "s", PROG, seed=2, num_shards=2, batch_records=64,
+        throttle=False, run_kwargs=WORKLOAD,
+    )
+    checker_factory, _ = session_checkers(PROG)
+    session = ServeSession(
+        store, "s", 2,
+        checker_factory=checker_factory,
+        queue_records=8,        # far below the producer's flush batch
+        batch_records=256,      # would never fit un-clamped
+        timeout=20.0,
+    )
+    result = session.run()
+    assert result.ok and result.complete, result.error
+    assert result.signature == ref_sig
+
+
+def test_bounded_queue_admits_oversized_batch_when_empty():
+    from repro.serve import BoundedQueue
+
+    queue = BoundedQueue(4)
+    queue.put(list(range(3)))
+    done = threading.Event()
+
+    def blocked_put():
+        queue.put(list(range(9)))  # larger than the whole bound
+        done.set()
+
+    thread = threading.Thread(target=blocked_put)
+    thread.start()
+    assert not done.wait(0.2)      # backpressure while records are queued
+    assert queue.get() == [0, 1, 2]
+    assert done.wait(5.0)          # admitted once empty, not wedged
+    thread.join()
+    assert queue.get() == list(range(9))

@@ -1,0 +1,84 @@
+"""The LogStore contract, exercised over both shipped implementations."""
+
+import pytest
+
+from repro.serve import LocalDirectoryStore, ObjectStoreStub
+
+
+@pytest.fixture(params=["local", "object"])
+def store(request, tmp_path):
+    if request.param == "local":
+        return LocalDirectoryStore(str(tmp_path / "spool"))
+    return ObjectStoreStub()
+
+
+def test_append_ranged_read_and_size(store):
+    assert store.size("a/b.bin") is None
+    with store.open_append("a/b.bin") as handle:
+        handle.write(b"hello ")
+        handle.flush()
+        handle.write(b"world")
+        handle.flush()
+    assert store.size("a/b.bin") == 11
+    assert store.read_range("a/b.bin", 0, 5) == b"hello"
+    assert store.read_range("a/b.bin", 6) == b"world"
+    assert store.get_bytes("a/b.bin") == b"hello world"
+
+
+def test_append_accumulates_across_handles(store):
+    with store.open_append("log") as handle:
+        handle.write(b"one")
+    with store.open_append("log") as handle:
+        handle.write(b"two")
+    assert store.get_bytes("log") == b"onetwo"
+
+
+def test_tail_sees_flushed_bytes_while_writer_open(store):
+    handle = store.open_append("grow")
+    try:
+        handle.write(b"abc")
+        handle.flush()
+        assert store.read_range("grow", 0, 3) == b"abc"
+        handle.write(b"def")
+        handle.flush()
+        assert store.read_range("grow", 3) == b"def"
+    finally:
+        handle.close()
+
+
+def test_list_and_delete(store):
+    store.put_bytes("s1/x", b"1")
+    store.put_bytes("s1/y", b"2")
+    store.put_bytes("s2/z", b"3")
+    assert store.list("s1/") == ["s1/x", "s1/y"]
+    store.delete("s1/x")
+    assert store.list("s1/") == ["s1/y"]
+    store.delete("s1/missing")  # deleting a missing blob is a no-op
+
+
+def test_json_round_trip(store):
+    assert store.get_json("m.json") is None
+    store.put_json("m.json", {"records": 7, "shards": [1, 2]})
+    assert store.get_json("m.json") == {"records": 7, "shards": [1, 2]}
+
+
+def test_flags(store):
+    assert not store.has_flag("s/PAUSE")
+    store.set_flag("s/PAUSE")
+    assert store.has_flag("s/PAUSE")
+    store.clear_flag("s/PAUSE")
+    assert not store.has_flag("s/PAUSE")
+    store.clear_flag("s/PAUSE")  # idempotent
+
+
+def test_local_store_rejects_escaping_names(tmp_path):
+    store = LocalDirectoryStore(str(tmp_path / "spool"))
+    with pytest.raises(ValueError):
+        store.open_read("../outside")
+
+
+def test_local_store_path_object_store_none(tmp_path):
+    local = LocalDirectoryStore(str(tmp_path / "spool"))
+    local.put_bytes("x", b"")
+    assert local.path("x").endswith("/x")
+    assert ObjectStoreStub().path("x") is None

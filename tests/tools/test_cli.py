@@ -633,3 +633,81 @@ def test_run_human_output_names_instrumentation_context(monkeypatch, capsys):
     assert code == 2
     assert "InstrumentationError" in err
     assert "method='insert'" in err and "tid=" in err and "op=" in err
+
+
+# -- the serve and verify-chain subcommands ----------------------------------
+
+
+def test_serve_verify_direct_round_trip(tmp_path, capsys):
+    root = str(tmp_path / "store")
+    code = main([
+        "serve", "--program", "multiset-vector", "--sessions", "2",
+        "--shards", "3", "--threads", "3", "--calls", "6",
+        "--root", root, "--verify-direct",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "signatures identical to single-process reruns" in out
+    assert "[ok] run-00000" in out and "[ok] run-00001" in out
+
+    assert main(["verify-chain", f"{root}/run-00000",
+                 f"{root}/run-00001"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("[ok]") == 6  # 2 sessions x 3 shards
+    assert "head matches manifest" in out
+
+
+def test_serve_json_reports_chain_and_signature(tmp_path, capsys):
+    import json as json_module
+
+    root = str(tmp_path / "store")
+    code = main([
+        "serve", "--program", "multiset-vector", "--sessions", "1",
+        "--threads", "3", "--calls", "6", "--root", root,
+        "--verify-direct", "--json",
+    ])
+    payload = json_module.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["ok"] and payload["direct_signature_match"]
+    assert payload["records"] > 0 and payload["records_per_sec"]
+    session = payload["sessions"][0]
+    assert session["signature"] and session["verdict_ok"] is True
+    assert len(session["chain"]) == 2  # default --shards
+    assert all(entry["ok"] for entry in session["chain"])
+
+
+def test_verify_chain_pinpoints_flipped_byte(tmp_path, capsys):
+    root = str(tmp_path / "store")
+    main([
+        "serve", "--program", "multiset-vector", "--sessions", "1",
+        "--shards", "2", "--threads", "3", "--calls", "6", "--root", root,
+    ])
+    capsys.readouterr()
+    victim = tmp_path / "store" / "run-00000" / "shard-0001.vlog"
+    data = bytearray(victim.read_bytes())
+    data[len(data) // 2] ^= 0x20
+    victim.write_bytes(bytes(data))
+
+    code = main(["verify-chain", f"{root}/run-00000"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "[TAMPERED]" in out and "chain breaks at byte" in out
+    assert "[ok]" in out  # the untouched shard still verifies
+
+
+def test_verify_chain_unchained_is_policy_not_tampering(tmp_path, capsys):
+    log_path = str(tmp_path / "legacy.vyrdlog")
+    main([
+        "run", "--program", "multiset-vector", "--threads", "2",
+        "--calls", "4", "--save", log_path,
+    ])
+    capsys.readouterr()
+    assert main(["verify-chain", log_path]) == 0
+    assert "unchained" in capsys.readouterr().out
+    assert main(["verify-chain", "--require-chained", log_path]) == 1
+    assert "UNCHAINED" in capsys.readouterr().out
+
+
+def test_verify_chain_rejects_non_session_directory(tmp_path, capsys):
+    assert main(["verify-chain", str(tmp_path)]) == 2
+    assert "no MANIFEST.json" in capsys.readouterr().err
