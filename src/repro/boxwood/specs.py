@@ -17,11 +17,13 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from ..core import SpecReject, Specification, canonical_map, mutator, observer
+from ..core import VIEW_ABSENT, SpecReject, Specification, canonical_map, mutator, observer
 
 
 class StoreSpec(Specification):
     """Abstract handle -> byte-array store for Cache + Chunk Manager."""
+
+    tracks_view_delta = True
 
     def __init__(self):
         self.store: Dict[str, Tuple[int, ...]] = {}
@@ -31,6 +33,7 @@ class StoreSpec(Specification):
         if result is not True:
             raise SpecReject(f"write must return True, got {result!r}")
         self.store[handle] = tuple(buffer)
+        self._touch(handle)
 
     @mutator
     def flush(self, *, result):
@@ -54,12 +57,17 @@ class StoreSpec(Specification):
     def view(self) -> dict:
         return canonical_map(self.store)
 
+    def view_at(self, handle):
+        return (self.store[handle],) if handle in self.store else VIEW_ABSENT
+
     def describe(self) -> str:
         return f"store = {self.store!r}"
 
 
 class BLinkTreeSpec(Specification):
     """Abstract key -> (data, version) map for the B-link tree."""
+
+    tracks_view_delta = True
 
     def __init__(self):
         self.pairs: Dict[object, Tuple[object, int]] = {}
@@ -73,6 +81,7 @@ class BLinkTreeSpec(Specification):
             self.pairs[key] = (data, version + 1)
         else:
             self.pairs[key] = (data, 1)
+        self._touch(key)
 
     @mutator
     def delete(self, key, *, result):
@@ -80,6 +89,7 @@ class BLinkTreeSpec(Specification):
             if key not in self.pairs:
                 raise SpecReject(f"delete({key!r}) succeeded on an absent key")
             del self.pairs[key]
+            self._touch(key)
         elif result is False:
             if key in self.pairs:
                 raise SpecReject(
@@ -96,6 +106,9 @@ class BLinkTreeSpec(Specification):
 
     def view(self) -> dict:
         return canonical_map(self.pairs)
+
+    def view_at(self, key):
+        return (self.pairs[key],) if key in self.pairs else VIEW_ABSENT
 
     def describe(self) -> str:
         return f"pairs = {self.pairs!r}"

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from collections import deque
 
-from ..core import SpecReject, Specification, mutator, observer
+from ..core import VIEW_ABSENT, SpecReject, Specification, mutator, observer
 from .queue import EMPTY
 
 
@@ -12,6 +12,8 @@ class QueueSpec(Specification):
     """A bounded FIFO: blocking operations always succeed (their waiting is
     invisible to the spec -- they commit only once the slot/item exists);
     ``try_`` variants report full/empty deterministically at their commit."""
+
+    tracks_view_delta = True
 
     def __init__(self, capacity: int = 4):
         self.capacity = capacity
@@ -24,6 +26,7 @@ class QueueSpec(Specification):
         if len(self.items) >= self.capacity:
             raise SpecReject("enqueue committed on a full queue")
         self.items.append(item)
+        self._touch("queue")
 
     @mutator
     def dequeue(self, *, result):
@@ -36,6 +39,7 @@ class QueueSpec(Specification):
                 f"is {front!r} (duplicate or out-of-order delivery)"
             )
         self.items.popleft()
+        self._touch("queue")
 
     @mutator
     def try_enqueue(self, item, *, result):
@@ -43,6 +47,7 @@ class QueueSpec(Specification):
             if len(self.items) >= self.capacity:
                 raise SpecReject("try_enqueue succeeded on a full queue")
             self.items.append(item)
+            self._touch("queue")
         elif result is False:
             if len(self.items) < self.capacity:
                 raise SpecReject("try_enqueue failed with room available")
@@ -63,6 +68,7 @@ class QueueSpec(Specification):
                 f"try_dequeue returned {result!r} but the front is {front!r}"
             )
         self.items.popleft()
+        self._touch("queue")
 
     @observer
     def size_of(self):
@@ -70,6 +76,9 @@ class QueueSpec(Specification):
 
     def view(self) -> dict:
         return {"queue": tuple(self.items)}
+
+    def view_at(self, key):
+        return tuple(self.items) if key == "queue" else VIEW_ABSENT
 
     def describe(self) -> str:
         return f"queue = {list(self.items)!r}"

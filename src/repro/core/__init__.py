@@ -65,10 +65,12 @@ from .log import (
     validate_well_formed,
     verify_chain,
 )
+from .checkpoint import Checkpoint, CheckpointError, checkpoint_blob_name
 from .observer import ObserverTracker, ObserverWindow
 from .refinement import (
     CheckOutcome,
     RefinementChecker,
+    ViewComparator,
     Violation,
     ViolationKind,
     check_log,
@@ -76,6 +78,7 @@ from .refinement import (
 from .replay import ABSENT, EffectiveState, ReplayState
 from .report import format_outcome, format_violation, render_trace, render_witness
 from .spec import (
+    VIEW_ABSENT,
     AnyOf,
     AtomizedSpec,
     SpecError,
@@ -88,6 +91,7 @@ from .spec import (
 from .verifier import OnlineVerifier, Vyrd
 from .view import (
     ContributionView,
+    DependencyView,
     FunctionView,
     ImplView,
     canonical_bag,
@@ -104,8 +108,11 @@ __all__ = [
     "BeginCommitBlockAction",
     "CallAction",
     "CheckOutcome",
+    "Checkpoint",
+    "CheckpointError",
     "CommitAction",
     "ContributionView",
+    "DependencyView",
     "EffectiveState",
     "EndCommitBlockAction",
     "ExhaustiveVerification",
@@ -137,6 +144,8 @@ __all__ = [
     "SpecError",
     "SpecReject",
     "Specification",
+    "VIEW_ABSENT",
+    "ViewComparator",
     "Violation",
     "ViolationKind",
     "Vyrd",
@@ -148,6 +157,7 @@ __all__ = [
     "canonical_bag",
     "canonical_map",
     "check_log",
+    "checkpoint_blob_name",
     "format_outcome",
     "format_violation",
     "load_log",

@@ -211,6 +211,12 @@ class Signature:
 
     __slots__ = ("tid", "method", "args", "result")
 
+    def __reduce__(self):
+        # same manual pickle support as Action: frozen + manual __slots__
+        # defeats the default protocol (checkpoints serialize violations,
+        # which carry signatures)
+        return (type(self), (self.tid, self.method, self.args, self.result))
+
     def __str__(self) -> str:
         arg_text = ", ".join(repr(a) for a in self.args)
         return f"t{self.tid}:{self.method}({arg_text}) -> {self.result!r}"

@@ -72,3 +72,14 @@ class ObserverTracker:
 
     def pending_count(self) -> int:
         return len(self._pending)
+
+    # -- checkpointing ----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Checkpointable form: the pending windows (plain dataclasses)."""
+        return {"pending": dict(self._pending)}
+
+    def load_state(self, payload: dict, spec: Specification) -> None:
+        """Reinstate pending windows, rebinding to the restored spec."""
+        self._spec = spec
+        self._pending = dict(payload["pending"])

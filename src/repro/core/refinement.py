@@ -38,6 +38,7 @@ tail as it grows).
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
@@ -58,11 +59,12 @@ from .actions import (
     WriteAction,
 )
 from ..obs import NULL_RECORDER, Recorder
+from .checkpoint import Checkpoint, CheckpointError
 from .invariants import Invariant
 from .log import Log
 from .observer import ObserverTracker
 from .replay import ReplayState
-from .spec import MUTATOR, OBSERVER, SpecError, SpecReject, Specification
+from .spec import MUTATOR, OBSERVER, VIEW_ABSENT, SpecError, SpecReject, Specification
 from .view import ImplView
 
 IO_MODE = "io"
@@ -188,6 +190,116 @@ def _view_diff(view_impl: dict, view_spec: dict, limit: int = 6) -> Dict[str, An
     }
 
 
+class ViewComparator:
+    """Persistent differential ``viewI``/``viewS`` comparator.
+
+    Instead of recomputing ``spec.view()`` and running a full-dict
+    comparison at every commit (O(structure size)), the comparator keeps a
+    running set of *mismatched* canonical keys and reconciles, per commit,
+    only the keys either side reports as touched: the impl view's
+    ``last_touched_keys`` (dirty units ∪ rolled-back ``extra_dirty_locs``,
+    already folded in by ``refresh``) and the spec's drained
+    ``view_delta()``.  ``viewI == viewS`` iff the mismatch set is empty.
+
+    **Invariant:** a key is in ``mismatched`` exactly when the materialized
+    views disagree on it -- because a key's value can only change when its
+    side reports it touched, and every touched key is re-evaluated.  The
+    checker's ``final_full_check`` cross-checks this invariant at the end of
+    every run.
+
+    When either side cannot report deltas (``spec.view_delta()`` returns
+    ``None``, or the impl view has no materialized value), the comparator
+    transparently falls back to the full comparison, so every registered
+    program keeps working unchanged.
+    """
+
+    def __init__(self, spec: Specification, impl_view: ImplView, enabled: bool = True):
+        self.spec = spec
+        self.impl_view = impl_view
+        self.differential = bool(
+            enabled
+            and getattr(impl_view, "supports_delta", False)
+            and spec.view_delta() is not None
+        )
+        self.mismatched: set = set()
+        #: keys reconciled by the most recent compare (histogrammed by obs)
+        self.last_keys_compared = 0
+        #: spec keys drained by the most recent compare
+        self.last_spec_keys_dirtied = 0
+        if self.differential:
+            self._reconcile_full()
+
+    def _reconcile_full(self) -> None:
+        """Rebuild the mismatch set from whole views (init / restore only)."""
+        view_impl = self.impl_view.value()
+        view_spec = self.spec.view()
+        self.mismatched = {
+            key
+            for key in set(view_impl) | set(view_spec)
+            if view_impl.get(key, VIEW_ABSENT) != view_spec.get(key, VIEW_ABSENT)
+        }
+
+    def compare(self, view_impl: dict) -> "tuple[bool, Optional[dict]]":
+        """Reconcile against the freshly refreshed ``view_impl``.
+
+        Returns ``(ok, diff)`` where ``diff`` describes the disagreement
+        when ``ok`` is False.
+        """
+        if not self.differential:
+            view_spec = self.spec.view()
+            if isinstance(view_impl, dict) and isinstance(view_spec, dict):
+                self.last_keys_compared = len(view_impl) + len(view_spec)
+                self.last_spec_keys_dirtied = len(view_spec)
+            if view_impl != view_spec:
+                return False, _view_diff(view_impl, view_spec)
+            return True, None
+        spec_delta = self.spec.view_delta() or set()
+        self.last_spec_keys_dirtied = len(spec_delta)
+        touched = set(spec_delta)
+        touched.update(getattr(self.impl_view, "last_touched_keys", ()))
+        self.last_keys_compared = len(touched)
+        mismatched = self.mismatched
+        spec_view_at = self.spec.view_at
+        for key in touched:
+            if view_impl.get(key, VIEW_ABSENT) == spec_view_at(key):
+                mismatched.discard(key)
+            else:
+                mismatched.add(key)
+        if mismatched:
+            return False, self._diff(view_impl)
+        return True, None
+
+    def _diff(self, view_impl: dict, limit: int = 6) -> dict:
+        """Same three-bucket shape as ``_view_diff``, restricted to (a sample
+        of) the mismatched keys, plus the total mismatch count."""
+        only_impl, only_spec, differ = {}, {}, {}
+        for key in itertools.islice(iter(self.mismatched), limit):
+            impl_val = view_impl.get(key, VIEW_ABSENT)
+            spec_val = self.spec.view_at(key)
+            if spec_val is VIEW_ABSENT:
+                only_impl[key] = impl_val
+            elif impl_val is VIEW_ABSENT:
+                only_spec[key] = spec_val
+            else:
+                differ[key] = (impl_val, spec_val)
+        return {
+            "only_in_viewI": only_impl,
+            "only_in_viewS": only_spec,
+            "differing (viewI, viewS)": differ,
+            "mismatched_keys": len(self.mismatched),
+        }
+
+    # -- checkpointing ----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {"differential": self.differential, "mismatched": set(self.mismatched)}
+
+    def load_state(self, payload: dict, spec: Specification) -> None:
+        self.spec = spec
+        self.differential = bool(payload["differential"])
+        self.mismatched = set(payload["mismatched"])
+
+
 class RefinementChecker:
     """Incremental I/O / view refinement checker over a VYRD log.
 
@@ -221,6 +333,11 @@ class RefinementChecker:
         structures are built to be used by large numbers of threads
         continuously and during any realistic execution, quiescent points
         are very rare" -- a claim the ablation benchmark quantifies.
+    differential:
+        In view mode, use the persistent :class:`ViewComparator` to
+        reconcile only dirtied keys per commit (O(delta)) when both sides
+        support the protocol; ``False`` forces the full per-commit
+        comparison (the ablation baseline).
     """
 
     def __init__(
@@ -234,6 +351,7 @@ class RefinementChecker:
         final_full_check: bool = True,
         view_at: str = "commit",
         obs: Optional[Recorder] = None,
+        differential: bool = True,
     ):
         if mode not in (IO_MODE, VIEW_MODE):
             raise ValueError(f"unknown mode {mode!r}")
@@ -251,6 +369,11 @@ class RefinementChecker:
         self.obs: Recorder = obs if obs is not None else NULL_RECORDER
         self._track_state = mode == VIEW_MODE or bool(self.invariants)
         self.replay = ReplayState(replay_registry) if self._track_state else None
+        self._comparator = (
+            ViewComparator(spec, impl_view, enabled=differential)
+            if mode == VIEW_MODE
+            else None
+        )
 
         self.outcome = CheckOutcome()
         self._buffer: deque = deque()
@@ -478,14 +601,20 @@ class RefinementChecker:
                     obs.observe("view.units_recomputed", recomputed)
             else:
                 view_impl = self.impl_view.refresh(state, extra_dirty)
-            view_spec = self.spec.view()
-            if view_impl != view_spec:
+            comparator = self._comparator
+            ok, diff = comparator.compare(view_impl)
+            if obs.enabled:
+                obs.observe("view.keys_compared", comparator.last_keys_compared)
+                obs.observe(
+                    "spec_view.keys_dirtied", comparator.last_spec_keys_dirtied
+                )
+            if not ok:
                 self._violate(
                     ViolationKind.VIEW,
                     seq,
                     f"viewI differs from viewS at {where}",
                     signature,
-                    diff=_view_diff(view_impl, view_spec),
+                    diff=diff,
                 )
                 return
         for invariant in self.invariants:
@@ -500,7 +629,11 @@ class RefinementChecker:
 
     def _process_return(self, seq: int, action: ReturnAction) -> None:
         self.outcome.methods_checked += 1
-        record = self._ops.get(action.op_id)
+        # The execution is over: drop its lookahead entries, so on a long
+        # log _ops/_returns stay bounded by the number of *open* executions
+        # rather than growing with every method ever checked.
+        self._returns.pop(action.op_id, None)
+        record = self._ops.pop(action.op_id, None)
         if record is None:
             self._violate(
                 ViolationKind.INSTRUMENTATION,
@@ -544,6 +677,86 @@ class RefinementChecker:
                 seq, action.tid, signature, where="quiescent state"
             )
 
+    # -- checkpointing -----------------------------------------------------------------
+
+    def _config_fingerprint(self) -> Dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "view_at": self.view_at,
+            "stop_at_first": self.stop_at_first,
+            "final_full_check": self.final_full_check,
+            "spec_type": type(self.spec).__name__,
+            "impl_view_type": type(self.impl_view).__name__ if self.impl_view else None,
+            "invariants": sorted(inv.name for inv in self.invariants),
+        }
+
+    def checkpoint(self, meta: Optional[Dict[str, Any]] = None) -> Checkpoint:
+        """Capture everything needed to resume checking at ``_next_seq``.
+
+        The checkpoint carries data only (spec instance, view caches,
+        comparator state, replayed state, observer windows, the lookahead
+        buffer); code -- view factories, replay routines, invariants -- is
+        rebuilt by constructing a fresh checker from the same program
+        registry and calling :meth:`restore` on it.
+        """
+        payload: Dict[str, Any] = {
+            "config": self._config_fingerprint(),
+            "next_seq": self._next_seq,
+            "spec": self.spec,
+            "outcome": self.outcome,
+            "buffer": list(self._buffer),
+            "returns": dict(self._returns),
+            "ops": dict(self._ops),
+            "open_ops": self._open_ops,
+            "stopped": self._stopped,
+            "finished": self._finished,
+            "observers": self._observers.state_dict(),
+            "replay": self.replay.state_dict() if self.replay is not None else None,
+            "impl_view": (
+                self.impl_view.state_dict() if self.impl_view is not None else None
+            ),
+            "comparator": (
+                self._comparator.state_dict() if self._comparator is not None else None
+            ),
+        }
+        full_meta = {"resume_seq": self._next_seq}
+        if meta:
+            full_meta.update(meta)
+        return Checkpoint(payload=payload, meta=full_meta)
+
+    def restore(self, checkpoint: Checkpoint) -> None:
+        """Load a checkpoint into this freshly constructed checker.
+
+        The checker must have been built with the same configuration (same
+        program registry entry) and must not have processed anything yet;
+        feed it the log records from ``checkpoint.resume_seq`` onward.
+        """
+        if self._next_seq != 0 or self.outcome.actions_processed != 0:
+            raise CheckpointError("restore() requires a freshly constructed checker")
+        payload = checkpoint.payload
+        config = payload.get("config")
+        if config != self._config_fingerprint():
+            raise CheckpointError(
+                "checkpoint configuration does not match this checker: "
+                f"saved {config!r}, running {self._config_fingerprint()!r}"
+            )
+        self.spec = payload["spec"]
+        self.outcome = payload["outcome"]
+        self._next_seq = payload["next_seq"]
+        self._buffer = deque(payload["buffer"])
+        self._returns = dict(payload["returns"])
+        self._ops = dict(payload["ops"])
+        self._open_ops = payload["open_ops"]
+        self._stopped = payload["stopped"]
+        self._finished = payload["finished"]
+        self._observers.load_state(payload["observers"], self.spec)
+        if self.replay is not None and payload["replay"] is not None:
+            self.replay.load_state(payload["replay"])
+        if self.impl_view is not None and payload["impl_view"] is not None:
+            self.impl_view.load_state(payload["impl_view"])
+        if self._comparator is not None and payload["comparator"] is not None:
+            self._comparator.load_state(payload["comparator"], self.spec)
+
     # -- finishing ---------------------------------------------------------------------
 
     def finish(self) -> CheckOutcome:
@@ -581,6 +794,22 @@ class RefinementChecker:
                     "final quiescent viewI differs from viewS",
                     diff=_view_diff(full, self.spec.view()),
                 )
+            elif self._comparator is not None and self._comparator.differential:
+                # The views agree in full -- the differential comparator's
+                # running mismatch set must agree too, or its dirty-key
+                # bookkeeping (spec _touch calls / view last_touched_keys)
+                # is incomplete.
+                self._comparator.compare(self.impl_view.value())
+                if self._comparator.mismatched:
+                    self.outcome.stats["comparator_drift"] = sorted(
+                        map(repr, self._comparator.mismatched)
+                    )
+                    self._violate(
+                        ViolationKind.INSTRUMENTATION,
+                        self._next_seq,
+                        "differential comparator drifted from full comparison "
+                        "(a spec mutator or view is under-reporting touched keys)",
+                    )
         self.outcome.stats.setdefault("pending_observers", self._observers.pending_count())
         return self.outcome
 
@@ -595,6 +824,7 @@ def check_log(
     stop_at_first: bool = True,
     final_full_check: bool = True,
     view_at: str = "commit",
+    differential: bool = True,
 ) -> CheckOutcome:
     """Offline convenience: check a complete log in one call."""
     checker = RefinementChecker(
@@ -606,6 +836,7 @@ def check_log(
         stop_at_first=stop_at_first,
         final_full_check=final_full_check,
         view_at=view_at,
+        differential=differential,
     )
     checker.feed(log)
     return checker.finish()

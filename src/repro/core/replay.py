@@ -27,7 +27,30 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Tuple
 
-ABSENT = object()  # distinguishes "never written" from "written None"
+class _AbsentType:
+    """Picklable singleton distinguishing "never written" from "written None".
+
+    Undo maps holding this sentinel travel through checkpoints; pickling
+    must resolve back to the *same* object so ``is ABSENT`` checks keep
+    working after a restore.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<absent>"
+
+    def __reduce__(self):
+        return (_absent, ())
+
+
+def _absent() -> "_AbsentType":
+    return ABSENT
+
+
+ABSENT = _AbsentType()
+
+_EMPTY_OVERLAY: Dict[str, Any] = {}  # shared by the no-open-blocks fast path
 
 
 class EffectiveState(Mapping):
@@ -203,8 +226,19 @@ class ReplayState:
         With ``committing_tid=None`` (e.g. a final quiescent check) every
         open block is rolled back.
         """
+        open_blocks = self._open_blocks
+        if not open_blocks or (
+            committing_tid is not None
+            and len(open_blocks) == 1
+            and committing_tid in open_blocks
+        ):
+            # Fast path (the common case on lightly-contended logs): nothing
+            # to roll back, so skip overlay construction entirely.  The
+            # shared empty dict is never mutated -- EffectiveState is
+            # read-only -- and overlay_size correctly reads 0.
+            return EffectiveState(self._state, _EMPTY_OVERLAY)
         overlay: Dict[str, Any] = {}
-        for tid, undo in self._open_blocks.items():
+        for tid, undo in open_blocks.items():
             if tid == committing_tid:
                 continue
             overlay.update(undo)
@@ -213,6 +247,22 @@ class ReplayState:
     def raw(self) -> EffectiveState:
         """The replayed state with *no* rollback (all logged writes applied)."""
         return EffectiveState(self._state, {})
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Checkpointable form: the base state plus every open undo map
+        (the replay registry is code, rebuilt by the restoring process)."""
+        return {
+            "state": dict(self._state),
+            "open_blocks": {tid: dict(undo) for tid, undo in self._open_blocks.items()},
+        }
+
+    def load_state(self, payload: Dict[str, Any]) -> None:
+        self._state = dict(payload["state"])
+        self._open_blocks = {
+            tid: dict(undo) for tid, undo in payload["open_blocks"].items()
+        }
 
     def get(self, loc: str, default: Any = None) -> Any:
         return self._state.get(loc, default)

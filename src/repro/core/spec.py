@@ -42,6 +42,30 @@ MUTATOR = "mutator"
 OBSERVER = "observer"
 
 
+class _ViewAbsentType:
+    """Picklable singleton: "this key is absent from the canonical view".
+
+    Distinguishes a missing key from a key mapped to ``None`` in
+    :meth:`Specification.view_at`, and survives pickling (checkpoints) as
+    the *same* object so ``is``/``==`` checks keep working after restore.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<view-absent>"
+
+    def __reduce__(self):
+        return (_view_absent, ())
+
+
+def _view_absent() -> "_ViewAbsentType":
+    return VIEW_ABSENT
+
+
+VIEW_ABSENT = _ViewAbsentType()
+
+
 class SpecError(Exception):
     """A specification object is malformed or misused (tool-usage error)."""
 
@@ -108,7 +132,53 @@ class Specification:
     Subclasses define decorated methods and, for view refinement,
     :meth:`view`.  A spec instance is single-use per checked log: the checker
     drives it from its initial state through the witness interleaving.
+
+    Dirty-key protocol (differential view comparison)
+    -------------------------------------------------
+    A spec may additionally report *which* canonical view keys each mutator
+    touched, mirroring ``ContributionView.on_write`` on the implementation
+    side, so the checker reconciles only the changed keys per commit instead
+    of comparing whole views.  To opt in, set ``tracks_view_delta = True``,
+    call :meth:`_touch` from every mutator with the affected keys, and
+    override :meth:`view_at` with an O(1) single-key lookup.  Specs that do
+    not opt in keep working: ``view_delta()`` returns ``None`` and the
+    checker falls back to full comparison.
     """
+
+    #: True when every mutator records its touched canonical keys via
+    #: :meth:`_touch`, enabling O(delta) differential view comparison.
+    tracks_view_delta = False
+
+    def _touch(self, *keys: Any) -> None:
+        """Record canonical view keys the running mutator may have changed."""
+        dirty = self.__dict__.get("_dirty_view_keys")
+        if dirty is None:
+            dirty = self.__dict__["_dirty_view_keys"] = set()
+        dirty.update(keys)
+
+    def view_delta(self) -> Optional[set]:
+        """Keys whose canonical value may have changed since the last drain.
+
+        Returns ``None`` when the spec does not track deltas (the checker
+        then falls back to full view comparison).  Draining is destructive:
+        each touched key is reported exactly once.
+        """
+        if not self.tracks_view_delta:
+            return None
+        dirty = self.__dict__.get("_dirty_view_keys")
+        if not dirty:
+            return set()
+        self.__dict__["_dirty_view_keys"] = set()
+        return dirty
+
+    def view_at(self, key: Any) -> Any:
+        """Canonical value at ``key``, or :data:`VIEW_ABSENT`.
+
+        The default derives it from :meth:`view` (O(structure)); specs that
+        set ``tracks_view_delta`` should override with an O(1) lookup so the
+        per-commit reconcile stays proportional to the delta.
+        """
+        return self.view().get(key, VIEW_ABSENT)
 
     def method_kind(self, name: str) -> str:
         """Return ``"mutator"`` or ``"observer"`` for public method ``name``."""

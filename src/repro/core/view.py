@@ -61,7 +61,21 @@ class ImplView:
     effective state.  ``compute_full`` recomputes from scratch, ignoring all
     caches -- the checker cross-checks it against ``refresh`` at the end of a
     run to guard against incremental drift.
+
+    Views that maintain a materialized value additionally support the
+    *differential* protocol used by the checker's ``ViewComparator``: they
+    set ``supports_delta = True``, expose the materialized value via
+    ``value()``, and populate ``last_touched_keys`` with the canonical keys
+    whose aggregate the most recent ``refresh`` recomputed.  They also
+    implement ``state_dict``/``load_state`` so checkpoints can suspend and
+    resume the caches.
     """
+
+    #: True when ``refresh`` maintains a materialized value and reports the
+    #: canonical keys it touched (enables differential view comparison).
+    supports_delta = False
+    #: canonical keys whose aggregate the last ``refresh`` recomputed
+    last_touched_keys: frozenset = frozenset()
 
     def on_write(self, loc: str) -> None:  # pragma: no cover - interface
         raise NotImplementedError
@@ -71,6 +85,13 @@ class ImplView:
 
     def compute_full(self, state) -> Any:
         raise NotImplementedError
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Checkpointable cache state (stateless views return ``{}``)."""
+        return {}
+
+    def load_state(self, payload: Dict[str, Any]) -> None:
+        """Reinstate caches captured by :meth:`state_dict`."""
 
 
 class FunctionView(ImplView):
@@ -112,6 +133,8 @@ class ContributionView(ImplView):
         ``"list"`` (map-shaped) or ``"count"`` (bag-shaped); see module doc.
     """
 
+    supports_delta = True
+
     def __init__(
         self,
         unit_of: Callable[[str], Optional[Hashable]],
@@ -133,6 +156,8 @@ class ContributionView(ImplView):
         #: units recomputed by the most recent refresh (observability reads
         #: this to histogram incremental-view work per commit)
         self.last_recomputed: int = 0
+        #: canonical keys whose aggregate the most recent refresh touched
+        self.last_touched_keys: set = set()
 
     # -- dirtiness ------------------------------------------------------------
 
@@ -189,11 +214,16 @@ class ContributionView(ImplView):
         extra_units = self._mark_locs(extra_dirty_locs)
         todo = self._dirty | extra_units
         self.last_recomputed = len(todo)
+        touched = self.last_touched_keys = set()
         for unit in todo:
+            previous = self._contribs.get(unit)
+            if previous is not None:
+                touched.add(previous[0])
             self._remove_contribution(unit)
             contribution = self._contribute(state, unit)
             if contribution is not None:
                 key, value = contribution
+                touched.add(key)
                 self._add_contribution(unit, key, value)
         # Units shadowed by open blocks must be revisited at the next commit.
         self._dirty = set(extra_units)
@@ -202,6 +232,22 @@ class ContributionView(ImplView):
     def value(self) -> Dict[Hashable, Any]:
         """The current materialized view (without refreshing)."""
         return self._value
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "dirty": set(self._dirty),
+            "contribs": dict(self._contribs),
+            "by_key": {key: dict(units) for key, units in self._by_key.items()},
+            "value": dict(self._value),
+        }
+
+    def load_state(self, payload: Dict[str, Any]) -> None:
+        self._dirty = set(payload["dirty"])
+        self._contribs = dict(payload["contribs"])
+        self._by_key = {key: dict(units) for key, units in payload["by_key"].items()}
+        self._value = dict(payload["value"])
+        self.last_recomputed = 0
+        self.last_touched_keys = set()
 
     def compute_full(self, state) -> Dict[Hashable, Any]:
         """From-scratch recomputation over every unit present in ``state``."""
@@ -222,6 +268,285 @@ class ContributionView(ImplView):
                 for key, values in fresh.items()
             }
         return {key: sum(values.values()) for key, values in fresh.items()}
+
+
+class _ReadRecorder:
+    """Read-only state wrapper that records every location accessed."""
+
+    __slots__ = ("_state", "reads")
+
+    def __init__(self, state):
+        self._state = state
+        self.reads: set = set()
+
+    def __getitem__(self, loc):
+        self.reads.add(loc)
+        return self._state[loc]
+
+    def get(self, loc, default=None):
+        self.reads.add(loc)
+        try:
+            return self._state[loc]
+        except KeyError:
+            return default
+
+    def __contains__(self, loc):
+        self.reads.add(loc)
+        return loc in self._state
+
+
+class DependencyView(ImplView):
+    """Incremental view over a *linked* structure with dynamic read-deps.
+
+    :class:`ContributionView` needs a static ``unit_of`` mapping: every
+    location belongs to at most one unit, known up front.  That breaks down
+    for pointer structures like the B-link tree, where a data node
+    contributes to the view only while some *reachable* leaf references it,
+    and reachability itself changes as nodes split.  This class handles that
+    shape with two dynamic mechanisms:
+
+    * **Discovery** -- units are anchor locations (tree node records) found
+      by following links from fixed ``roots``.  ``expand(reader, unit)``
+      returns ``(pairs, links)``: the unit's ``(key, value)`` view
+      contributions and the anchor locations it links to.  Link reference
+      counts keep the reachable set exact: a unit whose last incoming link
+      disappears is evicted along with its contributions.
+    * **Read dependencies** -- ``expand`` receives a recording ``reader``;
+      every location it touches is remembered, so a later write to *any* of
+      those locations (its own record, a referenced data node) dirties
+      exactly the units whose cached contribution read it.
+
+    A refresh therefore costs O(units actually affected), while remaining
+    faithful to reachability semantics: a data node written before the
+    publishing leaf write (no commit block involved) enters the view only
+    once a reachable leaf references it.
+
+    Reachability is maintained with reference counts, so the link graph must
+    be **acyclic** (true for B-link right-links, which always point to a
+    strictly greater node): a cycle detached from the roots would keep
+    itself alive.  ``final_full_check`` guards against any such drift.
+
+    ``sort_key=None`` sorts aggregated values natively (matching views that
+    previously used plain ``sorted``); pass a key function for mixed-type
+    values.
+    """
+
+    supports_delta = True
+
+    def __init__(
+        self,
+        roots: Iterable[str],
+        expand: Callable[[Any, str], Tuple[Iterable[Tuple[Hashable, Any]], Iterable[str]]],
+        aggregate: str = "list",
+        sort_key: Optional[Callable[[Any], Any]] = _sort_key,
+    ):
+        if aggregate not in ("list", "count"):
+            raise ValueError(f"unknown aggregate mode {aggregate!r}")
+        self._roots = tuple(roots)
+        self._expand = expand
+        self._aggregate = aggregate
+        self._sort_key = sort_key
+        self._known: set = set(self._roots)
+        self._dirty: set = set(self._roots)
+        # unit -> locations its cached expansion read (and the inverse index)
+        self._reads_of: Dict[str, set] = {}
+        self._dep_index: Dict[str, set] = {}
+        # unit -> tuple of (key, value) pairs currently folded into the view
+        self._pairs: Dict[str, tuple] = {}
+        # unit -> tuple of link targets; target -> incoming-link refcount
+        self._links: Dict[str, tuple] = {}
+        self._refs: Dict[str, int] = {}
+        # key -> {unit: [values]} and the materialized canonical value
+        self._by_key: Dict[Hashable, Dict[str, list]] = {}
+        self._value: Dict[Hashable, Any] = {}
+        self.last_recomputed: int = 0
+        self.last_touched_keys: set = set()
+
+    # -- dirtiness ------------------------------------------------------------
+
+    def on_write(self, loc: str) -> None:
+        dependents = self._dep_index.get(loc)
+        if dependents:
+            self._dirty.update(dependents)
+
+    def _units_reading(self, locs: Iterable[str]) -> set:
+        units: set = set()
+        for loc in locs:
+            dependents = self._dep_index.get(loc)
+            if dependents:
+                units.update(dependents)
+        return units
+
+    # -- maintenance -----------------------------------------------------------
+
+    def _sorted(self, values: list) -> tuple:
+        if self._sort_key is None:
+            return tuple(sorted(values))
+        return tuple(sorted(values, key=self._sort_key))
+
+    def _refresh_key(self, key: Hashable) -> None:
+        units = self._by_key.get(key)
+        if not units:
+            self._value.pop(key, None)
+        elif self._aggregate == "list":
+            merged: list = []
+            for values in units.values():
+                merged.extend(values)
+            self._value[key] = self._sorted(merged)
+        else:
+            self._value[key] = sum(sum(values) for values in units.values())
+
+    def _drop_pairs(self, unit: str, touched: set) -> None:
+        for key, _ in self._pairs.pop(unit, ()):
+            units = self._by_key.get(key)
+            if units is not None and unit in units:
+                del units[unit]
+                if not units:
+                    del self._by_key[key]
+                touched.add(key)
+                self._refresh_key(key)
+
+    def _drop_deps(self, unit: str) -> None:
+        for loc in self._reads_of.pop(unit, ()):
+            dependents = self._dep_index.get(loc)
+            if dependents is not None:
+                dependents.discard(unit)
+                if not dependents:
+                    del self._dep_index[loc]
+
+    def _evict(self, unit: str, touched: set) -> None:
+        """A unit lost its last incoming link: remove it and cascade."""
+        if unit not in self._known or unit in self._roots:
+            return
+        self._known.discard(unit)
+        self._dirty.discard(unit)
+        self._drop_pairs(unit, touched)
+        self._drop_deps(unit)
+        for target in self._links.pop(unit, ()):
+            self._refs[target] = self._refs.get(target, 1) - 1
+            if self._refs.get(target, 0) <= 0:
+                self._refs.pop(target, None)
+                self._evict(target, touched)
+
+    def _recompute(self, state, unit: str, queue: list, touched: set) -> None:
+        reader = _ReadRecorder(state)
+        pairs, links = self._expand(reader, unit)
+        pairs = tuple(pairs)
+        links = tuple(links)
+        self.last_recomputed += 1
+        # dependencies
+        old_reads = self._reads_of.get(unit, set())
+        for loc in old_reads - reader.reads:
+            dependents = self._dep_index.get(loc)
+            if dependents is not None:
+                dependents.discard(unit)
+                if not dependents:
+                    del self._dep_index[loc]
+        for loc in reader.reads - old_reads:
+            self._dep_index.setdefault(loc, set()).add(unit)
+        self._reads_of[unit] = reader.reads
+        # contributions
+        self._drop_pairs(unit, touched)
+        if pairs:
+            self._pairs[unit] = pairs
+            for key, value in pairs:
+                self._by_key.setdefault(key, {}).setdefault(unit, []).append(value)
+            for key, _ in pairs:
+                touched.add(key)
+                self._refresh_key(key)
+        # links: discover newly referenced units, evict unreferenced ones
+        old_links = self._links.get(unit, ())
+        if links:
+            self._links[unit] = links
+        else:
+            self._links.pop(unit, None)
+        for target in set(links) - set(old_links):
+            self._refs[target] = self._refs.get(target, 0) + 1
+            if target not in self._known:
+                self._known.add(target)
+                queue.append(target)
+        for target in set(old_links) - set(links):
+            self._refs[target] = self._refs.get(target, 1) - 1
+            if self._refs.get(target, 0) <= 0:
+                self._refs.pop(target, None)
+                self._evict(target, touched)
+
+    def refresh(self, state, extra_dirty_locs: Iterable[str] = ()) -> Dict[Hashable, Any]:
+        """Recompute affected units (and any newly discovered ones).
+
+        As with :class:`ContributionView`, units whose cached expansion read
+        a location currently shadowed by an open commit block stay dirty for
+        the next refresh.
+        """
+        extra_units = self._units_reading(extra_dirty_locs)
+        todo = list(self._dirty | extra_units)
+        self.last_recomputed = 0
+        touched = self.last_touched_keys = set()
+        processed: set = set()
+        while todo:
+            unit = todo.pop()
+            if unit in processed or unit not in self._known:
+                continue
+            processed.add(unit)
+            self._recompute(state, unit, todo, touched)
+        self._dirty = set(unit for unit in extra_units if unit in self._known)
+        return self._value
+
+    def value(self) -> Dict[Hashable, Any]:
+        """The current materialized view (without refreshing)."""
+        return self._value
+
+    def compute_full(self, state) -> Dict[Hashable, Any]:
+        """From-scratch walk of the link closure, ignoring every cache."""
+        fresh: Dict[Hashable, list] = {}
+        seen: set = set()
+        frontier = list(self._roots)
+        while frontier:
+            unit = frontier.pop()
+            if unit in seen:
+                continue
+            seen.add(unit)
+            pairs, links = self._expand(_ReadRecorder(state), unit)
+            for key, value in pairs:
+                fresh.setdefault(key, []).append(value)
+            frontier.extend(links)
+        if self._aggregate == "list":
+            return {key: self._sorted(values) for key, values in fresh.items()}
+        return {key: sum(values) for key, values in fresh.items()}
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "known": set(self._known),
+            "dirty": set(self._dirty),
+            "reads_of": {unit: set(reads) for unit, reads in self._reads_of.items()},
+            "pairs": dict(self._pairs),
+            "links": dict(self._links),
+            "refs": dict(self._refs),
+            "by_key": {
+                key: {unit: list(values) for unit, values in units.items()}
+                for key, units in self._by_key.items()
+            },
+            "value": dict(self._value),
+        }
+
+    def load_state(self, payload: Dict[str, Any]) -> None:
+        self._known = set(payload["known"])
+        self._dirty = set(payload["dirty"])
+        self._reads_of = {unit: set(reads) for unit, reads in payload["reads_of"].items()}
+        self._dep_index = {}
+        for unit, reads in self._reads_of.items():
+            for loc in reads:
+                self._dep_index.setdefault(loc, set()).add(unit)
+        self._pairs = dict(payload["pairs"])
+        self._links = dict(payload["links"])
+        self._refs = dict(payload["refs"])
+        self._by_key = {
+            key: {unit: list(values) for unit, values in units.items()}
+            for key, units in payload["by_key"].items()
+        }
+        self._value = dict(payload["value"])
+        self.last_recomputed = 0
+        self.last_touched_keys = set()
 
 
 def prefix_unit(prefix: str, stop: str = ".") -> Callable[[str], Optional[str]]:

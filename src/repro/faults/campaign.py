@@ -28,6 +28,13 @@ packaged as a library call (the CLI ``faults`` subcommand and the
    the workload under a :class:`~repro.faults.inject.LatencyTracer` and
    check the produced log is action-for-action identical: injected I/O
    latency must never perturb the deterministic schedule.
+6. **Checkpoint round** -- for the clean *and* the seeded-bug variant of the
+   workload, checkpoint the refinement checker mid-log ("kill" it), restore
+   a fresh checker from the serialized bytes and feed the tail; the resumed
+   verdict -- including every violation's sequence numbers -- must be
+   byte-identical to the straight-through run.  A bit-flipped checkpoint
+   must be rejected with :class:`~repro.core.CheckpointError` and the
+   record-zero fallback replay must reproduce the same verdict.
 
 :class:`FaultCampaignReport.ok` is the conjunction of all gates.
 """
@@ -35,6 +42,7 @@ packaged as a library call (the CLI ``faults`` subcommand and the
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import shutil
 import tempfile
@@ -74,6 +82,8 @@ class FaultCampaignReport:
     chain_checks: List[dict] = field(default_factory=list)
     chain_ok: bool = True  # every injected tamper case detected on chained logs
     tracer_log_identical: Optional[bool] = None  # None: no slow_io planned
+    checkpoint_checks: List[dict] = field(default_factory=list)
+    checkpoint_ok: bool = True  # kill->resume verdicts byte-identical
 
     @property
     def overhead(self) -> Optional[float]:
@@ -96,6 +106,7 @@ class FaultCampaignReport:
             self.signatures_match
             and self.recovery_ok
             and self.chain_ok
+            and self.checkpoint_ok
             and self.tracer_log_identical is not False
         )
 
@@ -123,6 +134,8 @@ class FaultCampaignReport:
             "chain_checks": list(self.chain_checks),
             "chain_ok": self.chain_ok,
             "tracer_log_identical": self.tracer_log_identical,
+            "checkpoint_checks": list(self.checkpoint_checks),
+            "checkpoint_ok": self.checkpoint_ok,
         }
 
 
@@ -234,6 +247,91 @@ def _chain_round(plan: FaultPlan, pristine_run) -> tuple:
     return checks, ok
 
 
+def _checkpoint_round(
+    program: str,
+    workload_seed: int,
+    num_threads: int,
+    calls_per_thread: int,
+) -> tuple:
+    """Kill the checker mid-log, resume from checkpoint bytes, compare verdicts.
+
+    Both the clean and the seeded-bug workload variants are exercised: the
+    resumed run must reproduce the straight-through verdict *byte for byte*
+    (the violation records carry their sequence numbers, so any replay drift
+    shows up in the comparison).  A corrupted checkpoint must raise
+    :class:`~repro.core.CheckpointError` and the record-zero fallback must
+    again match.
+    """
+    from ..core import Checkpoint, CheckpointError
+    from ..serve.daemon import session_checkers
+
+    checks: List[dict] = []
+    ok = True
+    for buggy in (False, True):
+        run = run_program(
+            program,
+            buggy=buggy,
+            num_threads=num_threads,
+            calls_per_thread=calls_per_thread,
+            seed=workload_seed,
+        )
+        log = list(run.log)
+        make_checker, _ = session_checkers(program)
+
+        def verdict_of(checker) -> str:
+            return json.dumps(checker.finish().to_dict(), sort_keys=True)
+
+        straight = make_checker()
+        straight.feed(log)
+        expected = verdict_of(straight)
+
+        # "Kill" after half the log: checkpoint, serialize, restore into a
+        # fresh checker from the bytes alone, feed the tail.
+        cut = len(log) // 2
+        killed = make_checker()
+        killed.feed(log[:cut])
+        blob = killed.checkpoint(meta={"program": program}).to_bytes()
+        checkpoint = Checkpoint.from_bytes(blob)
+        resumed = make_checker()
+        resumed.restore(checkpoint)
+        resumed.feed(log[checkpoint.resume_seq:])
+        resumed_verdict = verdict_of(resumed)
+
+        # Bit-flip the payload: the content hash must reject it...
+        damaged = bytearray(blob)
+        damaged[-1] ^= 0xFF
+        rejection = None
+        try:
+            Checkpoint.from_bytes(bytes(damaged))
+        except CheckpointError as exc:
+            rejection = str(exc)
+        # ...and the fallback is a full replay from record zero.
+        fallback = make_checker()
+        fallback.feed(log)
+        fallback_verdict = verdict_of(fallback)
+
+        entry = {
+            "buggy": buggy,
+            "records": len(log),
+            "cut": cut,
+            "resume_seq": checkpoint.resume_seq,
+            "checkpoint_bytes": len(blob),
+            "resumed_identical": resumed_verdict == expected,
+            "corrupt_rejected": rejection is not None,
+            "rejection": rejection,
+            "fallback_identical": fallback_verdict == expected,
+            "verdict_ok": straight.outcome.ok,
+        }
+        entry["ok"] = (
+            entry["resumed_identical"]
+            and entry["corrupt_rejected"]
+            and entry["fallback_identical"]
+        )
+        ok = ok and entry["ok"]
+        checks.append(entry)
+    return checks, ok
+
+
 def _latency_round(
     program: str,
     plan: FaultPlan,
@@ -340,6 +438,10 @@ def run_fault_campaign(
         report.tracer_log_identical = _latency_round(
             program, plan, workload_seed, num_threads, calls_per_thread,
             pristine_run,
+        )
+    with obs.span("campaign.checkpoint", cat="faults"):
+        report.checkpoint_checks, report.checkpoint_ok = _checkpoint_round(
+            program, workload_seed, num_threads, calls_per_thread
         )
     if obs.enabled:
         for kind, count in report.incident_counts.items():

@@ -10,12 +10,14 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from ..core import SpecReject, Specification, mutator, observer
+from ..core import VIEW_ABSENT, SpecReject, Specification, mutator, observer
 from .vector import IOOBE
 
 
 class VectorSpec(Specification):
     """Specification of the verified ``java.util.Vector`` subset."""
+
+    tracks_view_delta = True
 
     def __init__(self, capacity: int = 32):
         self.capacity = capacity
@@ -27,6 +29,7 @@ class VectorSpec(Specification):
             if len(self.items) >= self.capacity:
                 raise SpecReject("add_element succeeded on a full vector")
             self.items.append(obj)
+            self._touch("contents")
         elif result is False:
             if len(self.items) < self.capacity:
                 raise SpecReject("add_element failed though the vector has room")
@@ -38,6 +41,7 @@ class VectorSpec(Specification):
         if result is not None:
             raise SpecReject(f"remove_all_elements returns nothing, got {result!r}")
         self.items.clear()
+        self._touch("contents")
 
     @observer
     def size(self):
@@ -59,12 +63,17 @@ class VectorSpec(Specification):
     def view(self) -> dict:
         return {"contents": tuple(self.items)}
 
+    def view_at(self, key):
+        return tuple(self.items) if key == "contents" else VIEW_ABSENT
+
     def describe(self) -> str:
         return f"vector = {self.items!r}"
 
 
 class StringBufferSpec(Specification):
     """Specification of the named-buffer system: each buffer is a string."""
+
+    tracks_view_delta = True
 
     def __init__(self, names: Tuple[str, ...] = ("dst", "src"), capacity: int = 64):
         self.capacity = capacity
@@ -78,6 +87,7 @@ class StringBufferSpec(Specification):
             if not fits:
                 raise SpecReject("append_str succeeded past capacity")
             self.strings[buf] = current + text
+            self._touch(buf)
         elif result is False:
             if fits:
                 raise SpecReject("append_str failed though the buffer has room")
@@ -93,6 +103,7 @@ class StringBufferSpec(Specification):
             if not fits:
                 raise SpecReject("append_buffer succeeded past capacity")
             self.strings[dst] = current + addition
+            self._touch(dst)
         elif result is False:
             if fits:
                 raise SpecReject("append_buffer failed though the buffer has room")
@@ -108,6 +119,7 @@ class StringBufferSpec(Specification):
                 raise SpecReject(f"delete({start}, {end}) succeeded on {current!r}")
             end = min(end, len(current))
             self.strings[buf] = current[:start] + current[end:]
+            self._touch(buf)
         elif result is False:
             if valid:
                 raise SpecReject(f"delete({start}, {end}) failed on {current!r}")
@@ -124,6 +136,9 @@ class StringBufferSpec(Specification):
 
     def view(self) -> dict:
         return dict(self.strings)
+
+    def view_at(self, buf):
+        return self.strings[buf] if buf in self.strings else VIEW_ABSENT
 
     def describe(self) -> str:
         return f"buffers = {self.strings!r}"

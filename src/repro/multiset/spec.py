@@ -37,7 +37,15 @@ from __future__ import annotations
 
 from collections import Counter
 
-from ..core import AnyOf, SpecReject, Specification, canonical_bag, mutator, observer
+from ..core import (
+    VIEW_ABSENT,
+    AnyOf,
+    SpecReject,
+    Specification,
+    canonical_bag,
+    mutator,
+    observer,
+)
 
 SUCCESS = "success"
 FAILURE = "failure"
@@ -45,6 +53,8 @@ FAILURE = "failure"
 
 class MultisetSpec(Specification):
     """Executable, method-atomic, deterministic multiset specification."""
+
+    tracks_view_delta = True
 
     def __init__(self, strict_delete: bool = False, permissive_lookup: bool = False):
         self.m: Counter = Counter()
@@ -57,6 +67,7 @@ class MultisetSpec(Specification):
     def insert(self, x, *, result):
         if result == SUCCESS:
             self.m[x] += 1
+            self._touch(x)
         elif result != FAILURE:
             raise SpecReject(f"insert may return success/failure, not {result!r}")
 
@@ -65,6 +76,7 @@ class MultisetSpec(Specification):
         if result == SUCCESS:
             self.m[x] += 1
             self.m[y] += 1
+            self._touch(x, y)
         elif result != FAILURE:
             raise SpecReject(
                 f"insert_pair may return success/failure, not {result!r}"
@@ -78,6 +90,7 @@ class MultisetSpec(Specification):
             self.m[x] -= 1
             if self.m[x] == 0:
                 del self.m[x]
+            self._touch(x)
         elif result is False:
             if self.strict_delete and self.m[x] > 0:
                 raise SpecReject(
@@ -102,6 +115,10 @@ class MultisetSpec(Specification):
     def view(self):
         """``viewS``: the multiset contents as a canonical bag."""
         return canonical_bag(self.m)
+
+    def view_at(self, x):
+        count = self.m.get(x, 0)
+        return count if count else VIEW_ABSENT
 
     def describe(self) -> str:
         return f"M = {dict(self.m)!r}"

@@ -4,11 +4,13 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from ..core import SpecReject, Specification, mutator, observer
+from ..core import VIEW_ABSENT, SpecReject, Specification, mutator, observer
 
 
 class FsSpec(Specification):
     """name -> content-tuple map; capacity-aware (one block per file)."""
+
+    tracks_view_delta = True
 
     def __init__(self, num_blocks: int = 16, max_content: int = 7):
         self.num_blocks = num_blocks
@@ -25,6 +27,7 @@ class FsSpec(Specification):
             if full:
                 raise SpecReject(f"create({name!r}) succeeded on a full disk")
             self.files[name] = ()
+            self._touch(name)
         elif result is False:
             if not exists and not full:
                 raise SpecReject(f"create({name!r}) failed with room available")
@@ -41,6 +44,7 @@ class FsSpec(Specification):
                     f"write_file({name!r}) succeeded but the spec disallows it"
                 )
             self.files[name] = content
+            self._touch(name)
         elif result is False:
             if possible:
                 raise SpecReject(f"write_file({name!r}) failed but was possible")
@@ -53,6 +57,7 @@ class FsSpec(Specification):
             if name not in self.files:
                 raise SpecReject(f"delete({name!r}) succeeded on an absent file")
             del self.files[name]
+            self._touch(name)
         elif result is False:
             if name in self.files:
                 raise SpecReject(f"delete({name!r}) failed but the file exists")
@@ -65,6 +70,9 @@ class FsSpec(Specification):
 
     def view(self) -> dict:
         return dict(self.files)
+
+    def view_at(self, name):
+        return self.files[name] if name in self.files else VIEW_ABSENT
 
     def describe(self) -> str:
         return f"files = {self.files!r}"

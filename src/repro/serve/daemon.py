@@ -32,7 +32,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
-from ..core import CheckOutcome, RefinementChecker
+from ..core import (
+    CheckOutcome,
+    Checkpoint,
+    CheckpointError,
+    RefinementChecker,
+    checkpoint_blob_name,
+)
 from ..core.actions import Action
 from ..core.log import ChainReport, log_signature, verify_chain
 from ..obs import NULL_RECORDER, Recorder
@@ -216,6 +222,18 @@ class ServeSession:
         forces checker lag so backpressure determinism can be exercised.
     timeout:
         Wall-clock bound on the whole session; exceeded => incomplete.
+    checkpoint_every:
+        When > 0, the checker thread writes a refinement-checker checkpoint
+        blob (``<session>/CHECKPOINT.vyrdckpt``) into the store every that
+        many checked records, so a killed daemon can resume mid-log.
+    resume:
+        Try to restore the refinement checker from the session's checkpoint
+        blob before verifying.  The canonical history still re-ingests every
+        record (the stream signature must not depend on where verification
+        restarted); only the checker skips records below the checkpoint's
+        ``resume_seq``.  A missing blob starts from record zero silently; a
+        corrupt or mismatched blob is reported in ``stats`` and likewise
+        falls back to record zero.
     """
 
     def __init__(
@@ -233,6 +251,8 @@ class ServeSession:
         pause_low: Optional[int] = None,
         checker_delay: float = 0.0,
         timeout: float = 120.0,
+        checkpoint_every: int = 0,
+        resume: bool = False,
         obs: Optional[Recorder] = None,
     ):
         self.store = store
@@ -254,6 +274,8 @@ class ServeSession:
         )
         self.checker_delay = checker_delay
         self.timeout = timeout
+        self.checkpoint_every = max(0, checkpoint_every)
+        self.resume = resume
         self.obs = obs if obs is not None else NULL_RECORDER
         # shared between the two daemon threads
         self._canonical: List[Action] = []
@@ -264,6 +286,9 @@ class ServeSession:
         self._checker_error: Optional[str] = None
         self._paused = False
         self._pauses = 0
+        self._resume_seq = 0
+        self._resume_rejected: Optional[str] = None
+        self._checkpoints_saved = 0
 
     # -- ingest side ---------------------------------------------------------
 
@@ -355,15 +380,61 @@ class ServeSession:
 
     # -- checker side --------------------------------------------------------
 
+    def _maybe_restore(self, checker) -> None:
+        """Restore ``checker`` from the session's checkpoint blob, if any.
+
+        Failures never abort the session: a checkpoint is an optimization,
+        so a bad one just means verifying from record zero again."""
+        if checker is None or not self.resume:
+            return
+        try:
+            blob = self.store.get_bytes(checkpoint_blob_name(self.session))
+        except (KeyError, OSError):  # no checkpoint published yet
+            return
+        try:
+            checkpoint = Checkpoint.from_bytes(blob)
+            checker.restore(checkpoint)
+        except CheckpointError as exc:
+            self._resume_rejected = str(exc)
+            return
+        self._resume_seq = checkpoint.resume_seq
+
+    def _save_checkpoint(self, checker) -> None:
+        checkpoint = checker.checkpoint(
+            meta={"session": self.session, "shards": self.num_shards}
+        )
+        self.store.put_bytes(
+            checkpoint_blob_name(self.session), checkpoint.to_bytes()
+        )
+        self._checkpoints_saved += 1
+
     def _check(self, checker, race_checker) -> None:
+        # Canonical position of the next record this thread will see; the
+        # merger emits records in sequence order, so a running counter is the
+        # global sequence number.
+        position = 0
+        since_checkpoint = 0
         try:
             while True:
                 batch = self.queue.get()
                 if batch is None:
                     return
                 self._canonical.extend(batch)
-                if checker is not None:
-                    checker.feed(batch)
+                fresh = batch
+                if position < self._resume_seq:
+                    # Already verified before the checkpoint was taken: the
+                    # canonical history keeps them (signature identity), the
+                    # checker must not see them twice.
+                    skip = min(len(batch), self._resume_seq - position)
+                    fresh = batch[skip:]
+                position += len(batch)
+                if checker is not None and fresh:
+                    checker.feed(fresh)
+                    if self.checkpoint_every:
+                        since_checkpoint += len(fresh)
+                        if since_checkpoint >= self.checkpoint_every:
+                            self._save_checkpoint(checker)
+                            since_checkpoint = 0
                 if race_checker is not None:
                     race_checker.feed(batch)
                 self._checked += len(batch)
@@ -381,6 +452,7 @@ class ServeSession:
         race_checker = (
             self.race_checker_factory() if self.race_checker_factory else None
         )
+        self._maybe_restore(checker)
         obs = self.obs
         with obs.span("serve.session", cat="serve", session=self.session):
             ingest = threading.Thread(
@@ -421,6 +493,9 @@ class ServeSession:
                 self._manifest.get("throttle_waits")
                 if self._manifest else None
             ),
+            "checkpoints_saved": self._checkpoints_saved,
+            "resumed_from_seq": self._resume_seq,
+            "checkpoint_rejected": self._resume_rejected,
         }
         if obs.enabled:
             obs.count("serve.records", result.records)

@@ -63,6 +63,8 @@ from typing import List, Optional
 
 from ..concurrency.errors import SimThreadError, SimulationError
 from ..core import (
+    Checkpoint,
+    CheckpointError,
     LogFormatError,
     RefinementChecker,
     format_outcome,
@@ -228,6 +230,19 @@ def _build_parser() -> argparse.ArgumentParser:
                                    "truncated/corrupt log and check that; "
                                    "without this flag a damaged log is a "
                                    "hard error (exit code 2)")
+    check_parser.add_argument("--checkpoint-every", type=int, metavar="N",
+                              default=0,
+                              help="write a rolling checkpoint after every N "
+                                   "processed records (requires --checkpoint)")
+    check_parser.add_argument("--checkpoint", metavar="PATH",
+                              help="checkpoint file to write (with "
+                                   "--checkpoint-every) or to update on "
+                                   "completion")
+    check_parser.add_argument("--resume", metavar="CKPT",
+                              help="resume mid-log from a checkpoint written "
+                                   "by a previous check of the same log; a "
+                                   "corrupt checkpoint is rejected and the "
+                                   "check falls back to record zero")
     check_parser.add_argument("--json", action="store_true",
                               help="emit the outcome as JSON")
 
@@ -683,14 +698,50 @@ def _cmd_check(args) -> int:
         for problem in problems[:5]:
             print(f"  {problem}")
     checker = _checker_for(args.program, args.mode, stop_at_first=not args.all)
-    checker.feed(log)
+    resume_info = None
+    start_seq = 0
+    if args.resume:
+        try:
+            ckpt = Checkpoint.load(args.resume)
+            checker.restore(ckpt)
+            start_seq = ckpt.resume_seq
+            resume_info = {"checkpoint": args.resume, "resume_seq": start_seq}
+        except CheckpointError as exc:
+            # Typed rejection: fall back to a record-zero replay.
+            resume_info = {
+                "checkpoint": args.resume,
+                "rejected": str(exc),
+                "resume_seq": 0,
+            }
+            if not args.json:
+                print(f"warning: checkpoint rejected ({exc}); "
+                      "replaying from record zero", file=sys.stderr)
+            checker = _checker_for(args.program, args.mode,
+                                   stop_at_first=not args.all)
+    actions = list(log)[start_seq:]
+    every = max(0, args.checkpoint_every)
+    if every and args.checkpoint:
+        meta = {"program": args.program, "mode": args.mode, "log": args.log}
+        for index in range(0, len(actions), every):
+            checker.feed(actions[index:index + every])
+            checker.checkpoint(meta=meta).save(args.checkpoint)
+    else:
+        checker.feed(actions)
+        if args.checkpoint:
+            checker.checkpoint(
+                meta={"program": args.program, "mode": args.mode, "log": args.log}
+            ).save(args.checkpoint)
     outcome = checker.finish()
     if args.json:
         payload = outcome.to_dict()
         if recovery is not None:
             payload["recovery"] = recovery
+        if resume_info is not None:
+            payload["resume"] = resume_info
         _emit_json(payload, log)
     else:
+        if resume_info is not None and "rejected" not in resume_info:
+            print(f"resumed from {args.resume} at seq {start_seq}")
         print(format_outcome(outcome, title=f"{args.mode} refinement of {args.log}"))
     return 0 if outcome.ok else 1
 

@@ -1,0 +1,166 @@
+"""Checkpoint format, integrity rejection, and checker save/restore parity."""
+
+import pytest
+
+from repro.core import (
+    CallAction,
+    Checkpoint,
+    CheckpointError,
+    CommitAction,
+    RefinementChecker,
+    ReturnAction,
+    WriteAction,
+    checkpoint_blob_name,
+)
+from repro.core.checkpoint import FORMAT_VERSION, MAGIC
+
+from test_refinement_unit import RegisterSpec, _op, register_view
+
+
+def _checker():
+    return RefinementChecker(
+        RegisterSpec(), mode="view", impl_view=register_view()
+    )
+
+
+def _log(n=6):
+    actions = []
+    for index in range(n):
+        actions.extend(
+            _op(0, index, "set", (index,), True,
+                seq_actions=[WriteAction(0, index, "reg", None, index)])
+        )
+    return actions
+
+
+# -- the serialized format ---------------------------------------------------
+
+
+def test_round_trip_through_bytes():
+    original = Checkpoint(payload={"x": (1, 2)}, meta={"resume_seq": 7})
+    restored = Checkpoint.from_bytes(original.to_bytes())
+    assert restored.payload == original.payload
+    assert restored.resume_seq == 7
+
+
+def test_save_load_file(tmp_path):
+    path = str(tmp_path / "c.vyrdckpt")
+    Checkpoint(payload={"k": "v"}, meta={}).save(path)
+    assert Checkpoint.load(path).payload == {"k": "v"}
+
+
+def test_bad_magic_rejected():
+    blob = Checkpoint(payload={}, meta={}).to_bytes()
+    with pytest.raises(CheckpointError):
+        Checkpoint.from_bytes(b"NOTACKPT1\n" + blob[len(MAGIC):])
+
+
+def test_flipped_payload_byte_rejected_by_hash():
+    blob = bytearray(Checkpoint(payload={"k": "v"}, meta={}).to_bytes())
+    blob[-1] ^= 0xFF
+    with pytest.raises(CheckpointError, match="hash"):
+        Checkpoint.from_bytes(bytes(blob))
+
+
+def test_unsupported_version_rejected():
+    blob = Checkpoint(payload={}, meta={}).to_bytes()
+    bumped = blob.replace(
+        f'"version": {FORMAT_VERSION}'.encode(),
+        f'"version": {FORMAT_VERSION + 1}'.encode(),
+    )
+    with pytest.raises(CheckpointError, match="version"):
+        Checkpoint.from_bytes(bumped)
+
+
+def test_truncated_blob_rejected():
+    blob = Checkpoint(payload={"k": "v"}, meta={}).to_bytes()
+    with pytest.raises(CheckpointError):
+        Checkpoint.from_bytes(blob[: len(blob) // 2])
+
+
+def test_missing_file_is_typed_error(tmp_path):
+    with pytest.raises(CheckpointError):
+        Checkpoint.load(str(tmp_path / "nope.vyrdckpt"))
+
+
+def test_blob_name_is_per_session():
+    assert checkpoint_blob_name("run-7") == "run-7/CHECKPOINT.vyrdckpt"
+
+
+# -- checker save/restore ----------------------------------------------------
+
+
+def test_checkpoint_mid_log_resume_matches_straight_run():
+    log = _log(8)
+    straight = _checker()
+    straight.feed(log)
+    expected = straight.finish().to_dict()
+
+    cut = len(log) // 2
+    first = _checker()
+    first.feed(log[:cut])
+    checkpoint = Checkpoint.from_bytes(first.checkpoint().to_bytes())
+
+    resumed = _checker()
+    resumed.restore(checkpoint)
+    assert checkpoint.resume_seq == cut
+    resumed.feed(log[checkpoint.resume_seq:])
+    assert resumed.finish().to_dict() == expected
+
+
+def test_restore_requires_fresh_checker():
+    first = _checker()
+    first.feed(_log(2))
+    checkpoint = first.checkpoint()
+    used = _checker()
+    used.feed(_log(1))
+    with pytest.raises(CheckpointError, match="fresh"):
+        used.restore(checkpoint)
+
+
+def test_restore_rejects_mismatched_configuration():
+    view_checker = _checker()
+    view_checker.feed(_log(2))
+    checkpoint = view_checker.checkpoint()
+    io_checker = RefinementChecker(RegisterSpec(), mode="io")
+    with pytest.raises(CheckpointError, match="config"):
+        io_checker.restore(checkpoint)
+
+
+def test_checkpoint_preserves_buffered_lookahead():
+    """A checkpoint taken while a commit is waiting for its return must
+    carry the buffered actions: the resumed checker sees the return first."""
+    log = (
+        [CallAction(0, 0, "set", (1,)),
+         WriteAction(0, 0, "reg", None, 1),
+         CommitAction(0, 0)]          # buffered: return not yet seen
+        + [ReturnAction(0, 0, "set", True)]
+    )
+    first = _checker()
+    first.feed(log[:3])
+    checkpoint = Checkpoint.from_bytes(first.checkpoint().to_bytes())
+    resumed = _checker()
+    resumed.restore(checkpoint)
+    resumed.feed(log[3:])
+    outcome = resumed.finish()
+    assert outcome.ok
+    assert outcome.commits_executed == 1
+
+
+# -- bounded memory (the _ops/_returns leak regression) ----------------------
+
+
+def test_op_bookkeeping_stays_bounded_over_long_logs():
+    """Completed executions must be dropped from the op/return indices;
+    before the fix both dicts grew with every execution ever checked."""
+    checker = _checker()
+    for index in range(500):
+        checker.feed(
+            _op(0, index, "set", (index,), True,
+                seq_actions=[WriteAction(0, index, "reg", index - 1 if index else None, index)])
+        )
+        assert len(checker._ops) == 0
+        assert len(checker._returns) == 0
+    # an execution mid-flight is the only thing allowed to occupy a slot
+    checker.feed([CallAction(0, 999, "set", (1,))])
+    assert len(checker._ops) == 1

@@ -136,6 +136,44 @@ def test_replay_inside_block_is_rolled_back():
     assert "loc" not in state.effective(2)
 
 
+def test_effective_fast_path_without_blocks():
+    """No open blocks => no overlay is built; semantics are unchanged."""
+    state = ReplayState()
+    state.apply_write(0, "x", None, 1)
+    effective = state.effective(0)
+    assert effective.overlay_size == 0
+    assert effective["x"] == 1 and len(effective) == 1
+
+
+def test_effective_fast_path_when_only_own_block_open():
+    state = ReplayState()
+    state.begin_block(0)
+    state.apply_write(0, "x", None, 1)
+    # the committing thread's own block never rolls back
+    own = state.effective(0)
+    assert own.overlay_size == 0
+    assert own["x"] == 1
+    # ...but anyone else's commit still pays for the rollback overlay
+    other = state.effective(1)
+    assert other.overlay_size == 1
+    assert "x" not in other
+
+
+def test_fast_path_overlay_is_never_polluted():
+    """The shared empty overlay must stay empty across unrelated commits
+    with and without blocks in between."""
+    state = ReplayState()
+    state.apply_write(0, "x", None, 1)
+    first = state.effective(0)
+    state.begin_block(1)
+    state.apply_write(1, "x", 1, 2)
+    assert state.effective(0)["x"] == 1  # slow path, rolls back
+    state.end_block(1)
+    second = state.effective(0)
+    assert first.overlay_size == 0 and second.overlay_size == 0
+    assert second["x"] == 2
+
+
 def test_register_replay_after_construction():
     state = ReplayState()
     state.register_replay("touch", lambda target, payload: target.__setitem__("t", payload))

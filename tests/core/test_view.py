@@ -2,6 +2,7 @@
 
 from repro.core import (
     ContributionView,
+    DependencyView,
     FunctionView,
     ReplayState,
     canonical_bag,
@@ -147,3 +148,115 @@ def test_aggregate_mode_validation():
     with pytest.raises(ValueError):
         ContributionView(unit_of=lambda loc: None, contribute=lambda s, u: None,
                          aggregate="bogus")
+
+
+# -- DependencyView: linked structures with dynamic read-deps ----------------
+
+
+def _chain_view():
+    """Units are node records ``n<i> = (pairs, next_unit_or_None)``; each
+    node's pairs reference separate data locations -- the B-link-tree shape
+    in miniature."""
+
+    def expand(reader, unit):
+        record = reader.get(unit)
+        if record is None:
+            return (), ()
+        refs, next_unit = record
+        pairs = []
+        for key, data_loc in refs:
+            value = reader.get(data_loc)
+            if value is not None:
+                pairs.append((key, value))
+        links = (next_unit,) if next_unit else ()
+        return pairs, links
+
+    return DependencyView(roots=("n0",), expand=expand, sort_key=None)
+
+
+def _write(state, view, loc, value):
+    state.apply_write(0, loc, state.get(loc), value)
+    view.on_write(loc)
+
+
+def test_dependency_view_discovers_linked_units():
+    view, state = _chain_view(), ReplayState()
+    _write(state, view, "d0", "a")
+    _write(state, view, "n1", (((2, "d1"),), None))
+    _write(state, view, "d1", "b")
+    # n1 and d1 are unreachable until the root links to n1
+    _write(state, view, "n0", (((1, "d0"),), "n1"))
+    assert view.refresh(state.effective(None)) == {1: ("a",), 2: ("b",)}
+    assert view.refresh(state.effective(None)) == view.compute_full(
+        state.effective(None)
+    )
+
+
+def test_dependency_view_data_write_dirties_only_reading_unit():
+    view, state = _chain_view(), ReplayState()
+    _write(state, view, "n0", (((1, "d0"),), "n1"))
+    _write(state, view, "n1", (((2, "d1"),), None))
+    _write(state, view, "d0", "a")
+    _write(state, view, "d1", "b")
+    view.refresh(state.effective(None))
+    _write(state, view, "d1", "B")
+    view.refresh(state.effective(None))
+    assert view.last_recomputed == 1  # only n1 re-expanded
+    assert view.last_touched_keys == {2}
+    assert view.value() == {1: ("a",), 2: ("B",)}
+
+
+def test_dependency_view_unlink_evicts_cascade():
+    view, state = _chain_view(), ReplayState()
+    _write(state, view, "n0", ((), "n1"))
+    _write(state, view, "n1", (((2, "d1"),), "n2"))
+    _write(state, view, "n2", (((3, "d2"),), None))
+    _write(state, view, "d1", "b")
+    _write(state, view, "d2", "c")
+    assert view.refresh(state.effective(None)) == {2: ("b",), 3: ("c",)}
+    # root drops its link: n1, n2 and their contributions all disappear
+    _write(state, view, "n0", (((1, "d0"),), None))
+    _write(state, view, "d0", "a")
+    assert view.refresh(state.effective(None)) == {1: ("a",)}
+    # writes to evicted units' data no longer dirty anything
+    _write(state, view, "d1", "zombie")
+    view.refresh(state.effective(None))
+    assert view.last_recomputed == 0
+
+
+def test_dependency_view_matches_full_walk_under_random_mutation():
+    import random
+
+    rng = random.Random(11)
+    view, state = _chain_view(), ReplayState()
+    _write(state, view, "n0", ((), None))
+    for step in range(120):
+        index = rng.randrange(4)
+        if rng.random() < 0.5:
+            refs = tuple(
+                (rng.randrange(6), f"d{rng.randrange(6)}")
+                for _ in range(rng.randrange(3))
+            )
+            # links point strictly forward: the acyclic contract (see the
+            # DependencyView docstring) that B-link right-links satisfy
+            later = [f"n{j}" for j in range(index + 1, 5)]
+            next_unit = rng.choice(later) if rng.random() < 0.7 else None
+            _write(state, view, f"n{index}", (refs, next_unit))
+        else:
+            _write(state, view, f"d{rng.randrange(6)}",
+                   rng.choice([None, "u", "v", "w"]))
+        assert view.refresh(state.effective(None)) == view.compute_full(
+            state.effective(None)
+        )
+
+
+def test_dependency_view_state_roundtrip():
+    view, state = _chain_view(), ReplayState()
+    _write(state, view, "n0", (((1, "d0"),), None))
+    _write(state, view, "d0", "a")
+    view.refresh(state.effective(None))
+    clone = _chain_view()
+    clone.load_state(view.state_dict())
+    assert clone.value() == view.value()
+    _write(state, clone, "d0", "A")
+    assert clone.refresh(state.effective(None)) == {1: ("A",)}

@@ -43,6 +43,18 @@ def test_campaign_latency_injection_is_schedule_invariant(report):
     assert report.tracer_log_identical is True
 
 
+def test_campaign_checkpoint_round_kill_resume_identity(report):
+    assert report.checkpoint_ok
+    # clean and seeded-bug variants both exercised
+    assert [entry["buggy"] for entry in report.checkpoint_checks] == [False, True]
+    for entry in report.checkpoint_checks:
+        assert entry["resumed_identical"]
+        assert entry["corrupt_rejected"] and "hash" in entry["rejection"]
+        assert entry["fallback_identical"]
+    # the buggy variant actually produced a violating verdict to compare
+    assert report.checkpoint_checks[1]["verdict_ok"] is False
+
+
 def test_campaign_report_round_trips_to_json(report):
     assert report.ok
     payload = json.loads(json.dumps(report.to_dict()))

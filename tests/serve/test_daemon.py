@@ -96,6 +96,60 @@ def test_live_backpressure_preserves_signature():
     assert manifests["m"]["throttle_waits"] >= 1
 
 
+def test_checkpointed_session_resumes_with_identical_verdict():
+    """A daemon that checkpointed, died and restarted must re-serve the
+    session with the same signature and verdict, skipping already-verified
+    records; a corrupted blob must fall back to record zero, still with the
+    same verdict."""
+    from repro.core import checkpoint_blob_name
+
+    store = ObjectStoreStub()
+    produce_session(
+        store, "s", PROG, seed=3, num_shards=2, run_kwargs=WORKLOAD,
+        throttle=False,
+    )
+    checker_factory, _ = session_checkers(PROG)
+
+    def serve(**kw):
+        return ServeSession(
+            store, "s", 2, checker_factory=checker_factory, **kw
+        ).run()
+
+    first = serve(checkpoint_every=40)
+    assert first.ok and first.stats["checkpoints_saved"] >= 1
+    assert store.get_bytes(checkpoint_blob_name("s")) is not None
+
+    resumed = serve(resume=True)
+    assert resumed.ok
+    assert resumed.stats["resumed_from_seq"] > 0
+    assert resumed.signature == first.signature
+    assert resumed.outcome.to_dict() == first.outcome.to_dict()
+
+    damaged = bytearray(store.get_bytes(checkpoint_blob_name("s")))
+    damaged[-1] ^= 0xFF
+    store.put_bytes(checkpoint_blob_name("s"), bytes(damaged))
+    fallback = serve(resume=True)
+    assert fallback.ok
+    assert fallback.stats["resumed_from_seq"] == 0
+    assert fallback.stats["checkpoint_rejected"]
+    assert fallback.outcome.to_dict() == first.outcome.to_dict()
+
+
+def test_resume_without_checkpoint_blob_starts_at_zero():
+    store = ObjectStoreStub()
+    produce_session(
+        store, "s", PROG, seed=4, num_shards=2, run_kwargs=WORKLOAD,
+        throttle=False,
+    )
+    checker_factory, _ = session_checkers(PROG)
+    result = ServeSession(
+        store, "s", 2, checker_factory=checker_factory, resume=True
+    ).run()
+    assert result.ok
+    assert result.stats["resumed_from_seq"] == 0
+    assert result.stats["checkpoint_rejected"] is None
+
+
 def test_campaign_forked_producers_match_reference(tmp_path):
     ref_sig, _ = direct_reference(seed=3)
     store = LocalDirectoryStore(str(tmp_path))
