@@ -4,14 +4,18 @@ Runs ``N`` complete fault-injection campaigns (:mod:`repro.faults`), each
 with a fresh plan drawn from its soak index: worker crashes and hangs
 against the multi-process explorer, torn/bit-flipped saved logs against
 :func:`repro.core.log.recover_log`, latency injection against the kernel
-tracer.  Writes a machine-readable ``BENCH_fault_soak.json`` at the repo
-root: per-campaign signature verdicts, incidents survived (retries, pool
-rebuilds, watchdog kills), salvage accounting for every corruption, and
-the faulted/baseline overhead ratio.
+tracer, and the self-healing serve rounds -- mid-session producer kills
+absorbed by the supervisor, store brownouts absorbed by the retry layer,
+checker crashes absorbed by degraded-mode catch-up.  Writes a
+machine-readable ``BENCH_fault_soak.json`` at the repo root: per-campaign
+signature verdicts, incidents survived (retries, pool rebuilds, watchdog
+kills, producer restarts, store retries), salvage accounting for every
+corruption, and the faulted/baseline overhead ratio.
 
 The exit code is the robustness gate: nonzero if *any* campaign diverged
-from its fault-free serial baseline or any corruption failed to salvage the
-longest valid prefix.
+from its fault-free serial baseline, any corruption failed to salvage the
+longest valid prefix, any serve round changed a verdict byte, or any
+supervisor needed more than its bounded restart budget.
 
 Usage::
 
@@ -63,12 +67,40 @@ def run_soak(
         )
         seconds = time.perf_counter() - start
         recoveries = report.recoveries
+        serve_checks = (
+            report.producer_kill_checks
+            + report.brownout_checks
+            + report.catchup_checks
+        )
         rows.append({
             "seed": seed,
             "ok": report.ok,
             "signatures_match": report.signatures_match,
             "recovery_ok": report.recovery_ok,
             "tracer_log_identical": report.tracer_log_identical,
+            "producer_kill_ok": report.producer_kill_ok,
+            "brownout_ok": report.brownout_ok,
+            "catchup_ok": report.catchup_ok,
+            "producer_restarts": sum(
+                e["restarts"] for e in report.producer_kill_checks
+            ),
+            "restarts_bounded": all(
+                1 <= e["restarts"] <= 2 and not e["gave_up"]
+                for e in report.producer_kill_checks
+            ),
+            "store_retries_absorbed": sum(
+                e["retries_absorbed"] for e in report.brownout_checks
+            ),
+            "store_giveups": sum(
+                e["giveups"] for e in report.brownout_checks
+            ),
+            "catchup_records": sum(
+                e["catchup_records"] or 0 for e in report.catchup_checks
+            ),
+            "serve_verdict_divergences": sum(
+                1 for e in serve_checks
+                if not (e["signature_identical"] and e["verdict_identical"])
+            ),
             "seconds": round(seconds, 3),
             "overhead": (
                 round(report.overhead, 3)
@@ -108,6 +140,13 @@ def run_soak(
         "recoveries_failed": sum(
             1 for r in rows for entry in r["recoveries"] if not entry["ok"]
         ),
+        "serve_verdict_divergences": sum(
+            r["serve_verdict_divergences"] for r in rows
+        ),
+        "producer_restarts_total": sum(r["producer_restarts"] for r in rows),
+        "restarts_bounded": all(r["restarts_bounded"] for r in rows),
+        "store_retries_total": sum(r["store_retries_absorbed"] for r in rows),
+        "store_giveups_total": sum(r["store_giveups"] for r in rows),
         "incident_totals": incident_totals,
         "mean_overhead": (
             round(sum(overheads) / len(overheads), 3) if overheads else None
@@ -143,6 +182,13 @@ def render(report: dict) -> str:
         f"totals: incidents {totals}; {report['campaigns_diverged']} "
         f"diverged, {report['recoveries_failed']} failed recoveries, mean "
         f"overhead {report['mean_overhead']}x"
+    )
+    lines.append(
+        f"serve: {report['serve_verdict_divergences']} verdict divergences, "
+        f"{report['producer_restarts_total']} producer restarts "
+        f"({'bounded' if report['restarts_bounded'] else 'UNBOUNDED'}), "
+        f"{report['store_retries_total']} store retries absorbed "
+        f"({report['store_giveups_total']} giveups)"
     )
     return "\n".join(lines)
 

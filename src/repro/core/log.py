@@ -290,6 +290,24 @@ class ChainDecoder:
             out.append((seq, action, self.consumed))
         return out
 
+    def discard_pending(self) -> int:
+        """Drop any buffered partial frame; return the bytes discarded.
+
+        A tailing reader that has reached the durable end of a growing
+        shard must not carry a half-frame across polls: if the producer
+        dies there, the supervisor salvages the shard by truncating it to
+        the chain-valid prefix -- exactly the decoder's ``consumed``
+        boundary -- and the restarted producer appends fresh frames from
+        that boundary.  A reader holding stale partial bytes would then
+        splice old garbage into the new frames.  Dropping the pending tail
+        (and re-reading it next poll if it was real) keeps the reader's
+        file offset pinned to a frame boundary at all times.
+        """
+        dropped = len(self._buffer)
+        del self._buffer[:]
+        self.offset = self.consumed
+        return dropped
+
     def finish(self) -> None:
         """Declare end-of-stream; raise the parked error or report a torn
         tail (a buffered partial frame)."""
@@ -365,7 +383,8 @@ class LogWriter:
     """
 
     def __init__(self, target, framed: bool = True, chained: bool = False,
-                 shard_id: int = 0, start_seq: int = 0, sync: bool = False):
+                 shard_id: int = 0, start_seq: int = 0, sync: bool = False,
+                 resume_digest: Optional[bytes] = None):
         if hasattr(target, "write"):
             self._file: IO[bytes] = target
             self._owns = False
@@ -379,8 +398,16 @@ class LogWriter:
         if chained:
             self.shard_id = shard_id
             self._next_seq = start_seq
-            self._prev_digest = genesis_digest(shard_id)
-            self._file.write(LOG_MAGIC2 + _SHARD_PROLOGUE.pack(shard_id))
+            if resume_digest is not None:
+                # Continuing an existing shard after a crash: the file
+                # already carries its prologue and a chain-valid prefix
+                # whose head is ``resume_digest``; new frames extend that
+                # chain so the finished file is byte-identical to one
+                # written by an uninterrupted producer.
+                self._prev_digest = resume_digest
+            else:
+                self._prev_digest = genesis_digest(shard_id)
+                self._file.write(LOG_MAGIC2 + _SHARD_PROLOGUE.pack(shard_id))
         elif self._framed:
             self._file.write(LOG_MAGIC)
         if self._framed:

@@ -4,22 +4,25 @@ The verification pipeline is only trustworthy if it stays correct when the
 infrastructure under it misbehaves: worker processes die mid-chunk, stuck
 schedules hang a pool, log files get torn or silently corrupted on disk.
 This package provides the *attack side* of that claim -- seeded, replayable
-:class:`FaultPlan`\\ s injected at three seams (worker tasks, saved log
-bytes, the kernel tracer) -- and the campaign driver that proves the
-*defense side* holds: fault-surviving exploration produces **bit-identical**
-signatures to fault-free serial runs, and log recovery always salvages the
-longest valid record prefix with a diagnosable offset.
+:class:`FaultPlan`\\ s injected at four seams (worker tasks, saved log
+bytes, the kernel tracer, the serve-layer blob store) -- and the campaign
+driver that proves the *defense side* holds: fault-surviving exploration
+produces **bit-identical** signatures to fault-free serial runs, log
+recovery always salvages the longest valid record prefix with a diagnosable
+offset, and the self-healing serve pipeline (supervised producers, retried
+stores, degraded-mode catch-up) never changes a verdict byte.
 
 * :mod:`repro.faults.plan` -- :class:`Fault`, :class:`TaskFaults`,
   :class:`FaultPlan` (seeded generation, per-dispatch resolution)
 * :mod:`repro.faults.inject` -- :func:`tear`, :func:`bitflip`,
-  :func:`apply_log_faults`, :class:`LatencyTracer`
+  :func:`apply_log_faults`, :class:`LatencyTracer`, :class:`FlakyStore`
 * :mod:`repro.faults.campaign` -- :func:`run_fault_campaign`,
   :class:`FaultCampaignReport`
 """
 
 from .campaign import FaultCampaignReport, run_fault_campaign
 from .inject import (
+    FlakyStore,
     LatencyTracer,
     apply_log_faults,
     bitflip,
@@ -30,9 +33,12 @@ from .inject import (
 from .plan import (
     BITFLIP_LOG,
     CRASH,
+    FLAKY_STORE,
     HANG,
+    PRODUCER_KILL,
     SLOW_IO,
     SPLICE_LOG,
+    STORE_OUTAGE,
     TORN_LOG,
     Fault,
     FaultPlan,
@@ -42,13 +48,17 @@ from .plan import (
 __all__ = [
     "BITFLIP_LOG",
     "CRASH",
+    "FLAKY_STORE",
     "Fault",
     "FaultCampaignReport",
     "FaultPlan",
+    "FlakyStore",
     "HANG",
     "LatencyTracer",
+    "PRODUCER_KILL",
     "SLOW_IO",
     "SPLICE_LOG",
+    "STORE_OUTAGE",
     "TORN_LOG",
     "TaskFaults",
     "apply_log_faults",

@@ -35,6 +35,22 @@ packaged as a library call (the CLI ``faults`` subcommand and the
    byte-identical to the straight-through run.  A bit-flipped checkpoint
    must be rejected with :class:`~repro.core.CheckpointError` and the
    record-zero fallback replay must reproduce the same verdict.
+7. **Producer-kill round** -- serve the workload with the producer
+   subprocess dying abruptly (``os._exit``) mid-session under a
+   :class:`~repro.serve.supervise.ProducerSupervisor`; the supervisor must
+   salvage, restart within its bounded budget, and the final stream
+   signature, chain audit and verdict must be byte-identical to an
+   uninterrupted serve of the same seed (clean and seeded-bug variants).
+8. **Store-brownout round** -- serve through a
+   :class:`~repro.faults.inject.FlakyStore` (seeded transient errors,
+   latency spikes, a blackout window) wrapped in a
+   :class:`~repro.serve.retry.RetryingStore`; the retries must absorb every
+   planned failure (``retries > 0`` proves the brownout actually hit) and
+   the verdict/signature must match the pristine-store serve.
+9. **Checker-crash catch-up round** -- serve with a checker that crashes
+   mid-stream; the session must degrade to record-only mode (not fail),
+   keep ingesting, and the offline catch-up verification at drain must
+   reproduce the healthy verdict byte for byte.
 
 :class:`FaultCampaignReport.ok` is the conjunction of all gates.
 """
@@ -84,6 +100,12 @@ class FaultCampaignReport:
     tracer_log_identical: Optional[bool] = None  # None: no slow_io planned
     checkpoint_checks: List[dict] = field(default_factory=list)
     checkpoint_ok: bool = True  # kill->resume verdicts byte-identical
+    producer_kill_checks: List[dict] = field(default_factory=list)
+    producer_kill_ok: bool = True  # supervised restart => identical stream
+    brownout_checks: List[dict] = field(default_factory=list)
+    brownout_ok: bool = True  # retry layer absorbs planned store faults
+    catchup_checks: List[dict] = field(default_factory=list)
+    catchup_ok: bool = True  # degraded catch-up reproduces the verdict
 
     @property
     def overhead(self) -> Optional[float]:
@@ -107,6 +129,9 @@ class FaultCampaignReport:
             and self.recovery_ok
             and self.chain_ok
             and self.checkpoint_ok
+            and self.producer_kill_ok
+            and self.brownout_ok
+            and self.catchup_ok
             and self.tracer_log_identical is not False
         )
 
@@ -136,6 +161,12 @@ class FaultCampaignReport:
             "tracer_log_identical": self.tracer_log_identical,
             "checkpoint_checks": list(self.checkpoint_checks),
             "checkpoint_ok": self.checkpoint_ok,
+            "producer_kill_checks": list(self.producer_kill_checks),
+            "producer_kill_ok": self.producer_kill_ok,
+            "brownout_checks": list(self.brownout_checks),
+            "brownout_ok": self.brownout_ok,
+            "catchup_checks": list(self.catchup_checks),
+            "catchup_ok": self.catchup_ok,
         }
 
 
@@ -332,6 +363,279 @@ def _checkpoint_round(
     return checks, ok
 
 
+def _serve_verdict(result) -> str:
+    """Canonical JSON of a serve outcome, for byte-identity comparison."""
+    outcome = result.outcome.to_dict() if result.outcome else None
+    return json.dumps(outcome, sort_keys=True)
+
+
+def _reference_serve(store, session, program, workload_seed, run_kwargs,
+                     **session_kwargs):
+    """Produce in-process and verify: the fault-free serve of one seed."""
+    from ..serve.daemon import ServeSession, session_checkers
+    from ..serve.producer import produce_session
+
+    produce_session(
+        store, session, program, seed=workload_seed, num_shards=2,
+        run_kwargs=run_kwargs,
+    )
+    make_checker, _ = session_checkers(program)
+    daemon = ServeSession(
+        store, session, 2, checker_factory=make_checker,
+        timeout=30.0, **session_kwargs,
+    )
+    return daemon.run()
+
+
+def _producer_kill_round(
+    program: str,
+    plan: FaultPlan,
+    workload_seed: int,
+    num_threads: int,
+    calls_per_thread: int,
+) -> tuple:
+    """Kill the producer mid-session; supervised restart must be invisible.
+
+    The kill point comes from the plan's :data:`PRODUCER_KILL` fault (a
+    fraction of the reference record count; 0.5 when none is planned).  The
+    gate is total: the supervisor must restart within budget and the final
+    signature, verdict and chain audit must be byte-identical to the
+    uninterrupted serve -- for the clean and the seeded-bug workload.
+    """
+    from ..serve.daemon import ServeSession, session_checkers
+    from ..serve.store import LocalDirectoryStore
+    from ..serve.supervise import ProducerSupervisor, SupervisionPolicy
+
+    checks: List[dict] = []
+    ok = True
+    kills = plan.producer_faults
+    frac = kills[0].frac if kills else 0.5
+    make_checker, _ = session_checkers(program)
+    for buggy in (False, True):
+        run_kwargs = dict(
+            buggy=buggy, num_threads=num_threads,
+            calls_per_thread=calls_per_thread,
+        )
+        workdir = tempfile.mkdtemp(prefix="vyrd-pkill-")
+        try:
+            ref_store = LocalDirectoryStore(os.path.join(workdir, "ref"))
+            reference = _reference_serve(
+                ref_store, "ref", program, workload_seed, run_kwargs
+            )
+            records = reference.records
+            kill_after = max(1, min(records - 1, int(frac * records)))
+            sup_store = LocalDirectoryStore(os.path.join(workdir, "sup"))
+            supervisor = ProducerSupervisor(
+                sup_store, "sup", program, workload_seed, 2,
+                run_kwargs=run_kwargs,
+                policy=SupervisionPolicy(
+                    max_restarts=2, seed=plan.seed, backoff_base=0.01,
+                ),
+                kill_after=kill_after,
+            )
+            daemon = ServeSession(
+                sup_store, "sup", 2, checker_factory=make_checker,
+                timeout=30.0,
+            )
+            supervisor.start()
+            try:
+                result = daemon.run(supervisor)
+            finally:
+                state = supervisor.finish()
+            entry = {
+                "buggy": buggy,
+                "records": records,
+                "kill_after": kill_after,
+                "restarts": state.restarts,
+                "gave_up": state.gave_up,
+                "stream_ok": result.ok,
+                "signature_identical": result.signature == reference.signature,
+                "verdict_identical": (
+                    _serve_verdict(result) == _serve_verdict(reference)
+                ),
+                "chain_ok": result.chain_ok,
+                "verdict_ok": (
+                    result.outcome.ok if result.outcome else None
+                ),
+            }
+            entry["ok"] = (
+                result.ok
+                and not state.gave_up
+                and 1 <= state.restarts <= 2
+                and entry["signature_identical"]
+                and entry["verdict_identical"]
+            )
+            ok = ok and entry["ok"]
+            checks.append(entry)
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+    return checks, ok
+
+
+def _store_brownout_round(
+    program: str,
+    plan: FaultPlan,
+    workload_seed: int,
+    num_threads: int,
+    calls_per_thread: int,
+) -> tuple:
+    """Serve through a browning-out store; the retry layer must absorb it.
+
+    The same produced shards are verified twice: once against the pristine
+    in-memory store, once through ``RetryingStore(FlakyStore(store))`` with
+    the plan's store faults live.  Identical signature and verdict, plus a
+    non-zero retry count (proof the brownout actually bit), pass the gate.
+    """
+    from ..serve.daemon import ServeSession, session_checkers
+    from ..serve.retry import RetryingStore
+    from ..serve.store import ObjectStoreStub
+    from .inject import FlakyStore
+    from .plan import FLAKY_STORE, STORE_OUTAGE, Fault
+
+    store_faults = plan.store_faults
+    if not store_faults:
+        store_faults = (
+            Fault(FLAKY_STORE, frac=0.25, seconds=0.0005, every=32),
+            Fault(STORE_OUTAGE, task=64, seconds=0.03),
+        )
+    brown_plan = FaultPlan(seed=plan.seed, faults=store_faults)
+    checks: List[dict] = []
+    ok = True
+    make_checker, _ = session_checkers(program)
+    for buggy in (False, True):
+        run_kwargs = dict(
+            buggy=buggy, num_threads=num_threads,
+            calls_per_thread=calls_per_thread,
+        )
+        store = ObjectStoreStub()
+        reference = _reference_serve(
+            store, "ref", program, workload_seed, run_kwargs
+        )
+        flaky = FlakyStore(store, brown_plan)
+        retrying = RetryingStore(
+            flaky, retries=4, seed=plan.seed,
+            backoff_base=0.005, backoff_max=0.05,
+        )
+        daemon = ServeSession(
+            retrying, "ref", 2, checker_factory=make_checker, timeout=30.0,
+        )
+        result = daemon.run()
+        entry = {
+            "buggy": buggy,
+            "records": result.records,
+            "store_ops": flaky.ops,
+            "injected_failures": flaky.failures,
+            "latency_stalls": flaky.stalls,
+            "retries_absorbed": retrying.stats["retries"],
+            "giveups": retrying.stats["giveups"],
+            "stream_ok": result.ok,
+            "signature_identical": result.signature == reference.signature,
+            "verdict_identical": (
+                _serve_verdict(result) == _serve_verdict(reference)
+            ),
+        }
+        entry["ok"] = (
+            result.ok
+            and entry["retries_absorbed"] > 0
+            and entry["giveups"] == 0
+            and entry["signature_identical"]
+            and entry["verdict_identical"]
+        )
+        ok = ok and entry["ok"]
+        checks.append(entry)
+    return checks, ok
+
+
+class _CrashingChecker:
+    """Delegating checker wrapper that dies after ``crash_at`` records."""
+
+    def __init__(self, inner, crash_at: int):
+        self.inner = inner
+        self.crash_at = crash_at
+        self.fed = 0
+
+    def feed(self, records):
+        self.fed += len(records)
+        if self.fed >= self.crash_at:
+            raise RuntimeError(
+                f"injected checker crash at record {self.fed}"
+            )
+        return self.inner.feed(records)
+
+    def __getattr__(self, attr):
+        return getattr(self.inner, attr)
+
+
+def _catchup_round(
+    program: str,
+    workload_seed: int,
+    num_threads: int,
+    calls_per_thread: int,
+) -> tuple:
+    """Crash the online checker; degraded catch-up must match the verdict.
+
+    The first checker instance a session builds crashes partway through the
+    stream (transient-fault model: the rebuilt catch-up instance runs
+    clean).  The session must degrade -- not fail -- with ingest completing
+    normally, and the offline catch-up verdict must be byte-identical to
+    the healthy serve's.
+    """
+    from ..serve.daemon import ServeSession, session_checkers
+    from ..serve.store import ObjectStoreStub
+
+    checks: List[dict] = []
+    ok = True
+    make_checker, _ = session_checkers(program)
+    for buggy in (False, True):
+        run_kwargs = dict(
+            buggy=buggy, num_threads=num_threads,
+            calls_per_thread=calls_per_thread,
+        )
+        store = ObjectStoreStub()
+        reference = _reference_serve(
+            store, "ref", program, workload_seed, run_kwargs
+        )
+        crash_at = max(1, reference.records // 3)
+        armed = {"live": True}
+
+        def crashing_factory():
+            checker = make_checker()
+            if not armed["live"]:
+                return checker
+            armed["live"] = False
+            return _CrashingChecker(checker, crash_at)
+
+        daemon = ServeSession(
+            store, "ref", 2, checker_factory=crashing_factory,
+            timeout=30.0, checkpoint_every=max(1, crash_at // 2),
+        )
+        result = daemon.run()
+        entry = {
+            "buggy": buggy,
+            "records": result.records,
+            "crash_at": crash_at,
+            "degraded": result.degraded,
+            "degraded_reason": result.stats.get("degraded_reason"),
+            "catchup_from_seq": result.stats.get("catchup_from_seq"),
+            "catchup_records": result.stats.get("catchup_records"),
+            "stream_ok": result.ok,
+            "signature_identical": result.signature == reference.signature,
+            "verdict_identical": (
+                _serve_verdict(result) == _serve_verdict(reference)
+            ),
+        }
+        entry["ok"] = (
+            result.ok
+            and result.degraded
+            and (entry["catchup_records"] or 0) > 0
+            and entry["signature_identical"]
+            and entry["verdict_identical"]
+        )
+        ok = ok and entry["ok"]
+        checks.append(entry)
+    return checks, ok
+
+
 def _latency_round(
     program: str,
     plan: FaultPlan,
@@ -393,6 +697,9 @@ def run_fault_campaign(
             tasks=_expected_chunks(num_runs, jobs),
             hang_seconds=max(timeout * 6, 30.0),
             slow_ios=slow_ios,
+            producer_kills=1,
+            flaky_stores=1,
+            outages=1,
         )
     report = FaultCampaignReport(
         program=program, seed=seed, jobs=jobs, num_runs=num_runs,
@@ -443,11 +750,33 @@ def run_fault_campaign(
         report.checkpoint_checks, report.checkpoint_ok = _checkpoint_round(
             program, workload_seed, num_threads, calls_per_thread
         )
+    with obs.span("campaign.producer_kill", cat="faults"):
+        report.producer_kill_checks, report.producer_kill_ok = (
+            _producer_kill_round(
+                program, plan, workload_seed, num_threads, calls_per_thread
+            )
+        )
+    with obs.span("campaign.brownout", cat="faults"):
+        report.brownout_checks, report.brownout_ok = _store_brownout_round(
+            program, plan, workload_seed, num_threads, calls_per_thread
+        )
+    with obs.span("campaign.catchup", cat="faults"):
+        report.catchup_checks, report.catchup_ok = _catchup_round(
+            program, workload_seed, num_threads, calls_per_thread
+        )
     if obs.enabled:
         for kind, count in report.incident_counts.items():
             obs.count(f"pool.events.{kind}", count)
         obs.count(
             "recovery.salvaged_records",
             sum(entry["salvaged_records"] for entry in report.recoveries),
+        )
+        obs.count(
+            "supervisor.restarts",
+            sum(e["restarts"] for e in report.producer_kill_checks),
+        )
+        obs.count(
+            "store.retries_absorbed",
+            sum(e["retries_absorbed"] for e in report.brownout_checks),
         )
     return report

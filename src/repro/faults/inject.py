@@ -1,21 +1,34 @@
-"""Fault injectors: log-file corruption and tracer-seam latency.
+"""Fault injectors: log corruption, tracer latency, store brownouts.
 
 These are the *mechanisms* behind a :class:`~repro.faults.plan.FaultPlan`:
 :func:`tear` and :func:`bitflip` damage a saved log file in place,
 :func:`apply_log_faults` resolves a plan's fractional offsets against a real
-file, and :class:`LatencyTracer` wraps a kernel tracer to simulate a slow
-log device.  All of them are deterministic given the plan: the same plan
-applied to the same bytes damages the same offsets.
+file, :class:`LatencyTracer` wraps a kernel tracer to simulate a slow log
+device, and :class:`FlakyStore` wraps a serve-layer blob store to simulate
+a browning-out backend (transient errors, latency spikes, blackout
+windows).  All of them are deterministic given the plan: the same plan
+applied to the same bytes damages the same offsets, and the same plan over
+the same op sequence fails the same calls.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
 from typing import List, Optional
 
 from ..concurrency.kernel import Tracer
-from .plan import BITFLIP_LOG, SPLICE_LOG, TORN_LOG, Fault, FaultPlan
+from ..serve.store import LogStore
+from .plan import (
+    BITFLIP_LOG,
+    FLAKY_STORE,
+    SPLICE_LOG,
+    STORE_OUTAGE,
+    TORN_LOG,
+    Fault,
+    FaultPlan,
+)
 
 
 def tear(path: str, offset: int) -> int:
@@ -229,3 +242,119 @@ class LatencyTracer(Tracer):
     def on_join(self, tid, child_tid):
         self._tick()
         self.inner.on_join(tid, child_tid)
+
+
+class FlakyStore(LogStore):
+    """Plan-driven brownout wrapper around a serve-layer :class:`LogStore`.
+
+    Simulates a misbehaving blob backend for the retry layer
+    (:class:`repro.serve.retry.RetryingStore`) to absorb.  Three behaviours,
+    all drawn deterministically from the plan seed and the op serial:
+
+    * :data:`~repro.faults.plan.FLAKY_STORE` -- each op fails with
+      probability ``frac`` (raising
+      :class:`~repro.serve.retry.TransientStoreError`), and every
+      ``every``-th op stalls ``seconds`` before completing (a latency
+      spike).  Consecutive failures are capped at ``max_consecutive`` so a
+      bounded retry budget is always sufficient -- the transient-fault
+      model every other injector here follows.
+    * :data:`~repro.faults.plan.STORE_OUTAGE` -- once op serial ``task`` is
+      reached, *every* op fails for ``seconds`` of wall-clock time (a
+      blackout window); retry backoff is what rides past it.
+
+    Subclassing :class:`LogStore` means the convenience helpers
+    (``get_json``, ``set_flag``, ...) route through the faulted primitives
+    exactly as they do on a real store.
+    """
+
+    def __init__(self, inner, plan: FaultPlan, *, max_consecutive: int = 2):
+        import random
+
+        self.inner = inner
+        self.plan = plan
+        flaky = [f for f in plan.store_faults if f.kind == FLAKY_STORE]
+        outages = [f for f in plan.store_faults if f.kind == STORE_OUTAGE]
+        self._flaky: Optional[Fault] = flaky[0] if flaky else None
+        self._outage: Optional[Fault] = outages[0] if outages else None
+        self._rng = random.Random(f"{plan.seed}:flaky-store")
+        self._lock = threading.Lock()
+        self._max_consecutive = max(1, max_consecutive)
+        self._consecutive = 0
+        self._outage_started: Optional[float] = None
+        self.ops = 0
+        self.failures = 0
+        self.stalls = 0
+
+    def _maybe_fail(self, op: str, name: str) -> float:
+        """Raise a planned transient error or return a stall duration."""
+        from ..serve.retry import TransientStoreError
+
+        with self._lock:
+            self.ops += 1
+            serial = self.ops
+            if self._outage is not None:
+                start_at = self._outage.task or 0
+                if self._outage_started is None and serial >= start_at:
+                    self._outage_started = time.monotonic()
+                if (
+                    self._outage_started is not None
+                    and time.monotonic() - self._outage_started
+                    < self._outage.seconds
+                ):
+                    self.failures += 1
+                    raise TransientStoreError(
+                        f"store blackout: {op}({name!r}) at op {serial}"
+                    )
+            stall = 0.0
+            if self._flaky is not None:
+                fault = self._flaky
+                roll = self._rng.random()
+                if (
+                    roll < fault.frac
+                    and self._consecutive < self._max_consecutive
+                ):
+                    self._consecutive += 1
+                    self.failures += 1
+                    raise TransientStoreError(
+                        f"transient store error: {op}({name!r}) "
+                        f"at op {serial}"
+                    )
+                self._consecutive = 0
+                if fault.every and serial % fault.every == 0:
+                    stall = fault.seconds
+                    self.stalls += 1
+            return stall
+
+    def _op(self, op: str, name: str, fn, *args):
+        stall = self._maybe_fail(op, name)
+        if stall:
+            time.sleep(stall)
+        return fn(*args)
+
+    # -- faulted LogStore primitives ----------------------------------------
+
+    def open_append(self, name):
+        return self._op("open_append", name, self.inner.open_append, name)
+
+    def open_read(self, name):
+        return self._op("open_read", name, self.inner.open_read, name)
+
+    def read_range(self, name, start, end=None):
+        return self._op(
+            "read_range", name, self.inner.read_range, name, start, end
+        )
+
+    def size(self, name):
+        return self._op("size", name, self.inner.size, name)
+
+    def list(self, prefix=""):
+        return self._op("list", prefix, self.inner.list, prefix)
+
+    def put_bytes(self, name, data):
+        return self._op("put_bytes", name, self.inner.put_bytes, name, data)
+
+    def delete(self, name):
+        return self._op("delete", name, self.inner.delete, name)
+
+    def path(self, name):
+        return self.inner.path(name)  # metadata only: never faulted

@@ -41,9 +41,19 @@ BITFLIP_LOG = "bitflip_log"
 SPLICE_LOG = "splice_log"
 #: Tracer-seam fault kind.
 SLOW_IO = "slow_io"
+#: Serve-pipeline fault kinds.  Field reuse keeps plan JSON round-trippable:
+#: PRODUCER_KILL -- ``frac`` is the kill point as a fraction of the run's
+#: record count; FLAKY_STORE -- ``frac`` is the per-op transient-error
+#: probability, ``seconds``/``every`` the latency spike and its cadence;
+#: STORE_OUTAGE -- ``task`` is the op serial a blackout starts at,
+#: ``seconds`` its wall-clock length (retry backoff rides past it).
+PRODUCER_KILL = "producer_kill"
+FLAKY_STORE = "flaky_store"
+STORE_OUTAGE = "store_outage"
 
 _TASK_KINDS = (CRASH, HANG)
 _LOG_KINDS = (TORN_LOG, BITFLIP_LOG, SPLICE_LOG)
+_STORE_KINDS = (FLAKY_STORE, STORE_OUTAGE)
 
 
 @dataclass(frozen=True)
@@ -114,6 +124,11 @@ class FaultPlan:
         slow_ios: int = 0,
         hang_seconds: float = 30.0,
         slow_io_seconds: float = 0.0005,
+        producer_kills: int = 0,
+        flaky_stores: int = 0,
+        outages: int = 0,
+        flaky_error_rate: float = 0.2,
+        outage_seconds: float = 0.05,
     ) -> "FaultPlan":
         """Draw a replayable fault mix from ``seed``.
 
@@ -140,6 +155,19 @@ class FaultPlan:
         for _ in range(slow_ios):
             faults.append(Fault(SLOW_IO, seconds=slow_io_seconds,
                                 every=rng.randrange(16, 64)))
+        for _ in range(producer_kills):
+            # Keep the kill point inside the run: a fraction of the record
+            # count, away from the trivial endpoints.
+            faults.append(Fault(PRODUCER_KILL,
+                                frac=0.1 + 0.8 * rng.random()))
+        for _ in range(flaky_stores):
+            faults.append(Fault(FLAKY_STORE, frac=flaky_error_rate,
+                                seconds=0.0005,
+                                every=rng.randrange(16, 64)))
+        for _ in range(outages):
+            faults.append(Fault(STORE_OUTAGE,
+                                task=rng.randrange(16, 256),
+                                seconds=outage_seconds))
         return cls(seed=seed, faults=tuple(faults))
 
     # -- seam resolution ----------------------------------------------------
@@ -170,6 +198,14 @@ class FaultPlan:
     def worker_faults(self) -> Tuple[Fault, ...]:
         return tuple(f for f in self.faults if f.kind in _TASK_KINDS)
 
+    @property
+    def store_faults(self) -> Tuple[Fault, ...]:
+        return tuple(f for f in self.faults if f.kind in _STORE_KINDS)
+
+    @property
+    def producer_faults(self) -> Tuple[Fault, ...]:
+        return tuple(f for f in self.faults if f.kind == PRODUCER_KILL)
+
     def describe(self) -> dict:
         """JSON-friendly summary (CLI/benchmark reporting)."""
         return {
@@ -180,6 +216,15 @@ class FaultPlan:
             "bitflips": sum(1 for f in self.faults if f.kind == BITFLIP_LOG),
             "splices": sum(1 for f in self.faults if f.kind == SPLICE_LOG),
             "slow_ios": sum(1 for f in self.faults if f.kind == SLOW_IO),
+            "producer_kills": sum(
+                1 for f in self.faults if f.kind == PRODUCER_KILL
+            ),
+            "flaky_stores": sum(
+                1 for f in self.faults if f.kind == FLAKY_STORE
+            ),
+            "outages": sum(
+                1 for f in self.faults if f.kind == STORE_OUTAGE
+            ),
             "faults": [
                 {
                     "kind": f.kind, "task": f.task,

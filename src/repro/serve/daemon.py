@@ -20,6 +20,25 @@ happens at the low watermark.  None of this can change the verdict or the
 history -- order is carried by the frames themselves -- it only changes
 *when* work happens, which is what the determinism gate checks.
 
+The session is *self-healing* along three axes (ARCHITECTURE §14):
+
+* **producer death** -- hand :meth:`ServeSession.run` a
+  :class:`~repro.serve.supervise.ProducerSupervisor` and a dead producer is
+  salvaged and restarted transparently; the daemon just keeps tailing.
+* **store brownouts** -- wrap the store in a
+  :class:`~repro.serve.retry.RetryingStore` and every ranged read, flag
+  poll and checkpoint write retries transient failures with backoff,
+  surfacing a typed :class:`~repro.serve.retry.StoreUnavailable` only after
+  the budget is spent.
+* **checker failure** -- a crashed (or, opt-in, hopelessly lagging) checker
+  *degrades* the session to record-only mode instead of killing it: ingest
+  keeps appending to the canonical history (PAUSE semantics intact, so
+  producers are never wedged), a health heartbeat reports the degradation
+  (``<session>/HEALTH.json`` + ``obs`` counters), and once the stream
+  drains the daemon runs **offline catch-up verification** from the last
+  checkpoint -- the final verdict is byte-identical to the never-degraded
+  run because it is computed over the same canonical history.
+
 :func:`serve_campaign` is the long-lived service shape: producer
 subprocesses are forked per session and any number of sessions are verified
 concurrently, each with its own shard set under one store.
@@ -43,7 +62,7 @@ from ..core.actions import Action
 from ..core.log import ChainReport, log_signature, verify_chain
 from ..obs import NULL_RECORDER, Recorder
 from .merge import MergeError, StreamMerger
-from .shard import ShardTail, manifest_name, pause_name
+from .shard import ShardTail, health_name, manifest_name, pause_name
 from .store import LogStore
 
 
@@ -91,7 +110,10 @@ class BoundedQueue:
                     and not (self._records == 0 and len(batch) > self._max)
                     and not self._closed
                 ):
-                    self._not_full.wait(0.05)
+                    # Event-driven: every get() and close() notifies, so an
+                    # untimed wait wakes exactly when space appears instead
+                    # of burning a 50ms poll per round trip under pressure.
+                    self._not_full.wait()
             if self._closed:
                 raise RuntimeError("queue closed")
             self._batches.append(batch)
@@ -173,6 +195,10 @@ class ServeResult:
     manifest: Optional[dict] = None
     chain: List[ChainReport] = field(default_factory=list)
     stats: dict = field(default_factory=dict)
+    degraded: bool = False
+    restarts: int = 0
+    gave_up: bool = False
+    health: Optional[dict] = None
 
     @property
     def chain_ok(self) -> bool:
@@ -198,6 +224,10 @@ class ServeResult:
             ),
             "complete": self.complete,
             "error": self.error,
+            "degraded": self.degraded,
+            "restarts": self.restarts,
+            "gave_up": self.gave_up,
+            "health": self.health,
             "chain": [report.to_dict() for report in self.chain],
             "stats": dict(self.stats),
         }
@@ -234,6 +264,17 @@ class ServeSession:
         ``resume_seq``.  A missing blob starts from record zero silently; a
         corrupt or mismatched blob is reported in ``stats`` and likewise
         falls back to record zero.
+    degrade_lag / degrade_after:
+        Opt-in lag shedding: when the queue holds ``degrade_lag`` or more
+        records continuously for ``degrade_after`` seconds, the session
+        degrades to record-only mode (the live checker stops being fed;
+        ingest and the canonical history continue; catch-up verification
+        runs at drain).  ``degrade_lag`` should sit below ``queue_records``
+        or backpressure caps the depth before the threshold can trip.
+    heartbeat_interval:
+        Seconds between health-blob writes (``<session>/HEALTH.json``);
+        ``0`` disables the periodic heartbeat (the final health snapshot is
+        always written and attached to the result).
     """
 
     def __init__(
@@ -253,6 +294,9 @@ class ServeSession:
         timeout: float = 120.0,
         checkpoint_every: int = 0,
         resume: bool = False,
+        degrade_lag: Optional[int] = None,
+        degrade_after: float = 0.25,
+        heartbeat_interval: float = 0.25,
         obs: Optional[Recorder] = None,
     ):
         self.store = store
@@ -276,6 +320,9 @@ class ServeSession:
         self.timeout = timeout
         self.checkpoint_every = max(0, checkpoint_every)
         self.resume = resume
+        self.degrade_lag = degrade_lag
+        self.degrade_after = max(0.0, degrade_after)
+        self.heartbeat_interval = max(0.0, heartbeat_interval)
         self.obs = obs if obs is not None else NULL_RECORDER
         # shared between the two daemon threads
         self._canonical: List[Action] = []
@@ -289,6 +336,17 @@ class ServeSession:
         self._resume_seq = 0
         self._resume_rejected: Optional[str] = None
         self._checkpoints_saved = 0
+        self._checkpoint_failures = 0
+        # degradation / health state
+        self._checker_shed = False
+        self._checker_crashed = False
+        self._race_shed = False
+        self._shed_seq = 0  # records the live checker had fully verified
+        self._degraded_reason: Optional[str] = None
+        self._catchup_from = 0
+        self._catchup_records = 0
+        self._heartbeats = 0
+        self._health_errors = 0
 
     # -- ingest side ---------------------------------------------------------
 
@@ -317,6 +375,11 @@ class ServeSession:
             for index in range(self.num_shards)
         ]
         merger = StreamMerger(self.num_shards)
+        # Idle deadline, not a wall-clock one: ``timeout`` bounds how long
+        # the session tolerates *no progress*.  A slow producer dribbling
+        # records for longer than the timeout is healthy as long as each
+        # gap between batches stays under it; the deadline resets on every
+        # decoded frame.  (A wedged stream still times out identically.)
         deadline = time.monotonic() + self.timeout
         grace_polls = 0
         try:
@@ -349,29 +412,42 @@ class ServeSession:
                     and merger.next_seq >= int(self._manifest["records"])
                 ):
                     return  # every produced record ingested
+                if progressed:
+                    deadline = time.monotonic() + self.timeout
+                    grace_polls = 0
+                    continue
                 if time.monotonic() > deadline:
                     self._ingest_error = (
-                        f"session timeout after {self.timeout}s "
-                        f"(merged {merger.next_seq}, "
+                        f"session idle timeout after {self.timeout}s "
+                        f"without progress (merged {merger.next_seq}, "
                         f"buffered {merger.buffered}, "
                         f"waiting for seq {merger.gap()})"
                     )
                     return
-                if progressed == 0:
-                    if process is not None and not process.is_alive():
-                        # Producer is gone.  Give the store a few more polls
-                        # to surface already-written bytes, then conclude.
-                        grace_polls += 1
-                        if grace_polls > 5:
-                            if self._manifest is None:
-                                self._ingest_error = (
-                                    "producer exited without a manifest "
-                                    f"(merged {merger.next_seq} records)"
+                if process is not None and not process.is_alive():
+                    # Producer is gone (a supervised producer stays
+                    # "alive" across restarts -- see ProducerSupervisor).
+                    # Give the store a few more polls to surface
+                    # already-written bytes, then conclude.
+                    grace_polls += 1
+                    if grace_polls > 5:
+                        if self._manifest is None:
+                            detail = ""
+                            sup = getattr(process, "state", None)
+                            if sup is not None and getattr(
+                                sup, "gave_up", False
+                            ):
+                                detail = (
+                                    "; supervisor gave up after "
+                                    f"{sup.restarts} restart(s)"
                                 )
-                            return
-                    time.sleep(self.poll_interval)
-                else:
-                    grace_polls = 0
+                            self._ingest_error = (
+                                "producer exited without a manifest "
+                                f"(merged {merger.next_seq} records"
+                                f"{detail})"
+                            )
+                        return
+                time.sleep(self.poll_interval)
         except MergeError as exc:
             self._ingest_error = f"merge: {exc}"
         finally:
@@ -380,24 +456,27 @@ class ServeSession:
 
     # -- checker side --------------------------------------------------------
 
-    def _maybe_restore(self, checker) -> None:
-        """Restore ``checker`` from the session's checkpoint blob, if any.
+    def _restore_from_blob(self, checker) -> int:
+        """Restore ``checker`` from the checkpoint blob; returns resume seq.
 
         Failures never abort the session: a checkpoint is an optimization,
         so a bad one just means verifying from record zero again."""
-        if checker is None or not self.resume:
-            return
         try:
             blob = self.store.get_bytes(checkpoint_blob_name(self.session))
         except (KeyError, OSError):  # no checkpoint published yet
-            return
+            return 0
         try:
             checkpoint = Checkpoint.from_bytes(blob)
             checker.restore(checkpoint)
         except CheckpointError as exc:
             self._resume_rejected = str(exc)
+            return 0
+        return checkpoint.resume_seq
+
+    def _maybe_restore(self, checker) -> None:
+        if checker is None or not self.resume:
             return
-        self._resume_seq = checkpoint.resume_seq
+        self._resume_seq = self._restore_from_blob(checker)
 
     def _save_checkpoint(self, checker) -> None:
         checkpoint = checker.checkpoint(
@@ -408,12 +487,36 @@ class ServeSession:
         )
         self._checkpoints_saved += 1
 
+    # -- degradation ---------------------------------------------------------
+
+    def _shed(self, reason: str, *, race: bool = False,
+              crashed: bool = False) -> None:
+        """Degrade to record-only mode: stop feeding a failed checker.
+
+        Ingest, the canonical history and PAUSE semantics all continue --
+        durability is never sacrificed to a sick checker.  Catch-up
+        verification at drain recomputes the authoritative verdict over the
+        same canonical history, so the final outcome is identical to a
+        never-degraded session."""
+        if race:
+            self._race_shed = True
+        else:
+            self._checker_shed = True
+            self._checker_crashed = self._checker_crashed or crashed
+        if self._degraded_reason is None:
+            self._degraded_reason = reason
+        else:
+            self._degraded_reason += "; " + reason
+        if self.obs.enabled:
+            self.obs.count("serve.degraded", 1)
+
     def _check(self, checker, race_checker) -> None:
         # Canonical position of the next record this thread will see; the
         # merger emits records in sequence order, so a running counter is the
         # global sequence number.
         position = 0
         since_checkpoint = 0
+        lag_since: Optional[float] = None
         try:
             while True:
                 batch = self.queue.get()
@@ -428,20 +531,136 @@ class ServeSession:
                     skip = min(len(batch), self._resume_seq - position)
                     fresh = batch[skip:]
                 position += len(batch)
-                if checker is not None and fresh:
-                    checker.feed(fresh)
-                    if self.checkpoint_every:
-                        since_checkpoint += len(fresh)
-                        if since_checkpoint >= self.checkpoint_every:
-                            self._save_checkpoint(checker)
-                            since_checkpoint = 0
-                if race_checker is not None:
-                    race_checker.feed(batch)
+                if checker is not None and not self._checker_shed and fresh:
+                    try:
+                        checker.feed(fresh)
+                    except Exception as exc:
+                        self._shed(
+                            f"checker crashed: {exc!r}", crashed=True
+                        )
+                    else:
+                        if self.checkpoint_every:
+                            since_checkpoint += len(fresh)
+                            if since_checkpoint >= self.checkpoint_every:
+                                try:
+                                    self._save_checkpoint(checker)
+                                except Exception:
+                                    # A checkpoint is an optimization; a
+                                    # store refusing one must not degrade
+                                    # (let alone kill) the session.
+                                    self._checkpoint_failures += 1
+                                since_checkpoint = 0
+                if checker is not None and not self._checker_shed:
+                    # Everything up to here is verified (records below the
+                    # resume seq count: the checkpoint covers them) -- the
+                    # point a lag-shed checker resumes from at catch-up.
+                    self._shed_seq = position
+                if race_checker is not None and not self._race_shed:
+                    try:
+                        race_checker.feed(batch)
+                    except Exception as exc:
+                        self._shed(
+                            f"race checker crashed: {exc!r}", race=True
+                        )
                 self._checked += len(batch)
-                if self.checker_delay:
+                if (
+                    self.degrade_lag is not None
+                    and not self._checker_shed
+                    and checker is not None
+                ):
+                    if self.queue.depth >= self.degrade_lag:
+                        now = time.monotonic()
+                        if lag_since is None:
+                            lag_since = now
+                        elif now - lag_since >= self.degrade_after:
+                            self._shed(
+                                f"checker lag: queue depth "
+                                f"{self.queue.depth} >= {self.degrade_lag} "
+                                f"for {self.degrade_after}s"
+                            )
+                    else:
+                        lag_since = None
+                if self.checker_delay and not self._checker_shed:
                     time.sleep(self.checker_delay)
         except Exception as exc:  # surfaced on the result, not swallowed
             self._checker_error = f"checker: {exc!r}"
+
+    def _catch_up(self, live_checker, live_race_checker):
+        """Offline catch-up verification after a degraded session.
+
+        Runs once the stream has drained, over the canonical in-memory
+        history -- the exact record sequence a healthy online checker saw.
+        A *lag-shed* checker is still correct, so it simply resumes from
+        where it stopped; a *crashed* checker is replaced by a fresh one
+        restored from the last durable checkpoint (or record zero).
+        Returns the authoritative ``(checker, race_checker)`` pair."""
+        checker, race_checker = live_checker, live_race_checker
+        if self._checker_shed and self.checker_factory is not None:
+            if self._checker_crashed:
+                checker = self.checker_factory()
+                start = self._restore_from_blob(checker)
+                if self._resume_rejected is not None and start == 0:
+                    # A rejected restore may have touched nothing, but a
+                    # fresh build is the only state worth trusting here.
+                    checker = self.checker_factory()
+            else:
+                start = self._shed_seq
+            self._catchup_from = start
+            records = self._canonical[start:]
+            self._catchup_records = len(records)
+            try:
+                if records:
+                    checker.feed(records)
+            except Exception as exc:
+                # The fault was not transient: this history cannot be
+                # verified by this checker at all.  Surface it.
+                self._checker_error = f"catch-up checker: {exc!r}"
+                checker = None
+        if self._race_shed and self.race_checker_factory is not None:
+            race_checker = self.race_checker_factory()
+            try:
+                if self._canonical:
+                    race_checker.feed(list(self._canonical))
+            except Exception as exc:
+                self._checker_error = (
+                    (self._checker_error + "; " if self._checker_error
+                     else "") + f"catch-up race checker: {exc!r}"
+                )
+                race_checker = None
+        if self.obs.enabled and self._catchup_records:
+            self.obs.count("serve.catchup_records", self._catchup_records)
+        return checker, race_checker
+
+    # -- health --------------------------------------------------------------
+
+    def _health_snapshot(self, state: str) -> dict:
+        return {
+            "session": self.session,
+            "state": state,
+            "degraded": self._checker_shed or self._race_shed,
+            "degraded_reason": self._degraded_reason,
+            "ingested": self._ingested,
+            "checked": self._checked,
+            "queue_depth": self.queue.depth,
+            "paused": self._paused,
+            "checkpoints_saved": self._checkpoints_saved,
+            "heartbeats": self._heartbeats,
+            "time": time.time(),
+        }
+
+    def _write_health(self, state: str) -> dict:
+        payload = self._health_snapshot(state)
+        try:
+            self.store.put_json(health_name(self.session), payload)
+        except Exception:  # health is best-effort: never kills a session
+            self._health_errors += 1
+        return payload
+
+    def _heartbeat(self, stop: threading.Event) -> None:
+        while not stop.wait(self.heartbeat_interval):
+            self._heartbeats += 1
+            degraded = self._checker_shed or self._race_shed
+            self._write_health("degraded" if degraded else "serving")
 
     # -- the session -----------------------------------------------------------
 
@@ -454,6 +673,8 @@ class ServeSession:
         )
         self._maybe_restore(checker)
         obs = self.obs
+        heartbeat_stop = threading.Event()
+        heartbeat = None
         with obs.span("serve.session", cat="serve", session=self.session):
             ingest = threading.Thread(
                 target=self._ingest, args=(process,),
@@ -463,14 +684,31 @@ class ServeSession:
                 target=self._check, args=(checker, race_checker),
                 name=f"serve-check-{self.session}", daemon=True,
             )
+            if self.heartbeat_interval > 0:
+                heartbeat = threading.Thread(
+                    target=self._heartbeat, args=(heartbeat_stop,),
+                    name=f"serve-health-{self.session}", daemon=True,
+                )
+                heartbeat.start()
             ingest.start()
             check.start()
             ingest.join()
             check.join()
+            if heartbeat is not None:
+                heartbeat_stop.set()
+                heartbeat.join(timeout=5.0)
+            if self._checker_shed or self._race_shed:
+                with obs.span(
+                    "serve.catchup", cat="serve", session=self.session
+                ):
+                    checker, race_checker = self._catch_up(
+                        checker, race_checker
+                    )
         result = ServeResult(session=self.session)
         result.manifest = self._manifest
         result.records = len(self._canonical)
         result.signature = log_signature(self._canonical)
+        result.degraded = self._checker_shed or self._race_shed
         if checker is not None:
             result.outcome = checker.finish()
         if race_checker is not None:
@@ -494,14 +732,38 @@ class ServeSession:
                 if self._manifest else None
             ),
             "checkpoints_saved": self._checkpoints_saved,
+            "checkpoint_failures": self._checkpoint_failures,
             "resumed_from_seq": self._resume_seq,
             "checkpoint_rejected": self._resume_rejected,
+            "degraded_reason": self._degraded_reason,
+            "catchup_from_seq": self._catchup_from,
+            "catchup_records": self._catchup_records,
+            "heartbeats": self._heartbeats,
+            "health_errors": self._health_errors,
         }
+        store_stats = getattr(self.store, "stats", None)
+        if isinstance(store_stats, dict) and "retries" in store_stats:
+            result.stats["store"] = dict(store_stats)
+        sup = getattr(process, "state", None)
+        if sup is not None and hasattr(sup, "restarts"):
+            result.restarts = sup.restarts
+            result.gave_up = sup.gave_up
+            result.stats["supervisor"] = {
+                "restarts": sup.restarts,
+                "gave_up": sup.gave_up,
+                "succeeded": sup.succeeded,
+                "events": list(sup.ledger),
+            }
+        state = "complete" if result.complete else "failed"
+        result.health = self._write_health(state)
         if obs.enabled:
             obs.count("serve.records", result.records)
             obs.count("serve.sessions", 1)
             obs.count("serve.queue_put_waits", self.queue.put_waits)
             obs.count("serve.pause_raises", self._pauses)
+            obs.observe("serve.queue_max_depth", self.queue.max_depth)
+            if result.restarts:
+                obs.count("serve.producer_restarts", result.restarts)
         return result
 
     def _audit_chains(self, manifest: dict) -> List[ChainReport]:
@@ -567,6 +829,11 @@ def serve_campaign(
     checker_delay: float = 0.0,
     timeout: float = 120.0,
     run_kwargs: Optional[dict] = None,
+    supervise: bool = False,
+    max_restarts: int = 2,
+    kill_producer_after: Optional[int] = None,
+    store_retries: int = 0,
+    degrade_lag: Optional[int] = None,
     obs: Optional[Recorder] = None,
 ) -> ServeReport:
     """Serve ``sessions`` runs of one program, producers forked per session.
@@ -577,6 +844,15 @@ def serve_campaign(
     :class:`~repro.serve.store.LocalDirectoryStore` (producers are separate
     processes); use :class:`ServeSession` + :func:`produce_session` directly
     for in-process serving against other stores.
+
+    ``supervise=True`` runs each producer under a
+    :class:`~repro.serve.supervise.ProducerSupervisor` (up to
+    ``max_restarts`` salvage-and-restart cycles per session);
+    ``kill_producer_after`` is the fault hook that makes the first attempt
+    die after that many records.  ``store_retries > 0`` wraps the daemon's
+    store access in a :class:`~repro.serve.retry.RetryingStore`;
+    ``degrade_lag`` opts into record-only degradation (see
+    :class:`ServeSession`).
     """
     import multiprocessing
     from concurrent.futures import ThreadPoolExecutor
@@ -590,6 +866,8 @@ def serve_campaign(
             "in-process stores"
         )
     from .producer import _producer_main
+    from .retry import RetryingStore
+    from .supervise import ProducerSupervisor, SupervisionPolicy
 
     try:
         ctx = multiprocessing.get_context("fork")
@@ -608,20 +886,46 @@ def serve_campaign(
 
     def one(seed: int) -> ServeResult:
         name = f"run-{seed:05d}"
-        process = ctx.Process(
-            target=_producer_main,
-            args=(store.root, name, program, seed, num_shards, sync,
-                  batch_records, kwargs),
-            name=f"producer-{name}",
+        session_store = (
+            RetryingStore(store, retries=store_retries, seed=seed)
+            if store_retries else store
         )
         session = ServeSession(
-            store, name, num_shards,
+            session_store, name, num_shards,
             checker_factory=checker_factory,
             race_checker_factory=race_factory,
             queue_records=queue_records,
             checker_delay=checker_delay,
             timeout=timeout,
+            degrade_lag=degrade_lag,
             obs=obs,
+        )
+        if supervise:
+            supervisor = ProducerSupervisor(
+                store, name, program, seed, num_shards,
+                sync=sync, batch_records=batch_records, run_kwargs=kwargs,
+                policy=SupervisionPolicy(max_restarts=max_restarts, seed=seed),
+                kill_after=kill_producer_after, ctx=ctx,
+            )
+            supervisor.start()
+            try:
+                result = session.run(supervisor)
+            finally:
+                state = supervisor.finish()
+            result.restarts = state.restarts
+            result.gave_up = state.gave_up
+            result.stats["supervisor"] = {
+                "restarts": state.restarts,
+                "gave_up": state.gave_up,
+                "succeeded": state.succeeded,
+                "events": list(state.ledger),
+            }
+            return result
+        process = ctx.Process(
+            target=_producer_main,
+            args=(store.root, name, program, seed, num_shards, sync,
+                  batch_records, kwargs),
+            name=f"producer-{name}",
         )
         process.start()
         try:

@@ -38,12 +38,21 @@ def produce_session(
     throttle: bool = True,
     throttle_every: int = 64,
     run_kwargs: Optional[dict] = None,
+    resume: Optional[dict] = None,
+    die_after: Optional[int] = None,
 ) -> dict:
     """Run one workload, spooling its log into ``num_shards`` chained shards.
 
     Returns the session manifest (also published to the store as the
     completion signal).  The produced shards, merged by sequence number,
     are byte-for-byte the run's canonical log.
+
+    ``resume`` maps shard index to the salvaged-prefix entry produced by
+    :func:`repro.serve.supervise.salvage_session` -- the producer then
+    re-executes deterministically but skips the appends already durable,
+    extending each shard's hash chain from its salvaged head.  ``die_after``
+    is the supervision fault hook: flush and ``os._exit`` after that many
+    appended records (see :class:`~repro.serve.shard.TeeLog`).
     """
     from ..harness.runner import run_program  # late import: serve -> harness
 
@@ -52,10 +61,12 @@ def produce_session(
     if unknown:
         raise ValueError(f"unsupported producer run_kwargs: {sorted(unknown)}")
     shards = ShardSet(
-        store, session, num_shards, sync=sync, batch_records=batch_records
+        store, session, num_shards, sync=sync, batch_records=batch_records,
+        resume=resume,
     )
     gate = StoreThrottle(store, session) if throttle else None
-    tee = TeeLog(shards, gate, throttle_every=throttle_every)
+    tee = TeeLog(shards, gate, throttle_every=throttle_every,
+                 die_after=die_after)
     result = run_program(program, seed=seed, log=tee, **kwargs)
     manifest = shards.close(extra={
         "program": program,
@@ -75,6 +86,8 @@ def _producer_main(
     sync: bool,
     batch_records: int,
     run_kwargs: Optional[dict],
+    resume: Optional[dict] = None,
+    die_after: Optional[int] = None,
 ) -> None:
     """Subprocess entry point: a producer writing to a local spool dir."""
     store = LocalDirectoryStore(root)
@@ -82,4 +95,5 @@ def _producer_main(
         store, session, program,
         seed=seed, num_shards=num_shards, sync=sync,
         batch_records=batch_records, run_kwargs=run_kwargs,
+        resume=resume, die_after=die_after,
     )

@@ -1,0 +1,196 @@
+"""Retrying store access: timeouts, bounded backoff, typed exhaustion.
+
+A production blob store browns out: transient 5xx-style errors, latency
+spikes, short blackouts.  None of that should kill a verification session
+-- the daemon's reads are idempotent (ranged GETs of immutable bytes) and
+its writes (checkpoints, health, flags) are replaceable whole blobs, so
+every operation is safe to retry.  :class:`RetryingStore` wraps any
+:class:`~repro.serve.store.LogStore` and gives each call:
+
+* **bounded retries** -- up to ``retries`` re-attempts after the first
+  failure, with exponential backoff and deterministic seeded jitter (the
+  same policy shape as :class:`repro.concurrency.resilient.RetryPolicy`);
+* **a per-operation deadline** -- ``op_timeout`` seconds across all
+  attempts of one call; a retry that would start after the deadline is
+  not attempted;
+* **a typed terminal error** -- :class:`StoreUnavailable` (never a bare
+  backend exception) once the budget is exhausted, carrying the operation
+  name, attempt count and the last underlying error as ``__cause__``.
+
+Only *transient* errors are retried (:data:`DEFAULT_RETRYABLE`): the
+:class:`TransientStoreError` family a flaky backend raises, plus
+connection/timeout shapes.  A missing blob (``KeyError`` /
+``FileNotFoundError``) is an answer, not an outage, and passes straight
+through -- tailing readers poll on exactly that distinction.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import IO, List, Optional, Tuple, Type
+
+from .store import LogStore
+
+
+class TransientStoreError(Exception):
+    """A store operation failed in a way that retrying may fix.
+
+    The base class fault injectors (:class:`repro.faults.inject.FlakyStore`)
+    and real backends' adapters raise for brownout-shaped failures: request
+    throttling, transient 5xx, connection resets, blackout windows.
+    """
+
+
+class StoreUnavailable(Exception):
+    """A store operation exhausted its retry budget.
+
+    The one exception :class:`RetryingStore` is allowed to surface for a
+    transient-failure storm; the last backend error is chained as
+    ``__cause__``.
+    """
+
+    def __init__(self, op: str, name: str, attempts: int, elapsed: float,
+                 last_error: BaseException):
+        super().__init__(
+            f"store {op}({name!r}) unavailable after {attempts} attempt(s) "
+            f"in {elapsed:.3f}s: {last_error!r}"
+        )
+        self.op = op
+        self.blob = name
+        self.attempts = attempts
+        self.elapsed = elapsed
+        self.last_error = last_error
+
+
+#: Exception types worth retrying.  Deliberately excludes ``OSError`` at
+#: large: ``FileNotFoundError`` is a real answer for a blob that does not
+#: exist yet, and tailing readers depend on seeing it immediately.
+DEFAULT_RETRYABLE: Tuple[Type[BaseException], ...] = (
+    TransientStoreError,
+    ConnectionError,
+    TimeoutError,
+)
+
+
+class RetryingStore(LogStore):
+    """Wrap a :class:`LogStore` so every call retries transient failures.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped store.
+    retries:
+        Re-attempts after the first failure (``retries=2`` means up to 3
+        attempts per call).
+    op_timeout:
+        Deadline in seconds for one logical operation across all of its
+        attempts; a backoff sleep never extends past it.
+    backoff_base / backoff_factor / backoff_max / jitter / seed:
+        Retry pacing: attempt ``n >= 1`` waits
+        ``min(backoff_max, backoff_base * backoff_factor**(n-1))`` stretched
+        by up to ``jitter`` (relative), drawn deterministically from
+        ``seed`` and the operation serial -- replayable brownout recovery.
+    retry_on:
+        Exception types considered transient.
+
+    ``stats`` counts retries, giveups and total backoff seconds -- the
+    daemon surfaces them on :class:`~repro.serve.daemon.ServeResult`.
+    """
+
+    def __init__(
+        self,
+        inner: LogStore,
+        *,
+        retries: int = 3,
+        op_timeout: float = 10.0,
+        backoff_base: float = 0.01,
+        backoff_factor: float = 2.0,
+        backoff_max: float = 0.25,
+        jitter: float = 0.5,
+        seed: int = 0,
+        retry_on: Tuple[Type[BaseException], ...] = DEFAULT_RETRYABLE,
+    ):
+        self.inner = inner
+        self.retries = max(0, retries)
+        self.op_timeout = op_timeout
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.backoff_max = backoff_max
+        self.jitter = jitter
+        self.seed = seed
+        self.retry_on = retry_on
+        self._serial = 0
+        self.stats = {"calls": 0, "retries": 0, "giveups": 0,
+                      "backoff_seconds": 0.0}
+
+    # -- retry engine --------------------------------------------------------
+
+    def _backoff(self, serial: int, attempt: int) -> float:
+        base = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+        )
+        rng = random.Random(f"{self.seed}:{serial}:{attempt}")
+        return base * (1.0 + self.jitter * rng.random())
+
+    def _call(self, op: str, name: str, fn, *args):
+        self._serial += 1
+        serial = self._serial
+        self.stats["calls"] += 1
+        deadline = time.monotonic() + self.op_timeout
+        attempt = 0
+        while True:
+            try:
+                return fn(*args)
+            except self.retry_on as exc:
+                attempt += 1
+                if attempt > self.retries:
+                    self.stats["giveups"] += 1
+                    raise StoreUnavailable(
+                        op, name, attempt,
+                        self.op_timeout - (deadline - time.monotonic()),
+                        exc,
+                    ) from exc
+                delay = self._backoff(serial, attempt)
+                if time.monotonic() + delay > deadline:
+                    self.stats["giveups"] += 1
+                    raise StoreUnavailable(
+                        op, name, attempt,
+                        self.op_timeout - (deadline - time.monotonic()),
+                        exc,
+                    ) from exc
+                self.stats["retries"] += 1
+                self.stats["backoff_seconds"] += delay
+                time.sleep(delay)
+
+    # -- LogStore surface (every primitive delegated with retry) -------------
+
+    def open_append(self, name: str) -> IO[bytes]:
+        return self._call("open_append", name, self.inner.open_append, name)
+
+    def open_read(self, name: str) -> IO[bytes]:
+        return self._call("open_read", name, self.inner.open_read, name)
+
+    def read_range(self, name: str, start: int,
+                   end: Optional[int] = None) -> bytes:
+        return self._call(
+            "read_range", name, self.inner.read_range, name, start, end
+        )
+
+    def size(self, name: str) -> Optional[int]:
+        return self._call("size", name, self.inner.size, name)
+
+    def list(self, prefix: str = "") -> List[str]:
+        return self._call("list", prefix, self.inner.list, prefix)
+
+    def put_bytes(self, name: str, data: bytes) -> None:
+        return self._call("put_bytes", name, self.inner.put_bytes, name, data)
+
+    def delete(self, name: str) -> None:
+        return self._call("delete", name, self.inner.delete, name)
+
+    def path(self, name: str) -> Optional[str]:
+        # Pure metadata, no I/O in either shipped store; still routed
+        # through the inner store so local paths resolve correctly.
+        return self.inner.path(name)

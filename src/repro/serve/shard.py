@@ -56,6 +56,14 @@ def pause_name(session: str) -> str:
     return f"{session}/PAUSE"
 
 
+def health_name(session: str) -> str:
+    return f"{session}/HEALTH.json"
+
+
+def restarts_name(session: str) -> str:
+    return f"{session}/RESTARTS.json"
+
+
 class ShardWriter:
     """Appends chained frames for one shard, batching flushes.
 
@@ -63,32 +71,56 @@ class ShardWriter:
     accumulated, then one ``flush`` pushes them out (and ``fsync``s when
     ``sync=True``).  ``acked`` counts the records known durable -- the
     producer's acknowledgment watermark.
+
+    ``resume`` continues a shard left behind by a crashed producer: a dict
+    with the salvaged prefix's ``records`` count and ``head_digest`` (from
+    :func:`repro.serve.supervise.salvage_session`).  The restarted producer
+    deterministically re-executes the whole run, so the first ``records``
+    appends routed to this shard are exactly the frames already durable --
+    they are *skipped*, and the first fresh frame extends the existing hash
+    chain from the salvaged head.  The finished file is byte-identical to
+    one written by an uninterrupted producer.
     """
 
     def __init__(self, store: LogStore, session: str, index: int, *,
-                 sync: bool = False, batch_records: int = 64):
+                 sync: bool = False, batch_records: int = 64,
+                 resume: Optional[Dict[str, object]] = None):
         self.index = index
         self.name = shard_name(session, index)
         self._file = store.open_append(self.name)
-        self._writer = LogWriter(
-            self._file, chained=True, shard_id=index, sync=sync
-        )
+        if resume and int(resume.get("records", 0) or 0) > 0:
+            self._skip = int(resume["records"])
+            self._writer = LogWriter(
+                self._file, chained=True, shard_id=index, sync=sync,
+                resume_digest=bytes.fromhex(str(resume["head_digest"])),
+            )
+        else:
+            self._skip = 0
+            self._writer = LogWriter(
+                self._file, chained=True, shard_id=index, sync=sync
+            )
+        self._skipped_base = self._skip
         self._batch = max(1, batch_records)
         self._unflushed = 0
-        self.acked = 0
+        self.acked = self._skipped_base  # the salvaged prefix is durable
         self.last_seq: Optional[int] = None
 
     @property
     def records(self) -> int:
-        return self._writer.records_written
+        return self._skipped_base + self._writer.records_written
 
     @property
     def head_digest(self) -> str:
         return self._writer.head_digest or ""
 
     def append(self, seq: int, action: Action) -> None:
-        self._writer.write(action, seq=seq)
         self.last_seq = seq
+        if self._skip:
+            # Replayed record already durable from before the crash; the
+            # chain's seq stamps make the dedup exact, not heuristic.
+            self._skip -= 1
+            return
+        self._writer.write(action, seq=seq)
         self._unflushed += 1
         if self._unflushed >= self._batch:
             self.flush()
@@ -120,14 +152,17 @@ class ShardSet:
     """All shard writers of one producing session, plus its manifest."""
 
     def __init__(self, store: LogStore, session: str, num_shards: int, *,
-                 sync: bool = False, batch_records: int = 64):
+                 sync: bool = False, batch_records: int = 64,
+                 resume: Optional[Dict[int, dict]] = None):
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         self.store = store
         self.session = session
+        resume = resume or {}
         self.writers = [
             ShardWriter(store, session, index, sync=sync,
-                        batch_records=batch_records)
+                        batch_records=batch_records,
+                        resume=resume.get(index))
             for index in range(num_shards)
         ]
         self.appended = 0
@@ -229,6 +264,17 @@ class ShardTail:
         frames = self._decoder.feed(data)
         if self._decoder.error is not None:
             self.error = self._decoder.error
+        elif end >= size and self._decoder.pending:
+            # We read to the durable end of the shard and a partial frame is
+            # left over: a producer mid-flush -- or mid-crash.  Never carry
+            # the half-frame across polls: if the producer dies here, the
+            # supervisor truncates the shard to its chain-valid prefix
+            # (exactly our consumed boundary) and a restarted producer
+            # appends fresh frames there; stale partial bytes would splice
+            # garbage into them.  Dropping the tail keeps ``offset`` pinned
+            # to a frame boundary, so salvage truncation is invisible to a
+            # live tail.  The bytes re-read next poll are at most one frame.
+            self.offset -= self._decoder.discard_pending()
         self.records += len(frames)
         return [(seq, action) for seq, action, _end in frames]
 
@@ -277,20 +323,31 @@ class TeeLog(Log):
 
     Every ``throttle_every`` appends the tee polls the store pause flag and
     blocks while the daemon signals checker lag -- the backpressure path.
+
+    ``die_after`` is the supervision fault hook: after that many appends the
+    producer flushes every shard (so the records are *acknowledged*) and
+    dies abruptly via ``os._exit`` -- the mid-session producer death the
+    supervisor exists to absorb.
     """
 
-    __slots__ = ("shards", "throttle", "_throttle_every")
+    __slots__ = ("shards", "throttle", "_throttle_every", "die_after")
 
     def __init__(self, shards: ShardSet, throttle: Optional[StoreThrottle] = None,
-                 throttle_every: int = 64):
+                 throttle_every: int = 64, die_after: Optional[int] = None):
         super().__init__()
         self.shards = shards
         self.throttle = throttle
         self._throttle_every = max(1, throttle_every)
+        self.die_after = die_after
 
     def append(self, action: Action) -> int:
         seq = super().append(action)
         self.shards.append(seq, action)
+        if self.die_after is not None and self.shards.appended >= self.die_after:
+            import os
+
+            self.shards.flush_all()
+            os._exit(21)
         if self.throttle is not None and (seq + 1) % self._throttle_every == 0:
             self.throttle.wait_if_paused()
         return seq

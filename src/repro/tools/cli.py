@@ -367,6 +367,24 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--checker-delay", type=float, default=0.0,
                               help="artificial per-batch checker stall "
                                    "(seconds) to exercise backpressure")
+    serve_parser.add_argument("--supervise", action="store_true",
+                              help="run each producer under the salvage-"
+                                   "and-restart supervisor")
+    serve_parser.add_argument("--max-restarts", type=int, default=2,
+                              help="restart budget per supervised producer")
+    serve_parser.add_argument("--kill-producer-after", type=int,
+                              default=None, metavar="N",
+                              help="fault hook: first producer attempt dies "
+                                   "after N records (needs --supervise to "
+                                   "recover)")
+    serve_parser.add_argument("--store-retries", type=int, default=0,
+                              help="wrap daemon store access in a retrying "
+                                   "store with this retry budget")
+    serve_parser.add_argument("--degrade-lag", type=int, default=None,
+                              metavar="RECORDS",
+                              help="degrade to record-only mode (catch-up "
+                                   "verification at drain) when the checker "
+                                   "queue holds this many records")
     serve_parser.add_argument("--timeout", type=float, default=120.0,
                               help="per-session ingest deadline (seconds)")
     serve_parser.add_argument("--verify-direct", action="store_true",
@@ -844,6 +862,22 @@ def _cmd_faults(args) -> int:
     if report.tracer_log_identical is not None:
         state = "identical" if report.tracer_log_identical else "DIVERGED"
         print(f"  slow-io log: {state}")
+    restarts = sum(e["restarts"] for e in report.producer_kill_checks)
+    absorbed = sum(
+        e["retries_absorbed"] for e in report.brownout_checks
+    )
+    caught_up = sum(
+        e["catchup_records"] or 0 for e in report.catchup_checks
+    )
+    print(
+        "  serve rounds: producer-kill "
+        f"[{'ok' if report.producer_kill_ok else 'FAILED'}] "
+        f"{restarts} restart(s), brownout "
+        f"[{'ok' if report.brownout_ok else 'FAILED'}] "
+        f"{absorbed} store retries absorbed, degraded catch-up "
+        f"[{'ok' if report.catchup_ok else 'FAILED'}] "
+        f"{caught_up} records re-verified offline"
+    )
     print(f"  verdict: {'OK' if report.ok else 'FAILED'}")
     _finish_obs(args, recorder, title=f"{args.program} fault-campaign profile")
     return 0 if report.ok else 1
@@ -932,6 +966,11 @@ def _cmd_serve(args) -> int:
         checker_delay=args.checker_delay,
         timeout=args.timeout,
         run_kwargs=run_kwargs,
+        supervise=args.supervise,
+        max_restarts=args.max_restarts,
+        kill_producer_after=args.kill_producer_after,
+        store_retries=args.store_retries,
+        degrade_lag=args.degrade_lag,
         obs=recorder,
     )
     elapsed = time.perf_counter() - start
@@ -966,6 +1005,13 @@ def _cmd_serve(args) -> int:
             "records_per_sec": (
                 round(report.records / elapsed, 1) if elapsed > 0 else None
             ),
+            "restarts": sum(s.restarts for s in report.sessions),
+            "degraded_sessions": sum(
+                1 for s in report.sessions if s.degraded
+            ),
+            "gave_up_sessions": sum(
+                1 for s in report.sessions if s.gave_up
+            ),
         })
         if args.verify_direct:
             payload["direct_signature_match"] = not mismatches
@@ -992,6 +1038,14 @@ def _cmd_serve(args) -> int:
         stats = result.stats
         if stats.get("pause_raises"):
             line += f", backpressure x{stats['pause_raises']}"
+        if result.restarts:
+            line += f", producer restarts x{result.restarts}"
+        if result.gave_up:
+            line += ", supervisor GAVE UP"
+        if result.degraded:
+            line += ", degraded (caught up offline)"
+        if stats.get("store", {}).get("retries"):
+            line += f", store retries x{stats['store']['retries']}"
         if result.error:
             line += f" ({result.error})"
         print(line)

@@ -139,3 +139,55 @@ def test_bench_fault_soak_smoke(tmp_path, capsys):
     assert report["campaigns_diverged"] == 0
     assert report["recoveries_failed"] == 0
     assert len(report["rows"]) == 2
+    assert report["serve_verdict_divergences"] == 0
+    assert report["restarts_bounded"] is True
+    assert report["producer_restarts_total"] >= len(report["rows"])
+    assert report["store_giveups_total"] == 0
+    assert report["store_retries_total"] > 0
+
+
+def test_campaign_producer_kill_round_restart_identity(report):
+    assert report.producer_kill_ok
+    assert [e["buggy"] for e in report.producer_kill_checks] == [False, True]
+    for entry in report.producer_kill_checks:
+        assert entry["ok"]
+        assert entry["stream_ok"]
+        assert 1 <= entry["restarts"] <= 2  # bounded: restarted, not flailing
+        assert not entry["gave_up"]
+        assert entry["signature_identical"]
+        assert entry["verdict_identical"]
+        assert 1 <= entry["kill_after"] < entry["records"]
+    # the buggy variant's violation survived the mid-session death
+    assert report.producer_kill_checks[1]["verdict_ok"] is False
+
+
+def test_campaign_store_brownout_absorbed_by_retry(report):
+    assert report.brownout_ok
+    for entry in report.brownout_checks:
+        assert entry["ok"]
+        assert entry["injected_failures"] > 0   # the brownout actually bit
+        assert entry["retries_absorbed"] > 0    # and the wrapper absorbed it
+        assert entry["giveups"] == 0
+        assert entry["signature_identical"]
+        assert entry["verdict_identical"]
+
+
+def test_campaign_degraded_catchup_verdict_identity(report):
+    assert report.catchup_ok
+    for entry in report.catchup_checks:
+        assert entry["ok"]
+        assert entry["degraded"]
+        assert "checker" in (entry["degraded_reason"] or "")
+        assert entry["catchup_records"] > 0
+        assert entry["signature_identical"]
+        assert entry["verdict_identical"]
+
+
+def test_campaign_new_rounds_round_trip_and_gate_ok(report):
+    payload = json.loads(json.dumps(report.to_dict()))
+    assert payload["producer_kill_ok"] is True
+    assert payload["brownout_ok"] is True
+    assert payload["catchup_ok"] is True
+    assert len(payload["producer_kill_checks"]) == 2
+    assert len(payload["brownout_checks"]) == 2
+    assert len(payload["catchup_checks"]) == 2

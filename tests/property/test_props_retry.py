@@ -1,0 +1,152 @@
+"""Properties of the retrying store over scripted fault schedules.
+
+Strategy: generate an op sequence (put / read / size / list) plus a
+per-op count of injected transient failures.  Run it twice -- bare
+against a clean in-memory store, and through :class:`RetryingStore` over
+a store that fails each op its scripted number of times.  The wrapper
+must be **observationally identical** whenever every op's failure count
+fits the retry budget, and must raise the *typed*
+:exc:`StoreUnavailable` (never a bare backend exception) on the first op
+whose schedule exceeds it."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.serve import (
+    ObjectStoreStub,
+    RetryingStore,
+    StoreUnavailable,
+    TransientStoreError,
+)
+
+RETRIES = 3  # budget under test: first try + RETRIES retries per op
+
+
+class ScheduledFlaky(ObjectStoreStub):
+    """Fails the k-th wrapped op ``schedule[k]`` times before letting it
+    through.  ``exc`` picks the backend failure flavour."""
+
+    def __init__(self, schedule, exc):
+        super().__init__()
+        self.schedule = schedule
+        self.exc = exc
+        self.op_index = -1
+        self.remaining = 0
+
+    def begin_op(self):
+        self.op_index += 1
+        if self.op_index < len(self.schedule):
+            self.remaining = self.schedule[self.op_index]
+
+    def _trip(self):
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise self.exc("scripted transient failure")
+
+    def put_bytes(self, name, data):
+        self._trip()
+        return super().put_bytes(name, data)
+
+    def read_range(self, name, start, end=None):
+        self._trip()
+        return super().read_range(name, start, end)
+
+    def size(self, name):
+        self._trip()
+        return super().size(name)
+
+    def list(self, prefix=""):
+        self._trip()
+        return super().list(prefix)
+
+
+class CountingRetryingStore(RetryingStore):
+    """Advances the scripted schedule once per *logical* op (not per
+    attempt), so retries of one op consume that op's failure quota."""
+
+    def _call(self, op, name, fn, *args):
+        self.inner.begin_op()
+        return super()._call(op, name, fn, *args)
+
+
+PUT, READ, SIZE, LIST = "put", "read", "size", "list"
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from([PUT, READ, SIZE, LIST]),
+        st.integers(min_value=0, max_value=3),     # blob id
+        st.binary(min_size=0, max_size=16),        # payload for puts
+        st.integers(min_value=0, max_value=RETRIES + 2),  # failures
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def run_op(store, kind, blob, payload):
+    name = f"b/{blob}"
+    if kind == PUT:
+        return store.put_bytes(name, payload)
+    if kind == READ:
+        try:
+            return ("data", store.read_range(name, 0, None))
+        except (FileNotFoundError, KeyError):
+            return ("missing", name)
+    if kind == SIZE:
+        return ("size", store.size(name))
+    return ("list", tuple(store.list("b/")))
+
+
+@settings(max_examples=60, deadline=None)
+@given(script=ops, exc=st.sampled_from([TransientStoreError, ConnectionError]))
+def test_retrying_store_is_observationally_identical_or_typed(script, exc):
+    reference = ObjectStoreStub()
+    flaky = ScheduledFlaky([f for (_, _, _, f) in script], exc)
+    store = CountingRetryingStore(
+        flaky, retries=RETRIES, backoff_base=0.0001, backoff_max=0.0005,
+        seed=1,
+    )
+    for kind, blob, payload, failures in script:
+        expected = run_op(reference, kind, blob, payload)
+        if failures <= RETRIES:
+            # Within budget: the wrapper must absorb every failure and
+            # answer exactly what the clean store answers.
+            assert run_op(store, kind, blob, payload) == expected
+        else:
+            # Over budget: the typed giveup, carrying the backend error
+            # as its cause -- and the bare exception never escapes.
+            try:
+                run_op(store, kind, blob, payload)
+            except StoreUnavailable as err:
+                assert err.attempts == RETRIES + 1
+                assert isinstance(err.__cause__, exc)
+            else:
+                raise AssertionError("expected StoreUnavailable")
+            return  # store state may now diverge; stop comparing
+    assert store.stats["retries"] == sum(
+        f for (_, _, _, f) in script if f <= RETRIES
+    )
+    assert store.stats["giveups"] == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    failures=st.integers(min_value=RETRIES + 1, max_value=RETRIES + 4),
+    exc=st.sampled_from([TransientStoreError, ConnectionError, TimeoutError]),
+)
+def test_exhaustion_is_always_typed_never_bare(failures, exc):
+    flaky = ScheduledFlaky([failures], exc)
+    store = CountingRetryingStore(
+        flaky, retries=RETRIES, backoff_base=0.0001, backoff_max=0.0005,
+    )
+    try:
+        store.put_bytes("x", b"payload")
+    except StoreUnavailable as err:
+        assert err.op == "put_bytes" and err.blob == "x"
+        assert err.attempts == RETRIES + 1
+        assert isinstance(err.__cause__, exc)
+    except Exception as err:  # pragma: no cover - the property under test
+        raise AssertionError(f"bare backend exception leaked: {err!r}")
+    else:  # pragma: no cover
+        raise AssertionError("expected StoreUnavailable")
+    assert store.stats["giveups"] == 1

@@ -70,20 +70,26 @@ def test_live_backpressure_preserves_signature():
     """Producer and daemon run concurrently; a tiny queue plus a slow
     checker forces the pause flag up, throttling the producer mid-run --
     and nothing about the history may change."""
-    ref_sig, _ = direct_reference(seed=3)
+    # A workload long enough that the producer is still mid-run when the
+    # checker backlog crosses the high watermark: the event-driven queue
+    # drains the moment space appears, so the PAUSE window is only as wide
+    # as the genuine backlog -- a tiny workload could finish before any of
+    # its throttle checks lands inside it.
+    workload = {**WORKLOAD, "calls_per_thread": 40}
+    ref_sig, _ = direct_reference(seed=3, calls_per_thread=40)
     store = ObjectStoreStub()
     manifests = {}
 
     def produce():
         manifests["m"] = produce_session(
             store, "s", PROG, seed=3, num_shards=2, batch_records=4,
-            throttle=True, throttle_every=8, run_kwargs=WORKLOAD,
+            throttle=True, throttle_every=8, run_kwargs=workload,
         )
 
     checker_factory, _ = session_checkers(PROG)
     session = ServeSession(
         store, "s", 2, checker_factory=checker_factory,
-        queue_records=16, batch_records=4, checker_delay=0.002,
+        queue_records=16, batch_records=4, checker_delay=0.02,
         timeout=60.0,
     )
     producer = threading.Thread(target=produce)
@@ -313,3 +319,198 @@ def test_bounded_queue_admits_oversized_batch_when_empty():
     assert done.wait(5.0)          # admitted once empty, not wedged
     thread.join()
     assert queue.get() == list(range(9))
+
+
+def test_idle_deadline_tolerates_slow_steady_producer():
+    """The session timeout is an *idle* deadline: a producer dribbling
+    records in small increments, each gap well under the timeout, must not
+    be killed even though the total run time far exceeds it."""
+    import time
+
+    from repro.core.log import ChainDecoder
+    from repro.serve.shard import PROLOGUE_SIZE
+
+    source = ObjectStoreStub()
+    produce_session(
+        source, "s", PROG, seed=3, num_shards=1, run_kwargs=WORKLOAD,
+        throttle=False,
+    )
+    name = shard_name("s", 0)
+    blob = source.get_bytes(name)
+    decoder = ChainDecoder(shard_id=0, base_offset=PROLOGUE_SIZE)
+    ends = [end for _seq, _action, end in decoder.feed(blob[PROLOGUE_SIZE:])]
+    assert decoder.error is None and len(ends) >= 10
+    manifest_blob = source.get_bytes(manifest_name("s"))
+
+    timeout, step = 0.2, 0.05
+    cuts = ends[2::3]              # reveal three frames per step
+    if cuts[-1] != ends[-1]:
+        cuts.append(ends[-1])
+    assert len(cuts) * step > 2 * timeout  # total dribble outlasts timeout
+
+    target = ObjectStoreStub()
+
+    def feed():
+        for cut in cuts:
+            target.put_bytes(name, blob[:cut])
+            time.sleep(step)
+        target.put_bytes(manifest_name("s"), manifest_blob)
+
+    checker_factory, _ = session_checkers(PROG)
+    session = ServeSession(
+        target, "s", 1, checker_factory=checker_factory, timeout=timeout
+    )
+    feeder = threading.Thread(target=feed)
+    feeder.start()
+    result = session.run()
+    feeder.join()
+    assert result.ok, result.error
+    assert result.records == len(ends)
+
+
+def test_truly_idle_session_still_times_out():
+    """The idle deadline still fires when nothing arrives at all."""
+    store = ObjectStoreStub()
+    checker_factory, _ = session_checkers(PROG)
+    session = ServeSession(
+        store, "nothing", 1, checker_factory=checker_factory, timeout=0.2
+    )
+    result = session.run()
+    assert not result.ok
+    assert "idle timeout" in (result.error or "")
+
+
+class _CrashOnce:
+    """Delegating checker that raises after ``crash_at`` fed records."""
+
+    def __init__(self, inner, crash_at):
+        self.inner = inner
+        self.crash_at = crash_at
+        self.fed = 0
+
+    def feed(self, records):
+        self.fed += len(records)
+        if self.fed >= self.crash_at:
+            raise RuntimeError(f"injected checker crash at {self.fed}")
+        return self.inner.feed(records)
+
+    def __getattr__(self, attr):
+        return getattr(self.inner, attr)
+
+
+def test_checker_crash_degrades_and_catches_up_from_checkpoint():
+    """A checker crash mid-session sheds to record-only mode; the drain
+    catch-up restores a fresh checker from the last checkpoint (not from
+    genesis) and the verdict matches the never-degraded run."""
+    ref_sig, ref = direct_reference(seed=3)
+    store = ObjectStoreStub()
+    produce_session(
+        store, "s", PROG, seed=3, num_shards=2, run_kwargs=WORKLOAD,
+        throttle=False,
+    )
+    checker_factory, _ = session_checkers(PROG)
+    armed = {"live": True}
+
+    def factory():
+        checker = checker_factory()
+        if armed.pop("live", None):
+            return _CrashOnce(checker, crash_at=12)
+        return checker
+
+    session = ServeSession(
+        store, "s", 2, checker_factory=factory, timeout=20.0,
+        batch_records=8, checkpoint_every=8,
+    )
+    result = session.run()
+    assert result.ok, result.error
+    assert result.degraded
+    assert "injected checker crash" in result.stats["degraded_reason"]
+    assert result.stats["catchup_from_seq"] > 0   # checkpoint, not genesis
+    assert (
+        result.stats["catchup_records"]
+        == result.records - result.stats["catchup_from_seq"]
+    )
+    assert result.signature == ref_sig
+    assert result.outcome.ok == ref.vyrd.check_offline().ok
+    assert result.to_dict()["degraded"]
+
+
+def test_checker_lag_sheds_to_record_only_and_catches_up():
+    """A checker falling persistently behind the lag threshold is shed so
+    ingest keeps draining; catch-up resumes the live checker from the last
+    fully-verified record and the verdict is unchanged."""
+    ref_sig, ref = direct_reference(seed=3)
+    store = ObjectStoreStub()
+    produce_session(
+        store, "s", PROG, seed=3, num_shards=2, run_kwargs=WORKLOAD,
+        throttle=False,
+    )
+    checker_factory, _ = session_checkers(PROG)
+    session = ServeSession(
+        store, "s", 2, checker_factory=checker_factory, timeout=20.0,
+        batch_records=4, checker_delay=0.05,
+        degrade_lag=8, degrade_after=0.05,
+    )
+    result = session.run()
+    assert result.ok, result.error
+    assert result.degraded
+    assert "lag" in result.stats["degraded_reason"]
+    assert result.stats["catchup_records"] > 0
+    assert result.signature == ref_sig
+    assert result.outcome.ok == ref.vyrd.check_offline().ok
+
+
+def test_degraded_session_still_detects_violations():
+    """Record-only shedding must not launder a real refinement violation:
+    the offline catch-up re-checks everything the live checker missed."""
+    ref_sig, ref = direct_reference(seed=3, buggy=True)
+    store = ObjectStoreStub()
+    produce_session(
+        store, "s", PROG, seed=3, num_shards=2,
+        run_kwargs={**WORKLOAD, "buggy": True}, throttle=False,
+    )
+    checker_factory, _ = session_checkers(PROG)
+    armed = {"live": True}
+
+    def factory():
+        checker = checker_factory()
+        if armed.pop("live", None):
+            return _CrashOnce(checker, crash_at=5)
+        return checker
+
+    session = ServeSession(
+        store, "s", 2, checker_factory=factory, timeout=20.0,
+        batch_records=8,
+    )
+    result = session.run()
+    assert result.degraded
+    assert result.signature == ref_sig
+    direct = ref.vyrd.check_offline()
+    assert result.outcome.ok == direct.ok
+    assert not result.outcome.ok  # the violation survived degradation
+
+
+def test_queue_pressure_counters_surface_in_stats():
+    store = ObjectStoreStub()
+    result = serve_in_process(
+        store, "s", seed=3, queue_records=8, batch_records=4,
+        checker_delay=0.005, timeout=20.0,
+    )
+    assert result.ok
+    assert result.stats["queue_max_depth"] >= 1
+    assert result.stats["queue_put_waits"] >= 1
+
+
+def test_health_blob_published_on_completion():
+    store = ObjectStoreStub()
+    result = serve_in_process(store, "s", seed=3, timeout=20.0)
+    assert result.ok
+    from repro.serve import health_name
+
+    health = store.get_json(health_name("s"))
+    assert health is not None
+    assert health["state"] == "complete"
+    assert health["session"] == "s"
+    assert not health["degraded"]
+    assert health["ingested"] == result.records
+    assert result.health == health
