@@ -8,10 +8,19 @@ equality check proving every parallel sweep produced outcomes identical to
 serial.  The recorded ``cpu_count`` contextualizes the speedup column --
 on a single-CPU host the engine cannot beat serial no matter how it shards.
 
+``--mode exhaustive [--reduce static]`` sweeps ``parallel_exhaustive``
+instead, optionally with the static sleep-set reducer
+(:mod:`repro.concurrency.reduction`) -- the signature-equality gate then
+also proves the *reduced* frontier shards coordination-free without
+changing the covered schedule set.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_parallel_scaling.py
     PYTHONPATH=src python benchmarks/bench_parallel_scaling.py --smoke  # CI
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py \\
+        --mode exhaustive --reduce static --program blinktree \\
+        --threads 3 --calls 1 --workload-seed 7
 
 ``--smoke`` shrinks the sweep to jobs {1, 2} with a tiny campaign so CI can
 exercise the whole engine (pool dispatch, merge, equality check) in seconds.
@@ -24,7 +33,7 @@ import json
 import os
 import time
 
-from repro.concurrency.parallel import parallel_swarm
+from repro.concurrency.parallel import parallel_exhaustive, parallel_swarm
 from repro.harness import ProgramSpec
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -38,19 +47,34 @@ def run_sweep(
     threads: int,
     calls: int,
     workload_seed: int = 0,
+    mode: str = "swarm",
+    reduce: str = None,
 ) -> dict:
+    reducer = None
+    if reduce == "static":
+        from repro.concurrency.reduction import StaticReducer
+        from repro.lint.effects import analyze_program
+
+        reducer = StaticReducer.from_effects(analyze_program(program))
     spec = ProgramSpec(
         program,
         num_threads=threads,
         calls_per_thread=calls,
         workload_seed=workload_seed,
+        # exhaustive enumeration needs a finite tree
+        daemons=(mode != "exhaustive"),
     )
     rows = []
     serial_signature = None
     serial_seconds = None
     for jobs in jobs_list:
         start = time.perf_counter()
-        result = parallel_swarm(spec, num_runs=runs, jobs=jobs)
+        if mode == "exhaustive":
+            result = parallel_exhaustive(
+                spec, max_runs=runs, jobs=jobs, reducer=reducer
+            )
+        else:
+            result = parallel_swarm(spec, num_runs=runs, jobs=jobs)
         seconds = time.perf_counter() - start
         signature = result.signature()
         if serial_signature is None:
@@ -59,16 +83,22 @@ def run_sweep(
         rows.append({
             "jobs": jobs,
             "seconds": round(seconds, 3),
-            "runs_per_sec": round(runs / seconds, 2) if seconds > 0 else None,
+            "runs_per_sec": (
+                round(result.num_runs / seconds, 2) if seconds > 0 else None
+            ),
             "speedup_vs_serial": (
                 round(serial_seconds / seconds, 2) if seconds > 0 else None
             ),
             "outcomes_equal_serial": signature == serial_signature,
+            "num_runs": result.num_runs,
+            "pruned": result.pruned,
             "num_failures": len(result.failures),
         })
     return {
         "benchmark": "parallel_scaling",
         "program": program,
+        "mode": mode,
+        "reduce": reduce,
         "runs": runs,
         "threads": threads,
         "calls_per_thread": calls,
@@ -80,8 +110,11 @@ def run_sweep(
 
 
 def render(report: dict) -> str:
+    flavor = report["mode"]
+    if report["reduce"]:
+        flavor += f" --reduce {report['reduce']}"
     lines = [
-        f"parallel swarm scaling: {report['program']} "
+        f"parallel {flavor} scaling: {report['program']} "
         f"({report['threads']} threads x {report['calls_per_thread']} calls, "
         f"{report['runs']} runs, {report['cpu_count']} CPU(s))",
         f"{'jobs':>5}  {'seconds':>8}  {'runs/sec':>9}  {'speedup':>8}  outcomes==serial",
@@ -97,23 +130,29 @@ def render(report: dict) -> str:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--program", default="multiset-vector")
-    parser.add_argument("--runs", type=int, default=500)
+    parser.add_argument("--runs", type=int, default=500,
+                        help="swarm: seeded runs; exhaustive: run budget")
     parser.add_argument("--jobs", type=int, nargs="+", default=[1, 2, 4, 8])
     parser.add_argument("--threads", type=int, default=3)
     parser.add_argument("--calls", type=int, default=10)
     parser.add_argument("--workload-seed", type=int, default=0)
+    parser.add_argument("--mode", choices=("swarm", "exhaustive"),
+                        default="swarm")
+    parser.add_argument("--reduce", choices=("static",),
+                        help="exhaustive: static sleep-set reduction")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny CI sweep: jobs {1, 2}, 40 runs")
     parser.add_argument("--out", default=DEFAULT_OUT)
     args = parser.parse_args(argv)
     if args.smoke:
         args.jobs = [1, 2]
-        args.runs = min(args.runs, 40)
-        args.threads = 2
-        args.calls = 4
+        if args.mode == "swarm":
+            args.runs = min(args.runs, 40)
+            args.threads = 2
+            args.calls = 4
     report = run_sweep(
         args.program, args.runs, args.jobs, args.threads, args.calls,
-        args.workload_seed,
+        args.workload_seed, mode=args.mode, reduce=args.reduce,
     )
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2)

@@ -98,8 +98,12 @@ class BLinkTree:
         self.order = order
         self.buggy_duplicates = buggy_duplicates
         self._nodes: Dict[int, _NodeSlot] = {}
-        self._node_ids = itertools.count(0)
-        self._data_ids = itertools.count(0)
+        # per-thread id counters: ids depend only on the allocating
+        # thread's own history, never on the interleaving, so allocation
+        # commutes with steps of other threads (schedule-confluent) and
+        # cell names stay stable across equivalent schedules
+        self._node_ids: Dict[int, int] = {}
+        self._data_ids: Dict[int, int] = {}
         self._data_cells: Dict[int, SharedCell] = {}
         first_leaf = self._alloc_node((LEAF, 0, (), None, None))
         self.leftmost = first_leaf.nid  # constant: leaves are never removed
@@ -108,13 +112,17 @@ class BLinkTree:
 
     # -- allocation ----------------------------------------------------------
 
-    def _alloc_node(self, record) -> _NodeSlot:
-        slot = _NodeSlot(next(self._node_ids), record)
+    def _alloc_node(self, record, tid: int = -1) -> _NodeSlot:
+        seq = self._node_ids.get(tid, 0)
+        self._node_ids[tid] = seq + 1
+        slot = _NodeSlot((tid + 1) * 1_000_000 + seq, record)
         self._nodes[slot.nid] = slot
         return slot
 
-    def _alloc_data(self) -> Tuple[int, SharedCell]:
-        did = next(self._data_ids)
+    def _alloc_data(self, tid: int = -1) -> Tuple[int, SharedCell]:
+        seq = self._data_ids.get(tid, 0)
+        self._data_ids[tid] = seq + 1
+        did = (tid + 1) * 1_000_000 + seq
         cell = SharedCell(f"blt.d{did}", None)
         self._data_cells[did] = cell
         return did, cell
@@ -192,7 +200,7 @@ class BLinkTree:
                 yield slot.lock.release()
                 return True
             # tombstoned entry: revive with a fresh data node (version 1)
-            new_did, new_cell = self._alloc_data()
+            new_did, new_cell = self._alloc_data(ctx.tid)
             yield new_cell.write((key, data, 1, True))
             new_entries = entries[:position] + ((key, new_did),) + entries[position + 1 :]
             yield slot.cell.write(
@@ -201,7 +209,7 @@ class BLinkTree:
             yield slot.lock.release()
             return True
 
-        new_did, new_cell = self._alloc_data()
+        new_did, new_cell = self._alloc_data(ctx.tid)
         yield new_cell.write((key, data, 1, True))
         new_entries = tuple(sorted(entries + ((key, new_did),)))
         if len(new_entries) <= self.order:
@@ -217,7 +225,8 @@ class BLinkTree:
         mid = len(new_entries) // 2
         split_key = new_entries[mid][0]
         right_slot = self._alloc_node(
-            (LEAF, 0, new_entries[mid:], leaf_record[3], leaf_record[4])
+            (LEAF, 0, new_entries[mid:], leaf_record[3], leaf_record[4]),
+            ctx.tid,
         )
         yield right_slot.cell.write(
             (LEAF, 0, new_entries[mid:], leaf_record[3], leaf_record[4])
@@ -265,7 +274,7 @@ class BLinkTree:
             right_rec = (
                 INDEX, plevel, new_keys[mid + 1 :], new_children[mid + 1 :], high, right,
             )
-            right_ix = self._alloc_node(right_rec)
+            right_ix = self._alloc_node(right_rec, ctx.tid)
             yield right_ix.cell.write(right_rec)
             yield parent_slot.cell.write(
                 (INDEX, plevel, new_keys[:mid], new_children[: mid + 1], up_key, right_ix.nid)
@@ -287,7 +296,8 @@ class BLinkTree:
             # we split the root (or a whole missing level): grow the tree --
             # pure restructuring, no commit action.
             new_root = self._alloc_node(
-                (INDEX, level, (sep,), (left_child, new_child), None, None)
+                (INDEX, level, (sep,), (left_child, new_child), None, None),
+                ctx.tid,
             )
             yield new_root.cell.write(
                 (INDEX, level, (sep,), (left_child, new_child), None, None)
@@ -432,6 +442,14 @@ class BLinkTree:
         "delete": "mutator",
         "lookup": "observer",
     }
+
+    # Static mirror of the Program's atomic_locs=("blt.",): every traced
+    # blt.* cell is a single atomic location, so the lock-free B-link
+    # descents and data-node reads are race-free by construction.
+    VYRD_ATOMIC_FIELDS = ("root", "_nodes[*].cell", "_data_cells[*]")
+    # Allocation uses per-thread id counters (see __init__), so its hidden
+    # writes commute with every step of other threads.
+    VYRD_CONFLUENT_HELPERS = ("_alloc_node", "_alloc_data")
 
 
 def blinktree_view(leftmost: int = 0) -> DependencyView:

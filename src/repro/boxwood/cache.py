@@ -30,7 +30,6 @@ action rides the final ``UNLOCK(clean)`` (Fig. 8's FLUSH commit point).
 
 from __future__ import annotations
 
-import itertools
 from typing import Dict, List, Optional, Tuple
 
 from ..concurrency import Lock, RWLock, SharedCell, ThreadCtx
@@ -63,7 +62,10 @@ class BoxwoodCache:
         self.clean_lock = Lock("cache.clean-lock")
         self.reclaim = RWLock("cache.reclaim")
         self._entries: Dict[int, _Entry] = {}
-        self._ids = itertools.count(0)
+        # per-thread id counters: entry ids depend only on the allocating
+        # thread's own history, never on the interleaving (schedule-
+        # confluent allocation; cell names stable across equivalent runs)
+        self._ids: Dict[int, int] = {}
         # membership maps: handle -> entry id (or None); created lazily
         self._clean_cells: Dict[str, SharedCell] = {}
         self._dirty_cells: Dict[str, SharedCell] = {}
@@ -80,8 +82,10 @@ class BoxwoodCache:
             self._dirty_cells[handle] = SharedCell(f"cache.dirty[{handle}]", None)
         return self._dirty_cells[handle]
 
-    def _make_new_entry(self, handle: str) -> _Entry:
-        entry = _Entry(next(self._ids), handle, self.block_size)
+    def _make_new_entry(self, handle: str, tid: int = -1) -> _Entry:
+        seq = self._ids.get(tid, 0)
+        self._ids[tid] = seq + 1
+        entry = _Entry((tid + 1) * 1_000_000 + seq, handle, self.block_size)
         self._entries[entry.eid] = entry
         return entry
 
@@ -109,7 +113,7 @@ class BoxwoodCache:
         yield self.clean_lock.release()                    # line 5
         if ce is None and de is None:                      # line 6
             yield self.reclaim.end_read()                  # line 8
-            te = self._make_new_entry(handle)              # line 9
+            te = self._make_new_entry(handle, ctx.tid)     # line 9
             yield self.reclaim.begin_read()                # line 10
             yield from self._copy_to_cache(buffer, te)     # line 11
             yield self.clean_lock.acquire()                # line 12
@@ -191,9 +195,9 @@ class BoxwoodCache:
         # after releasing the lock would allow a concurrent write + evict to
         # make the fetched bytes stale before they are installed as a clean
         # entry -- a lost-update this repository's own benchmarks caught.
-        data = yield from self.chunks.read(ctx, handle)
+        data = yield from self.chunks.read(ctx, handle)  # vyrd: ignore[VY008] -- effects live in the ChunkManager; the matrix already treats cache ops as mutually dependent
         if data is not None:
-            te = self._make_new_entry(handle)
+            te = self._make_new_entry(handle, ctx.tid)
             yield from self._copy_to_cache(data, te)
             yield te.published.write(True)
             yield self._clean_cell(handle).write(te.eid)
@@ -219,7 +223,7 @@ class BoxwoodCache:
             for cell in entry.data:
                 byte = yield cell.read()
                 data.append(byte)
-            yield from self.chunks.write(ctx, entry.handle, tuple(data))  # line 7
+            yield from self.chunks.write(ctx, entry.handle, tuple(data))  # line 7  # vyrd: ignore[VY008] -- effects live in the ChunkManager; the matrix already treats cache ops as mutually dependent
             victims.append((handle, entry_id))              # line 8
         for handle, entry_id in victims:                    # lines 9-13
             yield self._dirty_cell(handle).write(None)
@@ -246,7 +250,7 @@ class BoxwoodCache:
                 for cell in entry.data:
                     byte = yield cell.read()
                     data.append(byte)
-                yield from self.chunks.write(ctx, entry.handle, tuple(data))
+                yield from self.chunks.write(ctx, entry.handle, tuple(data))  # vyrd: ignore[VY008] -- effects live in the ChunkManager; the matrix already treats cache ops as mutually dependent
                 yield self._dirty_cell(handle).write(None)
             else:
                 yield self._clean_cell(handle).write(None)
@@ -281,6 +285,12 @@ class BoxwoodCache:
         "evict": "mutator",
         "reclaim_clean": "mutator",
     }
+
+    # The membership-cell accessors memo-create a handle-keyed cell (same
+    # name whenever it is created), and entry allocation uses per-thread id
+    # counters (see __init__): all three commute with steps of other
+    # threads.
+    VYRD_CONFLUENT_HELPERS = ("_clean_cell", "_dirty_cell", "_make_new_entry")
 
 
 def cache_view(block_size: int = 8) -> ContributionView:

@@ -31,6 +31,7 @@ from .parallel import (
     parallel_swarm,
     resolve_program,
 )
+from .reduction import ReducedReplayScheduler, StaticReducer
 from .resilient import ResilientPool, RetryPolicy, TaskFailure
 from .kernel import (
     Kernel,
@@ -71,7 +72,9 @@ __all__ = [
     "ReplayScheduler",
     "RoundRobinScheduler",
     "RWLock",
+    "ReducedReplayScheduler",
     "RefinementViolation",
+    "StaticReducer",
     "RemoteError",
     "ResilientPool",
     "RetryPolicy",

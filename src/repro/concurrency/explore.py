@@ -53,6 +53,12 @@ class ExplorationResult:
     # exhaustive campaigns, whose budget is a cap rather than a target.
     requested: Optional[int] = None
     skipped: int = 0
+    # Schedule-reduction accounting (``--reduce static``): subtree roots the
+    # sleep sets removed without executing.  In reduced exhaustive campaigns
+    # ``skipped == pruned`` and ``requested == num_runs + skipped``, so the
+    # invariant requested == executed + skipped holds in every mode; swarm
+    # campaigns keep pruned == 0 (their skips are cancelled seeds).
+    pruned: int = 0
     # Infrastructure incidents survived while producing the result: retries,
     # worker crashes, pool rebuilds, hang kills (dicts, see
     # concurrency.resilient).  Deliberately excluded from signature() -- a
@@ -116,6 +122,7 @@ class ExplorationResult:
             "num_runs": self.num_runs,
             "requested": self.requested,
             "skipped": self.skipped,
+            "pruned": self.pruned,
             "exhausted": self.exhausted,
             "num_failures": len(self.failures),
             "interruptions": list(self.interruptions),
@@ -159,6 +166,7 @@ def explore_exhaustive(
     program: Callable[[Scheduler], Any],
     max_runs: int = 10_000,
     stop_on_failure: bool = False,
+    reducer=None,
 ) -> ExplorationResult:
     """Enumerate schedules depth-first until the space or budget is exhausted.
 
@@ -167,7 +175,17 @@ def explore_exhaustive(
     everything after it is dropped, exactly like iterative DFS over the
     schedule tree.  Beyond the scripted prefix, every run takes alternative 0
     at each new decision point (so increments cover the whole tree).
+
+    With a ``reducer`` (:class:`repro.concurrency.reduction.StaticReducer`),
+    the same tree is walked with sleep sets: schedules that differ from an
+    explored one only by swaps of statically-independent steps are pruned
+    (counted in ``result.pruned``/``skipped``) instead of executed.  The
+    reduced campaign reports the same outcome set as the unreduced one.
     """
+    if reducer is not None:
+        return _explore_exhaustive_reduced(
+            program, max_runs, stop_on_failure, reducer
+        )
     result = ExplorationResult()
     prefix: List[int] = []
     while len(result.runs) < max_runs:
@@ -193,6 +211,60 @@ def explore_exhaustive(
             result.exhausted = True
             break
         prefix = next_prefix
+    result.metrics = _program_metrics(program)
+    return result
+
+
+def _explore_exhaustive_reduced(
+    program: Callable[[Scheduler], Any],
+    max_runs: int,
+    stop_on_failure: bool,
+    reducer,
+) -> ExplorationResult:
+    """Sleep-set DFS over the schedule tree (see ``reduction``).
+
+    Works from an explicit frontier of ``(prefix, sleep)`` entries: each run
+    replays its prefix with its inherited sleep set and generates its own
+    unexplored siblings, so this loop is the one-worker instance of the
+    protocol :func:`repro.concurrency.parallel.parallel_exhaustive` shards.
+    Runs are reported in schedule-lexicographic order (the unreduced DFS
+    order) unless ``stop_on_failure`` truncates the campaign.
+    """
+    from .reduction import ReducedReplayScheduler
+
+    result = ExplorationResult()
+    stack: List[tuple] = [([], {})]
+    pruned = 0
+    while stack and len(result.runs) < max_runs:
+        prefix, sleep = stack.pop()
+        scheduler = ReducedReplayScheduler(
+            decisions=prefix, sleep=sleep, reducer=reducer
+        )
+        record = RunRecord(schedule=list(prefix))
+        try:
+            record.outcome = program(scheduler)
+        except Exception as exc:
+            record.error = exc
+        record.schedule = [index for index, _ in scheduler.trace]
+        result.runs.append(record)
+        if record.failed and stop_on_failure:
+            break
+        entries, newly_pruned = scheduler.siblings()
+        pruned += newly_pruned
+        # LIFO: push (depth ascending, alternative descending) so pops walk
+        # the deepest decision point first, lowest alternative first -- the
+        # unreduced DFS order.
+        stack.extend(
+            sorted(entries, key=lambda e: (len(e[0]), -e[0][-1]))
+        )
+    else:
+        if not stack:
+            result.exhausted = True
+    if result.first_failure is None or not stop_on_failure:
+        result.runs.sort(key=lambda r: tuple(r.schedule))
+    result.pruned = pruned
+    result.skipped = pruned
+    result.requested = len(result.runs) + pruned
     result.metrics = _program_metrics(program)
     return result
 

@@ -417,6 +417,11 @@ class Kernel:
         self._tid_counter = itertools.count(0)
         self._running = False
         self.current: Optional[SimThread] = None
+        # A scheduler exposing ``on_step`` observes every executed step --
+        # ``(thread, syscall)`` after its effect applies, ``(thread, None)``
+        # when the thread finishes.  Sleep-set reduction
+        # (:mod:`repro.concurrency.reduction`) relies on this feed.
+        self._step_listener = getattr(self.scheduler, "on_step", None)
 
     # -- thread management -------------------------------------------------
 
@@ -530,6 +535,8 @@ class Kernel:
                 syscall = thread.gen.send(value)
         except StopIteration as stop:
             self._finish(thread, Status.DONE, result=stop.value)
+            if self._step_listener is not None:
+                self._step_listener(thread, None)
             return
         except Exception as exc:
             self._finish(thread, Status.FAILED, exception=exc)
@@ -545,6 +552,8 @@ class Kernel:
             # non-syscall yield, ...): attribute it to the offending thread
             self._finish(thread, Status.FAILED, exception=exc)
             raise SimThreadError(thread, exc)
+        if self._step_listener is not None:
+            self._step_listener(thread, syscall)
 
     def _finish(self, thread: SimThread, status: Status, result=None, exception=None) -> None:
         thread.status = status

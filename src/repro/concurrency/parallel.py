@@ -454,6 +454,42 @@ def _exhaustive_batch(source, prefixes, inject=None):
     return records, discovered, _program_metrics(program)
 
 
+def _reduced_exhaustive_batch(source, reducer, entries, inject=None):
+    """Worker: expand claimed ``(prefix, sleep)`` frontier entries.
+
+    The sleep-set variant of :func:`_exhaustive_batch` (see
+    :mod:`repro.concurrency.reduction`): each entry replays its prefix under
+    its inherited sleep set, and sibling generation both emits the surviving
+    ``(prefix, sleep)`` entries and counts the pruned subtrees.  Wire shape:
+    ``(records, discovered, pruned, metrics_snapshot)``.  Every sleep set is
+    computed by the worker that generated the entry, so the frontier needs
+    no more coordination than the unreduced one.
+    """
+    from .reduction import ReducedReplayScheduler
+
+    if inject is not None:
+        inject.apply()
+    program = resolve_program(source)
+    records = []
+    discovered: List[tuple] = []
+    pruned = 0
+    for prefix, sleep in entries:
+        scheduler = ReducedReplayScheduler(
+            decisions=list(prefix), sleep=dict(sleep), reducer=reducer
+        )
+        outcome = error = None
+        try:
+            outcome = program(scheduler)
+        except Exception as exc:
+            error = _wire_error(exc)
+        indices = [index for index, _ in scheduler.trace]
+        records.append((indices, outcome, error))
+        entries_found, newly_pruned = scheduler.siblings()
+        discovered.extend(entries_found)
+        pruned += newly_pruned
+    return records, discovered, pruned, _program_metrics(program)
+
+
 def _split_prefix_batch(prefixes) -> Optional[List[list]]:
     return [[prefix] for prefix in prefixes] if len(prefixes) > 1 else None
 
@@ -477,6 +513,24 @@ def _exhaustive_give_up(prefixes, failure: TaskFailure) -> tuple:
     return records, [], None
 
 
+def _combine_reduced_batches(parts: List[tuple]) -> tuple:
+    records = [record for part in parts for record in part[0]]
+    discovered = [entry for part in parts for entry in part[1]]
+    pruned = sum(part[2] for part in parts)
+    return records, discovered, pruned, merge_snapshots(part[3] for part in parts)
+
+
+def _reduced_give_up(entries, failure: TaskFailure) -> tuple:
+    records = [
+        (list(prefix), None, ExplorationTimeout(
+            list(prefix), kind=failure.kind, attempts=failure.attempts,
+            detail=failure.message,
+        ))
+        for prefix, _sleep in entries
+    ]
+    return records, [], 0, None
+
+
 def parallel_exhaustive(
     program,
     max_runs: int = 10_000,
@@ -488,6 +542,7 @@ def parallel_exhaustive(
     max_retries: int = 2,
     backoff_base: float = 0.05,
     faults=None,
+    reducer=None,
 ) -> ExplorationResult:
     """Multi-process :func:`explore_exhaustive` via frontier sharding.
 
@@ -505,6 +560,13 @@ def parallel_exhaustive(
     that stays hung through isolation and retries becomes a failed record
     with an :class:`ExplorationTimeout` error, and the campaign is marked
     non-exhausted (its subtree was never enumerated).
+
+    ``reducer`` (a picklable
+    :class:`repro.concurrency.reduction.StaticReducer`) switches the
+    frontier to sleep-set entries ``(prefix, sleep)``: statically redundant
+    sibling subtrees are counted on ``result.pruned`` instead of dispatched.
+    The reduced parallel campaign covers exactly the schedules the reduced
+    serial one does.
     """
     jobs = _resolve_jobs(jobs)
     if jobs <= 1:
@@ -512,23 +574,28 @@ def parallel_exhaustive(
             resolve_program(program),
             max_runs=max_runs,
             stop_on_failure=stop_on_failure,
+            reducer=reducer,
         )
     program = _OncePickledSource(program)
-    frontier: deque = deque([[]])
+    reduced = reducer is not None
+    frontier: deque = deque([([], {})] if reduced else [[]])
     runs: List[RunRecord] = []
     dispatched = 0
+    pruned = 0
     failure_seen = False
     abandoned = False
     context = _mp_context(mp_context)
     pool = ResilientPool(
-        functools.partial(_exhaustive_batch, program),
+        functools.partial(_reduced_exhaustive_batch, program, reducer)
+        if reduced
+        else functools.partial(_exhaustive_batch, program),
         make_executor=lambda: ProcessPoolExecutor(
             max_workers=jobs, mp_context=context
         ),
         policy=_retry_policy(timeout, max_retries, backoff_base, max_runs),
         split=_split_prefix_batch,
-        combine=_combine_batches,
-        give_up=_exhaustive_give_up,
+        combine=_combine_reduced_batches if reduced else _combine_batches,
+        give_up=_reduced_give_up if reduced else _exhaustive_give_up,
         decorate=_fault_decorator(faults),
     )
     interruptions: List[dict] = []
@@ -548,7 +615,12 @@ def parallel_exhaustive(
                 pool.submit(batch)
             if not pool.has_pending:
                 break
-            _key, (records, discovered, snapshot) = pool.next_completed()
+            _key, payload = pool.next_completed()
+            if reduced:
+                records, discovered, newly_pruned, snapshot = payload
+                pruned += newly_pruned
+            else:
+                records, discovered, snapshot = payload
             snapshots.append(snapshot)
             for schedule, outcome, error in records:
                 revived = _revive_error(error)
@@ -579,4 +651,8 @@ def parallel_exhaustive(
         result.exhausted = False
     else:
         result.exhausted = not frontier and not budget_hit and not abandoned
+    if reduced:
+        result.pruned = pruned
+        result.skipped = pruned
+        result.requested = len(result.runs) + pruned
     return result

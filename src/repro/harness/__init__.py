@@ -29,6 +29,7 @@ from .runner import (
     breakdown_experiment,
     detection_experiment,
     explore_program,
+    log_hb_fingerprint,
     logging_overhead_experiment,
     run_program,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "breakdown_experiment",
     "detection_experiment",
     "explore_program",
+    "log_hb_fingerprint",
     "fmt",
     "logging_overhead_experiment",
     "mean",

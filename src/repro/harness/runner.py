@@ -15,6 +15,7 @@
 
 from __future__ import annotations
 
+import hashlib
 import random
 import time
 from dataclasses import dataclass, field
@@ -76,6 +77,7 @@ def run_program(
     lint: Optional[str] = None,
     obs: Optional[Recorder] = None,
     log=None,
+    daemons: bool = True,
 ) -> RunResult:
     """Build, run and (optionally online-) verify one program instance.
 
@@ -100,7 +102,9 @@ def run_program(
     ``RunResult.obs``.  ``log`` (a :class:`repro.core.Log` or subclass)
     replaces the session's in-memory log -- the streaming service passes a
     shard tee here so every append is also spooled to durable shard
-    files."""
+    files.  ``daemons=False`` skips spawning the workload's background
+    threads (compression, flushers): exhaustive exploration needs a finite
+    schedule tree, and an always-runnable daemon makes it infinite."""
     program = _resolve(program)
     built = program.build(buggy, num_threads)
     lint_findings: tuple = ()
@@ -147,7 +151,7 @@ def run_program(
             vds, random.Random(seed * 131 + index), index, calls_per_thread
         )
         kernel.spawn(body, name=f"app-{index}")
-    for daemon in built.daemons:
+    for daemon in built.daemons if daemons else ():
         kernel.spawn(daemon, daemon=True)
     start = time.process_time()
     kernel.run()
@@ -181,6 +185,79 @@ def run_program(
 # ---------------------------------------------------------------------------
 
 
+def log_hb_fingerprint(log) -> str:
+    """Canonical digest of a run's happens-before order (its Mazurkiewicz
+    trace under the reduction's independence relation).
+
+    Two schedules that differ only by swaps of independent steps produce the
+    same fingerprint; schedules that reorder anything the reduction treats
+    as dependent -- same-cell write/read-write order, per-lock acquisition
+    order, the global commit (linearization) order, per-thread program order
+    -- produce different ones.  The schedule-reduction equivalence gate
+    compares the *sets* of fingerprints reached by reduced and unreduced
+    campaigns: equality means the reduced campaign covered every distinct
+    HB order.  Requires a log recorded with ``log_locks``/``log_reads``
+    (see ``ProgramSpec.fingerprint``).
+    """
+    from ..core.actions import (
+        AcquireAction,
+        CallAction,
+        CommitAction,
+        ReadAction,
+        ReleaseAction,
+        ReturnAction,
+        WriteAction,
+    )
+
+    per_tid: dict = {}
+    per_loc: dict = {}
+    per_lock: dict = {}
+    commits: list = []
+    methods: dict = {}
+    pending_readers: dict = {}
+
+    def tid_seq(tid):
+        return per_tid.setdefault(tid, [])
+
+    for action in log:
+        tid = action.tid
+        if isinstance(action, CallAction):
+            methods[(tid, action.op_id)] = action.method
+            tid_seq(tid).append(("call", action.method, repr(action.args)))
+        elif isinstance(action, ReturnAction):
+            tid_seq(tid).append(("ret", action.method, repr(action.result)))
+        elif isinstance(action, WriteAction):
+            tid_seq(tid).append(("w", action.loc, repr(action.new)))
+            stream = per_loc.setdefault(action.loc, [])
+            readers = pending_readers.pop(action.loc, None)
+            if readers:
+                stream.append(("readers", tuple(sorted(readers))))
+            stream.append(("w", tid, repr(action.new)))
+        elif isinstance(action, ReadAction):
+            # reads between two writes commute, so they form a set
+            tid_seq(tid).append(("r", action.loc))
+            pending_readers.setdefault(action.loc, set()).add(tid)
+        elif isinstance(action, AcquireAction):
+            tid_seq(tid).append(("acq", action.lock))
+            per_lock.setdefault(action.lock, []).append(tid)
+        elif isinstance(action, ReleaseAction):
+            tid_seq(tid).append(("rel", action.lock))
+        elif isinstance(action, CommitAction):
+            tid_seq(tid).append(("commit",))
+            commits.append((tid, methods.get((tid, action.op_id))))
+        else:
+            tid_seq(tid).append((type(action).__name__,))
+    for loc, readers in pending_readers.items():
+        per_loc.setdefault(loc, []).append(("readers", tuple(sorted(readers))))
+    canonical = (
+        sorted(per_tid.items()),
+        sorted(per_loc.items()),
+        sorted(per_lock.items()),
+        tuple(commits),
+    )
+    return hashlib.sha256(repr(canonical).encode()).hexdigest()
+
+
 @dataclass(frozen=True)
 class ProgramSpec:
     """A picklable description of one workload-registry program run.
@@ -212,6 +289,14 @@ class ProgramSpec:
     mode: str = "view"
     max_steps: int = 20_000_000
     metrics: bool = False
+    # Exhaustive exploration needs a finite schedule tree; always-runnable
+    # background threads (compression, flushers) make it infinite, so
+    # daemon-free configs are the exhaustive/reduction gate shape.
+    daemons: bool = True
+    # fingerprint=True records locks+reads and makes the success outcome the
+    # run's HB fingerprint (see log_hb_fingerprint) instead of the log
+    # length, so campaign outcome sets enumerate the distinct HB orders.
+    fingerprint: bool = False
 
     def resolve_program(self):
         """Build the ``program(scheduler) -> outcome`` callable (in-worker).
@@ -238,10 +323,15 @@ class ProgramSpec:
                 max_steps=spec.max_steps,
                 scheduler_factory=lambda _seed: scheduler,
                 obs=recorder,
+                daemons=spec.daemons,
+                log_locks=spec.fingerprint,
+                log_reads=spec.fingerprint,
             )
             outcome = result.vyrd.check_offline()
             if not outcome.ok:
                 raise RefinementViolation(outcome.summary(), details=outcome.to_dict())
+            if spec.fingerprint:
+                return ("ok", log_hb_fingerprint(result.log))
             return ("ok", len(result.log))
 
         program.obs_recorder = recorder
@@ -262,6 +352,9 @@ def explore_program(
     workload_seed: int = 0,
     check_mode: str = "view",
     metrics: bool = False,
+    reduce: Optional[str] = None,
+    daemons: bool = True,
+    fingerprint: bool = False,
 ) -> ExplorationResult:
     """Run an exploration campaign over one registry program.
 
@@ -271,6 +364,15 @@ def explore_program(
     processes (``None`` / ``0`` = all CPUs, ``1`` = serial in-process).
     ``metrics=True`` merges per-worker observability counters into
     ``ExplorationResult.metrics``.
+
+    ``reduce="static"`` (exhaustive mode only) prunes schedules that are
+    sleep-set redundant under the static effect analysis of the program's
+    implementation class (:func:`repro.lint.effects.analyze_program`);
+    pruned subtree roots are reported on ``result.pruned``/``skipped``.
+    ``daemons=False`` runs without the workload's background threads (a
+    finite schedule tree, required for exhaustion); ``fingerprint=True``
+    makes successful outcomes HB fingerprints (see
+    :func:`log_hb_fingerprint`).
     """
     spec = ProgramSpec(
         _resolve(program).name,
@@ -280,7 +382,19 @@ def explore_program(
         workload_seed=workload_seed,
         mode=check_mode,
         metrics=metrics,
+        daemons=daemons,
+        fingerprint=fingerprint,
     )
+    reducer = None
+    if reduce is not None:
+        if reduce != "static":
+            raise ValueError(f"unknown reduction {reduce!r} (only 'static')")
+        if mode != "exhaustive":
+            raise ValueError("--reduce static requires exhaustive mode")
+        from ..concurrency.reduction import StaticReducer
+        from ..lint.effects import analyze_program
+
+        reducer = StaticReducer.from_effects(analyze_program(spec.program))
     if mode == "swarm":
         return parallel_swarm(
             spec,
@@ -291,7 +405,11 @@ def explore_program(
         )
     if mode == "exhaustive":
         return parallel_exhaustive(
-            spec, max_runs=max_runs, stop_on_failure=stop_on_failure, jobs=jobs
+            spec,
+            max_runs=max_runs,
+            stop_on_failure=stop_on_failure,
+            jobs=jobs,
+            reducer=reducer,
         )
     raise ValueError(f"unknown exploration mode {mode!r} (swarm or exhaustive)")
 

@@ -103,6 +103,8 @@ class JavaVector:
         check can observe a smaller vector and "throw" :data:`IOOBE`.
         """
         if self.buggy_last_index_of:
+            # vyrd: ignore[VY007] -- the seeded Table-1 bug VY007 exists to
+            # catch: Java's unsynchronized count read; kept for the harness
             count = yield self.count.read()  # BUG: unsynchronized read
             start = count - 1
             return (yield from self._last_index_of_inner(ctx, obj, start))

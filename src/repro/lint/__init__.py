@@ -6,16 +6,34 @@ cells.  This package checks those obligations *before the program ever
 runs* -- an AST/CFG analysis over every ``@operation`` generator -- and
 reports violations as typed, located :class:`LintFinding` diagnostics.
 
+On top of the rule passes, :mod:`repro.lint.effects` computes per
+operation *effect summaries* (shared paths read/written, locks, commit
+kinds) and derives the static operation-independence matrix that drives
+``explore --reduce static`` (ARCHITECTURE section 15), plus the VY007
+(inconsistent-lockset) and VY008 (effect-summary-incomplete) rules.
+
 See ARCHITECTURE.md section 9 for the rule catalog, the CFG construction
 and the static/dynamic boundary.
 """
 
 from .analyzer import (
     LintError,
+    audit_suppressions,
+    collect_suppressions,
     lint_class,
     lint_class_source,
     lint_program,
     lint_registry,
+)
+from .effects import (
+    Access,
+    ClassEffects,
+    EffectSummary,
+    PairVerdict,
+    analyze_class,
+    analyze_class_source,
+    analyze_program,
+    classify_pair,
 )
 from .model import (
     ALL_RULE_IDS,
@@ -29,12 +47,22 @@ from .model import (
 
 __all__ = [
     "ALL_RULE_IDS",
+    "Access",
+    "ClassEffects",
     "ERROR",
+    "EffectSummary",
     "LintError",
     "LintFinding",
+    "PairVerdict",
     "RULES",
     "Rule",
     "WARN",
+    "analyze_class",
+    "analyze_class_source",
+    "analyze_program",
+    "audit_suppressions",
+    "classify_pair",
+    "collect_suppressions",
     "lint_class",
     "lint_class_source",
     "lint_program",

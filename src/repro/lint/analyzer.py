@@ -93,6 +93,60 @@ def _suppression_table(
     return table
 
 
+def collect_suppressions(
+    source: str, *, filename: str = "<lint>", first_line: int = 1
+) -> List[dict]:
+    """Audit the active ``# vyrd: ignore[...]`` pragmas in ``source``.
+
+    One dict per pragma: where it is, which rules it silences (``["*"]``
+    for a bare ignore), which line it targets, and whether a trailing
+    reason is present -- so CI can track suppression growth."""
+    audit: List[dict] = []
+    lines = source.splitlines()
+    for offset, line in enumerate(lines):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        target = offset
+        if line.strip().startswith("#"):
+            target = next(
+                (
+                    j
+                    for j in range(offset + 1, len(lines))
+                    if lines[j].strip() and not lines[j].strip().startswith("#")
+                ),
+                offset,
+            )
+        audit.append({
+            "file": filename,
+            "line": first_line + offset,
+            "target_line": first_line + target,
+            "rules": (
+                ["*"] if rules is None
+                else sorted(
+                    rule.strip().upper()
+                    for rule in rules.split(",") if rule.strip()
+                )
+            ),
+            "has_reason": bool(line[match.end():].strip(" \t-:#")),
+        })
+    return audit
+
+
+def audit_suppressions(name: str) -> List[dict]:
+    """Audit the pragmas of one registry program's implementation class."""
+    from ..harness.workload import PROGRAMS  # late import
+
+    built = PROGRAMS[name].build(False, 1)
+    cls = type(built.impl)
+    lines, first_line = inspect.getsourcelines(cls)
+    filename = inspect.getsourcefile(cls) or "<unknown>"
+    return collect_suppressions(
+        "".join(lines), filename=filename, first_line=first_line
+    )
+
+
 def _suppressed(
     finding: LintFinding, table: Dict[int, Optional[FrozenSet[str]]]
 ) -> bool:
@@ -193,6 +247,16 @@ def lint_class_source(
         analysis = MethodAnalysis(fn, role, filename, line_offset, summaries)
         for rule_pass in passes:
             findings.extend(rule_pass(analysis))
+    from .effects import effect_findings  # late import: effects uses rules
+
+    findings.extend(effect_findings(
+        source,
+        filename=filename,
+        first_line=first_line,
+        classname=classdef.name,
+        operations=operations,
+        observers=observers,
+    ))
     table = _suppression_table(source, first_line)
     findings = [f for f in findings if not _suppressed(f, table)]
     findings.sort(key=lambda f: (f.file, f.line, f.rule_id))

@@ -77,6 +77,24 @@ RULES = {
         "a method declared observer contains a commit point; observers "
         "must not log commit actions (paper section 4.3)",
     ),
+    "VY007": Rule(
+        "VY007",
+        WARN,
+        "inconsistent-lockset",
+        "a shared field is accessed under lock sets that never intersect "
+        "the locks every write holds (a static Eraser over the effect "
+        "summaries); declare intentionally lock-free fields in "
+        "VYRD_ATOMIC_FIELDS",
+    ),
+    "VY008": Rule(
+        "VY008",
+        WARN,
+        "effect-summary-incomplete",
+        "the effect analyzer cannot bound an operation's shared-state "
+        "footprint (unresolvable syscall target, unknown delegation, or "
+        "hidden mutation outside traced cells); the independence matrix "
+        "must treat the operation as conflicting with everything",
+    ),
 }
 
 ALL_RULE_IDS = tuple(sorted(RULES))

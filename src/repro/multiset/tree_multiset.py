@@ -63,7 +63,10 @@ class TreeMultiset:
         self.root = SharedCell("ms.root", None)
         self.root_lock = Lock("ms.rootlock")
         self._nodes: Dict[int, _Node] = {}
-        self._ids = itertools.count(0)
+        # per-thread id counters: node ids depend only on the allocating
+        # thread's own history, never on the interleaving (schedule-
+        # confluent allocation; cell names stable across equivalent runs)
+        self._ids: Dict[int, int] = {}
 
     # -- node management ------------------------------------------------------
 
@@ -73,7 +76,11 @@ class TreeMultiset:
         The writes are logged but the node is unreachable until linked, so
         the view is unaffected until the link commit.
         """
-        node = _Node(next(self._ids), key)
+        seq = self._ids.get(ctx.tid, 0)
+        # vyrd: ignore[VY005] -- per-thread allocator counter; checker-
+        # invisible, and schedule-confluent by construction
+        self._ids[ctx.tid] = seq + 1
+        node = _Node((ctx.tid + 1) * 1_000_000 + seq, key)
         # vyrd: ignore[VY005] -- allocator table; the node is unreachable
         # from any traced cell until the link write commits
         self._nodes[node.nid] = node
@@ -116,6 +123,9 @@ class TreeMultiset:
                     yield node.lock.release()
                     yield ctx.checkpoint()
                     fresh = yield from self._new_node(ctx, x)
+                    # vyrd: ignore[VY007] -- the seeded Table-1 bug VY007
+                    # exists to catch: an unlocked link write racing the
+                    # locked one on line below; kept for the harness
                     yield child_cell.write(fresh.nid, commit=True)
                     return SUCCESS
                 fresh = yield from self._new_node(ctx, x)
@@ -272,6 +282,11 @@ class TreeMultiset:
         "delete": "mutator",
         "lookup": "observer",
     }
+
+    # _new_node allocates from per-thread id counters (see __init__) and
+    # only touches cells that are unreachable until the link write, so its
+    # hidden writes commute with every step of other threads.
+    VYRD_CONFLUENT_HELPERS = ("_new_node",)
 
 
 def tree_multiset_view() -> FunctionView:

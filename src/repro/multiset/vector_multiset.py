@@ -100,6 +100,8 @@ class VectorMultiset:
         # concurrent one.
         for i in range(self.size):
             slot = self.slots[i]
+            # vyrd: ignore[VY007] -- the seeded Fig. 5 bug VY007 exists to
+            # catch: an unlocked emptiness check; kept for the harness
             elt = yield slot.elt.read()  # A[i] should be locked here
             if elt is None:
                 yield slot.lock.acquire()

@@ -81,7 +81,7 @@ class ScanFS:
             yield self.dir_lock.release()
             return False
         yield self.used[block_no].write(True)
-        yield from self.cache.write_block(ctx, block_no, self._encode(()))
+        yield from self.cache.write_block(ctx, block_no, self._encode(()))  # vyrd: ignore[VY008] -- effects live in the shared BlockCache; the matrix already treats fs ops as mutually dependent
         yield self._dir_cell(name).write(block_no, commit=True)
         yield self.dir_lock.release()
         return True
@@ -96,7 +96,7 @@ class ScanFS:
             yield ctx.commit()
             yield self.dir_lock.release()
             return False
-        yield from self.cache.write_block(ctx, ino, self._encode(content), commit=True)
+        yield from self.cache.write_block(ctx, ino, self._encode(content), commit=True)  # vyrd: ignore[VY008] -- effects live in the shared BlockCache; the matrix already treats fs ops as mutually dependent
         yield self.dir_lock.release()
         return True
 
@@ -108,7 +108,7 @@ class ScanFS:
         if ino is None:
             yield self.dir_lock.release()
             return None
-        block = yield from self.cache.read_block(ctx, ino)
+        block = yield from self.cache.read_block(ctx, ino)  # vyrd: ignore[VY008] -- effects live in the shared BlockCache; the matrix already treats fs ops as mutually dependent
         yield self.dir_lock.release()
         return self.decode(block)
 
@@ -124,7 +124,7 @@ class ScanFS:
         # Unpublish first (the commit action), then reclaim the block: the
         # block must already be invisible when its cache state changes.
         yield self._dir_cell(name).write(None, commit=True)
-        yield from self.cache.invalidate(ctx, ino)
+        yield from self.cache.invalidate(ctx, ino)  # vyrd: ignore[VY008] -- effects live in the shared BlockCache; the matrix already treats fs ops as mutually dependent
         yield self.used[ino].write(False)
         yield self.dir_lock.release()
         return True
@@ -152,6 +152,11 @@ class ScanFS:
         "read_file": "observer",
         "delete": "mutator",
     }
+
+    # _dir_cell memo-creates the name-keyed directory cell with a name
+    # derived only from its argument, so the hidden _dir_cells write
+    # commutes with steps of other threads.
+    VYRD_CONFLUENT_HELPERS = ("_dir_cell",)
 
 
 def scanfs_view(num_blocks: int = 16, block_size: int = 8) -> FunctionView:

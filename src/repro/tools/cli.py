@@ -9,10 +9,14 @@ programs:
 
    $ python -m repro.tools.cli programs
    $ python -m repro.tools.cli lint --json --fail-on error
+   $ python -m repro.tools.cli analyze blinktree --matrix
    $ python -m repro.tools.cli run --program multiset-vector --buggy \\
          --seed 7 --races --save run.vyrdlog
    $ python -m repro.tools.cli explore --program multiset-vector --buggy \\
          --mode swarm --jobs 4 --seeds 500 --json
+   $ python -m repro.tools.cli explore --program blinktree \\
+         --mode exhaustive --reduce static --no-daemons --threads 3 \\
+         --calls 1 --workload-seed 7 --max-runs 40000
    $ python -m repro.tools.cli check run.vyrdlog --program multiset-vector \\
          --mode view
    $ python -m repro.tools.cli check torn.vyrdlog --program multiset-vector \\
@@ -36,9 +40,14 @@ single-process rerun); ``verify-chain`` walks the tamper-evident hash
 chain of saved shard files -- or a whole session directory against its
 manifest's recorded head digests -- and pinpoints the first bad byte;
 ``lint`` statically checks every registry implementation's
-instrumentation annotations (:mod:`repro.lint`) before anything runs;
-``explore`` runs a whole campaign -- seeded random schedules (swarm) or
-bounded exhaustive enumeration -- optionally fanned out across worker
+instrumentation annotations (:mod:`repro.lint`) before anything runs and
+audits the ``# vyrd: ignore[...]`` suppression pragmas;
+``analyze`` prints the static effect summaries and pairwise independence
+matrix (:mod:`repro.lint.effects`) that ``explore --reduce static``
+consumes; ``explore`` runs a whole campaign -- seeded random schedules
+(swarm) or bounded exhaustive enumeration, optionally pruned by
+sleep-set reduction over the static matrix (``--reduce static``) --
+optionally fanned out across worker
 processes (:mod:`repro.concurrency.parallel`); ``check`` rebuilds the
 program's spec/view/invariants from the registry and
 replays the saved log offline (``--recover`` salvages damaged logs first);
@@ -151,6 +160,19 @@ def _build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument("--json", action="store_true",
                              help="emit the findings as JSON")
 
+    analyze_parser = sub.add_parser(
+        "analyze",
+        help="statically compute per-operation effect summaries and the "
+             "pairwise independence matrix that drives --reduce static",
+    )
+    analyze_parser.add_argument("program", choices=sorted(PROGRAMS))
+    analyze_parser.add_argument("--matrix", action="store_true",
+                                help="also print the pairwise "
+                                     "independence matrix")
+    analyze_parser.add_argument("--json", action="store_true",
+                                help="emit the full analysis (summaries, "
+                                     "matrix, incomplete operations) as JSON")
+
     run_parser = sub.add_parser("run", help="run a workload and check it")
     run_parser.add_argument("--program", required=True, choices=sorted(PROGRAMS))
     run_parser.add_argument("--buggy", action="store_true",
@@ -215,6 +237,20 @@ def _build_parser() -> argparse.ArgumentParser:
     explore_parser.add_argument("--stop-on-failure", action="store_true",
                                 help="end the campaign at the first failing "
                                      "schedule (skipped runs are reported)")
+    explore_parser.add_argument("--reduce", choices=("static",),
+                                help="exhaustive: prune schedules that only "
+                                     "permute statically independent "
+                                     "operations (sleep sets over the "
+                                     "`vyrd analyze` matrix); pruned "
+                                     "schedules are counted as skipped")
+    explore_parser.add_argument("--no-daemons", action="store_true",
+                                help="do not spawn the program's background "
+                                     "daemons (always-runnable daemons make "
+                                     "the exhaustive schedule tree infinite)")
+    explore_parser.add_argument("--fingerprint", action="store_true",
+                                help="report each run's outcome as a "
+                                     "canonical happens-before fingerprint "
+                                     "of its log (records lock/read events)")
     _add_obs_arguments(explore_parser)
     explore_parser.add_argument("--json", action="store_true",
                                 help="emit the campaign summary as JSON")
@@ -425,8 +461,48 @@ def _cmd_programs(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    from ..lint.effects import analyze_program
+
+    effects = analyze_program(args.program)
+    if args.json:
+        print(json.dumps(effects.to_dict(), indent=2))
+        return 0
+    print(f"{args.program}: class {effects.class_name} ({effects.file})")
+    incomplete = effects.incomplete_operations()
+    for op in effects.operations:
+        summary = effects.summaries[op]
+        print(f"  {op} ({summary.role})"
+              + ("  [INCOMPLETE]" if op in incomplete else ""))
+        footprint = [
+            ("reads", sorted(".".join(p) for p in summary.reads)),
+            ("writes", sorted(".".join(p) for p in summary.writes)),
+            ("hidden writes",
+             sorted(".".join(p) for p in summary.hidden_writes)),
+            ("locks", summary.to_dict()["locks"]),
+            ("commits", sorted(summary.commit_kinds)),
+        ]
+        for label, items in footprint:
+            if items:
+                print(f"    {label}: {', '.join(items)}")
+        for line, reason in summary.reasons:
+            print(f"    incomplete at line {line}: {reason}")
+    if args.matrix:
+        print("  independence matrix:")
+        width = max((len(a) + len(b) for a, b in effects.matrix), default=0)
+        for (a, b), verdict in sorted(effects.matrix.items()):
+            pair = f"{a} x {b}".ljust(width + 3)
+            print(f"    {pair}  {verdict.verdict}  ({verdict.reason})")
+    return 0
+
+
 def _cmd_lint(args) -> int:
-    from ..lint import ALL_RULE_IDS, lint_program, severity_at_least
+    from ..lint import (
+        ALL_RULE_IDS,
+        audit_suppressions,
+        lint_program,
+        severity_at_least,
+    )
 
     names = args.program if args.program else sorted(PROGRAMS)
     rules = None
@@ -453,6 +529,17 @@ def _cmd_lint(args) -> int:
         if severity_at_least(finding.severity, args.fail_on)
     ]
     total = sum(len(findings) for findings in reports.values())
+    # Audit the `# vyrd: ignore[...]` pragmas alongside the findings: a
+    # suppression hides a diagnostic forever, so the report should say
+    # where each one lives and whether it carries a justification.
+    suppressions = {name: audit_suppressions(name) for name in names}
+    suppressed = sum(len(entries) for entries in suppressions.values())
+    unjustified = sum(
+        1
+        for entries in suppressions.values()
+        for entry in entries
+        if not entry["has_reason"]
+    )
     if args.json:
         print(json.dumps({
             "ok": not gating,
@@ -463,6 +550,11 @@ def _cmd_lint(args) -> int:
             },
             "findings": total,
             "gating_findings": len(gating),
+            "suppressions": {
+                "total": suppressed,
+                "without_reason": unjustified,
+                "programs": suppressions,
+            },
         }, indent=2))
         return 2 if gating else 0
     for name in names:
@@ -473,6 +565,18 @@ def _cmd_lint(args) -> int:
         print(f"{name}: {len(findings)} finding(s)")
         for finding in findings:
             print(f"  {finding.render()}")
+    if suppressed:
+        print(
+            f"suppressions: {suppressed} pragma(s) across "
+            f"{sum(1 for e in suppressions.values() if e)} program(s), "
+            f"{unjustified} without a reason"
+        )
+        for name, entries in sorted(suppressions.items()):
+            for entry in entries:
+                rules = ",".join(entry["rules"])
+                reason = "" if entry["has_reason"] else "  (no reason)"
+                print(f"  {name}: {entry['file']}:{entry['line']} "
+                      f"ignore[{rules}]{reason}")
     if gating:
         print(
             f"lint failed: {len(gating)} finding(s) at or above "
@@ -611,6 +715,9 @@ def _cmd_explore(args) -> int:
             calls_per_thread=args.calls,
             workload_seed=args.workload_seed,
             metrics=recorder is not None,
+            reduce=args.reduce,
+            daemons=not args.no_daemons,
+            fingerprint=args.fingerprint,
         )
     elapsed = time.perf_counter() - start
     if recorder is not None:
@@ -619,6 +726,7 @@ def _cmd_explore(args) -> int:
     payload.update({
         "program": args.program,
         "mode": args.mode,
+        "reduce": args.reduce,
         "jobs": args.jobs,
         "seconds": round(elapsed, 3),
         "runs_per_sec": (
@@ -641,7 +749,16 @@ def _cmd_explore(args) -> int:
             f"{result.num_runs} runs in {elapsed:.2f}s "
             f"[{payload['runs_per_sec']} runs/s]{coverage}"
         )
-        if result.skipped:
+        if result.pruned:
+            # pruned counts cut *branches*; each one roots a whole
+            # unexplored subtree, so the true reduction factor (measured
+            # by benchmarks/bench_schedule_reduction.py) is much larger.
+            print(
+                f"static reduction cut {result.pruned} schedule branch(es) "
+                f"({result.num_runs} of {result.requested} discovered "
+                f"schedules run)"
+            )
+        elif result.skipped:
             print(
                 f"campaign stopped early: {result.skipped} of "
                 f"{result.requested} requested runs skipped"
@@ -1171,6 +1288,7 @@ def _cmd_witness(args) -> int:
 _COMMANDS = {
     "programs": _cmd_programs,
     "lint": _cmd_lint,
+    "analyze": _cmd_analyze,
     "run": _cmd_run,
     "explore": _cmd_explore,
     "check": _cmd_check,

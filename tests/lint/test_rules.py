@@ -28,7 +28,9 @@ class Thing:
 
     @operation
     def get(self, ctx):
+        yield self.cell.lock.acquire()
         value = yield self.cell.read()
+        yield self.cell.lock.release()
         return value
 
     VYRD_METHODS = {"put": "mutator", "get": "observer"}
@@ -313,7 +315,9 @@ def test_vy005_subscript_write_on_self():
             yield self.cell.write(x, commit=True)
             return True
     """)
-    assert [f.rule_id for f in findings] == ["VY005"]
+    # the untracked write is both unlogged (VY005) and makes the effect
+    # footprint unboundable (VY008)
+    assert sorted(f.rule_id for f in findings) == ["VY005", "VY008"]
 
 
 def test_vy005_local_container_write_is_fine():
@@ -369,7 +373,7 @@ def test_inline_suppression_silences_the_rule():
     class Thing:
         @operation
         def put(self, ctx, x):
-            self.table[x] = x  # vyrd: ignore[VY005] -- checker-invisible
+            self.table[x] = x  # vyrd: ignore[VY005, VY008] -- checker-invisible
             yield self.cell.write(x, commit=True)
             return True
     """)
@@ -381,7 +385,7 @@ def test_standalone_comment_suppresses_next_line():
     class Thing:
         @operation
         def put(self, ctx, x):
-            # vyrd: ignore[VY005] -- allocator bookkeeping, see DESIGN.md
+            # vyrd: ignore[VY005, VY008] -- allocator bookkeeping, see DESIGN.md
             self.table[x] = x
             yield self.cell.write(x, commit=True)
             return True
@@ -410,7 +414,7 @@ def test_suppression_for_a_different_rule_does_not_apply():
             yield self.cell.write(x, commit=True)
             return True
     """)
-    assert [f.rule_id for f in findings] == ["VY005"]
+    assert sorted(f.rule_id for f in findings) == ["VY005", "VY008"]
 
 
 # -- model plumbing ----------------------------------------------------------

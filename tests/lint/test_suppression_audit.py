@@ -1,0 +1,81 @@
+"""The ``# vyrd: ignore[...]`` suppression audit.
+
+A pragma hides a diagnostic forever, so :func:`collect_suppressions` turns
+every active one into an auditable record (file, lines, rules, whether a
+justification follows) and :func:`audit_suppressions` does it per registry
+program -- the CLI's ``lint --json`` payload surfaces both so CI can track
+suppression growth.
+"""
+
+import textwrap
+
+from repro.lint import audit_suppressions, collect_suppressions
+
+SOURCE = textwrap.dedent("""
+    class Thing:
+        def one(self):
+            self.a = 1  # vyrd: ignore[VY005] -- rebuilt under the lock
+            self.b = 2  # vyrd: ignore[vy005, VY007]
+            # vyrd: ignore[VY001]
+            self.c = 3
+            self.d = 4  # vyrd: ignore
+""").strip("\n")
+
+
+def test_collect_suppressions_schema_and_targets():
+    audit = collect_suppressions(SOURCE, filename="thing.py", first_line=10)
+    assert [sorted(entry) for entry in audit] == [
+        ["file", "has_reason", "line", "rules", "target_line"]
+    ] * 4
+    by_line = {entry["line"]: entry for entry in audit}
+    assert set(by_line) == {12, 13, 14, 16}
+    assert all(entry["file"] == "thing.py" for entry in audit)
+
+    inline = by_line[12]
+    assert inline["target_line"] == 12
+    assert inline["rules"] == ["VY005"]
+    assert inline["has_reason"]  # "-- rebuilt under the lock"
+
+    multi = by_line[13]
+    assert multi["rules"] == ["VY005", "VY007"]  # normalized + sorted
+    assert not multi["has_reason"]
+
+    standalone = by_line[14]
+    assert standalone["target_line"] == 15  # next non-comment line
+    assert standalone["rules"] == ["VY001"]
+
+    bare = by_line[16]
+    assert bare["rules"] == ["*"]
+    assert not bare["has_reason"]
+
+
+def test_audit_suppressions_points_into_real_sources():
+    audit = audit_suppressions("multiset-vector")
+    assert audit, "the vector multiset carries a documented VY007 pragma"
+    for entry in audit:
+        assert entry["file"].endswith("vector_multiset.py")
+        assert entry["line"] <= entry["target_line"]
+        assert entry["rules"] and all(
+            rule == "*" or rule.startswith("VY") for rule in entry["rules"]
+        )
+
+
+def test_lint_json_payload_carries_the_audit(capsys):
+    import json
+
+    from repro.tools.cli import main
+
+    assert main(["lint", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    block = payload["suppressions"]
+    assert set(block) == {"total", "without_reason", "programs"}
+    assert block["total"] == sum(
+        len(entries) for entries in block["programs"].values()
+    )
+    assert block["without_reason"] <= block["total"]
+    flat = [e for entries in block["programs"].values() for e in entries]
+    assert block["total"] == len(flat) > 0
+    assert all(
+        set(e) == {"file", "line", "target_line", "rules", "has_reason"}
+        for e in flat
+    )

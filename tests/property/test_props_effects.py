@@ -1,0 +1,60 @@
+"""Soundness of the static independence matrix against the dynamic HB engine.
+
+The schedule reducer treats a statically ``independent`` operation pair as
+licensed for reordering, so the static matrix must over-approximate every
+dynamic conflict: if the happens-before race detector ever reports two
+accesses from operations ``a`` and ``b``, the matrix must not call
+``(a, b)`` independent (``conditional`` is fine -- it defers to the
+per-step descriptors, which conflict exactly when the race does).
+
+Swept over *every* registry program, correct and buggy, across seeds."""
+
+import pytest
+
+from repro.core.actions import CallAction
+from repro.harness import run_program
+from repro.harness.workload import PROGRAMS
+from repro.lint.effects import analyze_program
+
+SEEDS = range(4)
+
+
+def _operation_of(log, site, operations):
+    """Map a race's access site to its enclosing @operation, if any."""
+    if site.op_id is None:
+        return None
+    for action in log:
+        if (
+            isinstance(action, CallAction)
+            and action.tid == site.tid
+            and action.op_id == site.op_id
+        ):
+            return action.method if action.method in operations else None
+    return None
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+@pytest.mark.parametrize("buggy", [False, True])
+def test_static_matrix_covers_dynamic_hb_conflicts(name, buggy):
+    effects = analyze_program(name)
+    operations = set(effects.operations)
+    for seed in SEEDS:
+        result = run_program(
+            name, buggy=buggy, num_threads=3, calls_per_thread=4,
+            seed=seed, races="hb",
+        )
+        outcome = result.race_outcome
+        assert outcome is not None
+        for race in outcome.races:
+            op_a = _operation_of(result.log, race.prior, operations)
+            op_b = _operation_of(result.log, race.access, operations)
+            if op_a is None or op_b is None:
+                # daemon / glue access: statically opaque, never reduced
+                continue
+            verdict = effects.verdict(op_a, op_b)
+            assert verdict != "independent", (
+                f"{name} (buggy={buggy}, seed={seed}): dynamic "
+                f"{race.kind} conflict on {race.loc!r} between "
+                f"{op_a} and {op_b}, but the static matrix calls the "
+                f"pair independent -- reduction would be unsound: {race}"
+            )

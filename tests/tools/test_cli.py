@@ -319,6 +319,86 @@ def test_explore_exhaustive_budget_human_output(capsys):
     assert "3 runs" in out
 
 
+def test_explore_reduce_static_json_accounting(capsys):
+    import json
+
+    common = [
+        "explore", "--program", "blinktree", "--mode", "exhaustive",
+        "--no-daemons", "--threads", "2", "--calls", "1",
+        "--workload-seed", "7", "--max-runs", "2000", "--fingerprint",
+        "--json",
+    ]
+    assert main(common) == 0
+    base = json.loads(capsys.readouterr().out)
+    assert main(common + ["--reduce", "static"]) == 0
+    red = json.loads(capsys.readouterr().out)
+    assert base["exhausted"] and red["exhausted"]
+    assert red["reduce"] == "static" and base["reduce"] is None
+    assert red["num_runs"] < base["num_runs"]
+    assert red["pruned"] > 0 and red["skipped"] == red["pruned"]
+    assert red["requested"] == red["num_runs"] + red["skipped"]
+    # identical coverage: same distinct HB fingerprints
+    assert set(red["outcomes"]) == set(base["outcomes"])
+
+
+def test_explore_reduce_static_human_output(capsys):
+    code = main([
+        "explore", "--program", "blinktree", "--mode", "exhaustive",
+        "--reduce", "static", "--no-daemons", "--threads", "2",
+        "--calls", "1", "--workload-seed", "7", "--max-runs", "2000",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "static reduction cut" in out
+    assert "schedule space exhausted" in out
+
+
+def test_explore_reduce_requires_exhaustive_mode():
+    with pytest.raises(ValueError):
+        main([
+            "explore", "--program", "blinktree", "--mode", "swarm",
+            "--reduce", "static", "--seeds", "2",
+        ])
+
+
+# -- the analyze subcommand --------------------------------------------------
+
+
+def test_analyze_human_output_and_matrix(capsys):
+    assert main(["analyze", "blinktree"]) == 0
+    out = capsys.readouterr().out
+    assert "class BLinkTree" in out
+    assert "lookup (observer)" in out
+    assert "independence matrix" not in out
+
+    assert main(["analyze", "blinktree", "--matrix"]) == 0
+    out = capsys.readouterr().out
+    assert "lookup x lookup  independent" in out
+    assert "insert x lookup  dependent" in out
+
+
+def test_analyze_json_schema(capsys):
+    import json
+
+    assert main(["analyze", "multiset-vector", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["class"] == "VectorMultiset"
+    assert set(payload["operations"]) == {
+        "insert", "insert_pair", "delete", "lookup",
+    }
+    for cell in payload["matrix"].values():
+        assert cell["verdict"] in ("independent", "conditional", "dependent")
+        assert cell["reason"]
+    assert payload["incomplete_operations"] == []
+
+
+def test_analyze_flags_incomplete_operations(capsys):
+    assert main(["analyze", "scanfs"]) == 0
+    out = capsys.readouterr().out
+    assert "[INCOMPLETE]" in out
+    assert "incomplete at line" in out
+
+
 # -- the lint subcommand and the run --lint pre-flight -----------------------
 
 
