@@ -1,0 +1,234 @@
+"""Linearizability search cost vs. history length, with a memoization ablation.
+
+Two row families, both checked by :class:`repro.linz.LinzChecker` with
+memoization on and off:
+
+* **registry** -- live registry workloads at increasing history lengths.
+  These runs are linearizable, so the search succeeds quickly either way;
+  the series shows how the cost of *finding* a witness scales with history
+  length (nodes visited, spec clones, wall seconds).
+* **adversarial** -- synthetic non-linearizable histories built from ``R``
+  sequential rounds of ``W`` fully-overlapping commutative inserts followed
+  by an unsatisfiable observer (``lookup`` of a never-inserted key returning
+  ``True``).  Every linearization order fails only at the very end, so the
+  unmemoized search explores ~``(W!)**R`` orderings while the memoized
+  search collapses each round's orders into its ~``2**W`` reachable
+  multiset states.  The gate requires memoization to cut nodes visited on
+  the **longest** adversarial history by >= ``MIN_MEMO_RATIO``x.
+
+Writes a machine-readable ``BENCH_linz.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_linz.py
+    PYTHONPATH=src python benchmarks/bench_linz.py --smoke  # CI subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro.core.actions import CallAction, ReturnAction
+from repro.core.log import Log
+from repro.harness import run_program
+from repro.linz import LinzChecker, linz_config
+from repro.multiset.spec import SUCCESS
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_linz.json")
+
+MIN_MEMO_RATIO = 5.0
+
+# (program, threads, calls_per_thread, seed, in_smoke)
+REGISTRY_CASES = [
+    ("java-vector", 3, 4, 1, True),
+    ("java-vector", 3, 8, 1, False),
+    ("java-vector", 3, 12, 1, True),
+    ("stringbuffer", 3, 8, 1, False),
+    ("stringbuffer", 3, 12, 1, True),
+    ("multiset-vector", 3, 8, 1, False),
+    ("multiset-vector", 3, 12, 1, False),
+]
+
+# (overlap_width W, rounds R, in_smoke); ordered by history length so the
+# last row is the gate's "longest history".
+ADVERSARIAL_CASES = [
+    (4, 1, True),
+    (5, 1, False),
+    (6, 1, False),
+    (5, 2, True),
+]
+
+
+def adversarial_log(width: int, rounds: int) -> Log:
+    """``rounds`` sequential rounds of ``width`` overlapping inserts, then
+    an unsatisfiable ``lookup`` -- non-linearizable by construction."""
+    log = Log()
+    op_id = 0
+    for r in range(rounds):
+        ops = []
+        for j in range(width):
+            key = r * 1_000 + j  # distinct keys: inserts commute
+            log.append(CallAction(tid=j, op_id=op_id, method="insert",
+                                  args=(key,)))
+            ops.append(op_id)
+            op_id += 1
+        for oid in ops:
+            log.append(ReturnAction(tid=oid % width, op_id=oid,
+                                    method="insert", result=SUCCESS))
+    # a key no round ever inserted: no linearization point can explain True
+    log.append(CallAction(tid=width, op_id=op_id, method="lookup",
+                          args=(999_999,)))
+    log.append(ReturnAction(tid=width, op_id=op_id, method="lookup",
+                            result=True))
+    return log
+
+
+def check_both_ways(log, spec_factory, *, max_nodes):
+    """Run the search memo-on and memo-off; return the two result dicts."""
+    out = {}
+    for memo in (True, False):
+        checker = LinzChecker(spec_factory, memo=memo, max_nodes=max_nodes)
+        start = time.perf_counter()
+        outcome = checker.check(log)
+        seconds = time.perf_counter() - start
+        out[memo] = {
+            "ok": outcome.ok,
+            "nodes": outcome.stats["nodes"],
+            "spec_clones": outcome.stats["spec_clones"],
+            "memo_hits": outcome.stats["memo_hits"],
+            "memo_entries": outcome.stats["memo_entries"],
+            "max_depth": outcome.stats["max_depth"],
+            "max_pending": outcome.stats["max_pending"],
+            "seconds": round(seconds, 4),
+        }
+    return out
+
+
+def registry_row(program, threads, calls, seed, *, max_nodes):
+    result = run_program(program, num_threads=threads,
+                         calls_per_thread=calls, seed=seed)
+    spec_factory = linz_config(program).linz_spec_factory
+    both = check_both_ways(result.log, spec_factory, max_nodes=max_nodes)
+    return {
+        "family": "registry",
+        "program": program,
+        "threads": threads,
+        "calls_per_thread": calls,
+        "seed": seed,
+        "operations": threads * calls,
+        "memo_on": both[True],
+        "memo_off": both[False],
+        "verdicts_agree": both[True]["ok"] == both[False]["ok"],
+        "linearizable": both[True]["ok"],
+    }
+
+
+def adversarial_row(width, rounds, *, max_nodes):
+    log = adversarial_log(width, rounds)
+    spec_factory = linz_config("multiset-vector").linz_spec_factory
+    both = check_both_ways(log, spec_factory, max_nodes=max_nodes)
+    ratio = both[False]["nodes"] / max(1, both[True]["nodes"])
+    return {
+        "family": "adversarial",
+        "overlap_width": width,
+        "rounds": rounds,
+        "operations": width * rounds + 1,
+        "memo_on": both[True],
+        "memo_off": both[False],
+        "verdicts_agree": both[True]["ok"] == both[False]["ok"],
+        "linearizable": both[True]["ok"],
+        "memo_ratio": round(ratio, 1),
+    }
+
+
+def render(report: dict) -> str:
+    lines = [
+        "linearizability search: cost vs history length, memoization ablation "
+        f"(gate: >= {MIN_MEMO_RATIO:.0f}x fewer nodes on the longest "
+        "adversarial history)",
+        f"{'case':<34} {'ops':>4} {'ok':>5} {'on':>8} {'off':>9} "
+        f"{'ratio':>7} {'s(on)':>7} {'s(off)':>7}",
+    ]
+    for row in report["rows"]:
+        if row["family"] == "registry":
+            case = (f"{row['program']} t={row['threads']} "
+                    f"c={row['calls_per_thread']}")
+            ratio = ""
+        else:
+            case = (f"adversarial W={row['overlap_width']} "
+                    f"R={row['rounds']}")
+            ratio = f"{row['memo_ratio']:.1f}x"
+        lines.append(
+            f"{case:<34} {row['operations']:>4} "
+            f"{str(row['linearizable']):>5} {row['memo_on']['nodes']:>8} "
+            f"{row['memo_off']['nodes']:>9} {ratio:>7} "
+            f"{row['memo_on']['seconds']:>7.3f} "
+            f"{row['memo_off']['seconds']:>7.3f}"
+        )
+    gate = report["gate"]
+    lines.append(
+        f"longest adversarial history: {gate['operations']} ops, "
+        f"memo ratio {gate['memo_ratio']:.1f}x "
+        f"(need >= {MIN_MEMO_RATIO:.0f}x) -> "
+        f"{'OK' if report['gate_ok'] else 'FAIL'}"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--max-nodes", type=int, default=2_000_000,
+                        help="per-search node budget")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI subset: fastest rows of each family")
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    rows = []
+    for program, threads, calls, seed, in_smoke in REGISTRY_CASES:
+        if args.smoke and not in_smoke:
+            continue
+        rows.append(registry_row(program, threads, calls, seed,
+                                 max_nodes=args.max_nodes))
+    adversarial = []
+    for width, rounds, in_smoke in ADVERSARIAL_CASES:
+        if args.smoke and not in_smoke:
+            continue
+        row = adversarial_row(width, rounds, max_nodes=args.max_nodes)
+        adversarial.append(row)
+        rows.append(row)
+
+    # The gate row: the longest adversarial history actually run.
+    gate = max(adversarial, key=lambda row: row["operations"])
+    report = {
+        "benchmark": "linz",
+        "min_memo_ratio": MIN_MEMO_RATIO,
+        "max_nodes": args.max_nodes,
+        "smoke": args.smoke,
+        "verdicts_agree": all(row["verdicts_agree"] for row in rows),
+        "gate": {
+            "overlap_width": gate["overlap_width"],
+            "rounds": gate["rounds"],
+            "operations": gate["operations"],
+            "memo_ratio": gate["memo_ratio"],
+        },
+        "gate_ok": (
+            gate["memo_ratio"] >= MIN_MEMO_RATIO
+            and all(row["verdicts_agree"] for row in rows)
+        ),
+        "rows": rows,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(render(report))
+    print(f"report written to {args.out}")
+    return 0 if report["gate_ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

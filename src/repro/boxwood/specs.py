@@ -50,6 +50,14 @@ class StoreSpec(Specification):
         if result is not None:
             raise SpecReject(f"reclaim_clean returns nothing, got {result!r}")
 
+    def candidate_results(self, method, args):
+        """Plausible returns for incomplete operations in recovered logs."""
+        if method == "write":
+            return (True,)
+        if method in ("flush", "evict", "reclaim_clean"):
+            return (None,)
+        return None
+
     @observer
     def read(self, handle):
         return self.store.get(handle)
@@ -98,6 +106,14 @@ class BLinkTreeSpec(Specification):
                 )
         else:
             raise SpecReject(f"delete must return a bool, got {result!r}")
+
+    def candidate_results(self, method, args):
+        """Plausible returns for incomplete operations in recovered logs."""
+        if method == "insert":
+            return (True,)
+        if method == "delete":
+            return (True, False)
+        return None
 
     @observer
     def lookup(self, key):

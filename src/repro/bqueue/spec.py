@@ -70,6 +70,21 @@ class QueueSpec(Specification):
         self.items.popleft()
         self._touch("queue")
 
+    def candidate_results(self, method, args):
+        """Plausible returns for incomplete operations in recovered logs;
+        the ``try_dequeue`` candidates are state-dependent (the current
+        front is the only item it could have taken)."""
+        if method == "enqueue":
+            return (None,)
+        if method == "dequeue":
+            return (self.items[0],) if self.items else ()
+        if method == "try_enqueue":
+            return (True, False)
+        if method == "try_dequeue":
+            front = (self.items[0],) if self.items else ()
+            return (EMPTY, *front)
+        return None
+
     @observer
     def size_of(self):
         return len(self.items)

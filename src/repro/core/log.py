@@ -172,6 +172,10 @@ LOG_MAGIC = b"VYRDLOG1"
 #: Magic prefix of the tamper-evident chained format (format version 2).
 LOG_MAGIC2 = b"VYRDLOG2"
 
+#: First byte of every pickle at protocol >= 2 (the PROTO opcode): the only
+#: byte a legacy concatenated-``pickle.dump`` stream can legally open with.
+_PICKLE_PROTO = b"\x80"
+
 #: Per-record frame header: little-endian payload length + CRC32 of payload.
 _FRAME_HEADER = struct.Struct("<II")
 
@@ -632,12 +636,38 @@ class LogReader:
                 )
                 error.__cause__ = exc
                 raise error
+            if not isinstance(action, Action):
+                raise LogFormatError(
+                    "decoded object is not a log action "
+                    f"({type(action).__name__})",
+                    offset, index,
+                )
             yield action, file.tell()
             index += 1
 
     def _legacy_records(self) -> Iterator[tuple]:
         file = self._file
         index = 0
+        start = file.tell()
+        head = file.read(1)
+        file.seek(start)
+        if head and head != _PICKLE_PROTO:
+            # Legacy streams are concatenated ``pickle.dump`` records
+            # (protocol >= 2), which always open with the PROTO opcode.
+            # Anything else here is a file whose real prologue -- e.g. a
+            # framed or chained magic -- was damaged into something the
+            # auto-detection no longer recognizes.  Without this check a
+            # bit-flipped magic can demote the file to legacy mode, where
+            # the corrupted bytes may still happen to unpickle (0x56 'V'
+            # is the UNICODE opcode) and resynchronize onto an embedded
+            # record, hallucinating a salvageable prefix that was never
+            # written.  Nothing after an unidentifiable prologue is
+            # trusted.
+            raise LogFormatError(
+                "unrecognized log prologue "
+                "(neither a log magic nor a pickle stream)",
+                start, 0,
+            )
         while True:
             offset = file.tell()
             try:
@@ -654,6 +684,15 @@ class LogReader:
                 )
                 error.__cause__ = exc
                 raise error
+            if not isinstance(action, Action):
+                # A corrupted prologue (e.g. a bit flip inside a VYRDLOG2
+                # magic) can demote a file to legacy mode, where arbitrary
+                # bytes may still unpickle -- only genuine actions count.
+                raise LogFormatError(
+                    "decoded object is not a log action "
+                    f"({type(action).__name__})",
+                    offset, index,
+                )
             yield action, file.tell()
             index += 1
 

@@ -79,6 +79,7 @@ class ViolationKind(Enum):
     VIEW = "view-refinement"           # viewI != viewS at a commit action
     INVARIANT = "invariant"            # a registered invariant failed
     INSTRUMENTATION = "instrumentation"  # missing/double commits, bad blocks
+    LINZ = "linearizability"           # no valid linearization exists (repro.linz)
 
 
 @dataclass

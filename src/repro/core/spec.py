@@ -36,10 +36,33 @@ to completion in isolation -- serves as the specification.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Callable, Dict, FrozenSet, Iterable, Optional
 
 MUTATOR = "mutator"
 OBSERVER = "observer"
+
+
+def _canon(value: Any) -> Any:
+    """Canonical, hashable image of a spec-state value.
+
+    Containers are rewritten structurally (dicts and Counters sorted by key
+    repr, sets sorted by element repr, sequences tupled) so two spec
+    instances in the same abstract state produce equal images regardless of
+    insertion order.  Raises ``TypeError`` for values it cannot canonicalize
+    -- the caller treats that as "no fingerprint" rather than guessing."""
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return value
+    if isinstance(value, dict):
+        return ("d",) + tuple(sorted(
+            ((repr(key), _canon(item)) for key, item in value.items()),
+            key=lambda pair: pair[0],
+        ))
+    if isinstance(value, (set, frozenset)):
+        return ("s",) + tuple(sorted(repr(item) for item in value))
+    if isinstance(value, (list, tuple, deque)):
+        return ("l",) + tuple(_canon(item) for item in value)
+    raise TypeError(f"cannot canonicalize {type(value).__name__} state")
 
 
 class _ViewAbsentType:
@@ -222,6 +245,43 @@ class Specification:
         """
         raise SpecError(f"{type(self).__name__} does not define a view")
 
+    def state_fingerprint(self) -> Optional[Any]:
+        """Hashable canonical digest of the current spec state.
+
+        Two instances in the same abstract state must produce equal
+        fingerprints; distinct states should (but need not) differ -- a
+        collision only costs memoization precision, never soundness, because
+        the linearizability search uses fingerprints to identify *revisited*
+        states, not to decide verdicts.  The default canonicalizes every
+        public attribute; bookkeeping attributes (``_dirty_view_keys`` etc.)
+        are excluded.  Returns ``None`` when the state does not canonicalize,
+        which disables memoization for searches over this spec.
+        """
+        try:
+            return _canon({
+                key: value for key, value in self.__dict__.items()
+                if not key.startswith("_")
+            })
+        except TypeError:
+            return None
+
+    def candidate_results(self, method: str, args: tuple) -> Optional[Iterable]:
+        """Plausible return values for an *incomplete* call of ``method``.
+
+        A recovered log prefix may end with a call whose return record was
+        lost.  If the operation is a mutator, whether it took effect -- and
+        with which result -- is unknowable from the log, so the
+        linearizability checker branches over every candidate result (plus
+        the implicit "never took effect" branch).  The checker invokes this
+        on the spec clone at the candidate linearization point, so the
+        answer may depend on the current state (e.g. a queue's
+        ``try_dequeue`` can only have returned the current front).
+
+        Return ``None`` (the default) to let the checker fall back to the
+        results observed for the same method elsewhere in the history.
+        """
+        return None
+
     def describe(self) -> str:
         """Short human-readable state description for violation reports."""
         return repr(self.__dict__)
@@ -311,6 +371,12 @@ class AtomizedSpec(Specification):
                 "atomized view refinement is unavailable"
             )
         return view_fn()
+
+    def state_fingerprint(self) -> Optional[Any]:
+        # The state lives inside an arbitrary implementation object; there is
+        # no reliable canonical image, so memoized searches degrade to plain
+        # depth-first enumeration.
+        return None
 
     def describe(self) -> str:
         return f"atomized({type(self._impl).__name__})"

@@ -73,6 +73,13 @@ class Vyrd:
         Location-name prefixes that are atomic by construction (volatile /
         internally synchronized storage); the race detectors treat their
         accesses as synchronization, not as candidate races.
+    linearizability:
+        Enable annotation-free linearizability checking for this session
+        (:mod:`repro.linz`).  ``True`` checks against ``spec_factory``;
+        a callable supplies a different spec factory for the
+        linearization search (e.g. a strict variant of a permissive
+        refinement spec).  Read the verdict with
+        :meth:`check_linearizability`.
     obs:
         Observability recorder (:mod:`repro.obs`); flows into the tracer and
         every checker this session creates.  Pass the same recorder to the
@@ -97,6 +104,7 @@ class Vyrd:
         log_reads: bool = False,
         races=None,
         atomic_locs: Iterable[str] = (),
+        linearizability=False,
         obs: Optional[Recorder] = None,
         log: Optional[Log] = None,
     ):
@@ -115,6 +123,12 @@ class Vyrd:
         else:
             self.races = None
         self.atomic_locs = tuple(atomic_locs)
+        if callable(linearizability):
+            self.linearizability = True
+            self.linz_spec_factory = linearizability
+        else:
+            self.linearizability = bool(linearizability)
+            self.linz_spec_factory = spec_factory
         needs_state = mode == VIEW_MODE or bool(self.invariants)
         level = log_level if log_level is not None else (
             VIEW_LEVEL if needs_state else IO_LEVEL
@@ -172,6 +186,29 @@ class Vyrd:
         checker = self.new_race_checker(stop_at_first=stop_at_first)
         checker.feed(self.log)
         return checker.finish()
+
+    def check_linearizability(
+        self,
+        spec_factory: Optional[Callable[[], Specification]] = None,
+        *,
+        memo: bool = True,
+        max_nodes: int = 2_000_000,
+    ):
+        """Search the (completed) log for a valid linearization.
+
+        Annotation-free: consumes only the call/return history, so it works
+        at every log level and needs no commit instrumentation.  Uses the
+        session's linearizability spec factory (``linearizability=`` at
+        construction, defaulting to ``spec_factory``) unless overridden.
+        Returns a :class:`repro.linz.LinzOutcome`.
+        """
+        from ..linz import LinzChecker
+
+        factory = spec_factory if spec_factory is not None else self.linz_spec_factory
+        checker = LinzChecker(
+            factory, memo=memo, max_nodes=max_nodes, obs=self.obs
+        )
+        return checker.check(self.log)
 
     def check_offline_with_mode(
         self, mode: str, stop_at_first: bool = True, view_at: str = "commit"

@@ -106,6 +106,8 @@ class FaultCampaignReport:
     brownout_ok: bool = True  # retry layer absorbs planned store faults
     catchup_checks: List[dict] = field(default_factory=list)
     catchup_ok: bool = True  # degraded catch-up reproduces the verdict
+    linz_checks: List[dict] = field(default_factory=list)
+    linz_ok: bool = True  # linz verdict stable under log recovery
 
     @property
     def overhead(self) -> Optional[float]:
@@ -132,6 +134,7 @@ class FaultCampaignReport:
             and self.producer_kill_ok
             and self.brownout_ok
             and self.catchup_ok
+            and self.linz_ok
             and self.tracer_log_identical is not False
         )
 
@@ -167,6 +170,8 @@ class FaultCampaignReport:
             "brownout_ok": self.brownout_ok,
             "catchup_checks": list(self.catchup_checks),
             "catchup_ok": self.catchup_ok,
+            "linz_checks": list(self.linz_checks),
+            "linz_ok": self.linz_ok,
         }
 
 
@@ -636,6 +641,58 @@ def _catchup_round(
     return checks, ok
 
 
+def _linz_recovery_round(program: str, plan: FaultPlan, pristine_run) -> tuple:
+    """Linearizability verdict stability under log recovery.
+
+    The annotation-free verdict (:mod:`repro.linz`) on a salvaged log
+    prefix must equal the verdict on the same pristine prefix: recovery
+    truncation may turn complete operations into incomplete ones, but it
+    must never fabricate or lose a linearizability violation relative to
+    checking the undamaged records up to the same point.
+    """
+    from ..linz import LinzChecker, linz_config
+
+    checks: List[dict] = []
+    ok = True
+    spec_factory = linz_config(program).linz_spec_factory
+    workdir = tempfile.mkdtemp(prefix="vyrd-linz-")
+    try:
+        pristine_path = os.path.join(workdir, "pristine.vlog")
+        save_log(pristine_run.log, pristine_path)
+        pristine = list(load_log(pristine_path))
+        for index, fault in enumerate(plan.log_faults):
+            if fault.kind == SPLICE_LOG:
+                continue  # undetectable on unchained framing (chain round)
+            victim = os.path.join(workdir, f"victim-{index}.vlog")
+            shutil.copyfile(pristine_path, victim)
+            applied = apply_log_faults(
+                victim, FaultPlan(seed=plan.seed, faults=(fault,))
+            )
+            recovered = recover_log(victim)
+            salvaged = list(recovered.log)
+            salvaged_verdict = LinzChecker(spec_factory).check(salvaged).to_dict()
+            prefix_verdict = LinzChecker(spec_factory).check(
+                pristine[: len(salvaged)]
+            ).to_dict()
+            entry = {
+                "fault": applied[0] if applied else {"kind": fault.kind},
+                "salvaged_records": len(salvaged),
+                "operations": salvaged_verdict["operations"],
+                "incomplete": salvaged_verdict["incomplete"],
+                "ok_verdict": salvaged_verdict["ok"],
+                "verdict_stable": (
+                    json.dumps(salvaged_verdict, sort_keys=True)
+                    == json.dumps(prefix_verdict, sort_keys=True)
+                ),
+            }
+            entry["ok"] = entry["verdict_stable"]
+            ok = ok and entry["ok"]
+            checks.append(entry)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return checks, ok
+
+
 def _latency_round(
     program: str,
     plan: FaultPlan,
@@ -741,6 +798,10 @@ def run_fault_campaign(
         )
     with obs.span("campaign.chain", cat="faults"):
         report.chain_checks, report.chain_ok = _chain_round(plan, pristine_run)
+    with obs.span("campaign.linz", cat="faults"):
+        report.linz_checks, report.linz_ok = _linz_recovery_round(
+            plan=plan, program=program, pristine_run=pristine_run
+        )
     with obs.span("campaign.latency", cat="faults"):
         report.tracer_log_identical = _latency_round(
             program, plan, workload_seed, num_threads, calls_per_thread,

@@ -53,6 +53,7 @@ class RunResult:
     race_outcome: Optional[object] = None  # RaceOutcome when races enabled
     lint_findings: tuple = ()  # LintFindings when the lint pre-flight ran
     obs: Optional[Recorder] = None  # the recorder run_program was given
+    linz_outcome: Optional[object] = None  # LinzOutcome when linearizability on
 
     @property
     def log(self):
@@ -75,6 +76,7 @@ def run_program(
     races=None,
     faults=None,
     lint: Optional[str] = None,
+    linearizability=False,
     obs: Optional[Recorder] = None,
     log=None,
     daemons: bool = True,
@@ -95,7 +97,10 @@ def run_program(
     instrumentation annotations *before* the run (:mod:`repro.lint`) and
     raises :class:`repro.lint.LintError` when any finding at or above that
     severity survives suppression; all findings land in
-    ``RunResult.lint_findings``.  ``obs`` (a
+    ``RunResult.lint_findings``.  ``linearizability`` (``True`` or a spec
+    factory) additionally runs the annotation-free linearization search
+    (:mod:`repro.linz`) over the completed log and fills
+    ``RunResult.linz_outcome``.  ``obs`` (a
     :class:`repro.obs.MetricsRecorder`) profiles the whole pipeline: it is
     threaded through the session, the kernel (whose step counter becomes
     the trace clock) and the harness phases, and comes back on
@@ -131,6 +136,7 @@ def run_program(
         log_reads=log_reads,
         races=races,
         atomic_locs=program.atomic_locs,
+        linearizability=linearizability,
         obs=obs,
         log=log,
     )
@@ -166,6 +172,9 @@ def run_program(
                     verifier.finalize_races() if verifier is not None
                     else vyrd.check_races()
                 )
+            linz_outcome = (
+                vyrd.check_linearizability() if vyrd.linearizability else None
+            )
     else:
         online_outcome = verifier.finalize() if verifier is not None else None
         race_outcome = None
@@ -174,9 +183,12 @@ def run_program(
                 verifier.finalize_races() if verifier is not None
                 else vyrd.check_races()
             )
+        linz_outcome = (
+            vyrd.check_linearizability() if vyrd.linearizability else None
+        )
     return RunResult(
         program, built, vyrd, kernel, run_cpu, online_outcome, race_outcome,
-        lint_findings, obs,
+        lint_findings, obs, linz_outcome,
     )
 
 

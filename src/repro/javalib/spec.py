@@ -43,6 +43,14 @@ class VectorSpec(Specification):
         self.items.clear()
         self._touch("contents")
 
+    def candidate_results(self, method, args):
+        """Plausible returns for incomplete operations in recovered logs."""
+        if method == "add_element":
+            return (True, False)
+        if method == "remove_all_elements":
+            return (None,)
+        return None
+
     @observer
     def size(self):
         return len(self.items)
@@ -125,6 +133,12 @@ class StringBufferSpec(Specification):
                 raise SpecReject(f"delete({start}, {end}) failed on {current!r}")
         else:
             raise SpecReject(f"delete must return a bool, not {result!r}")
+
+    def candidate_results(self, method, args):
+        """Plausible returns for incomplete operations in recovered logs."""
+        if method in ("append_str", "append_buffer", "delete"):
+            return (True, False)
+        return None
 
     @observer
     def to_string(self, buf):

@@ -1,0 +1,53 @@
+"""repro.linz -- annotation-free linearizability checking (ROADMAP item 4).
+
+Consumes only the call/return history every VYRD log level already records
+and searches for a valid linearization against the same atomic specs the
+refinement checker uses -- no commit annotations required.  See
+``docs/ARCHITECTURE.md`` section 16.
+"""
+
+from .checker import (
+    LinzChecker,
+    LinzOutcome,
+    SearchBudgetExceeded,
+    check_linearizability,
+)
+from .history import (
+    CALL,
+    RET,
+    History,
+    HistoryError,
+    Operation,
+    extract_history,
+)
+from .oracle import brute_force_linearizable
+from .registry import (
+    DEFAULT_VARIANT,
+    EXPECTED_DIVERGENCES,
+    LinzProgramConfig,
+    expected_divergence,
+    linz_config,
+    linz_variants,
+    strict_lookup_divergence_log,
+)
+
+__all__ = [
+    "CALL",
+    "DEFAULT_VARIANT",
+    "EXPECTED_DIVERGENCES",
+    "History",
+    "HistoryError",
+    "LinzChecker",
+    "LinzOutcome",
+    "LinzProgramConfig",
+    "Operation",
+    "RET",
+    "SearchBudgetExceeded",
+    "brute_force_linearizable",
+    "check_linearizability",
+    "expected_divergence",
+    "extract_history",
+    "linz_config",
+    "linz_variants",
+    "strict_lookup_divergence_log",
+]

@@ -1,0 +1,97 @@
+"""Brute-force linearizability oracle for cross-validating the checker.
+
+:func:`brute_force_linearizable` decides linearizability straight from the
+definition: enumerate every total order of the history's operations that
+extends the real-time partial order, replay each through a fresh spec, and
+accept iff some order replays cleanly.  No memoization, no eager observer
+placement, no event cursor -- deliberately nothing structural in common
+with :class:`repro.linz.checker.LinzChecker`, so the Hypothesis property
+(``tests/property/test_props_linz.py``) comparing the two verdicts on small
+histories exercises genuinely independent implementations.
+
+Cost is factorial in the history size; keep inputs at or below ~7
+operations.
+"""
+
+from __future__ import annotations
+
+import copy
+from itertools import chain, combinations
+from typing import Any, Callable, List, Optional
+
+from ..core.spec import OBSERVER, SpecReject, allows
+from .history import History, Operation, extract_history
+
+
+def _precedes(a: Operation, b: Operation) -> bool:
+    """Real-time order: ``a`` finished before ``b`` started."""
+    return a.return_seq is not None and a.return_seq < b.call_seq
+
+
+def brute_force_linearizable(
+    log,
+    spec_factory: Callable,
+    *,
+    candidate_results: Optional[Callable] = None,
+) -> bool:
+    """Return whether a valid linearization of ``log``'s history exists,
+    by exhaustive enumeration.
+
+    Incomplete operations are handled exactly as the search checker
+    specifies: incomplete observers are dropped; each subset of the
+    incomplete mutators is tried as "took effect", with every candidate
+    return value (``candidate_results(spec, method, args)`` override, the
+    spec's own protocol, or results observed elsewhere for the method) at
+    the point of placement.
+    """
+    history = log if isinstance(log, History) else extract_history(log)
+    probe = spec_factory()
+    kinds = {
+        method: probe.method_kind(method)
+        for method in {op.method for op in history.operations.values()}
+    }
+    required = [op for op in history.operations.values() if op.complete]
+    optional = [
+        op for op in history.operations.values()
+        if not op.complete and kinds[op.method] != OBSERVER
+    ]
+
+    def candidates(spec, op: Operation) -> List[Any]:
+        if candidate_results is not None:
+            found = candidate_results(spec, op.method, op.args)
+            return list(found) if found is not None else []
+        found = spec.candidate_results(op.method, op.args)
+        if found is not None:
+            return list(found)
+        return history.observed_results(op.method)
+
+    def place(remaining: List[Operation], spec) -> bool:
+        if not remaining:
+            return True
+        for index, op in enumerate(remaining):
+            if any(_precedes(other, op) for other in remaining if other is not op):
+                continue  # some remaining operation must come first
+            rest = remaining[:index] + remaining[index + 1:]
+            if kinds[op.method] == OBSERVER:
+                if allows(spec.run_observer(op.method, op.args), op.result):
+                    if place(rest, spec):
+                        return True
+                continue
+            results = [op.result] if op.complete else candidates(spec, op)
+            for result in results:
+                clone = copy.deepcopy(spec)
+                try:
+                    clone.run_mutator(op.method, op.args, result)
+                except SpecReject:
+                    continue
+                if place(rest, clone):
+                    return True
+        return False
+
+    subsets = chain.from_iterable(
+        combinations(optional, k) for k in range(len(optional) + 1)
+    )
+    for included in subsets:
+        if place(required + list(included), spec_factory()):
+            return True
+    return False

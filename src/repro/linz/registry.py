@@ -1,0 +1,148 @@
+"""Per-program linearizability configurations and the expected-divergence list.
+
+For every registry program the *default* variant checks linearizability
+against the very spec the refinement checker uses, so the two verdicts must
+agree -- that agreement is the cross-validation gate in
+``tests/linz/test_cross_validation.py``.
+
+The one place the two checkers are *documented* to disagree is the vector
+multiset's strict-lookup configuration (see the :mod:`repro.multiset.spec`
+header): scan-based lookup is genuinely non-linearizable when the same key
+occupies two slots, but the permissive refinement spec
+(``permissive_lookup=True``) deliberately accepts the spurious ``False``.
+That pairing is modelled here as the ``strict-lookup`` variant, whose
+refinement side uses the permissive spec while the linearizability side
+uses the strict one, and it is carried on :data:`EXPECTED_DIVERGENCES` --
+an explicit, tested allowlist that the ``--mode both`` CLI path and the
+cross-validation gate consult instead of silently skipping the case.
+:func:`strict_lookup_divergence_log` constructs the canonical witness
+execution for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..core.actions import CallAction, CommitAction, ReturnAction
+from ..core.log import Log
+from ..harness.workload import PROGRAMS
+from ..multiset import MultisetSpec
+from ..multiset.spec import SUCCESS
+
+#: The variant every program supports: linz spec == refinement spec.
+DEFAULT_VARIANT = "default"
+
+
+@dataclass(frozen=True)
+class LinzProgramConfig:
+    """One (program, variant) linearizability-checking configuration."""
+
+    program: str
+    variant: str
+    #: Spec factory for the linearizability search.
+    linz_spec_factory: Callable
+    #: Spec factory the refinement side uses for the same comparison
+    #: (``None`` -> the program's own registry spec, i.e. identical).
+    refinement_spec_factory: Optional[Callable] = None
+    #: Why the two verdicts are *expected* to disagree (``None`` -> they
+    #: must agree; anything else puts the config on the divergence list).
+    expected_divergence: Optional[str] = None
+
+
+STRICT_LOOKUP_DIVERGENCE = (
+    "vector-multiset scan lookup is genuinely non-linearizable under "
+    "duplicated keys (a delete can overtake the scan while a re-insert "
+    "commits behind it, so lookup misses an always-present key); the "
+    "permissive refinement spec accepts the spurious False, the strict "
+    "linearizability spec correctly rejects it -- see the "
+    "repro.multiset.spec header"
+)
+
+#: Non-default variants, keyed by (program, variant).
+_VARIANTS: Dict[Tuple[str, str], LinzProgramConfig] = {
+    ("multiset-vector", "strict-lookup"): LinzProgramConfig(
+        program="multiset-vector",
+        variant="strict-lookup",
+        linz_spec_factory=MultisetSpec,  # strict lookup (the default)
+        refinement_spec_factory=lambda: MultisetSpec(permissive_lookup=True),
+        expected_divergence=STRICT_LOOKUP_DIVERGENCE,
+    ),
+}
+
+#: Every (program, variant) pair allowed to disagree, with its reason.
+EXPECTED_DIVERGENCES: Tuple[LinzProgramConfig, ...] = tuple(
+    config for config in _VARIANTS.values()
+    if config.expected_divergence is not None
+)
+
+
+def linz_config(program: str, variant: str = DEFAULT_VARIANT) -> LinzProgramConfig:
+    """Resolve the checking configuration for ``(program, variant)``."""
+    if program not in PROGRAMS:
+        raise KeyError(f"unknown program {program!r}")
+    if variant == DEFAULT_VARIANT:
+        spec_factory = PROGRAMS[program].build(False, 1).spec_factory
+        return LinzProgramConfig(
+            program=program, variant=variant, linz_spec_factory=spec_factory
+        )
+    config = _VARIANTS.get((program, variant))
+    if config is None:
+        raise KeyError(
+            f"program {program!r} has no linz variant {variant!r}; "
+            f"available: {', '.join(linz_variants(program))}"
+        )
+    return config
+
+
+def linz_variants(program: str) -> Tuple[str, ...]:
+    """Variant names available for ``program`` (always includes default)."""
+    extra = sorted(
+        variant for (name, variant) in _VARIANTS if name == program
+    )
+    return (DEFAULT_VARIANT, *extra)
+
+
+def expected_divergence(program: str, variant: str) -> Optional[str]:
+    """The documented reason ``(program, variant)`` verdicts may disagree,
+    or ``None`` if they must agree."""
+    config = _VARIANTS.get((program, variant))
+    return config.expected_divergence if config is not None else None
+
+
+def strict_lookup_divergence_log() -> Log:
+    """The canonical witness for the strict-lookup expected divergence.
+
+    The key 5 is inserted twice, then while a ``lookup(5)`` is in flight
+    one occurrence is deleted and re-inserted, and the lookup returns
+    ``False``.  The key's multiplicity is 2 -> 1 -> 2 throughout the lookup
+    window -- never zero -- so no linearization point for the lookup exists
+    under the strict spec (linearizability violation), while the permissive
+    refinement spec allows the spurious ``False`` at every point of the
+    window (refinement OK).  This is exactly the scan-based miss the
+    :mod:`repro.multiset.spec` header documents.
+    """
+    log = Log()
+    actions = [
+        # two sequential inserts of the same key
+        CallAction(tid=0, op_id=0, method="insert", args=(5,)),
+        CommitAction(tid=0, op_id=0),
+        ReturnAction(tid=0, op_id=0, method="insert", result=SUCCESS),
+        CallAction(tid=0, op_id=1, method="insert", args=(5,)),
+        CommitAction(tid=0, op_id=1),
+        ReturnAction(tid=0, op_id=1, method="insert", result=SUCCESS),
+        # the lookup window opens ...
+        CallAction(tid=1, op_id=2, method="lookup", args=(5,)),
+        # ... one occurrence is deleted and re-inserted inside it ...
+        CallAction(tid=2, op_id=3, method="delete", args=(5,)),
+        CommitAction(tid=2, op_id=3),
+        ReturnAction(tid=2, op_id=3, method="delete", result=True),
+        CallAction(tid=3, op_id=4, method="insert", args=(5,)),
+        CommitAction(tid=3, op_id=4),
+        ReturnAction(tid=3, op_id=4, method="insert", result=SUCCESS),
+        # ... and the scan misses the always-present key
+        ReturnAction(tid=1, op_id=2, method="lookup", result=False),
+    ]
+    for action in actions:
+        log.append(action)
+    return log

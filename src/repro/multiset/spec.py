@@ -100,6 +100,15 @@ class MultisetSpec(Specification):
         else:
             raise SpecReject(f"delete must return a bool, not {result!r}")
 
+    def candidate_results(self, method, args):
+        """Plausible returns for incomplete operations in recovered logs
+        (see :meth:`repro.core.spec.Specification.candidate_results`)."""
+        if method in ("insert", "insert_pair"):
+            return (SUCCESS, FAILURE)
+        if method == "delete":
+            return (True, False)
+        return None
+
     # -- observers -----------------------------------------------------------
 
     @observer

@@ -8,13 +8,16 @@ sites on ``recorder.enabled``.  Pass a :class:`MetricsRecorder` through
 
 * **counters** -- actions logged by type, commits checked, replay writes,
   t-tilde overlay constructions, verifier polls, scheduler steps per thread,
-  pool retries/breaks;
+  pool retries/breaks, linearization-search work (``linz.nodes``,
+  ``linz.memo_hits``, ``linz.prunes``, ``linz.exhausted_searches``);
 * **histograms** -- observer-window sizes, view units recomputed per commit,
-  overlay rollback sizes;
+  overlay rollback sizes, linearization search depth and pending-set width
+  (``linz.search_depth`` / ``linz.pending_width``);
 * **spans** -- every pipeline phase (kernel step, tracer append, checker
   feed, witness commit, observer re-evaluation, view refresh, coarse
-  replay, log recovery) on a kernel-step-keyed clock, exported as Chrome
-  trace-event JSON via :func:`write_trace` and loadable in Perfetto.
+  replay, log recovery, the ``linz.search`` linearization search) on a
+  kernel-step-keyed clock, exported as Chrome trace-event JSON via
+  :func:`write_trace` and loadable in Perfetto.
 
 See ``docs/ARCHITECTURE.md`` section 10 for the recorder protocol, the span
 taxonomy and the overhead guarantees.

@@ -65,6 +65,17 @@ from .merge import MergeError, StreamMerger
 from .shard import ShardTail, health_name, manifest_name, pause_name
 from .store import LogStore
 
+#: Checker-thread exceptions that must NOT be absorbed into degraded-mode
+#: retries.  A ``MergeError`` means the canonical history itself is
+#: inconsistent -- re-feeding the same records to a fresh checker at
+#: catch-up would only fail again against corrupt input, so the session
+#: surfaces it as a checker error instead of degrading.  ``MemoryError``
+#: means the process is dying; retrying accelerates that.
+#: (``KeyboardInterrupt``/``SystemExit`` derive from ``BaseException`` and
+#: already escape every ``except Exception`` below -- pinned by
+#: ``tests/serve/test_exception_disposition.py``.)
+FATAL_CHECKER_EXCEPTIONS = (MergeError, MemoryError)
+
 
 class BoundedQueue:
     """A bounded record-batch queue; blocking ``put`` is the backpressure.
@@ -347,6 +358,7 @@ class ServeSession:
         self._catchup_records = 0
         self._heartbeats = 0
         self._health_errors = 0
+        self._last_health_error: Optional[str] = None
 
     # -- ingest side ---------------------------------------------------------
 
@@ -534,6 +546,11 @@ class ServeSession:
                 if checker is not None and not self._checker_shed and fresh:
                     try:
                         checker.feed(fresh)
+                    except FATAL_CHECKER_EXCEPTIONS:
+                        # Not retryable: degrading would re-feed the same
+                        # records at catch-up.  Surface on the result via
+                        # the outer handler.
+                        raise
                     except Exception as exc:
                         self._shed(
                             f"checker crashed: {exc!r}", crashed=True
@@ -544,6 +561,8 @@ class ServeSession:
                             if since_checkpoint >= self.checkpoint_every:
                                 try:
                                     self._save_checkpoint(checker)
+                                except FATAL_CHECKER_EXCEPTIONS:
+                                    raise
                                 except Exception:
                                     # A checkpoint is an optimization; a
                                     # store refusing one must not degrade
@@ -558,6 +577,8 @@ class ServeSession:
                 if race_checker is not None and not self._race_shed:
                     try:
                         race_checker.feed(batch)
+                    except FATAL_CHECKER_EXCEPTIONS:
+                        raise
                     except Exception as exc:
                         self._shed(
                             f"race checker crashed: {exc!r}", race=True
@@ -645,6 +666,8 @@ class ServeSession:
             "paused": self._paused,
             "checkpoints_saved": self._checkpoints_saved,
             "heartbeats": self._heartbeats,
+            "health_errors": self._health_errors,
+            "last_health_error": self._last_health_error,
             "time": time.time(),
         }
 
@@ -652,8 +675,21 @@ class ServeSession:
         payload = self._health_snapshot(state)
         try:
             self.store.put_json(health_name(self.session), payload)
-        except Exception:  # health is best-effort: never kills a session
+        except Exception as exc:
+            # Health is best-effort -- a refusing store never kills a
+            # session -- but a swallowed failure must stay observable:
+            # degraded health reporting would otherwise look exactly like
+            # healthy silence.  The error count and last error ride on the
+            # next snapshot that does land, and on the obs counters.
             self._health_errors += 1
+            self._last_health_error = repr(exc)
+            # The returned snapshot must carry the failure it just suffered
+            # -- callers (and the final ServeResult.health) would otherwise
+            # see pre-failure counts.
+            payload["health_errors"] = self._health_errors
+            payload["last_health_error"] = self._last_health_error
+            if self.obs.enabled:
+                self.obs.count("serve.health_errors", 1)
         return payload
 
     def _heartbeat(self, stop: threading.Event) -> None:
@@ -721,6 +757,10 @@ class ServeSession:
         )
         if self._manifest is not None:
             result.chain = self._audit_chains(self._manifest)
+        # Write the terminal health document *before* snapshotting stats so
+        # a failure of this very write is visible on the returned counters.
+        state = "complete" if result.complete else "failed"
+        result.health = self._write_health(state)
         result.stats = {
             "ingested": self._ingested,
             "checked": self._checked,
@@ -740,6 +780,7 @@ class ServeSession:
             "catchup_records": self._catchup_records,
             "heartbeats": self._heartbeats,
             "health_errors": self._health_errors,
+            "last_health_error": self._last_health_error,
         }
         store_stats = getattr(self.store, "stats", None)
         if isinstance(store_stats, dict) and "retries" in store_stats:
@@ -754,8 +795,6 @@ class ServeSession:
                 "succeeded": sup.succeeded,
                 "events": list(sup.ledger),
             }
-        state = "complete" if result.complete else "failed"
-        result.health = self._write_health(state)
         if obs.enabled:
             obs.count("serve.records", result.records)
             obs.count("serve.sessions", 1)

@@ -258,7 +258,20 @@ def _build_parser() -> argparse.ArgumentParser:
     check_parser = sub.add_parser("check", help="check a saved log offline")
     check_parser.add_argument("log", help="log file written by `run --save`")
     check_parser.add_argument("--program", required=True, choices=sorted(PROGRAMS))
-    check_parser.add_argument("--mode", choices=("io", "view"), default="view")
+    check_parser.add_argument(
+        "--mode", choices=("io", "view", "refinement", "linz", "both"),
+        default="view",
+        help="io/view: commit-annotated refinement ('refinement' is an "
+             "alias for view); linz: annotation-free linearization search "
+             "(violations exit 2); both: run I/O refinement and the "
+             "linearization search and require the verdicts to agree -- "
+             "a disagreement outside the documented expected-divergence "
+             "list exits 2 with both verdicts in --json")
+    check_parser.add_argument(
+        "--variant", default="default",
+        help="linz/both: the program's linearizability variant (e.g. "
+             "'strict-lookup' for multiset-vector's documented "
+             "expected divergence)")
     check_parser.add_argument("--all", action="store_true",
                               help="collect all violations, not just the first")
     check_parser.add_argument("--recover", action="store_true",
@@ -281,6 +294,44 @@ def _build_parser() -> argparse.ArgumentParser:
                                    "check falls back to record zero")
     check_parser.add_argument("--json", action="store_true",
                               help="emit the outcome as JSON")
+
+    linz_parser = sub.add_parser(
+        "linz",
+        help="annotation-free linearizability check: search a saved log's "
+             "call/return history (or run a registry workload and search "
+             "its log) for a valid linearization against the atomic spec; "
+             "needs no commit annotations, so it works on any log level",
+    )
+    linz_parser.add_argument(
+        "target",
+        help="a registry program name (runs the workload, then checks), or "
+             "a log file written by `run --save` (requires --program)")
+    linz_parser.add_argument("--program", choices=sorted(PROGRAMS),
+                             help="registry program supplying the spec when "
+                                  "TARGET is a log file")
+    linz_parser.add_argument("--variant", default="default",
+                             help="linearizability spec variant "
+                                  "(see `check --variant`)")
+    linz_parser.add_argument("--buggy", action="store_true",
+                             help="program target: enable the seeded bug")
+    linz_parser.add_argument("--threads", type=int, default=4,
+                             help="program target: worker threads")
+    linz_parser.add_argument("--calls", type=int, default=20,
+                             help="program target: method calls per thread")
+    linz_parser.add_argument("--seed", type=int, default=0,
+                             help="program target: scheduler seed")
+    linz_parser.add_argument("--no-memo", action="store_true",
+                             help="disable failed-state memoization "
+                                  "(the benchmark ablation; can be "
+                                  "exponentially slower)")
+    linz_parser.add_argument("--max-nodes", type=int, default=2_000_000,
+                             help="search-node budget; exceeding it is a "
+                                  "hard error (exit 2), not a verdict")
+    linz_parser.add_argument("--recover", action="store_true",
+                             help="log target: salvage the longest valid "
+                                  "prefix of a damaged log first")
+    linz_parser.add_argument("--json", action="store_true",
+                             help="emit the verdict as JSON")
 
     faults_parser = sub.add_parser(
         "faults",
@@ -832,7 +883,12 @@ def _cmd_check(args) -> int:
         print(f"warning: log is not well-formed ({len(problems)} problem(s)):")
         for problem in problems[:5]:
             print(f"  {problem}")
-    checker = _checker_for(args.program, args.mode, stop_at_first=not args.all)
+    mode = "view" if args.mode == "refinement" else args.mode
+    if mode == "linz":
+        return _check_linz_log(args, log, recovery)
+    if mode == "both":
+        return _check_both(args, log, recovery)
+    checker = _checker_for(args.program, mode, stop_at_first=not args.all)
     resume_info = None
     start_seq = 0
     if args.resume:
@@ -851,12 +907,12 @@ def _cmd_check(args) -> int:
             if not args.json:
                 print(f"warning: checkpoint rejected ({exc}); "
                       "replaying from record zero", file=sys.stderr)
-            checker = _checker_for(args.program, args.mode,
+            checker = _checker_for(args.program, mode,
                                    stop_at_first=not args.all)
     actions = list(log)[start_seq:]
     every = max(0, args.checkpoint_every)
     if every and args.checkpoint:
-        meta = {"program": args.program, "mode": args.mode, "log": args.log}
+        meta = {"program": args.program, "mode": mode, "log": args.log}
         for index in range(0, len(actions), every):
             checker.feed(actions[index:index + every])
             checker.checkpoint(meta=meta).save(args.checkpoint)
@@ -864,7 +920,7 @@ def _cmd_check(args) -> int:
         checker.feed(actions)
         if args.checkpoint:
             checker.checkpoint(
-                meta={"program": args.program, "mode": args.mode, "log": args.log}
+                meta={"program": args.program, "mode": mode, "log": args.log}
             ).save(args.checkpoint)
     outcome = checker.finish()
     if args.json:
@@ -877,8 +933,188 @@ def _cmd_check(args) -> int:
     else:
         if resume_info is not None and "rejected" not in resume_info:
             print(f"resumed from {args.resume} at seq {start_seq}")
-        print(format_outcome(outcome, title=f"{args.mode} refinement of {args.log}"))
+        print(format_outcome(outcome, title=f"{mode} refinement of {args.log}"))
     return 0 if outcome.ok else 1
+
+
+def _run_linz_search(args, log, spec_factory):
+    """Run the linearization search with the shared budget/memoization
+    flags; a blown budget is a hard error (exit 2), never a verdict."""
+    from ..linz import LinzChecker, SearchBudgetExceeded
+
+    checker = LinzChecker(
+        spec_factory,
+        memo=not getattr(args, "no_memo", False),
+        max_nodes=getattr(args, "max_nodes", 2_000_000),
+    )
+    try:
+        return checker.check(log), None
+    except SearchBudgetExceeded as exc:
+        return None, str(exc)
+
+
+def _search_error(args, message: str) -> int:
+    if args.json:
+        print(json.dumps({
+            "ok": False,
+            "problem": message,
+            "error_type": "SearchBudgetExceeded",
+        }, indent=2))
+    else:
+        print(f"linearization search failed: {message}", file=sys.stderr)
+    return 2
+
+
+def _check_linz_log(args, log, recovery) -> int:
+    """``check --mode linz``: the annotation-free verdict on one log."""
+    from ..linz import linz_config
+
+    config = linz_config(args.program, args.variant)
+    outcome, error = _run_linz_search(args, log, config.linz_spec_factory)
+    if outcome is None:
+        return _search_error(args, error)
+    if args.json:
+        payload = outcome.to_dict()
+        payload["program"] = args.program
+        payload["variant"] = args.variant
+        if recovery is not None:
+            payload["recovery"] = recovery
+        _emit_json(payload, log)
+    else:
+        print(f"linearizability of {args.log}: {outcome.summary()}")
+        if not outcome.ok:
+            print(f"  problem: {outcome.first_violation}")
+    return 0 if outcome.ok else 2
+
+
+def _check_both(args, log, recovery) -> int:
+    """``check --mode both``: I/O refinement and the linearization search
+    on the same log, gated on verdict agreement.
+
+    The refinement side runs in I/O mode -- like the linearization search
+    it needs only call/return/commit records, so the comparison works at
+    every log level.  Exit 0 when the verdicts agree on OK or the
+    disagreement is on the documented expected-divergence list; exit 2 for
+    any linearizability violation or undocumented disagreement, with both
+    verdicts in the ``--json`` payload.
+    """
+    from ..linz import expected_divergence, linz_config
+
+    config = linz_config(args.program, args.variant)
+    built = PROGRAMS[args.program].build(False, 1)
+    ref_spec_factory = config.refinement_spec_factory or built.spec_factory
+    ref_checker = RefinementChecker(
+        ref_spec_factory(),
+        mode="io",
+        replay_registry=built.replay_registry,
+        stop_at_first=not args.all,
+    )
+    ref_checker.feed(log)
+    ref_outcome = ref_checker.finish()
+    linz_outcome, error = _run_linz_search(args, log, config.linz_spec_factory)
+    if linz_outcome is None:
+        return _search_error(args, error)
+    agree = ref_outcome.ok == linz_outcome.ok
+    divergence = expected_divergence(args.program, args.variant)
+    # The documented divergences are strictly refinement-OK /
+    # linearizability-VIOLATION (a permissive refinement spec accepting a
+    # genuinely non-linearizable execution); any other shape is a finding.
+    expected = (
+        divergence is not None and ref_outcome.ok and not linz_outcome.ok
+    )
+    problem = None
+    if not agree and not expected:
+        ref_verdict = "OK" if ref_outcome.ok else str(ref_outcome.first_violation)
+        linz_verdict = "OK" if linz_outcome.ok else str(linz_outcome.first_violation)
+        problem = (
+            f"verdict-disagreement: refinement={ref_verdict}; "
+            f"linearizability={linz_verdict}"
+        )
+    elif not linz_outcome.ok and not expected:
+        problem = str(linz_outcome.first_violation)
+    elif not ref_outcome.ok:
+        problem = str(ref_outcome.first_violation)
+    ok = problem is None
+    if args.json:
+        payload = {
+            "ok": ok,
+            "mode": "both",
+            "program": args.program,
+            "variant": args.variant,
+            "agree": agree,
+            "expected_divergence": divergence if expected else None,
+            "problem": problem,
+            "refinement": ref_outcome.to_dict(),
+            "linz": linz_outcome.to_dict(),
+        }
+        if recovery is not None:
+            payload["recovery"] = recovery
+        _emit_json(payload, log)
+    else:
+        ref_text = "OK" if ref_outcome.ok else "VIOLATION"
+        linz_text = "OK" if linz_outcome.ok else "VIOLATION"
+        print(f"cross-validation of {args.log}: refinement={ref_text}, "
+              f"linearizability={linz_text}")
+        if expected:
+            print(f"  expected divergence: {divergence}")
+        elif problem is not None:
+            print(f"  problem: {problem}")
+    return 0 if ok else 2
+
+
+def _cmd_linz(args) -> int:
+    """``vyrd linz <program|logfile>``."""
+    from ..linz import linz_config
+
+    if args.target in PROGRAMS:
+        config = linz_config(args.target, args.variant)
+        result = run_program(
+            args.target,
+            buggy=args.buggy,
+            num_threads=args.threads,
+            calls_per_thread=args.calls,
+            seed=args.seed,
+        )
+        log = result.log
+        source = f"{args.target} (seed {args.seed})"
+        program = args.target
+    else:
+        if args.program is None:
+            print("error: checking a log file requires --program",
+                  file=sys.stderr)
+            return 2
+        program = args.program
+        config = linz_config(program, args.variant)
+        if args.recover:
+            recovered = recover_log(args.target)
+            log = recovered.log
+        else:
+            try:
+                log = load_log(args.target)
+            except LogFormatError as exc:
+                if args.json:
+                    print(json.dumps({
+                        "ok": False,
+                        "problem": str(exc),
+                        "error_type": "LogFormatError",
+                    }, indent=2))
+                else:
+                    print(f"cannot read log: {exc}", file=sys.stderr)
+                return 2
+        source = args.target
+    outcome, error = _run_linz_search(args, log, config.linz_spec_factory)
+    if outcome is None:
+        return _search_error(args, error)
+    if args.json:
+        payload = outcome.to_dict()
+        payload["program"] = program
+        payload["variant"] = args.variant
+        _emit_json(payload, log)
+    else:
+        print(f"linearizability of {source}: {outcome.summary()}")
+        if not outcome.ok:
+            print(f"  problem: {outcome.first_violation}")
+    return 0 if outcome.ok else 2
 
 
 def _cmd_races(args) -> int:
@@ -1292,6 +1528,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "explore": _cmd_explore,
     "check": _cmd_check,
+    "linz": _cmd_linz,
     "faults": _cmd_faults,
     "profile": _cmd_profile,
     "races": _cmd_races,

@@ -55,6 +55,17 @@ def test_campaign_checkpoint_round_kill_resume_identity(report):
     assert report.checkpoint_checks[1]["verdict_ok"] is False
 
 
+def test_campaign_linz_verdict_stable_under_recovery(report):
+    # the annotation-free linearizability verdict on every salvaged prefix
+    # equals the verdict on the same pristine prefix
+    assert report.linz_ok
+    assert report.linz_checks  # the tear + bitflip corruptions, at least
+    for entry in report.linz_checks:
+        assert entry["verdict_stable"]
+        assert entry["salvaged_records"] > 0
+    assert report.to_dict()["linz_ok"] is True
+
+
 def test_campaign_report_round_trips_to_json(report):
     assert report.ok
     payload = json.loads(json.dumps(report.to_dict()))

@@ -1,0 +1,86 @@
+"""Cross-validation gate: refinement and linearizability verdicts agree.
+
+The annotation-free linearization search and the commit-annotated
+refinement checker are two independent oracles for the same question.  On
+every registry program's default variant they must return the same verdict
+-- the only tested exception is the documented strict-lookup divergence of
+the vector multiset (:data:`repro.linz.EXPECTED_DIVERGENCES`).
+"""
+
+import pytest
+
+from repro.core.refinement import CheckOutcome  # noqa: F401  (doc link)
+from repro.harness import run_program
+from repro.harness.workload import PROGRAMS
+from repro.linz import (
+    EXPECTED_DIVERGENCES,
+    LinzChecker,
+    expected_divergence,
+    linz_config,
+    linz_variants,
+    strict_lookup_divergence_log,
+)
+from repro.multiset import MultisetSpec
+
+#: Every program at a fixed small shape; verdicts must agree (all clean).
+GATE_SHAPE = dict(num_threads=3, calls_per_thread=12, seed=3)
+
+#: The three seeded bugs with schedule seeds that both oracles catch.
+SEEDED_BUGS = [
+    ("java-vector", 3, 12, 7),    # Vector.lastIndexOf reads stale count
+    ("stringbuffer", 3, 12, 1),   # StringBuffer.append torn read
+    ("cache", 3, 10, 2),          # COPY-TO-CACHE lost-update window
+]
+
+
+@pytest.mark.parametrize("program", sorted(PROGRAMS))
+def test_registry_verdicts_agree_on_clean_runs(program):
+    result = run_program(program, linearizability=True, **GATE_SHAPE)
+    ref = result.vyrd.check_offline_with_mode("io")
+    linz = result.linz_outcome
+    assert linz is not None
+    assert expected_divergence(program, "default") is None
+    assert ref.ok and linz.ok, (
+        f"{program}: refinement ok={ref.ok} linz ok={linz.ok}"
+    )
+    assert linz.linearization is not None
+
+
+@pytest.mark.parametrize("program,threads,calls,seed", SEEDED_BUGS)
+def test_seeded_bugs_detected_both_ways(program, threads, calls, seed):
+    result = run_program(
+        program, buggy=True, num_threads=threads, calls_per_thread=calls,
+        seed=seed, linearizability=True,
+    )
+    ref = result.vyrd.check_offline_with_mode("io")
+    linz = result.linz_outcome
+    assert not ref.ok, f"{program} seed {seed}: refinement missed the bug"
+    assert not linz.ok, f"{program} seed {seed}: linz missed the bug"
+    assert linz.first_violation.kind.value == "linearizability"
+
+
+def test_expected_divergence_list_is_exactly_strict_lookup():
+    assert [
+        (config.program, config.variant) for config in EXPECTED_DIVERGENCES
+    ] == [("multiset-vector", "strict-lookup")]
+    assert linz_variants("multiset-vector") == ("default", "strict-lookup")
+    config = linz_config("multiset-vector", "strict-lookup")
+    assert config.expected_divergence
+
+
+def test_strict_lookup_divergence_witness_diverges_as_documented():
+    """The canonical witness: refinement-spec OK, linz-spec violation."""
+    log = strict_lookup_divergence_log()
+    config = linz_config("multiset-vector", "strict-lookup")
+    permissive = LinzChecker(config.refinement_spec_factory).check(log)
+    strict = LinzChecker(config.linz_spec_factory).check(log)
+    assert permissive.ok          # the permissive spec explains the False
+    assert not strict.ok          # the strict spec cannot: genuine divergence
+
+
+def test_default_variant_uses_registry_spec():
+    config = linz_config("multiset-vector")
+    spec = config.linz_spec_factory()
+    assert isinstance(spec, MultisetSpec)
+    assert config.refinement_spec_factory is None
+    assert config.expected_divergence is None

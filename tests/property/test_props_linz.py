@@ -1,0 +1,105 @@
+"""Property: the memoized linearization search agrees with the brute-force
+all-orderings oracle on every small random history.
+
+:class:`repro.linz.LinzChecker` (event cursor, eager observers, failed-state
+memoization) and :func:`repro.linz.brute_force_linearizable` (enumerate every
+real-time-consistent total order from the definition) share no search
+structure, so agreement on arbitrary histories -- overlapping, incomplete,
+deliberately wrong results -- is strong evidence both are right.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.actions import CallAction, ReturnAction
+from repro.core.log import Log
+from repro.linz import brute_force_linearizable, check_linearizability
+from repro.multiset import MultisetSpec
+from repro.multiset.spec import SUCCESS
+
+MAX_OPS = 6
+
+# (method, plausible results); wrong-for-the-state results are the point --
+# they produce non-linearizable histories the verdicts must agree on.
+METHODS = [
+    ("insert", [SUCCESS]),
+    ("delete", [True, False]),
+    ("lookup", [True, False]),
+]
+
+
+@st.composite
+def histories(draw):
+    """A random history over a two-key multiset: random methods, results,
+    overlap structure, and completion status."""
+    n = draw(st.integers(min_value=1, max_value=MAX_OPS))
+    ops = []
+    for op_id in range(n):
+        method, results = draw(st.sampled_from(METHODS))
+        ops.append((
+            op_id,
+            method,
+            draw(st.integers(min_value=0, max_value=1)),   # key
+            draw(st.sampled_from(results)),
+            draw(st.booleans()),                           # complete?
+        ))
+    # Event times induce the real-time partial order: each op's call gets a
+    # slot, each complete op's return a later slot; ties broken by op id.
+    events = []
+    for op_id, method, key, result, complete in ops:
+        call_t = draw(st.integers(min_value=0, max_value=2 * n))
+        events.append((call_t, 0, op_id, "call", method, key, result))
+        if complete:
+            ret_t = draw(st.integers(min_value=call_t, max_value=2 * n + 1))
+            events.append((ret_t, 1, op_id, "ret", method, key, result))
+    events.sort(key=lambda e: (e[0], e[1], e[2]))
+    log = Log()
+    for _, _, op_id, kind, method, key, result in events:
+        if kind == "call":
+            log.append(CallAction(tid=op_id, op_id=op_id, method=method,
+                                  args=(key,)))
+        else:
+            log.append(ReturnAction(tid=op_id, op_id=op_id, method=method,
+                                    result=result))
+    return log
+
+
+@given(histories())
+@settings(max_examples=200, deadline=None)
+def test_search_verdict_matches_brute_force_oracle(log):
+    outcome = check_linearizability(log, MultisetSpec)
+    assert outcome.ok == brute_force_linearizable(log, MultisetSpec)
+
+
+@given(histories())
+@settings(max_examples=100, deadline=None)
+def test_memoized_and_unmemoized_search_agree(log):
+    with_memo = check_linearizability(log, MultisetSpec, memo=True)
+    without = check_linearizability(log, MultisetSpec, memo=False)
+    assert with_memo.ok == without.ok
+
+
+@given(histories())
+@settings(max_examples=100, deadline=None)
+def test_witness_linearization_replays_cleanly(log):
+    """Whenever the search reports a witness, the witness really is one:
+    replaying it through a fresh spec accepts every result."""
+    from repro.core.spec import OBSERVER, allows
+    from repro.linz import extract_history
+
+    outcome = check_linearizability(log, MultisetSpec)
+    if not outcome.ok:
+        return
+    history = extract_history(log)
+    spec = MultisetSpec()
+    for op_id in outcome.linearization:
+        op = history.operations[op_id]
+        if spec.method_kind(op.method) == OBSERVER:
+            assert allows(spec.run_observer(op.method, op.args), op.result)
+        elif op.complete:
+            spec.run_mutator(op.method, op.args, op.result)
+        else:
+            # incomplete mutator: the witness does not record which
+            # candidate result the search branched on, so the replay is
+            # no longer deterministic from here -- stop at the prefix.
+            break

@@ -1,0 +1,171 @@
+"""Exception dispositions in the serve daemon's ingest/checker loops.
+
+Pins the triage the handlers implement:
+
+* a *transient* checker fault (any plain ``Exception``) degrades to
+  record-only mode and is healed by catch-up verification at drain;
+* a **fatal** fault (:data:`repro.serve.daemon.FATAL_CHECKER_EXCEPTIONS`:
+  ``MergeError`` -- the canonical history itself is corrupt, re-feeding it
+  cannot help -- and ``MemoryError``) is *never* retried: no degradation,
+  no catch-up, the error surfaces on the result;
+* ``KeyboardInterrupt`` / ``SystemExit`` are ``BaseException`` and must
+  escape every handler -- a Ctrl-C cannot be absorbed into a "degraded"
+  session;
+* a failing health write never kills a session, but is counted and carries
+  its last error on every later snapshot (no silent swallow).
+"""
+
+import pytest
+
+from repro.serve import (
+    MergeError,
+    ObjectStoreStub,
+    ServeSession,
+    health_name,
+    produce_session,
+    session_checkers,
+)
+from repro.serve.daemon import FATAL_CHECKER_EXCEPTIONS
+
+PROG = "multiset-vector"
+WORKLOAD = dict(num_threads=2, calls_per_thread=6)
+
+
+class _FeedRaises:
+    """Checker stand-in whose first ``feed`` raises ``exc`` and which
+    otherwise delegates to a real checker."""
+
+    def __init__(self, inner, exc, fail_times=1):
+        self._inner = inner
+        self._exc = exc
+        self._fail_times = fail_times
+        self.feeds = 0
+
+    def feed(self, records):
+        self.feeds += 1
+        if self.feeds <= self._fail_times:
+            raise self._exc
+        self._inner.feed(records)
+
+    def finish(self):
+        return self._inner.finish()
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def _session(store, exc, calls):
+    """A produced session whose *first* checker instance raises ``exc`` on
+    its first feed; rebuilt instances (catch-up) are healthy."""
+    produce_session(
+        store, "s", PROG, seed=3, num_shards=2, run_kwargs=WORKLOAD,
+        throttle=False,
+    )
+    real_factory, _ = session_checkers(PROG)
+
+    def factory():
+        calls.append(1)
+        checker = real_factory()
+        if len(calls) == 1:
+            return _FeedRaises(checker, exc)
+        return checker
+
+    return ServeSession(store, "s", 2, checker_factory=factory)
+
+
+def test_fatal_exception_list_is_exactly_merge_and_memory():
+    assert FATAL_CHECKER_EXCEPTIONS == (MergeError, MemoryError)
+
+
+def test_transient_checker_fault_degrades_and_catch_up_heals():
+    calls = []
+    result = _session(
+        ObjectStoreStub(), RuntimeError("transient checker fault"), calls
+    ).run()
+    assert result.ok, result.error
+    assert result.degraded
+    assert "checker crashed" in result.stats["degraded_reason"]
+    assert len(calls) == 2                     # live + catch-up rebuild
+    assert result.outcome is not None and result.outcome.ok
+    assert result.error is None
+
+
+@pytest.mark.parametrize("exc", [
+    MergeError("canonical history corrupt"),
+    MemoryError("checker OOM"),
+])
+def test_fatal_checker_fault_is_not_retried(exc):
+    calls = []
+    result = _session(ObjectStoreStub(), exc, calls).run()
+    assert not result.ok
+    assert not result.degraded                 # no shed, no catch-up ...
+    assert result.stats["degraded_reason"] is None
+    assert len(calls) == 1                     # ... and no rebuilt checker
+    assert result.error is not None
+    assert type(exc).__name__ in result.error
+
+
+def test_keyboard_interrupt_escapes_the_checker_loop():
+    """`except Exception` in ``_check`` must not absorb a Ctrl-C: driven
+    synchronously, the interrupt propagates and nothing records it as a
+    mere checker error or degradation."""
+    store = ObjectStoreStub()
+    produce_session(
+        store, "s", PROG, seed=3, num_shards=1, run_kwargs=WORKLOAD,
+        throttle=False,
+    )
+    real_factory, _ = session_checkers(PROG)
+    session = ServeSession(store, "s", 1, checker_factory=real_factory)
+    checker = _FeedRaises(real_factory(), KeyboardInterrupt())
+    session.queue.put([object()])              # one batch to trip feed()
+    with pytest.raises(KeyboardInterrupt):
+        session._check(checker, None)
+    assert session._checker_error is None
+    assert not session._checker_shed
+
+
+def test_system_exit_escapes_the_checker_loop():
+    store = ObjectStoreStub()
+    produce_session(
+        store, "s", PROG, seed=3, num_shards=1, run_kwargs=WORKLOAD,
+        throttle=False,
+    )
+    real_factory, _ = session_checkers(PROG)
+    session = ServeSession(store, "s", 1, checker_factory=real_factory)
+    checker = _FeedRaises(real_factory(), SystemExit(3))
+    session.queue.put([object()])
+    with pytest.raises(SystemExit):
+        session._check(checker, None)
+    assert session._checker_error is None
+
+
+class _HealthRefusingStore(ObjectStoreStub):
+    """Accepts everything except health documents."""
+
+    def __init__(self):
+        super().__init__()
+        self.refused = 0
+
+    def put_json(self, name, payload):
+        if name.endswith("HEALTH.json"):
+            self.refused += 1
+            raise OSError("health volume full")
+        super().put_json(name, payload)
+
+
+def test_health_write_failure_is_counted_not_swallowed():
+    store = _HealthRefusingStore()
+    produce_session(
+        store, "s", PROG, seed=3, num_shards=2, run_kwargs=WORKLOAD,
+        throttle=False,
+    )
+    checker_factory, _ = session_checkers(PROG)
+    result = ServeSession(store, "s", 2, checker_factory=checker_factory).run()
+    assert result.ok, result.error             # best-effort: never fatal
+    assert store.refused >= 1
+    assert result.stats["health_errors"] == store.refused
+    assert "health volume full" in result.stats["last_health_error"]
+    # the returned (unwritten) snapshot itself carries the evidence
+    assert result.health["health_errors"] >= 1
+    assert "health volume full" in result.health["last_health_error"]
+    assert store.get_json(health_name("s")) is None
